@@ -1,0 +1,59 @@
+// E3 — §2.7 (Ethereum): shortening the block interval raises throughput but
+// raises the stale/branch rate (consistency cost); GHOST branch selection
+// recovers chain quality relative to naive longest-chain at short intervals.
+#include "bench_util.hpp"
+#include "consensus/nakamoto.hpp"
+
+using namespace dlt;
+using namespace dlt::consensus;
+
+namespace {
+
+struct RunResult {
+    double stale_rate;
+    std::uint64_t height;
+    std::uint64_t reorgs;
+};
+
+RunResult run(double interval, BranchRule rule, std::uint64_t seed) {
+    NakamotoParams params;
+    params.node_count = 12;
+    params.block_interval = interval;
+    params.branch_rule = rule;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.link.latency_mean = 2.0; // pronounced WAN delays make branching visible
+    params.link.latency_jitter = 1.0;
+    NakamotoNetwork net(params, seed);
+    net.start();
+    net.run_for(interval * 400); // same expected block count per configuration
+    net.run_for(30);
+    return RunResult{net.stale_rate(), net.height_of(0), net.stats().reorgs};
+}
+
+} // namespace
+
+int main() {
+    bench::title("E3: block interval vs branches, GHOST (§2.7)",
+                 "Claim: Ethereum's 10-40 s blocks raise throughput but increase "
+                 "branch occurrence; GHOST mitigates the consistency loss.");
+
+    bench::Table table({"interval-s", "rule", "stale-rate", "height", "reorgs",
+                        "blocks/hour"});
+    std::uint64_t seed = 500;
+    for (const double interval : {600.0, 60.0, 15.0, 5.0}) {
+        for (const BranchRule rule : {BranchRule::kLongestChain, BranchRule::kGhost}) {
+            const RunResult r = run(interval, rule, seed++);
+            table.row({bench::fmt(interval, 0),
+                       rule == BranchRule::kGhost ? "ghost" : "longest",
+                       bench::fmt(r.stale_rate, 3), bench::fmt_int(r.height),
+                       bench::fmt_int(r.reorgs), bench::fmt(3600.0 / interval, 0)});
+        }
+    }
+    table.print();
+
+    std::printf("\nExpected shape: stale-rate grows as the interval shrinks "
+                "toward the propagation delay (~2 s links); at short intervals "
+                "GHOST yields an (equal or) higher useful height than "
+                "longest-chain under the same conditions.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+// E4 — §2.7 (Hyperledger as a CS system): a permissioned ordering service
+// sustains four orders of magnitude more throughput than PoW, at sub-second
+// latency, with zero branching — the paper quotes ">10K transactions per
+// second" for Hyperledger's ordering service.
+#include "bench_util.hpp"
+#include "consensus/ordering.hpp"
+#include "consensus/pbft.hpp"
+#include "core/experiment.hpp"
+
+using namespace dlt;
+using namespace dlt::consensus;
+
+int main() {
+    bench::title("E4: ordering service + PBFT throughput (§2.7)",
+                 "Claim: leader-based ordering reaches >10K tps in-sim, versus "
+                 "single-digit tps for PoW; PBFT adds Byzantine tolerance at "
+                 "moderate cost.");
+
+    {
+        bench::Table table({"system", "offered-tps", "committed-tps", "latency-s",
+                            "forks"});
+
+        // Ordering service at increasing load.
+        for (const double offered : {1000.0, 10000.0, 20000.0}) {
+            OrderingParams params;
+            params.peer_count = 8;
+            params.batch_size = 1000;
+            params.batch_interval = 0.05;
+            OrderingService svc(params, 11);
+            Rng rng(12);
+            double now = 0;
+            const double duration = 20.0;
+            double next = rng.exponential(offered);
+            std::uint64_t submitted = 0;
+            while (next < duration) {
+                svc.run_for(next - now);
+                now = next;
+                ledger::Transaction tx;
+                tx.kind = ledger::TxKind::kRecord;
+                tx.nonce = submitted++;
+                svc.submit(tx);
+                next += rng.exponential(offered);
+            }
+            svc.run_for(duration - now + 3.0);
+            std::uint64_t committed = 0;
+            for (const auto& block : svc.ledger_of(0)) committed += block.txs.size();
+            table.row({"ordering", bench::fmt(offered, 0),
+                       bench::fmt(static_cast<double>(committed) / duration, 0),
+                       svc.mean_delivery_latency()
+                           ? bench::fmt(*svc.mean_delivery_latency(), 3)
+                           : "-",
+                       "impossible"});
+        }
+
+        // PBFT at a high load.
+        {
+            PbftConfig config;
+            config.f = 1;
+            config.batch_size = 500;
+            config.batch_interval = 0.05;
+            PbftCluster cluster(config, 13);
+            Rng rng(14);
+            double now = 0;
+            const double duration = 20.0;
+            const double offered = 5000.0;
+            double next = rng.exponential(offered);
+            std::uint64_t seq = 0;
+            while (next < duration) {
+                cluster.run_for(next - now);
+                now = next;
+                Writer w;
+                w.u64(seq++);
+                cluster.submit(std::move(w).take());
+                next += rng.exponential(offered);
+            }
+            cluster.run_for(duration - now + 5.0);
+            table.row({"pbft(f=1)", bench::fmt(offered, 0),
+                       bench::fmt(static_cast<double>(cluster.executed_requests(0)) /
+                                      duration,
+                                  0),
+                       cluster.mean_commit_latency()
+                           ? bench::fmt(*cluster.mean_commit_latency(), 3)
+                           : "-",
+                       "impossible"});
+        }
+
+        // PoW reference line (from E2's configuration).
+        {
+            core::ChainSpec spec = core::ChainSpec::bitcoin_like();
+            spec.node_count = 5;
+            core::Workload load;
+            load.tx_rate = 15.0;
+            load.duration = 600.0 * 6;
+            const auto m = core::run_experiment(spec, load, 15);
+            table.row({"pow(bitcoin)", bench::fmt(load.tx_rate, 0),
+                       bench::fmt(m.throughput_tps, 1),
+                       m.mean_confirmation_latency
+                           ? bench::fmt(*m.mean_confirmation_latency, 0)
+                           : "-",
+                       "possible"});
+        }
+        table.print();
+    }
+
+    std::printf("\nExpected shape: ordering sustains >=10K tps at ~0.1 s latency; "
+                "PBFT sustains thousands of tps; PoW is capped near 7 tps with "
+                "hundreds of seconds of latency — the paper's CS-vs-DC gap.\n");
+    return 0;
+}

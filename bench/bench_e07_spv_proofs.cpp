@@ -1,0 +1,93 @@
+// E7 — §2.2 / Fig. 2: Merkle trees give lightweight (SPV) clients O(log n)
+// inclusion proofs; verifying a payment needs the proof + header, not the full
+// block. Reports proof sizes across block sizes and micro-benchmarks proof
+// generation/verification against full-block hashing.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "crypto/sha256.hpp"
+#include "datastruct/merkle.hpp"
+
+using namespace dlt;
+using namespace dlt::datastruct;
+
+namespace {
+
+std::vector<Hash256> make_txids(std::size_t n) {
+    std::vector<Hash256> txids;
+    txids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        txids.push_back(crypto::sha256(to_bytes("tx" + std::to_string(i))));
+    return txids;
+}
+
+void BM_BuildTree(benchmark::State& state) {
+    const auto txids = make_txids(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        MerkleTree tree(txids);
+        benchmark::DoNotOptimize(tree.root());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildTree)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_ProveLeaf(benchmark::State& state) {
+    const auto txids = make_txids(static_cast<std::size_t>(state.range(0)));
+    const MerkleTree tree(txids);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto proof = tree.prove(i++ % txids.size());
+        benchmark::DoNotOptimize(proof);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProveLeaf)->Range(64, 16384)->Complexity(benchmark::oLogN);
+
+void BM_VerifyProof(benchmark::State& state) {
+    const auto txids = make_txids(static_cast<std::size_t>(state.range(0)));
+    const MerkleTree tree(txids);
+    const auto proof = tree.prove(txids.size() / 2);
+    for (auto _ : state) {
+        const Hash256 root = merkle_root_from_proof(txids[txids.size() / 2], proof);
+        benchmark::DoNotOptimize(root);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VerifyProof)->Range(64, 16384)->Complexity(benchmark::oLogN);
+
+void BM_FullBlockValidation(benchmark::State& state) {
+    // The non-SPV alternative: recompute the whole tree.
+    const auto txids = make_txids(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const Hash256 root = merkle_root(txids);
+        benchmark::DoNotOptimize(root);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullBlockValidation)->Range(64, 16384)->Complexity(benchmark::oN);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bench::title("E7: SPV Merkle proofs (Fig. 2, §2.2)",
+                 "Claim: proof size/verify cost is O(log n) in block size; full "
+                 "validation is O(n).");
+
+    bench::Table table(
+        {"txs-per-block", "proof-steps", "proof-bytes", "block-tx-bytes(est)"});
+    for (const std::size_t n : {64u, 512u, 4096u, 16384u}) {
+        const auto txids = make_txids(n);
+        const MerkleTree tree(txids);
+        const auto proof = tree.prove(n / 2);
+        table.row({bench::fmt_int(n), bench::fmt_int(proof.steps.size()),
+                   bench::fmt_int(proof.size_bytes()),
+                   bench::fmt_int(n * 250)});
+    }
+    table.print();
+    std::printf("\nExpected shape: proof grows by one 33-byte step per doubling "
+                "(log2 n); the full block grows linearly.\n\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,60 @@
+// E9 — §2.4 (Bitcoin-NG): PoW elects a leader (key blocks) who serializes
+// transactions in frequent microblocks. At the same 600 s PoW cadence, NG's
+// throughput tracks the offered load instead of the block-size/interval cap,
+// and inclusion latency drops from hundreds of seconds to ~the microblock
+// interval.
+#include "bench_util.hpp"
+#include "consensus/bitcoinng.hpp"
+#include "core/experiment.hpp"
+
+using namespace dlt;
+using namespace dlt::consensus;
+
+int main() {
+    bench::title("E9: Bitcoin-NG vs Nakamoto (§2.4)",
+                 "Claim: decoupling leader election from serialization lifts "
+                 "throughput to bandwidth limits at unchanged PoW cadence.");
+
+    bench::Table table({"system", "offered-tps", "served-tps", "incl-latency-s",
+                        "key-blocks", "microblocks"});
+
+    for (const double offered : {10.0, 50.0, 200.0}) {
+        BitcoinNgParams params;
+        params.key_block_interval = 600.0;
+        params.microblock_interval = 1.0;
+        params.tx_rate = offered;
+        params.max_txs_per_microblock = 1000;
+        BitcoinNgSimulation sim(params, 900 + static_cast<int>(offered));
+        sim.start();
+        sim.run_for(3600 * 4);
+        table.row({"bitcoin-ng", bench::fmt(offered, 0),
+                   bench::fmt(sim.throughput_tps(), 1),
+                   sim.mean_inclusion_latency()
+                       ? bench::fmt(*sim.mean_inclusion_latency(), 2)
+                       : "-",
+                   bench::fmt_int(sim.stats().key_blocks),
+                   bench::fmt_int(sim.stats().microblocks)});
+    }
+
+    // Nakamoto reference at the same PoW interval.
+    {
+        core::ChainSpec spec = core::ChainSpec::bitcoin_like();
+        spec.node_count = 5;
+        core::Workload load;
+        load.tx_rate = 15.0;
+        load.duration = 600.0 * 6;
+        const auto m = core::run_experiment(spec, load, 901);
+        table.row({"nakamoto", bench::fmt(load.tx_rate, 0),
+                   bench::fmt(m.throughput_tps, 1),
+                   m.mean_confirmation_latency
+                       ? bench::fmt(*m.mean_confirmation_latency, 0)
+                       : "-",
+                   bench::fmt_int(m.blocks), "0"});
+    }
+    table.print();
+
+    std::printf("\nExpected shape: NG serves the offered load (10/50/200 tps) "
+                "with ~1 s inclusion latency; Nakamoto saturates near 7 tps with "
+                "triple-digit latency at the same 600 s PoW interval.\n");
+    return 0;
+}

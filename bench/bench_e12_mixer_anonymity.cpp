@@ -1,0 +1,88 @@
+// E12 — §5.3 (privacy / fungibility): taint tracing links coins to their
+// origins on a transparent ledger; CoinJoin mixing rounds grow every coin's
+// anonymity set (plausible origins) at the cost of one confirmation per round.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "privacy/mixer.hpp"
+#include "privacy/taint.hpp"
+
+using namespace dlt;
+using namespace dlt::privacy;
+using namespace dlt::ledger;
+
+namespace {
+
+crypto::Address fresh(const std::string& tag) {
+    return crypto::PrivateKey::from_seed("e12/" + tag).address();
+}
+
+} // namespace
+
+int main() {
+    bench::title("E12: mixing vs traceability (§5.3)",
+                 "Claim: every coin is traceable on a transparent chain; mixers "
+                 "inflate the anonymity set per round, paying confirmation "
+                 "latency.");
+
+    const std::size_t population = 32; // coins entering the mix
+    const double block_interval = 600.0;
+
+    TaintAnalyzer analyzer;
+    std::vector<OutPoint> coins;
+    for (std::size_t i = 0; i < population; ++i) {
+        const Transaction cb =
+            make_coinbase(fresh("root" + std::to_string(i)), kCoin, i + 1);
+        analyzer.add_transaction(cb);
+        coins.push_back(OutPoint{cb.txid(), 0});
+    }
+
+    // Tainted roots: 4 of the 32 origins are "dirty".
+    OutPointSet dirty;
+    for (std::size_t i = 0; i < 4; ++i) dirty.insert(coins[i]);
+
+    bench::Table table({"mix-rounds", "mean-anonymity-set", "mean-taint",
+                        "fully-traceable", "latency-s"});
+
+    Rng rng(12);
+    std::vector<OutPoint> current = coins;
+    for (std::size_t round = 0; round <= 4; ++round) {
+        // Metrics at the current depth.
+        double set_sum = 0;
+        double taint_sum = 0;
+        std::size_t traceable = 0;
+        for (const auto& coin : current) {
+            set_sum += static_cast<double>(analyzer.anonymity_set_size(coin));
+            taint_sum += analyzer.taint_fraction(coin, dirty);
+            if (analyzer.fully_traceable(coin)) ++traceable;
+        }
+        table.row({bench::fmt_int(round),
+                   bench::fmt(set_sum / static_cast<double>(current.size()), 1),
+                   bench::fmt(taint_sum / static_cast<double>(current.size()), 3),
+                   bench::fmt_int(traceable),
+                   bench::fmt(mixing_latency(round, block_interval), 0)});
+
+        // One more round: mix in groups of 8.
+        std::vector<OutPoint> next;
+        rng.shuffle(current);
+        for (std::size_t g = 0; g + 8 <= current.size(); g += 8) {
+            std::vector<MixParticipant> group;
+            for (std::size_t k = 0; k < 8; ++k)
+                group.push_back(MixParticipant{
+                    current[g + k],
+                    fresh("r" + std::to_string(round) + "-" + std::to_string(g + k))});
+            const Transaction join = build_coinjoin(group, kCoin, rng);
+            analyzer.add_transaction(join);
+            for (std::uint32_t out = 0; out < 8; ++out)
+                next.push_back(OutPoint{join.txid(), out});
+        }
+        current = std::move(next);
+    }
+    table.print();
+
+    std::printf("\nExpected shape: round 0 has anonymity set 1 (all coins fully "
+                "traceable); each round multiplies the set (~8x per round here) "
+                "while taint converges toward the population average (4/32 = "
+                "0.125) — dirty history diffuses. Latency grows linearly.\n");
+    return 0;
+}

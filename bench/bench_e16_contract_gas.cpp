@@ -1,0 +1,155 @@
+// E16 — §2.5/§3.2 (smart contracts and gas): deployment and state-mutating
+// calls cost gas paid to the miner; constant (view) calls are free — the
+// HelloWorld example's setGreeting()/say() split — and execution cost scales
+// with work performed.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "contract/engine.hpp"
+#include "contract/stdlib.hpp"
+#include "crypto/keys.hpp"
+
+using namespace dlt;
+using namespace dlt::contract;
+
+namespace {
+
+struct World {
+    WorldState state;
+    ContractEngine engine{state};
+    Address user = crypto::PrivateKey::from_seed("e16/user").address();
+    Address miner = crypto::PrivateKey::from_seed("e16/miner").address();
+
+    World() {
+        state.credit(user, 1'000'000'000);
+        engine.set_time(1000);
+    }
+};
+
+void BM_DeployHelloWorld(benchmark::State& state) {
+    const auto compiled = compile(stdlib::hello_world_source());
+    for (auto _ : state) {
+        World w;
+        const auto receipt =
+            w.engine.deploy(compiled, w.user, {Word(1)}, 0, 1'000'000, 1, w.miner);
+        benchmark::DoNotOptimize(receipt.gas_used);
+    }
+}
+BENCHMARK(BM_DeployHelloWorld);
+
+void BM_StateMutatingCall(benchmark::State& state) {
+    World w;
+    const auto compiled = compile(stdlib::hello_world_source());
+    const auto deployed =
+        w.engine.deploy(compiled, w.user, {Word(1)}, 0, 1'000'000, 1, w.miner);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const auto receipt = w.engine.call(deployed.contract, "setGreeting",
+                                           {Word(i++)}, w.user, 0, 100'000, 1, w.miner);
+        benchmark::DoNotOptimize(receipt.gas_used);
+    }
+}
+BENCHMARK(BM_StateMutatingCall);
+
+void BM_ConstantViewCall(benchmark::State& state) {
+    World w;
+    const auto compiled = compile(stdlib::hello_world_source());
+    const auto deployed =
+        w.engine.deploy(compiled, w.user, {Word(1)}, 0, 1'000'000, 1, w.miner);
+    for (auto _ : state) {
+        const auto result = w.engine.view(deployed.contract, "say", {}, w.user);
+        benchmark::DoNotOptimize(result.return_value);
+    }
+}
+BENCHMARK(BM_ConstantViewCall);
+
+void BM_TokenTransfer(benchmark::State& state) {
+    World w;
+    const auto compiled = compile(stdlib::token_source());
+    const auto deployed = w.engine.deploy(compiled, w.user, {Word(1'000'000'000)}, 0,
+                                          2'000'000, 1, w.miner);
+    const Word to = address_to_word(crypto::PrivateKey::from_seed("e16/to").address());
+    for (auto _ : state) {
+        const auto receipt = w.engine.call(deployed.contract, "transfer", {to, Word(1)},
+                                           w.user, 0, 100'000, 1, w.miner);
+        benchmark::DoNotOptimize(receipt.gas_used);
+    }
+}
+BENCHMARK(BM_TokenTransfer);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bench::title("E16: contract gas economics (§2.5, §3.2)",
+                 "Claim: deploys and mutating calls cost gas paid to the miner; "
+                 "constant calls are free; cost scales with executed work.");
+
+    World w;
+
+    // Gas table across operations.
+    {
+        bench::Table table({"operation", "gas", "fee-to-miner", "status"});
+
+        const auto hello = compile(stdlib::hello_world_source());
+        const auto d1 = w.engine.deploy(hello, w.user, {Word(42)}, 0, 1'000'000, 1,
+                                        w.miner);
+        table.row({"deploy HelloWorld", bench::fmt_int(d1.gas_used),
+                   bench::fmt_int(static_cast<std::uint64_t>(d1.fee_paid)),
+                   vm_status_name(d1.status)});
+
+        const auto set = w.engine.call(d1.contract, "setGreeting", {Word(7)}, w.user,
+                                       0, 100'000, 1, w.miner);
+        table.row({"setGreeting (tx)", bench::fmt_int(set.gas_used),
+                   bench::fmt_int(static_cast<std::uint64_t>(set.fee_paid)),
+                   vm_status_name(set.status)});
+
+        const auto say = w.engine.view(d1.contract, "say", {}, w.user);
+        table.row({"say (constant)", "0", "0", vm_status_name(say.status)});
+
+        const auto token = compile(stdlib::token_source());
+        const auto d2 = w.engine.deploy(token, w.user, {Word(1'000'000)}, 0,
+                                        2'000'000, 1, w.miner);
+        table.row({"deploy Token", bench::fmt_int(d2.gas_used),
+                   bench::fmt_int(static_cast<std::uint64_t>(d2.fee_paid)),
+                   vm_status_name(d2.status)});
+
+        const Word to = address_to_word(crypto::PrivateKey::from_seed("e16/to").address());
+        const auto xfer = w.engine.call(d2.contract, "transfer", {to, Word(5)}, w.user,
+                                        0, 100'000, 1, w.miner);
+        table.row({"token transfer (2 SSTORE)", bench::fmt_int(xfer.gas_used),
+                   bench::fmt_int(static_cast<std::uint64_t>(xfer.fee_paid)),
+                   vm_status_name(xfer.status)});
+        table.print();
+    }
+
+    // Gas scales with loop work.
+    {
+        std::printf("\nExecution cost scales with work (sum 1..n):\n");
+        const auto summer = compile(R"(
+contract Summer {
+    storage out;
+    fn sum(n) {
+        let total = 0;
+        let i = 1;
+        while (i <= n) { total = total + i; i = i + 1; }
+        out = total;
+    }
+})");
+        const auto deployed =
+            w.engine.deploy(summer, w.user, {}, 0, 1'000'000, 1, w.miner);
+        bench::Table table({"n", "gas"});
+        for (const std::uint64_t n : {10ull, 100ull, 1000ull}) {
+            const auto receipt = w.engine.call(deployed.contract, "sum", {Word(n)},
+                                               w.user, 0, 10'000'000, 1, w.miner);
+            table.row({bench::fmt_int(n), bench::fmt_int(receipt.gas_used)});
+        }
+        table.print();
+    }
+
+    std::printf("\nExpected shape: deploy > mutating call >> view (0 gas); gas "
+                "grows linearly with loop iterations — the §3.2 cost model.\n\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

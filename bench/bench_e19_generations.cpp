@@ -1,0 +1,68 @@
+// E19 — §3 (blockchain generations): the taxonomy as code. Each generation's
+// canonical use case runs through the §5.1 feasibility template, receives a
+// recommended ChainSpec, and is measured under its own expected workload —
+// showing why "one size does not fit all".
+#include "bench_util.hpp"
+#include "app/usecase.hpp"
+#include "core/dcs.hpp"
+#include "core/experiment.hpp"
+
+using namespace dlt;
+using namespace dlt::app;
+using namespace dlt::core;
+
+int main() {
+    bench::title("E19: application generations (§3, §5.1)",
+                 "Claim: each generation imposes distinct requirements and lands "
+                 "on a different point of the DCS spectrum.");
+
+    bench::Table table({"use-case", "generation", "recommended", "openness",
+                        "req-tps", "measured-tps", "met", "dcs"});
+
+    const UseCase cases[] = {cryptocurrency_usecase(), crowdfunding_usecase(),
+                             supply_chain_usecase(), land_registry_usecase(),
+                             ehealth_usecase()};
+    int seed = 1950;
+    for (const auto& uc : cases) {
+        const Recommendation rec = recommend(uc);
+
+        ChainSpec spec = rec.spec;
+        spec.node_count = std::min<std::size_t>(spec.node_count, 8);
+        Workload load;
+        load.tx_rate = uc.performance.expected_tps;
+        // Keep PoW runs tractable: enough blocks to measure saturation.
+        load.duration = spec.consensus == ConsensusKind::kProofOfWork
+                            ? spec.block_interval * 30
+                            : 120.0;
+        const auto metrics = run_experiment(spec, load, seed++);
+        const auto score = score_dcs(spec, metrics);
+
+        const bool met = metrics.throughput_tps >= 0.8 * uc.performance.expected_tps;
+        std::string gen;
+        switch (uc.generation) {
+            case Generation::kCryptocurrency: gen = "1.0"; break;
+            case Generation::kDApps: gen = "2.0"; break;
+            case Generation::kPervasive: gen = "3.0"; break;
+        }
+        table.row({uc.name, gen, consensus_kind_name(rec.spec.consensus),
+                   rec.spec.openness == Openness::kPublic ? "public" : "permissioned",
+                   bench::fmt(uc.performance.expected_tps, 0),
+                   bench::fmt(metrics.throughput_tps, 1), met ? "yes" : "no",
+                   describe(score)});
+    }
+    table.print();
+
+    std::printf("\nRationales:\n");
+    for (const auto& uc : cases) {
+        const Recommendation rec = recommend(uc);
+        std::printf("  %s:\n", uc.name.c_str());
+        for (const auto& reason : rec.rationale)
+            std::printf("    - %s\n", reason.c_str());
+    }
+
+    std::printf("\nExpected shape: 1.0/2.0 cases stay public (D required) and "
+                "meet modest tps; 3.0 consortium cases go permissioned and meet "
+                "thousand-tps requirements — the generations diverge exactly as "
+                "§3 describes.\n");
+    return 0;
+}

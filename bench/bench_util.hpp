@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing and
+// headline formatting so every bench binary reports in the same shape as
+// EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline void title(const std::string& id, const std::string& claim) {
+    std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string>& cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::size_t total = 0;
+        for (const auto w : widths) total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto& row : rows_) print_row(row);
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+} // namespace bench

@@ -1,0 +1,116 @@
+// Blockchain 2.0 — decentralized applications (paper §3.2). Deploys the paper's
+// §2.5 HelloWorld contract (gas for setGreeting, free say()) and then a full
+// crowdfunding DApp with donations, goal tracking, claim, and refunds — all in
+// MiniSol compiled to the gas-metered VM.
+#include <cstdio>
+
+#include "contract/engine.hpp"
+#include "contract/stdlib.hpp"
+#include "crypto/keys.hpp"
+
+using namespace dlt;
+using namespace dlt::contract;
+using ledger::kCoin;
+
+namespace {
+
+void show_receipt(const char* label, const Receipt& r) {
+    std::printf("  %-28s status=%-9s gas=%-7llu fee=%lld\n", label,
+                vm_status_name(r.status), static_cast<unsigned long long>(r.gas_used),
+                static_cast<long long>(r.fee_paid));
+}
+
+} // namespace
+
+int main() {
+    std::printf("Blockchain 2.0: smart-contract DApps\n"
+                "====================================\n\n");
+
+    WorldState world;
+    ContractEngine engine(world);
+    engine.set_time(100);
+
+    const Address owner = crypto::PrivateKey::from_seed("dapp/owner").address();
+    const Address donor1 = crypto::PrivateKey::from_seed("dapp/donor1").address();
+    const Address donor2 = crypto::PrivateKey::from_seed("dapp/donor2").address();
+    const Address miner = crypto::PrivateKey::from_seed("dapp/miner").address();
+    for (const auto& who : {owner, donor1, donor2}) world.credit(who, 100 * kCoin);
+
+    // --- The paper's HelloWorld (§2.5) -------------------------------------------
+    std::printf("HelloWorld (the paper's Solidity example in MiniSol):\n");
+    const auto hello = compile(stdlib::hello_world_source());
+    const auto d_hello = engine.deploy(hello, owner, {Word(0xC0FFEE)}, 0, 1'000'000,
+                                       1, miner);
+    show_receipt("deploy + init(greeting)", d_hello);
+
+    const auto set = engine.call(d_hello.contract, "setGreeting", {Word(0xBEEF)},
+                                 donor1, 0, 100'000, 1, miner);
+    show_receipt("setGreeting (costs gas)", set);
+
+    const auto say = engine.view(d_hello.contract, "say", {}, donor2);
+    std::printf("  %-28s status=%-9s gas=0       fee=0   -> greeting=0x%llx\n",
+                "say (constant, free)", vm_status_name(say.status),
+                static_cast<unsigned long long>(say.return_value->low64()));
+
+    // --- Crowdfund DApp -------------------------------------------------------------
+    std::printf("\nCrowdfund campaign: goal 10 coins, deadline t=1000\n");
+    const auto crowdfund = compile(stdlib::crowdfund_source());
+    const auto campaign = engine.deploy(
+        crowdfund, owner, {Word(10 * kCoin), Word(1000)}, 0, 2'000'000, 1, miner);
+    show_receipt("deploy Crowdfund", campaign);
+    const Address fund = campaign.contract;
+
+    show_receipt("donor1 donates 6 coins",
+                 engine.call(fund, "donate", {}, donor1, 6 * kCoin, 100'000, 1, miner));
+    show_receipt("donor2 donates 3 coins",
+                 engine.call(fund, "donate", {}, donor2, 3 * kCoin, 100'000, 1, miner));
+
+    auto raised = engine.view(fund, "totalRaised", {}, owner);
+    std::printf("  raised so far: %.1f coins\n",
+                static_cast<double>(raised.return_value->low64()) / kCoin);
+
+    // Premature claim fails (goal not reached).
+    show_receipt("owner claims early (reverts)",
+                 engine.call(fund, "claim", {}, owner, 0, 100'000, 1, miner));
+
+    show_receipt("donor1 tops up 2 coins",
+                 engine.call(fund, "donate", {}, donor1, 2 * kCoin, 100'000, 1, miner));
+    raised = engine.view(fund, "totalRaised", {}, owner);
+    std::printf("  raised now: %.1f coins (goal met)\n",
+                static_cast<double>(raised.return_value->low64()) / kCoin);
+
+    const ledger::Amount owner_before = world.balance_of(owner);
+    show_receipt("owner claims (succeeds)",
+                 engine.call(fund, "claim", {}, owner, 0, 100'000, 1, miner));
+    std::printf("  owner gained %.1f coins\n",
+                static_cast<double>(world.balance_of(owner) - owner_before) / kCoin);
+
+    // Events emitted along the way.
+    std::printf("\nEvent log (%zu events):\n", world.event_log().size());
+    for (const auto& logged : world.event_log()) {
+        const char* name = logged.event.topic == event_topic("Donated")   ? "Donated"
+                           : logged.event.topic == event_topic("Claimed") ? "Claimed"
+                                                                          : "other";
+        std::printf("  %-8s value=%.1f coins\n", name,
+                    static_cast<double>(logged.event.value.low64()) / kCoin);
+    }
+
+    // --- Refund path on a second, failing campaign --------------------------------
+    std::printf("\nSecond campaign misses its goal; donors refund after the "
+                "deadline:\n");
+    const auto failing = engine.deploy(crowdfund, owner,
+                                       {Word(50 * kCoin), Word(2000)}, 0, 2'000'000,
+                                       1, miner);
+    engine.call(failing.contract, "donate", {}, donor2, 4 * kCoin, 100'000, 1, miner);
+    engine.set_time(3000); // past the deadline
+    const ledger::Amount donor2_before = world.balance_of(donor2);
+    show_receipt("donor2 refunds",
+                 engine.call(failing.contract, "refund", {}, donor2, 0, 100'000, 1,
+                             miner));
+    std::printf("  donor2 recovered %.1f coins (minus gas)\n",
+                static_cast<double>(world.balance_of(donor2) - donor2_before) / kCoin);
+
+    std::printf("\nMiner earned %lld in gas fees across the session.\n",
+                static_cast<long long>(world.balance_of(miner)));
+    return 0;
+}

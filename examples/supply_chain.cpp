@@ -1,0 +1,130 @@
+// Blockchain 3.0 — pervasive consortium application (paper §3.3), touching all
+// six layers of the Fig. 3 stack:
+//   Application: the §5.1 use-case template + feasibility recommendation
+//   Modeling:    a BPMN-lite shipping workflow
+//   Contract:    the workflow compiled to MiniSol and deployed
+//   System:      the recommended ordering-service consensus, measured
+//   Data:        confidential pricing in a multi-channel privacy domain
+//   Network:     the simulated consortium network underneath the orderer
+#include <cstdio>
+
+#include "app/usecase.hpp"
+#include "consensus/ordering.hpp"
+#include "contract/engine.hpp"
+#include "core/dcs.hpp"
+#include "core/experiment.hpp"
+#include "crypto/keys.hpp"
+#include "model/workflow.hpp"
+#include "privacy/multichannel.hpp"
+
+using namespace dlt;
+
+int main() {
+    std::printf("Blockchain 3.0: supply-chain consortium\n"
+                "=======================================\n\n");
+
+    // --- Application layer: requirements -> recommendation ------------------------
+    const app::UseCase uc = app::supply_chain_usecase();
+    std::printf("[application] use case '%s' (%s)\n  intent: %s\n", uc.name.c_str(),
+                app::generation_name(uc.generation), uc.intent.c_str());
+    const app::Recommendation rec = app::recommend(uc);
+    std::printf("  recommended: %s, %s\n",
+                core::consensus_kind_name(rec.spec.consensus),
+                rec.spec.openness == core::Openness::kPublic ? "public"
+                                                             : "permissioned");
+    for (const auto& reason : rec.rationale) std::printf("    - %s\n", reason.c_str());
+
+    // --- System + network layers: measure the recommended spec ---------------------
+    core::Workload load;
+    load.tx_rate = uc.performance.expected_tps;
+    load.duration = 60.0;
+    auto spec = rec.spec;
+    const auto metrics = core::run_experiment(spec, load, 33);
+    const auto dcs = core::score_dcs(spec, metrics);
+    std::printf("\n[system] measured on the simulated consortium network: "
+                "%.0f tps (required %.0f), latency %.3f s\n  DCS: %s\n",
+                metrics.throughput_tps, uc.performance.expected_tps,
+                metrics.mean_confirmation_latency.value_or(-1),
+                core::describe(dcs).c_str());
+
+    // --- Modeling layer: the shipping workflow ------------------------------------
+    model::WorkflowModel wf("Shipping", 4, 2);
+    wf.label_state(0, "Produced");
+    wf.label_state(1, "Validated");
+    wf.label_state(2, "Shipped");
+    wf.label_state(3, "Received");
+    wf.add_transition({"validate", 0, 1, 0});          // supplier validates
+    wf.add_transition({"rejectToProduction", 1, 0, 0}); // XOR gateway: reject
+    wf.add_transition({"ship", 1, 2, 0});
+    wf.add_transition({"confirmReceipt", 2, 3, 1});    // customer confirms
+    std::printf("\n[modeling] workflow '%s': %zu states, %zu transitions, "
+                "valid: %s\n",
+                wf.name().c_str(), wf.state_count(), wf.transitions().size(),
+                wf.validate().empty() ? "yes" : "no");
+
+    // --- Contract layer: compile and enforce on-chain ------------------------------
+    const std::string source = wf.to_minisol();
+    const auto compiled = contract::compile(source);
+    std::printf("\n[contract] generated MiniSol contract: %zu bytes of bytecode, "
+                "%zu functions\n",
+                compiled.bytecode.size(), compiled.functions.size());
+
+    contract::WorldState world;
+    contract::ContractEngine engine(world);
+    const auto supplier = crypto::PrivateKey::from_seed("sc/supplier").address();
+    const auto customer = crypto::PrivateKey::from_seed("sc/customer").address();
+    const auto orderer = crypto::PrivateKey::from_seed("sc/orderer").address();
+    world.credit(supplier, 10 * ledger::kCoin);
+    world.credit(customer, 10 * ledger::kCoin);
+
+    const auto deployed = engine.deploy(
+        compiled, supplier,
+        {contract::address_to_word(supplier), contract::address_to_word(customer)},
+        0, 2'000'000, 1, orderer);
+    const auto process = deployed.contract;
+
+    auto step = [&](const char* task, const crypto::Address& who) {
+        const auto r = engine.call(process, task, {}, who, 0, 100'000, 1, orderer);
+        const auto state = engine.view(process, "currentState", {}, supplier);
+        std::printf("  %-18s by %-8s -> %-9s state=%llu (%s)\n", task,
+                    who == supplier ? "supplier" : "customer",
+                    contract::vm_status_name(r.status),
+                    static_cast<unsigned long long>(state.return_value->low64()),
+                    wf.state_label(static_cast<std::size_t>(
+                                       state.return_value->low64()))
+                        .c_str());
+    };
+    step("ship", supplier);            // out of order: reverts
+    step("validate", customer);        // wrong role: reverts
+    step("validate", supplier);
+    step("ship", supplier);
+    step("confirmReceipt", customer);
+    const auto complete = engine.view(process, "isComplete", {}, supplier);
+    std::printf("  process complete: %s\n",
+                complete.return_value->is_zero() ? "no" : "yes");
+
+    // --- Data layer: confidential terms in a privacy domain ------------------------
+    privacy::MultiChannelLedger channels(34);
+    channels.create_channel("pricing", {supplier, customer});
+    const auto anchor =
+        channels.submit("pricing", supplier, to_bytes("unit price: 120; rebate 3%"));
+    std::printf("\n[data] confidential pricing recorded in channel 'pricing' "
+                "(seq %llu); public anchor commitment: %s...\n",
+                static_cast<unsigned long long>(anchor.sequence),
+                anchor.commitment.digest.hex().substr(0, 16).c_str());
+    try {
+        channels.read("pricing", orderer);
+        std::printf("  ERROR: orderer read confidential channel!\n");
+    } catch (const ValidationError&) {
+        std::printf("  non-member (orderer) denied access to channel data — "
+                    "isolation holds.\n");
+    }
+    const auto& opening = channels.opening_for("pricing", 1, supplier);
+    std::printf("  auditor verification via opened commitment: %s\n",
+                privacy::verify_opening(anchor.commitment, opening) ? "verified"
+                                                                    : "FAILED");
+
+    std::printf("\nAll six layers exercised: application, modeling, contract, "
+                "system, data, network.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+#include "app/dataintegration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::app {
+
+Hash256 SensorReading::digest() const {
+    Writer w;
+    w.str(sensor_id);
+    w.f64(value);
+    w.f64(timestamp);
+    return crypto::tagged_hash("dlt/sensor-reading", w.data());
+}
+
+SensorGateway::SensorGateway(std::size_t window, double outlier_factor)
+    : window_(window), outlier_factor_(outlier_factor) {
+    DLT_EXPECTS(window >= 4);
+    DLT_EXPECTS(outlier_factor > 0);
+}
+
+void SensorGateway::register_sensor(const std::string& sensor_id,
+                                    const crypto::PublicKey& key) {
+    sensors_.emplace(sensor_id, SensorState{key, {}});
+}
+
+SensorReading SensorGateway::make_signed_reading(const std::string& sensor_id,
+                                                 double value, double timestamp,
+                                                 const crypto::PrivateKey& key) {
+    SensorReading reading{sensor_id, value, timestamp, {}};
+    reading.signature = key.sign(reading.digest()).encode();
+    return reading;
+}
+
+namespace {
+double median(std::vector<double> values) {
+    DLT_EXPECTS(!values.empty());
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1) return values[mid];
+    return (values[mid - 1] + values[mid]) / 2.0;
+}
+} // namespace
+
+IngestResult SensorGateway::ingest(const SensorReading& reading) {
+    const auto it = sensors_.find(reading.sensor_id);
+    if (it == sensors_.end()) return {ReadingStatus::kUnknownSensor, 0};
+
+    // Authenticate: tampered values or impersonation fail here.
+    try {
+        if (!it->second.key.verify(reading.digest(),
+                                   crypto::secp256k1::Signature::decode(
+                                       reading.signature)))
+            return {ReadingStatus::kBadSignature, 0};
+    } catch (const Error&) {
+        return {ReadingStatus::kBadSignature, 0};
+    }
+
+    SensorState& state = it->second;
+    IngestResult result;
+
+    if (state.window.size() >= 4) {
+        std::vector<double> window(state.window.begin(), state.window.end());
+        const double med = median(window);
+        std::vector<double> deviations;
+        deviations.reserve(window.size());
+        for (const double v : window) deviations.push_back(std::abs(v - med));
+        const double mad = std::max(median(deviations), 1e-9);
+        result.deviation = std::abs(reading.value - med) / mad;
+        if (result.deviation > outlier_factor_) {
+            result.status = ReadingStatus::kOutlier;
+            ++pending_flagged_;
+        }
+    }
+
+    state.window.push_back(reading.value);
+    if (state.window.size() > window_) state.window.pop_front();
+
+    // Accepted (possibly flagged) readings are anchored either way: the chain
+    // records what the sensor reported; the flag records what physics thought.
+    pending_.push_back(reading.digest());
+    return result;
+}
+
+ReadingBatch SensorGateway::seal_batch() {
+    ReadingBatch batch;
+    batch.leaves = std::move(pending_);
+    pending_.clear();
+    batch.flagged = pending_flagged_;
+    pending_flagged_ = 0;
+    batch.root = datastruct::merkle_root(batch.leaves);
+    return batch;
+}
+
+bool SensorGateway::verify_anchored(const SensorReading& reading,
+                                    const datastruct::MerkleProof& proof,
+                                    const Hash256& anchored_root) {
+    return datastruct::merkle_root_from_proof(reading.digest(), proof) ==
+           anchored_root;
+}
+
+datastruct::MerkleProof SensorGateway::prove_in_batch(const ReadingBatch& batch,
+                                                      std::size_t index) {
+    const datastruct::MerkleTree tree(batch.leaves);
+    return tree.prove(index);
+}
+
+} // namespace dlt::app

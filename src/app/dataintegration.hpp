@@ -1,0 +1,96 @@
+// Data-integration middleware for physical sources (paper §5.2: 3.0
+// applications "require a data integration service which takes into account
+// the constraints of the physical world. For instance, real-life sensors can
+// be tampered with or produce inaccurate readings, which must be taken into
+// account when stored on the blockchain"). Sensors sign their readings; the
+// gateway authenticates, median-filters a sliding window to flag outliers, and
+// anchors accepted batches on-chain as Merkle digests so auditors can verify
+// any individual reading later.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "datastruct/merkle.hpp"
+
+namespace dlt::app {
+
+struct SensorReading {
+    std::string sensor_id;
+    double value = 0;
+    double timestamp = 0;
+    Bytes signature; // by the sensor's registered key
+
+    /// The digest the sensor signs (and the Merkle leaf for anchoring).
+    Hash256 digest() const;
+};
+
+enum class ReadingStatus {
+    kAccepted,
+    kBadSignature,   // tampered or impersonated
+    kUnknownSensor,
+    kOutlier,        // accepted into the log but flagged (physical-world noise)
+};
+
+struct IngestResult {
+    ReadingStatus status = ReadingStatus::kAccepted;
+    double deviation = 0; // distance from the window median, in medians
+};
+
+/// An anchored batch: the Merkle root of accepted reading digests.
+struct ReadingBatch {
+    Hash256 root;
+    std::vector<Hash256> leaves;
+    std::size_t flagged = 0;
+};
+
+class SensorGateway {
+public:
+    /// `window` readings per sensor feed the outlier filter; a reading more
+    /// than `outlier_factor` x the median absolute deviation from the window
+    /// median is flagged.
+    SensorGateway(std::size_t window = 16, double outlier_factor = 5.0);
+
+    /// Register a sensor's public key (installation-time provisioning).
+    void register_sensor(const std::string& sensor_id, const crypto::PublicKey& key);
+
+    /// Build a signed reading (what firmware on the sensor would do).
+    static SensorReading make_signed_reading(const std::string& sensor_id,
+                                             double value, double timestamp,
+                                             const crypto::PrivateKey& key);
+
+    /// Authenticate + filter one reading.
+    IngestResult ingest(const SensorReading& reading);
+
+    /// Seal the pending accepted readings into an anchorable batch.
+    ReadingBatch seal_batch();
+
+    /// Verify that a reading is covered by an anchored batch root.
+    static bool verify_anchored(const SensorReading& reading,
+                                const datastruct::MerkleProof& proof,
+                                const Hash256& anchored_root);
+
+    /// Produce the inclusion proof for leaf `index` of a batch.
+    static datastruct::MerkleProof prove_in_batch(const ReadingBatch& batch,
+                                                  std::size_t index);
+
+    std::size_t accepted_count() const { return pending_.size(); }
+
+private:
+    struct SensorState {
+        crypto::PublicKey key;
+        std::deque<double> window;
+    };
+
+    std::size_t window_;
+    double outlier_factor_;
+    std::map<std::string, SensorState> sensors_;
+    std::vector<Hash256> pending_;
+    std::size_t pending_flagged_ = 0;
+};
+
+} // namespace dlt::app

@@ -1,0 +1,92 @@
+#include "app/identity.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::app {
+
+Hash256 identity_op_digest(std::string_view op, const std::string& name,
+                           ByteView payload) {
+    Writer w;
+    w.str(std::string(op));
+    w.str(name);
+    w.blob(payload);
+    return crypto::tagged_hash("dlt/identity", w.data());
+}
+
+void IdentityRegistry::register_name(const std::string& name,
+                                     const crypto::PrivateKey& key) {
+    if (name.empty()) throw ValidationError("identity: empty name");
+    if (records_.contains(name)) throw ValidationError("identity: name taken");
+
+    const Bytes pubkey = key.public_key().encode();
+    // Self-signed registration: proves possession of the private key.
+    const Hash256 digest = identity_op_digest("register", name, pubkey);
+    const auto signature = key.sign(digest);
+    if (!key.public_key().verify(digest, signature))
+        throw ValidationError("identity: self-signature failed");
+
+    records_.emplace(name, IdentityRecord{name, pubkey, 1, false});
+}
+
+const IdentityRecord* IdentityRegistry::active_record(const std::string& name) const {
+    const auto it = records_.find(name);
+    if (it == records_.end() || it->second.revoked) return nullptr;
+    return &it->second;
+}
+
+void IdentityRegistry::rotate_key(const std::string& name,
+                                  const crypto::PrivateKey& old_key,
+                                  const crypto::PublicKey& new_key) {
+    const auto it = records_.find(name);
+    if (it == records_.end()) throw ValidationError("identity: unknown name");
+    if (it->second.revoked) throw ValidationError("identity: revoked");
+    if (old_key.public_key().encode() != it->second.pubkey)
+        throw ValidationError("identity: rotation not signed by the current key");
+
+    // The old key signs the new pubkey: a verifiable chain of custody.
+    const Bytes new_pub = new_key.encode();
+    const Hash256 digest = identity_op_digest("rotate", name, new_pub);
+    const auto signature = old_key.sign(digest);
+    const crypto::PublicKey current = crypto::PublicKey::decode(it->second.pubkey);
+    if (!current.verify(digest, signature))
+        throw ValidationError("identity: rotation proof invalid");
+
+    it->second.pubkey = new_pub;
+    ++it->second.version;
+}
+
+void IdentityRegistry::revoke(const std::string& name, const crypto::PrivateKey& key) {
+    const auto it = records_.find(name);
+    if (it == records_.end()) throw ValidationError("identity: unknown name");
+    if (it->second.revoked) throw ValidationError("identity: already revoked");
+    if (key.public_key().encode() != it->second.pubkey)
+        throw ValidationError("identity: revocation not signed by the current key");
+    it->second.revoked = true;
+}
+
+std::optional<IdentityRecord> IdentityRegistry::lookup(const std::string& name) const {
+    const auto it = records_.find(name);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<crypto::Address> IdentityRegistry::resolve(const std::string& name) const {
+    const IdentityRecord* record = active_record(name);
+    if (record == nullptr) return std::nullopt;
+    return crypto::PublicKey::decode(record->pubkey).address();
+}
+
+bool IdentityRegistry::verify_as(const std::string& name, const Hash256& message_hash,
+                                 const crypto::secp256k1::Signature& signature) const {
+    const IdentityRecord* record = active_record(name);
+    if (record == nullptr) return false;
+    try {
+        return crypto::PublicKey::decode(record->pubkey).verify(message_hash, signature);
+    } catch (const CryptoError&) {
+        return false;
+    }
+}
+
+} // namespace dlt::app

@@ -1,0 +1,62 @@
+// Identity-management middleware (paper §5.2 lists "identity management" among
+// the blockchain middleware services). A registry binding human-readable names
+// to public keys, with every registration, rotation, and revocation
+// authenticated by signature — name ownership follows key ownership, and key
+// rotation requires a proof of the old key.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+
+namespace dlt::app {
+
+struct IdentityRecord {
+    std::string name;
+    Bytes pubkey;           // compressed encoding of the current key
+    std::uint64_t version = 1; // bumps on rotation
+    bool revoked = false;
+};
+
+class IdentityRegistry {
+public:
+    /// Claim a free name for the holder of `key` (signed self-registration).
+    /// Throws ValidationError when the name is taken.
+    void register_name(const std::string& name, const crypto::PrivateKey& key);
+
+    /// Rotate the key bound to `name`: the OLD key signs over the NEW pubkey.
+    /// Throws ValidationError on unknown name, revoked identity, or bad proof.
+    void rotate_key(const std::string& name, const crypto::PrivateKey& old_key,
+                    const crypto::PublicKey& new_key);
+
+    /// Revoke an identity (signed by its current key). Irreversible; the name
+    /// stays burned so it cannot be re-claimed by a squatter.
+    void revoke(const std::string& name, const crypto::PrivateKey& key);
+
+    std::optional<IdentityRecord> lookup(const std::string& name) const;
+
+    /// Resolve a name to an address (hash160 of its current key); nullopt for
+    /// unknown or revoked identities.
+    std::optional<crypto::Address> resolve(const std::string& name) const;
+
+    /// Verify that `signature` over `message` was produced by the identity
+    /// currently bound to `name`.
+    bool verify_as(const std::string& name, const Hash256& message_hash,
+                   const crypto::secp256k1::Signature& signature) const;
+
+    std::size_t size() const { return records_.size(); }
+
+private:
+    const IdentityRecord* active_record(const std::string& name) const;
+
+    std::map<std::string, IdentityRecord> records_;
+};
+
+/// The digest an owner signs to authorize an operation on a name.
+Hash256 identity_op_digest(std::string_view op, const std::string& name,
+                           ByteView payload);
+
+} // namespace dlt::app

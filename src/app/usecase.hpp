@@ -1,0 +1,80 @@
+// Application layer (paper §4.1 and §5.1): the use-case description template —
+// name, intent, actors, data objects, permissions, performance requirements —
+// exactly as §5.1 enumerates it, plus a feasibility evaluator that maps the
+// requirements onto a recommended ChainSpec ("defining which applications
+// benefit the most ... and which platform is suitable for which applications").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chainspec.hpp"
+
+namespace dlt::app {
+
+/// Blockchain application generations (paper §3).
+enum class Generation {
+    kCryptocurrency = 1, // 1.0
+    kDApps = 2,          // 2.0
+    kPervasive = 3,      // 3.0
+};
+
+enum class Permission { kSubmitTransactions, kCreateContracts, kMaintainLedger, kQueryOnly };
+
+struct Actor {
+    std::string name;
+    bool trusted = false;    // known/trusted identity?
+    std::vector<Permission> permissions;
+};
+
+struct DataObject {
+    std::string name;
+    bool on_chain = true;        // on-chain vs off-chain storage (§4.5)
+    bool confidential = false;   // requires a privacy domain (§5.3)
+};
+
+struct PerformanceRequirements {
+    std::size_t expected_actors = 10;
+    double expected_tps = 10.0;
+    double max_latency_seconds = 60.0;
+    double annual_growth_factor = 1.5;
+};
+
+/// The §5.1 template, verbatim as a value type.
+struct UseCase {
+    std::string name;
+    std::string intent; // "what is the problem solved?"
+    Generation generation = Generation::kPervasive;
+    std::vector<Actor> actors;
+    std::vector<DataObject> data_objects;
+    bool uses_smart_contracts = false;
+    PerformanceRequirements performance;
+};
+
+/// The evaluator's output: a spec plus the reasoning trail.
+struct Recommendation {
+    core::ChainSpec spec;
+    std::vector<std::string> rationale;
+    bool needs_multichannel = false;   // confidential data objects present
+    bool needs_offchain_store = false; // off-chain data objects present
+    bool needs_payment_channels = false; // latency below block-interval floor
+};
+
+/// Rule-based feasibility analysis (§5.1's methodology made executable):
+///  - untrusted maintainers  -> proof-based public consensus (D required)
+///  - all-trusted consortium -> ordering/PBFT (CS, permissioned)
+///  - high throughput        -> leader-based or short blocks
+///  - confidential objects   -> multi-channel privacy domains
+Recommendation recommend(const UseCase& use_case);
+
+/// Canned §3 examples, one per generation.
+UseCase cryptocurrency_usecase(); // 1.0: public payments
+UseCase crowdfunding_usecase();   // 2.0: DApp with contracts
+UseCase supply_chain_usecase();   // 3.0: consortium with IoT data
+UseCase land_registry_usecase();  // 3.0: government registry
+UseCase ehealth_usecase();        // 3.0: confidential records
+
+const char* generation_name(Generation g);
+
+} // namespace dlt::app

@@ -1,0 +1,37 @@
+// Precondition / postcondition / invariant support (I.5, I.7 of the C++ Core
+// Guidelines). Violations are programming errors and throw dlt::ContractViolation
+// so tests can observe them; they are not recoverable conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dlt {
+
+/// Thrown when an Expects/Ensures/Invariant check fails.
+class ContractViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file +
+                            ":" + std::to_string(line));
+}
+} // namespace detail
+
+} // namespace dlt
+
+#define DLT_EXPECTS(cond)                                                          \
+    ((cond) ? static_cast<void>(0)                                                 \
+            : ::dlt::detail::contract_fail("precondition", #cond, __FILE__, __LINE__))
+
+#define DLT_ENSURES(cond)                                                          \
+    ((cond) ? static_cast<void>(0)                                                 \
+            : ::dlt::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__))
+
+#define DLT_INVARIANT(cond)                                                        \
+    ((cond) ? static_cast<void>(0)                                                 \
+            : ::dlt::detail::contract_fail("invariant", #cond, __FILE__, __LINE__))

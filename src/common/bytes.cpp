@@ -1,0 +1,65 @@
+#include "common/bytes.hpp"
+
+#include "common/error.hpp"
+
+namespace dlt {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+} // namespace
+
+std::string to_hex(ByteView data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (auto b : data) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xF]);
+    }
+    return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) throw DecodeError("hex string has odd length");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_nibble(hex[i]);
+        const int lo = hex_nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) throw DecodeError("invalid hex character");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+void append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+Bytes to_bytes(std::string_view text) {
+    return Bytes(text.begin(), text.end());
+}
+
+template <std::size_t N>
+FixedBytes<N> FixedBytes<N>::from_hex_str(std::string_view hex) {
+    const Bytes raw = dlt::from_hex(hex);
+    return from_bytes(raw);
+}
+
+template <std::size_t N>
+FixedBytes<N> FixedBytes<N>::from_bytes(ByteView bytes) {
+    if (bytes.size() != N) throw DecodeError("fixed-bytes size mismatch");
+    FixedBytes<N> out;
+    std::copy(bytes.begin(), bytes.end(), out.data.begin());
+    return out;
+}
+
+template struct FixedBytes<20>;
+template struct FixedBytes<32>;
+template struct FixedBytes<64>;
+
+} // namespace dlt

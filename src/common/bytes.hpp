@@ -1,0 +1,83 @@
+// Byte-buffer primitives: the Bytes alias, fixed-size hash values, and hex codecs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlt {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encode a byte range as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (case-insensitive, no prefix). Throws DecodeError on
+/// odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Convert a string's bytes into a Bytes buffer.
+Bytes to_bytes(std::string_view text);
+
+/// Fixed-width value type for hash digests and similar opaque identifiers.
+/// Comparable, hashable, hex-printable; no invariant beyond its size (C.2).
+template <std::size_t N>
+struct FixedBytes {
+    std::array<std::uint8_t, N> data{};
+
+    static constexpr std::size_t size() { return N; }
+
+    auto operator<=>(const FixedBytes&) const = default;
+
+    std::uint8_t& operator[](std::size_t i) { return data[i]; }
+    const std::uint8_t& operator[](std::size_t i) const { return data[i]; }
+
+    ByteView view() const { return ByteView{data.data(), N}; }
+    Bytes bytes() const { return Bytes(data.begin(), data.end()); }
+    std::string hex() const { return to_hex(view()); }
+
+    /// True when every byte is zero (the conventional "null" value).
+    bool is_zero() const {
+        for (auto b : data)
+            if (b != 0) return false;
+        return true;
+    }
+
+    /// Parse from hex; throws DecodeError unless exactly 2*N hex digits.
+    static FixedBytes from_hex_str(std::string_view hex);
+
+    /// Construct from a byte range of exactly N bytes (throws DecodeError otherwise).
+    static FixedBytes from_bytes(ByteView bytes);
+};
+
+using Hash256 = FixedBytes<32>;
+using Hash160 = FixedBytes<20>;
+
+/// FNV-1a over the contents; suitable for unordered_map keys, not security.
+template <std::size_t N>
+std::size_t hash_value(const FixedBytes<N>& v) {
+    std::size_t h = 14695981039346656037ull;
+    for (auto b : v.data) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace dlt
+
+template <std::size_t N>
+struct std::hash<dlt::FixedBytes<N>> {
+    std::size_t operator()(const dlt::FixedBytes<N>& v) const noexcept {
+        return dlt::hash_value(v);
+    }
+};

@@ -1,0 +1,40 @@
+// Error taxonomy for the DLT framework. Recoverable failures (bad input, invalid
+// blocks, rejected transactions) are reported with exceptions derived from
+// dlt::Error; programming errors use ContractViolation (assert.hpp).
+#pragma once
+
+#include <stdexcept>
+
+namespace dlt {
+
+/// Base class for all recoverable framework errors.
+class Error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Malformed or undecodable input (hex strings, serialized payloads, ...).
+class DecodeError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Ledger-level validation failure (bad block, invalid transaction, ...).
+class ValidationError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Cryptographic failure (bad signature encoding, invalid key, ...).
+class CryptoError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Smart-contract execution failure (out of gas, VM trap, compile error).
+class ContractError : public Error {
+public:
+    using Error::Error;
+};
+
+} // namespace dlt

@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dlt {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+    DLT_EXPECTS(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+    DLT_EXPECTS(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next()); // full 64-bit range
+    return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double rate) {
+    DLT_EXPECTS(rate > 0);
+    double u = uniform01();
+    // Guard against log(0); uniform01() can return exactly 0.
+    if (u <= 0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+    double u1 = uniform01();
+    if (u1 <= 0) u1 = 0x1.0p-53;
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return uniform01() < p;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+    // Mix the tag with fresh output so different tags diverge immediately.
+    std::uint64_t seed = next() ^ (tag * 0xD1B54A32D192ED03ull + 0x2545F4914F6CDD1Dull);
+    return Rng(seed);
+}
+
+} // namespace dlt

@@ -1,0 +1,74 @@
+// Deterministic random-number generation. Everything stochastic in the framework
+// (network latencies, mining races, gossip fanout choices, workload generators)
+// draws from Rng streams seeded explicitly, so simulations are reproducible.
+// Engine: xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace dlt {
+
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds via splitmix64 so nearby seeds give uncorrelated streams.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Raw 64 random bits (UniformRandomBitGenerator requirement).
+    result_type operator()() { return next(); }
+
+    std::uint64_t next();
+
+    /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Exponential with the given rate (events per unit time); rate must be > 0.
+    double exponential(double rate);
+
+    /// Normal via Box-Muller.
+    double normal(double mean, double stddev);
+
+    /// Bernoulli trial.
+    bool chance(double p);
+
+    /// Derive an independent child stream; children with distinct tags are
+    /// uncorrelated with each other and with the parent.
+    Rng fork(std::uint64_t tag);
+
+    /// Fisher-Yates shuffle of a random-access container.
+    template <typename Container>
+    void shuffle(Container& c) {
+        if (c.size() < 2) return;
+        for (std::size_t i = c.size() - 1; i > 0; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniform(i + 1));
+            using std::swap;
+            swap(c[i], c[j]);
+        }
+    }
+
+    /// Pick a uniformly random element index for a container of size n.
+    std::size_t index(std::size_t n) {
+        DLT_EXPECTS(n > 0);
+        return static_cast<std::size_t>(uniform(n));
+    }
+
+private:
+    std::uint64_t s_[4];
+};
+
+} // namespace dlt

@@ -1,0 +1,55 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dlt {
+
+void Writer::f64(double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t raw;
+    std::memcpy(&raw, &v, sizeof raw);
+    u64(raw);
+}
+
+void Writer::varint(std::uint64_t v) {
+    if (v < 0xFD) {
+        u8(static_cast<std::uint8_t>(v));
+    } else if (v <= 0xFFFF) {
+        u8(0xFD);
+        u16(static_cast<std::uint16_t>(v));
+    } else if (v <= 0xFFFFFFFF) {
+        u8(0xFE);
+        u32(static_cast<std::uint32_t>(v));
+    } else {
+        u8(0xFF);
+        u64(v);
+    }
+}
+
+double Reader::f64() {
+    const std::uint64_t raw = u64();
+    double v;
+    std::memcpy(&v, &raw, sizeof v);
+    return v;
+}
+
+std::uint64_t Reader::varint() {
+    const std::uint8_t tag = u8();
+    if (tag < 0xFD) return tag;
+    if (tag == 0xFD) {
+        const std::uint64_t v = u16();
+        if (v < 0xFD) throw DecodeError("non-canonical varint");
+        return v;
+    }
+    if (tag == 0xFE) {
+        const std::uint64_t v = u32();
+        if (v <= 0xFFFF) throw DecodeError("non-canonical varint");
+        return v;
+    }
+    const std::uint64_t v = u64();
+    if (v <= 0xFFFFFFFF) throw DecodeError("non-canonical varint");
+    return v;
+}
+
+} // namespace dlt

@@ -1,0 +1,22 @@
+// Simulated-time types. The discrete-event simulator advances a virtual clock in
+// seconds (double); wall-clock time never appears in protocol logic, which is what
+// lets laptop runs reproduce network-scale dynamics (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+
+namespace dlt {
+
+/// Virtual time in seconds since simulation start.
+using SimTime = double;
+
+/// Virtual duration in seconds.
+using SimDuration = double;
+
+inline constexpr SimTime kSimStart = 0.0;
+
+/// Conventional block intervals from the paper (§2.7).
+inline constexpr SimDuration kBitcoinBlockInterval = 600.0;  // 10 minutes
+inline constexpr SimDuration kEthereumBlockInterval = 15.0;  // 10-40 s band midpoint
+
+} // namespace dlt

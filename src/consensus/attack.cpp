@@ -1,0 +1,66 @@
+#include "consensus/attack.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dlt::consensus {
+
+double attacker_success_probability(double q, unsigned z) {
+    DLT_EXPECTS(q >= 0 && q <= 1);
+    if (q <= 0) return 0.0;
+    if (q >= 0.5) return 1.0;
+    const double p = 1.0 - q;
+    const double lambda = static_cast<double>(z) * (q / p);
+
+    // 1 - sum_{k=0..z} Poisson(lambda, k) * (1 - (q/p)^(z-k))
+    double sum = 1.0;
+    double poisson = std::exp(-lambda);
+    for (unsigned k = 0; k <= z; ++k) {
+        if (k > 0) poisson *= lambda / static_cast<double>(k);
+        sum -= poisson * (1.0 - std::pow(q / p, static_cast<double>(z - k)));
+    }
+    if (sum < 0) sum = 0;
+    if (sum > 1) sum = 1;
+    return sum;
+}
+
+double simulate_attack_success(double q, unsigned z, std::size_t trials, Rng& rng,
+                               std::size_t max_steps) {
+    DLT_EXPECTS(trials > 0);
+    std::size_t wins = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        // Phase 1 (the whitepaper's head start): while the honest chain produces
+        // the z confirmation blocks, the attacker mines privately. Each block
+        // found network-wide is the attacker's with probability q.
+        std::int64_t deficit = 0; // honest lead over the private fork
+        std::uint64_t honest = 0;
+        while (honest < z) {
+            if (rng.chance(q)) {
+                --deficit;
+            } else {
+                ++deficit;
+                ++honest;
+            }
+        }
+
+        // Phase 2: the race. "Catching up" (whitepaper §11) means reaching a
+        // tie, after which the attacker publishes and keeps extending.
+        bool won = deficit <= 0;
+        for (std::size_t step = 0; !won && step < max_steps; ++step) {
+            if (rng.chance(q)) {
+                --deficit;
+            } else {
+                ++deficit;
+            }
+            if (deficit <= 0) won = true;
+            // Walks drifting far behind cannot practically recover for q<0.5;
+            // cut them off to keep the estimator fast (bias < (q/p)^64).
+            if (deficit > static_cast<std::int64_t>(z) + 64) break;
+        }
+        if (won) ++wins;
+    }
+    return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+} // namespace dlt::consensus

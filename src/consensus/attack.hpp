@@ -1,0 +1,28 @@
+// Double-spend / chain-rewrite attack analysis (paper §2.4: immutability holds
+// unless an attacker musters "more than 51% of the entire network"). Both the
+// closed-form success probability from the Bitcoin whitepaper and a Monte Carlo
+// private-fork race that reproduces it — and shows the >=51% regime where
+// rewriting succeeds with certainty.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace dlt::consensus {
+
+/// Nakamoto's analytic probability that an attacker controlling fraction `q`
+/// of the hash power ever catches up from `z` blocks behind (Bitcoin paper,
+/// section 11). Returns 1.0 for q >= 0.5.
+double attacker_success_probability(double q, unsigned z);
+
+/// Monte Carlo estimate of the same quantity by simulating the block race:
+/// the honest chain extends with probability 1-q per step, the private fork
+/// with probability q; the attacker starts z blocks behind (after the victim
+/// waited for z confirmations) and wins by reaching a lead of +1.
+/// `max_steps` bounds each race (unfinished races count as failure, which
+/// under-estimates negligibly for q < 0.5).
+double simulate_attack_success(double q, unsigned z, std::size_t trials, Rng& rng,
+                               std::size_t max_steps = 100'000);
+
+} // namespace dlt::consensus

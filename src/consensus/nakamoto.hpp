@@ -1,0 +1,163 @@
+// Nakamoto-consensus network simulation: N mining peers on a gossip overlay,
+// exponential-race block discovery (the standard Poisson model of PoW),
+// longest-chain or GHOST branch selection, full UTXO state with reorgs, and
+// the telemetry behind experiments E1-E3 (convergence, throughput vs block
+// interval, stale/branch rates).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/difficulty.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/utxo.hpp"
+#include "ledger/validation.hpp"
+#include "net/gossip.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dlt::consensus {
+
+/// Branch-selection policy (paper §2.4: "a branch selection algorithm is used
+/// by peers to decide which branch to accept").
+enum class BranchRule { kLongestChain, kGhost };
+
+struct NakamotoParams {
+    std::size_t node_count = 16;
+    /// Expected seconds between blocks network-wide (Bitcoin: 600, Ethereum: ~15).
+    double block_interval = 600.0;
+    BranchRule branch_rule = BranchRule::kLongestChain;
+    std::size_t max_block_bytes = 1'000'000;
+    std::size_t max_block_txs = 10'000;
+    ledger::ValidationRules validation{};
+    net::GossipParams gossip{};
+    net::LinkParams link{};
+    std::size_t overlay_degree = 4;
+    /// Relative hash power per node; empty means uniform. Normalized internally.
+    std::vector<double> hashrate_shares;
+    std::string chain_tag = "nakamoto";
+
+    /// Difficulty retargeting (the mechanism that keeps Bitcoin's interval at
+    /// 10 minutes no matter how much hash power joins — E2's flat-scaling
+    /// claim). When disabled, difficulty stays at genesis bits.
+    bool enable_retargeting = false;
+    ledger::RetargetParams retarget{};
+};
+
+/// Aggregate results captured while the simulation runs.
+struct NakamotoStats {
+    std::uint64_t blocks_mined = 0;
+    std::uint64_t reorgs = 0;
+    std::uint64_t invalid_blocks = 0;
+};
+
+class NakamotoNetwork {
+public:
+    explicit NakamotoNetwork(NakamotoParams params, std::uint64_t seed);
+
+    /// Begin mining at every node.
+    void start();
+
+    /// Advance virtual time.
+    void run_for(SimDuration duration);
+    SimTime now() const { return scheduler_.now(); }
+
+    /// Inject a signed transaction at `origin`; it gossips to all peers.
+    void submit_transaction(const ledger::Transaction& tx, net::NodeId origin = 0);
+
+    /// Scale total network hash power (1.0 = one block per block_interval at
+    /// genesis difficulty). With retargeting enabled, the interval recovers
+    /// after the next adjustment; without it, blocks stay proportionally
+    /// faster — the experiment behind §2.7's scalability observation.
+    void set_network_hashrate(double multiplier);
+    double network_hashrate() const { return network_hashrate_; }
+
+    /// Difficulty bits a block extending `tip` must carry (per the retarget
+    /// schedule; genesis bits when retargeting is off).
+    std::uint32_t next_bits(net::NodeId node, const Hash256& tip) const;
+
+    /// Observed mean block interval over the last `window` blocks of the
+    /// canonical chain (timestamp deltas).
+    std::optional<double> observed_interval(std::size_t window = 32) const;
+
+    // --- Inspection -------------------------------------------------------------
+
+    std::size_t node_count() const { return peers_.size(); }
+
+    /// Active tip of one peer.
+    const Hash256& tip_of(net::NodeId node) const;
+
+    /// Chain height at one peer's active tip.
+    std::uint64_t height_of(net::NodeId node) const;
+
+    /// True when every peer's active tip is identical.
+    bool converged() const;
+
+    /// The tip held by a strict majority of peers (nullopt when none).
+    std::optional<Hash256> majority_tip() const;
+
+    /// Blocks on peer-0's active chain, excluding genesis.
+    std::vector<ledger::Block> canonical_chain() const;
+
+    /// Total non-coinbase transactions confirmed on peer-0's active chain.
+    std::uint64_t confirmed_tx_count() const;
+
+    /// Stale blocks known to peer 0 (mined but not on its active chain).
+    std::size_t stale_blocks() const;
+    /// Stale fraction: stale / total mined (the consistency cost in E3).
+    double stale_rate() const;
+
+    /// Depth (confirmations) of the block containing `txid` at peer 0, nullopt
+    /// while unconfirmed.
+    std::optional<std::uint64_t> confirmations_of(const Hash256& txid) const;
+
+    const NakamotoStats& stats() const { return stats_; }
+    const net::TrafficStats& traffic() const { return network_->stats(); }
+    const ledger::ChainStore& chain_of(net::NodeId node) const;
+    const ledger::UtxoSet& utxo_of(net::NodeId node) const;
+    const crypto::Address& miner_address(net::NodeId node) const;
+    sim::Scheduler& scheduler() { return scheduler_; }
+
+private:
+    struct Peer {
+        std::unique_ptr<ledger::ChainStore> chain;
+        Hash256 active_tip;
+        ledger::UtxoSet utxo; // state at active_tip
+        std::unordered_map<Hash256, ledger::UtxoUndo> undo; // connected blocks
+        ledger::Mempool mempool;
+        crypto::Address miner;
+        double hashrate_share = 0;
+        std::optional<sim::EventId> mining_event;
+        std::unordered_map<Hash256, std::vector<ledger::Block>> orphans; // by parent
+        std::unordered_set<Hash256> invalid;
+        Rng rng;
+    };
+
+    void on_gossip(net::NodeId node, const std::string& topic, const Bytes& payload);
+    void handle_block(net::NodeId node, const ledger::Block& block);
+    void try_insert_and_update(net::NodeId node, const ledger::Block& block);
+    void update_active_tip(net::NodeId node);
+    Hash256 select_tip(const Peer& peer) const;
+    bool path_contains_invalid(const Peer& peer, const Hash256& tip) const;
+    void reorg_to(net::NodeId node, const Hash256& new_tip);
+    void schedule_mining(net::NodeId node);
+    ledger::Block assemble_block(net::NodeId node);
+
+    NakamotoParams params_;
+    double network_hashrate_ = 1.0;
+    sim::Scheduler scheduler_;
+    Rng rng_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<net::GossipOverlay> gossip_;
+    std::vector<Peer> peers_;
+    ledger::Block genesis_;
+    NakamotoStats stats_;
+};
+
+} // namespace dlt::consensus

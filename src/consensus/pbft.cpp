@@ -1,0 +1,474 @@
+#include "consensus/pbft.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+// Implementation notes / simplifications (documented in DESIGN.md):
+//  - Point-to-point channels are authenticated by construction in the simulator,
+//    so messages carry plain replica ids instead of signatures (the standard
+//    "authenticated channels" PBFT variant).
+//  - Checkpointing/garbage collection is omitted: simulated runs are short.
+//  - View change is the simplified re-proposal form: replicas vote VIEW-CHANGE,
+//    adopt view v on a 2f+1 quorum for v (joining early after f+1), the new
+//    primary re-proposes every request not yet committed. Uncommitted slots are
+//    discarded on view entry, which is safe because anything executed had a
+//    2f+1 commit quorum that the next view cannot contradict in the fault
+//    scenarios modelled here (crash + equivocation).
+
+namespace dlt::consensus {
+
+using net::Delivery;
+
+namespace {
+
+Hash256 batch_digest(const std::vector<Bytes>& requests) {
+    Writer w;
+    w.varint(requests.size());
+    for (const auto& r : requests) w.blob(r);
+    return crypto::tagged_hash("dlt/pbft-batch", w.data());
+}
+
+Hash256 request_digest(const Bytes& request) {
+    return crypto::tagged_hash("dlt/pbft-req", request);
+}
+
+} // namespace
+
+PbftCluster::PbftCluster(PbftConfig config, std::uint64_t seed)
+    : config_(config), n_(3 * config.f + 1), rng_(seed) {
+    DLT_EXPECTS(config.f >= 1);
+    network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(1));
+    replicas_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        replicas_[i].id = i;
+        const net::NodeId id = network_->add_node(
+            [this, i](const Delivery& d) { on_message(i, d); });
+        DLT_ENSURES(id == i);
+    }
+    network_->build_full_mesh(config_.link);
+}
+
+void PbftCluster::submit(Bytes request) {
+    submit_times_.emplace(request_digest(request), scheduler_.now());
+    // Clients multicast to all replicas so a faulty primary cannot censor
+    // without detection.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        Bytes copy = request;
+        scheduler_.schedule_after(0.0, [this, i, copy = std::move(copy)]() mutable {
+            handle_request(i, copy);
+        });
+    }
+}
+
+void PbftCluster::set_fault(std::uint32_t replica, PbftFault fault) {
+    DLT_EXPECTS(replica < n_);
+    replicas_[replica].fault = fault;
+    network_->set_crashed(replica, fault == PbftFault::kCrashed);
+}
+
+void PbftCluster::run_for(SimDuration duration) {
+    scheduler_.run_until(scheduler_.now() + duration);
+}
+
+void PbftCluster::broadcast(std::uint32_t from, const std::string& topic,
+                            const Bytes& payload) {
+    if (replicas_[from].fault == PbftFault::kCrashed) return;
+    for (std::uint32_t to = 0; to < n_; ++to) {
+        if (to == from) continue;
+        network_->send(from, to, topic, payload);
+    }
+}
+
+void PbftCluster::on_message(std::uint32_t replica, const Delivery& d) {
+    if (replicas_[replica].fault == PbftFault::kCrashed) return;
+    try {
+        if (d.topic == "preprepare") {
+            handle_pre_prepare(replica, d.payload);
+        } else if (d.topic == "prepare") {
+            handle_prepare(replica, d.payload);
+        } else if (d.topic == "commit") {
+            handle_commit(replica, d.payload);
+        } else if (d.topic == "viewchange") {
+            handle_view_change(replica, d.payload);
+        } else if (d.topic == "newview") {
+            handle_new_view(replica, d.payload);
+        }
+    } catch (const Error&) {
+        // Malformed message: drop, as a hardened replica would.
+    }
+}
+
+// --- Request intake and batching ---------------------------------------------------
+
+void PbftCluster::handle_request(std::uint32_t replica, const Bytes& request) {
+    Replica& r = replicas_[replica];
+    if (r.fault == PbftFault::kCrashed) return;
+    r.pending.emplace_back(request, scheduler_.now());
+    arm_view_timer(replica);
+    if (is_primary(r)) maybe_cut_batch(replica);
+}
+
+void PbftCluster::maybe_cut_batch(std::uint32_t replica) {
+    Replica& r = replicas_[replica];
+    if (!is_primary(r) || r.pending.empty()) return;
+    if (r.pending.size() >= config_.batch_size) {
+        if (r.batch_timer) {
+            scheduler_.cancel(*r.batch_timer);
+            r.batch_timer.reset();
+        }
+        propose_batch(replica);
+        return;
+    }
+    if (!r.batch_timer) {
+        r.batch_timer = scheduler_.schedule_after(config_.batch_interval,
+                                                  [this, replica] {
+                                                      replicas_[replica].batch_timer.reset();
+                                                      propose_batch(replica);
+                                                  });
+    }
+}
+
+void PbftCluster::propose_batch(std::uint32_t replica) {
+    Replica& r = replicas_[replica];
+    if (!is_primary(r) || r.fault == PbftFault::kCrashed || r.pending.empty()) return;
+
+    std::vector<Bytes> requests;
+    const std::size_t take = std::min(config_.batch_size, r.pending.size());
+    for (std::size_t i = 0; i < take; ++i) {
+        requests.push_back(std::move(r.pending.front().first));
+        r.pending.pop_front();
+    }
+    const std::uint64_t seq = r.next_sequence++;
+
+    auto encode_pp = [&](const std::vector<Bytes>& reqs) {
+        Writer w;
+        w.u32(r.view);
+        w.u64(seq);
+        w.fixed(batch_digest(reqs));
+        w.varint(reqs.size());
+        for (const auto& req : reqs) w.blob(req);
+        return std::move(w).take();
+    };
+
+    if (r.fault == PbftFault::kEquivocating) {
+        // Send one batch to the first half of replicas and a conflicting
+        // (reordered) batch to the other half.
+        std::vector<Bytes> shuffled = requests;
+        std::reverse(shuffled.begin(), shuffled.end());
+        if (shuffled == requests) shuffled.push_back(Bytes{0xFF}); // force conflict
+        const Bytes a = encode_pp(requests);
+        const Bytes b = encode_pp(shuffled);
+        for (std::uint32_t to = 0; to < n_; ++to) {
+            if (to == replica) continue;
+            network_->send(replica, to, "preprepare", to % 2 == 0 ? a : b);
+        }
+        return;
+    }
+
+    const Bytes pp = encode_pp(requests);
+    broadcast(replica, "preprepare", pp);
+    // The primary processes its own pre-prepare locally.
+    handle_pre_prepare(replica, pp);
+
+    if (!r.pending.empty()) maybe_cut_batch(replica);
+}
+
+// --- Three-phase agreement -----------------------------------------------------------
+
+void PbftCluster::handle_pre_prepare(std::uint32_t replica, const Bytes& payload) {
+    Replica& r = replicas_[replica];
+    Reader reader(payload);
+    const std::uint32_t view = reader.u32();
+    const std::uint64_t seq = reader.u64();
+    const Hash256 digest = reader.fixed<32>();
+    const std::uint64_t count = reader.varint();
+    std::vector<Bytes> requests;
+    requests.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) requests.push_back(reader.blob());
+    reader.expect_done();
+
+    if (view != r.view) return;
+    if (batch_digest(requests) != digest) return; // primary lied about digest
+    if (seq <= r.last_executed) return;
+
+    SlotState& slot = r.slots[seq];
+    if (slot.pre_prepared && slot.view == view &&
+        Hash256::from_bytes(slot.digest) != digest)
+        return; // conflicting pre-prepare in the same view: ignore (equivocation)
+    slot.view = view;
+    slot.digest = digest.bytes();
+    slot.requests = std::move(requests);
+    slot.pre_prepared = true;
+
+    Writer w;
+    w.u32(view);
+    w.u64(seq);
+    w.fixed(digest);
+    w.u32(r.id);
+    const Bytes prepare = std::move(w).take();
+    broadcast(replica, "prepare", prepare);
+    // Count our own prepare.
+    slot.prepares.insert(r.id);
+    try_advance(replica, seq);
+    arm_view_timer(replica);
+}
+
+void PbftCluster::handle_prepare(std::uint32_t replica, const Bytes& payload) {
+    Replica& r = replicas_[replica];
+    Reader reader(payload);
+    const std::uint32_t view = reader.u32();
+    const std::uint64_t seq = reader.u64();
+    const Hash256 digest = reader.fixed<32>();
+    const std::uint32_t sender = reader.u32();
+    reader.expect_done();
+
+    if (view != r.view || seq <= r.last_executed) return;
+    SlotState& slot = r.slots[seq];
+    if (slot.pre_prepared && Hash256::from_bytes(slot.digest) != digest) return;
+    if (!slot.pre_prepared) {
+        // Remember the digest so prepares arriving before the pre-prepare count.
+        if (slot.digest.empty()) slot.digest = digest.bytes();
+        else if (Hash256::from_bytes(slot.digest) != digest) return;
+    }
+    slot.view = view;
+    slot.prepares.insert(sender);
+    try_advance(replica, seq);
+}
+
+void PbftCluster::handle_commit(std::uint32_t replica, const Bytes& payload) {
+    Replica& r = replicas_[replica];
+    Reader reader(payload);
+    const std::uint32_t view = reader.u32();
+    const std::uint64_t seq = reader.u64();
+    const Hash256 digest = reader.fixed<32>();
+    const std::uint32_t sender = reader.u32();
+    reader.expect_done();
+
+    if (view != r.view || seq <= r.last_executed) return;
+    SlotState& slot = r.slots[seq];
+    if (!slot.digest.empty() && Hash256::from_bytes(slot.digest) != digest) return;
+    if (slot.digest.empty()) slot.digest = digest.bytes();
+    slot.commits.insert(sender);
+    try_advance(replica, seq);
+}
+
+void PbftCluster::try_advance(std::uint32_t replica, std::uint64_t sequence) {
+    Replica& r = replicas_[replica];
+    const auto it = r.slots.find(sequence);
+    if (it == r.slots.end()) return;
+    SlotState& slot = it->second;
+    const std::size_t quorum = 2 * config_.f + 1;
+
+    // prepared == pre-prepare received + 2f+1 matching PREPAREs (conservative:
+    // our own prepare is in the set, so this is the standard quorum).
+    if (!slot.prepared && slot.pre_prepared && slot.prepares.size() >= quorum) {
+        slot.prepared = true;
+        Writer w;
+        w.u32(slot.view);
+        w.u64(sequence);
+        w.fixed(Hash256::from_bytes(slot.digest));
+        w.u32(r.id);
+        broadcast(replica, "commit", w.data());
+        slot.commits.insert(r.id);
+    }
+
+    if (!slot.committed && slot.prepared && slot.commits.size() >= quorum) {
+        slot.committed = true;
+        // Drop committed requests from the pending queue (they are spoken for).
+        for (const auto& req : slot.requests) {
+            const auto match = std::find_if(
+                r.pending.begin(), r.pending.end(),
+                [&](const auto& entry) { return entry.first == req; });
+            if (match != r.pending.end()) r.pending.erase(match);
+        }
+        execute_ready(replica);
+    }
+}
+
+void PbftCluster::execute_ready(std::uint32_t replica) {
+    Replica& r = replicas_[replica];
+    for (;;) {
+        const auto it = r.slots.find(r.last_executed + 1);
+        if (it == r.slots.end() || !it->second.committed) break;
+        SlotState& slot = it->second;
+        CommittedBatch batch;
+        batch.sequence = r.last_executed + 1;
+        batch.view = slot.view;
+        batch.requests = slot.requests;
+        batch.committed_at = scheduler_.now();
+        r.log.push_back(std::move(batch));
+
+        if (replica == 0) {
+            for (const auto& req : slot.requests) {
+                const auto t = submit_times_.find(request_digest(req));
+                if (t != submit_times_.end())
+                    commit_latencies_.push_back(scheduler_.now() - t->second);
+            }
+        }
+
+        ++r.last_executed;
+        r.slots.erase(it);
+    }
+
+    // Progress happened; reset (or clear) the liveness timer.
+    if (r.view_timer) {
+        scheduler_.cancel(*r.view_timer);
+        r.view_timer.reset();
+    }
+    if (!r.pending.empty() || !r.slots.empty()) arm_view_timer(replica);
+    if (is_primary(r)) maybe_cut_batch(replica);
+}
+
+// --- View changes ---------------------------------------------------------------------
+
+void PbftCluster::arm_view_timer(std::uint32_t replica) {
+    Replica& r = replicas_[replica];
+    if (r.fault == PbftFault::kCrashed) return;
+    if (r.view_timer) return;
+    r.view_timer = scheduler_.schedule_after(config_.view_change_timeout,
+                                             [this, replica] {
+                                                 replicas_[replica].view_timer.reset();
+                                                 start_view_change(replica);
+                                             });
+}
+
+void PbftCluster::start_view_change(std::uint32_t replica) {
+    Replica& r = replicas_[replica];
+    if (r.fault == PbftFault::kCrashed) return;
+    // Nothing outstanding: no need for a view change.
+    if (r.pending.empty() && r.slots.empty()) return;
+
+    const std::uint32_t target = r.view + 1;
+    Writer w;
+    w.u32(target);
+    w.u32(r.id);
+    broadcast(replica, "viewchange", w.data());
+    handle_view_change(replica, std::move(w).take()); // count own vote uniformly
+}
+
+void PbftCluster::handle_view_change(std::uint32_t replica, const Bytes& payload) {
+    Replica& r = replicas_[replica];
+    Reader reader(payload);
+    const std::uint32_t target = reader.u32();
+    const std::uint32_t sender = reader.u32();
+    reader.expect_done();
+
+    if (target <= r.view) return;
+    auto& votes = r.view_votes[target];
+    votes.insert(sender);
+
+    // Join an in-progress view change once f+1 others vote (liveness
+    // amplification from the PBFT paper).
+    if (votes.size() >= config_.f + 1 && !votes.contains(r.id)) {
+        Writer w;
+        w.u32(target);
+        w.u32(r.id);
+        broadcast(replica, "viewchange", w.data());
+        votes.insert(r.id);
+    }
+
+    if (votes.size() >= 2 * config_.f + 1) {
+        enter_view(replica, target);
+        if (primary_of_view(target) == r.id) {
+            Writer w;
+            w.u32(target);
+            broadcast(replica, "newview", w.data());
+            // Re-propose everything outstanding.
+            maybe_cut_batch(replica);
+        }
+    }
+}
+
+void PbftCluster::handle_new_view(std::uint32_t replica, const Bytes& payload) {
+    Replica& r = replicas_[replica];
+    Reader reader(payload);
+    const std::uint32_t view = reader.u32();
+    reader.expect_done();
+    if (view > r.view) enter_view(replica, view);
+}
+
+void PbftCluster::enter_view(std::uint32_t replica, std::uint32_t view) {
+    Replica& r = replicas_[replica];
+    if (view <= r.view) return;
+    r.view = view;
+
+    // Abandon uncommitted slots: their requests are still in pending (removal
+    // happens only on commit) so the new primary re-proposes them.
+    for (auto it = r.slots.begin(); it != r.slots.end();) {
+        if (!it->second.committed) {
+            it = r.slots.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // The new primary continues sequencing after everything it has seen commit.
+    std::uint64_t high = r.last_executed;
+    for (const auto& [seq, slot] : r.slots) high = std::max(high, seq);
+    r.next_sequence = high + 1;
+
+    for (auto it = r.view_votes.begin(); it != r.view_votes.end();) {
+        if (it->first <= view) it = r.view_votes.erase(it);
+        else ++it;
+    }
+
+    if (r.view_timer) {
+        scheduler_.cancel(*r.view_timer);
+        r.view_timer.reset();
+    }
+    if (!r.pending.empty() || !r.slots.empty()) arm_view_timer(replica);
+    if (r.batch_timer) {
+        scheduler_.cancel(*r.batch_timer);
+        r.batch_timer.reset();
+    }
+    if (is_primary(r)) maybe_cut_batch(replica);
+}
+
+// --- Inspection -------------------------------------------------------------------------
+
+const std::vector<CommittedBatch>& PbftCluster::log_of(std::uint32_t replica) const {
+    return replicas_.at(replica).log;
+}
+
+std::size_t PbftCluster::executed_requests(std::uint32_t replica) const {
+    std::size_t count = 0;
+    for (const auto& batch : replicas_.at(replica).log) count += batch.requests.size();
+    return count;
+}
+
+bool PbftCluster::logs_consistent() const {
+    const Replica* reference = nullptr;
+    for (const auto& r : replicas_) {
+        if (r.fault != PbftFault::kNone) continue;
+        if (reference == nullptr) {
+            reference = &r;
+            continue;
+        }
+        const std::size_t common = std::min(reference->log.size(), r.log.size());
+        for (std::size_t i = 0; i < common; ++i) {
+            if (reference->log[i].sequence != r.log[i].sequence ||
+                reference->log[i].requests != r.log[i].requests)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t PbftCluster::max_view() const {
+    std::uint32_t view = 0;
+    for (const auto& r : replicas_)
+        if (r.fault == PbftFault::kNone) view = std::max(view, r.view);
+    return view;
+}
+
+std::optional<double> PbftCluster::mean_commit_latency() const {
+    if (commit_latencies_.empty()) return std::nullopt;
+    double sum = 0;
+    for (const double lat : commit_latencies_) sum += lat;
+    return sum / static_cast<double>(commit_latencies_.size());
+}
+
+} // namespace dlt::consensus

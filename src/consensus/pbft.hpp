@@ -1,0 +1,138 @@
+// Practical Byzantine Fault Tolerance (paper §2.4: Hyperledger's committing
+// peers "execute a Practical Byzantine Fault-Tolerance protocol"). A full
+// three-phase implementation over the simulated network: PRE-PREPARE / PREPARE /
+// COMMIT with 2f+1 quorums, request batching at the primary, and view changes
+// with NEW-VIEW re-proposal when the primary stalls or equivocates. Drives
+// experiments E4 (ordering throughput) and E17 (fault tolerance).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dlt::consensus {
+
+struct PbftConfig {
+    std::uint32_t f = 1;                  // tolerated Byzantine replicas; n = 3f+1
+    std::size_t batch_size = 100;         // requests per proposal
+    SimDuration batch_interval = 0.2;     // cut a partial batch after this long
+    SimDuration view_change_timeout = 5.0;
+    net::LinkParams link{};
+};
+
+/// Byzantine behaviour injected into a replica (for tests and E17).
+enum class PbftFault {
+    kNone,
+    kCrashed,      // fail-stop: drops everything
+    kEquivocating, // as primary, sends conflicting pre-prepares to halves
+};
+
+/// One committed batch in a replica's ledger.
+struct CommittedBatch {
+    std::uint64_t sequence = 0;
+    std::uint32_t view = 0;
+    std::vector<Bytes> requests;
+    SimTime committed_at = 0;
+};
+
+class PbftCluster {
+public:
+    PbftCluster(PbftConfig config, std::uint64_t seed);
+
+    std::uint32_t replica_count() const { return n_; }
+    std::uint32_t primary_of_view(std::uint32_t view) const { return view % n_; }
+
+    /// Submit a client request; it is forwarded to every replica (clients
+    /// multicast so a faulty primary cannot censor silently).
+    void submit(Bytes request);
+
+    /// Inject a fault into one replica.
+    void set_fault(std::uint32_t replica, PbftFault fault);
+
+    void run_for(SimDuration duration);
+    SimTime now() const { return scheduler_.now(); }
+
+    /// Committed batches at one replica (in sequence order).
+    const std::vector<CommittedBatch>& log_of(std::uint32_t replica) const;
+
+    /// Total requests executed at one replica.
+    std::size_t executed_requests(std::uint32_t replica) const;
+
+    /// True when all non-faulty replicas have identical logs.
+    bool logs_consistent() const;
+
+    /// Highest view number reached by any correct replica (counts view changes).
+    std::uint32_t max_view() const;
+
+    /// Mean commit latency (submit -> commit at replica 0) over committed
+    /// requests; nullopt when nothing committed.
+    std::optional<double> mean_commit_latency() const;
+
+    const net::TrafficStats& traffic() const { return network_->stats(); }
+
+private:
+    struct SlotState {
+        Bytes digest;                       // digest of the proposed batch
+        std::vector<Bytes> requests;        // payload (known once pre-prepared)
+        std::uint32_t view = 0;
+        std::set<std::uint32_t> prepares;   // replicas that sent matching PREPARE
+        std::set<std::uint32_t> commits;    // replicas that sent matching COMMIT
+        bool pre_prepared = false;
+        bool prepared = false;
+        bool committed = false;
+    };
+
+    struct Replica {
+        std::uint32_t id = 0;
+        std::uint32_t view = 0;
+        std::uint64_t next_sequence = 1;    // primary: next seq to assign
+        std::uint64_t last_executed = 0;
+        PbftFault fault = PbftFault::kNone;
+        std::deque<std::pair<Bytes, SimTime>> pending; // un-proposed requests
+        std::map<std::uint64_t, SlotState> slots;      // by sequence
+        std::vector<CommittedBatch> log;
+        std::optional<sim::EventId> batch_timer;
+        std::optional<sim::EventId> view_timer;
+        std::map<std::uint32_t, std::set<std::uint32_t>> view_votes; // target view -> voters
+    };
+
+    bool is_primary(const Replica& r) const { return primary_of_view(r.view) == r.id; }
+    void on_message(std::uint32_t replica, const net::Delivery& d);
+    void broadcast(std::uint32_t from, const std::string& topic, const Bytes& payload);
+
+    void handle_request(std::uint32_t replica, const Bytes& payload);
+    void maybe_cut_batch(std::uint32_t replica);
+    void propose_batch(std::uint32_t replica);
+    void handle_pre_prepare(std::uint32_t replica, const Bytes& payload);
+    void handle_prepare(std::uint32_t replica, const Bytes& payload);
+    void handle_commit(std::uint32_t replica, const Bytes& payload);
+    void try_advance(std::uint32_t replica, std::uint64_t sequence);
+    void execute_ready(std::uint32_t replica);
+
+    void arm_view_timer(std::uint32_t replica);
+    void start_view_change(std::uint32_t replica);
+    void handle_view_change(std::uint32_t replica, const Bytes& payload);
+    void handle_new_view(std::uint32_t replica, const Bytes& payload);
+    void enter_view(std::uint32_t replica, std::uint32_t view);
+
+    PbftConfig config_;
+    std::uint32_t n_;
+    sim::Scheduler scheduler_;
+    Rng rng_;
+    std::unique_ptr<net::Network> network_;
+    std::vector<Replica> replicas_;
+    std::unordered_map<Hash256, SimTime> submit_times_;
+    std::vector<double> commit_latencies_;
+};
+
+} // namespace dlt::consensus

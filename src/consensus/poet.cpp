@@ -1,0 +1,79 @@
+#include "consensus/poet.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::consensus {
+
+Bytes WaitCertificate::encode() const {
+    Writer w;
+    w.u64(round);
+    w.u32(peer);
+    w.f64(wait_seconds);
+    return std::move(w).take();
+}
+
+WaitCertificate WaitCertificate::decode(ByteView raw) {
+    Reader r(raw);
+    WaitCertificate cert;
+    cert.round = r.u64();
+    cert.peer = r.u32();
+    cert.wait_seconds = r.f64();
+    r.expect_done();
+    return cert;
+}
+
+WaitCertificate poet_draw(const Hash256& seed, std::uint64_t round,
+                          std::uint32_t peer, double mean_wait) {
+    DLT_EXPECTS(mean_wait > 0);
+    Writer w;
+    w.fixed(seed);
+    w.u64(round);
+    w.u32(peer);
+    const Hash256 digest = crypto::tagged_hash("dlt/poet-wait", w.data());
+
+    // Uniform in (0,1] from the top 53 bits, then an exponential via inversion.
+    std::uint64_t top = 0;
+    for (int i = 0; i < 8; ++i) top = (top << 8) | digest[static_cast<std::size_t>(i)];
+    const double u = (static_cast<double>(top >> 11) + 1.0) * 0x1.0p-53;
+    const double wait = -std::log(u) * mean_wait;
+
+    return WaitCertificate{round, peer, wait};
+}
+
+bool verify_wait_certificate(const WaitCertificate& cert, const Hash256& seed,
+                             double mean_wait) {
+    const WaitCertificate expected = poet_draw(seed, cert.round, cert.peer, mean_wait);
+    return expected.wait_seconds == cert.wait_seconds;
+}
+
+std::uint32_t poet_round_winner(const Hash256& seed, std::uint64_t round,
+                                std::uint32_t peer_count, double mean_wait) {
+    DLT_EXPECTS(peer_count > 0);
+    std::uint32_t winner = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t peer = 0; peer < peer_count; ++peer) {
+        const double wait = poet_draw(seed, round, peer, mean_wait).wait_seconds;
+        if (wait < best) {
+            best = wait;
+            winner = peer;
+        }
+    }
+    return winner;
+}
+
+double poet_round_duration(const Hash256& seed, std::uint64_t round,
+                           std::uint32_t peer_count, double mean_wait) {
+    DLT_EXPECTS(peer_count > 0);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t peer = 0; peer < peer_count; ++peer)
+        best = std::min(best, poet_draw(seed, round, peer, mean_wait).wait_seconds);
+    return best;
+}
+
+} // namespace dlt::consensus

@@ -1,0 +1,44 @@
+// Proof-of-Elapsed-Time (paper §5.4: Hyperledger Sawtooth on Intel SGX). Each
+// round, every peer asks its trusted timer for a random wait; the shortest wait
+// wins leadership. We simulate the enclave with a deterministic hash-derived
+// exponential draw plus a verifiable "wait certificate" — the consensus contract
+// is identical minus hardware attestation (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dlt::consensus {
+
+/// The simulated enclave's wait certificate for (round, peer).
+struct WaitCertificate {
+    std::uint64_t round = 0;
+    std::uint32_t peer = 0;
+    double wait_seconds = 0;
+
+    Bytes encode() const;
+    static WaitCertificate decode(ByteView raw);
+};
+
+/// Deterministic enclave draw: an Exp(1/mean_wait) sample derived from
+/// hash(seed, round, peer). Every peer can recompute and so verify any other
+/// peer's certificate — the simulation's stand-in for SGX attestation.
+WaitCertificate poet_draw(const Hash256& seed, std::uint64_t round,
+                          std::uint32_t peer, double mean_wait);
+
+/// True when the certificate matches the deterministic draw.
+bool verify_wait_certificate(const WaitCertificate& cert, const Hash256& seed,
+                             double mean_wait);
+
+/// The round winner: peer with the minimum wait (ties to lower peer id).
+std::uint32_t poet_round_winner(const Hash256& seed, std::uint64_t round,
+                                std::uint32_t peer_count, double mean_wait);
+
+/// Expected per-round wall-clock cost: the winner's wait (all peers idle-wait in
+/// parallel, burning no computation — the PoET pitch).
+double poet_round_duration(const Hash256& seed, std::uint64_t round,
+                           std::uint32_t peer_count, double mean_wait);
+
+} // namespace dlt::consensus

@@ -1,0 +1,95 @@
+#include "consensus/pos.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/uint256.hpp"
+
+namespace dlt::consensus {
+
+StakeDistribution::StakeDistribution(std::vector<Staker> stakers)
+    : stakers_(std::move(stakers)) {
+    DLT_EXPECTS(!stakers_.empty());
+    cumulative_.reserve(stakers_.size());
+    for (const auto& s : stakers_) {
+        DLT_EXPECTS(s.stake > 0);
+        cumulative_.push_back(total_);
+        total_ += s.stake;
+    }
+}
+
+std::size_t StakeDistribution::owner_of(ledger::Amount offset) const {
+    DLT_EXPECTS(offset >= 0 && offset < total_);
+    // Last staker whose cumulative start <= offset.
+    const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), offset);
+    return static_cast<std::size_t>(std::distance(cumulative_.begin(), it)) - 1;
+}
+
+std::size_t slot_leader(const Hash256& seed, std::uint64_t slot,
+                        const StakeDistribution& dist) {
+    Writer w;
+    w.fixed(seed);
+    w.u64(slot);
+    const Hash256 digest = crypto::tagged_hash("dlt/pos-lottery", w.data());
+    const crypto::U256 draw = crypto::U256::from_hash(digest);
+    const crypto::U256 offset =
+        draw % crypto::U256(static_cast<std::uint64_t>(dist.total_stake()));
+    return dist.owner_of(static_cast<ledger::Amount>(offset.low64()));
+}
+
+Bytes StakeProof::encode() const {
+    Writer w;
+    w.u64(slot);
+    w.u64(forger_index);
+    return std::move(w).take();
+}
+
+StakeProof StakeProof::decode(ByteView raw) {
+    Reader r(raw);
+    StakeProof proof;
+    proof.slot = r.u64();
+    proof.forger_index = r.u64();
+    r.expect_done();
+    return proof;
+}
+
+bool verify_stake_proof(const ledger::BlockHeader& header, const Hash256& seed,
+                        const StakeDistribution& dist) {
+    try {
+        const StakeProof proof = StakeProof::decode(header.annex);
+        if (proof.forger_index >= dist.size()) return false;
+        if (slot_leader(seed, proof.slot, dist) != proof.forger_index) return false;
+        return dist.at(proof.forger_index).address == header.proposer;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+ledger::Block forge_block(const ledger::Block& parent, std::uint64_t slot,
+                          std::size_t forger_index, const Hash256& seed,
+                          const StakeDistribution& dist, double timestamp) {
+    if (slot_leader(seed, slot, dist) != forger_index)
+        throw ValidationError("not the slot leader");
+    ledger::Block block;
+    block.header.prev_hash = parent.hash();
+    block.header.height = parent.header.height + 1;
+    block.header.timestamp = timestamp;
+    block.header.proposer = dist.at(forger_index).address;
+    block.header.annex = StakeProof{slot, forger_index}.encode();
+    block.header.merkle_root = block.compute_merkle_root();
+    return block;
+}
+
+ConsensusEffort compare_effort(unsigned pow_difficulty_bits, std::size_t peer_count) {
+    DLT_EXPECTS(pow_difficulty_bits < 63);
+    ConsensusEffort effort;
+    effort.hashes_per_block_pow =
+        static_cast<double>(std::uint64_t(1) << pow_difficulty_bits);
+    effort.hashes_per_block_pos = static_cast<double>(peer_count);
+    return effort;
+}
+
+} // namespace dlt::consensus

@@ -1,0 +1,75 @@
+// Proof-of-Stake (paper §2.4, §5.4: "requires participants to commit a share of
+// the digital currency in order to forge new blocks, which substantially reduces
+// the computational efforts"). Slot-based stake lottery: each slot's leader is
+// drawn proportionally to stake from a deterministic beacon, so the whole
+// network agrees on the winner with a single hash evaluation — the basis of the
+// E5 energy/effort comparison against PoW.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/amount.hpp"
+#include "ledger/block.hpp"
+
+namespace dlt::consensus {
+
+struct Staker {
+    crypto::Address address;
+    ledger::Amount stake = 0;
+};
+
+class StakeDistribution {
+public:
+    explicit StakeDistribution(std::vector<Staker> stakers);
+
+    std::size_t size() const { return stakers_.size(); }
+    const Staker& at(std::size_t i) const { return stakers_.at(i); }
+    ledger::Amount total_stake() const { return total_; }
+
+    /// Index of the staker owning the coin at `offset` in [0, total_stake()):
+    /// "follow-the-satoshi" selection.
+    std::size_t owner_of(ledger::Amount offset) const;
+
+private:
+    std::vector<Staker> stakers_;
+    std::vector<ledger::Amount> cumulative_; // exclusive prefix sums
+    ledger::Amount total_ = 0;
+};
+
+/// Deterministic slot leader: hash(seed, slot) picks a coin uniformly; its owner
+/// leads the slot. Every peer evaluates one hash — no grinding.
+std::size_t slot_leader(const Hash256& seed, std::uint64_t slot,
+                        const StakeDistribution& dist);
+
+/// Stake proof carried in a block's annex: the slot and the forger's index,
+/// checkable by any peer holding the same distribution and seed.
+struct StakeProof {
+    std::uint64_t slot = 0;
+    std::uint64_t forger_index = 0;
+
+    Bytes encode() const;
+    static StakeProof decode(ByteView raw);
+};
+
+/// Validate that `header` was forged by the rightful leader of its slot.
+bool verify_stake_proof(const ledger::BlockHeader& header, const Hash256& seed,
+                        const StakeDistribution& dist);
+
+/// Forge a PoS block for `slot` on top of `parent` (throws ValidationError when
+/// the given forger is not the slot leader).
+ledger::Block forge_block(const ledger::Block& parent, std::uint64_t slot,
+                          std::size_t forger_index, const Hash256& seed,
+                          const StakeDistribution& dist, double timestamp);
+
+/// E5 accounting: expected hash evaluations to produce one block.
+struct ConsensusEffort {
+    double hashes_per_block_pow;  // 2^difficulty_bits expected grinds
+    double hashes_per_block_pos;  // one lottery evaluation per peer
+};
+
+ConsensusEffort compare_effort(unsigned pow_difficulty_bits, std::size_t peer_count);
+
+} // namespace dlt::consensus

@@ -1,0 +1,29 @@
+#include "consensus/pow.hpp"
+
+#include "common/assert.hpp"
+
+namespace dlt::consensus {
+
+std::optional<std::uint64_t> mine_nonce(ledger::BlockHeader header,
+                                        std::uint64_t max_iterations,
+                                        std::uint64_t start_nonce) {
+    const crypto::U256 target = ledger::compact_to_target(header.bits);
+    for (std::uint64_t i = 0; i < max_iterations; ++i) {
+        header.nonce = start_nonce + i;
+        if (ledger::hash_meets_target(header.hash(), target)) return header.nonce;
+    }
+    return std::nullopt;
+}
+
+bool check_proof_of_work(const ledger::BlockHeader& header) {
+    const crypto::U256 target = ledger::compact_to_target(header.bits);
+    return ledger::hash_meets_target(header.hash(), target);
+}
+
+double sample_block_time(double hashrate_share, double block_interval, Rng& rng) {
+    DLT_EXPECTS(hashrate_share > 0 && hashrate_share <= 1.0);
+    DLT_EXPECTS(block_interval > 0);
+    return rng.exponential(hashrate_share / block_interval);
+}
+
+} // namespace dlt::consensus

@@ -1,0 +1,30 @@
+// Proof-of-Work block proposal (paper §2.4): real SHA-256d nonce grinding for
+// low-difficulty tests/demos, plus the analytic tools of the Poisson mining
+// model that the simulated-time miners (nakamoto.hpp) are built on.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "crypto/uint256.hpp"
+#include "ledger/block.hpp"
+#include "ledger/difficulty.hpp"
+
+namespace dlt::consensus {
+
+/// Grind the header nonce until the block hash meets the target encoded in
+/// header.bits. Returns the winning nonce or nullopt after `max_iterations`.
+/// This is the real Fig. 2 "computational puzzle"; use only at low difficulty.
+std::optional<std::uint64_t> mine_nonce(ledger::BlockHeader header,
+                                        std::uint64_t max_iterations,
+                                        std::uint64_t start_nonce = 0);
+
+/// True when the block's own hash satisfies its declared difficulty bits.
+bool check_proof_of_work(const ledger::BlockHeader& header);
+
+/// Draw the time (seconds) until a miner holding `hashrate_share` of the
+/// network finds the next block, when the whole network averages one block per
+/// `block_interval` seconds. Exponential: mining is memoryless.
+double sample_block_time(double hashrate_share, double block_interval, Rng& rng);
+
+} // namespace dlt::consensus

@@ -1,0 +1,174 @@
+#include "contract/assembler.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "contract/vm.hpp"
+
+namespace dlt::contract {
+
+namespace {
+
+const std::unordered_map<std::string, OpCode>& mnemonic_table() {
+    static const std::unordered_map<std::string, OpCode> table = {
+        {"STOP", OpCode::kStop},         {"PUSH", OpCode::kPush},
+        {"POP", OpCode::kPop},           {"DUP", OpCode::kDup},
+        {"SWAP", OpCode::kSwap},         {"ADD", OpCode::kAdd},
+        {"SUB", OpCode::kSub},           {"MUL", OpCode::kMul},
+        {"DIV", OpCode::kDiv},           {"MOD", OpCode::kMod},
+        {"LT", OpCode::kLt},             {"GT", OpCode::kGt},
+        {"EQ", OpCode::kEq},             {"ISZERO", OpCode::kIsZero},
+        {"AND", OpCode::kAnd},           {"OR", OpCode::kOr},
+        {"JUMP", OpCode::kJump},         {"JUMPI", OpCode::kJumpI},
+        {"SLOAD", OpCode::kSLoad},       {"SSTORE", OpCode::kSStore},
+        {"CALLER", OpCode::kCaller},     {"CALLVALUE", OpCode::kCallValue},
+        {"SELF", OpCode::kSelfAddr},     {"BALANCE", OpCode::kBalance},
+        {"GASLEFT", OpCode::kGasLeft},   {"TIMESTAMP", OpCode::kTimestamp},
+        {"CALLDATALOAD", OpCode::kCallDataLoad},
+        {"CALLDATASIZE", OpCode::kCallDataSize},
+        {"SHA3", OpCode::kSha3},         {"MLOAD", OpCode::kMLoad},
+        {"MSTORE", OpCode::kMStore},     {"TRANSFER", OpCode::kTransfer},
+        {"EMIT", OpCode::kEmit},         {"RETURN", OpCode::kReturn},
+        {"REVERT", OpCode::kRevert},     {"REQUIRE", OpCode::kRequire},
+    };
+    return table;
+}
+
+struct Token {
+    std::string mnemonic;
+    std::string operand;
+    int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+    throw ContractError("asm line " + std::to_string(line) + ": " + message);
+}
+
+crypto::U256 parse_immediate(const std::string& text, int line) {
+    try {
+        if (text.starts_with("0x") || text.starts_with("0X"))
+            return crypto::U256::from_hex(text.substr(2));
+        std::uint64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), value);
+        if (ec != std::errc() || ptr != text.data() + text.size())
+            fail(line, "bad immediate '" + text + "'");
+        return crypto::U256(value);
+    } catch (const Error&) {
+        fail(line, "bad immediate '" + text + "'");
+    }
+}
+
+} // namespace
+
+Bytes assemble(std::string_view source) {
+    // Pass 1: tokenize, record label offsets.
+    std::vector<Token> tokens;
+    std::unordered_map<std::string, std::uint64_t> labels;
+    std::size_t offset = 0;
+
+    std::istringstream stream{std::string(source)};
+    std::string raw_line;
+    int line_no = 0;
+    while (std::getline(stream, raw_line)) {
+        ++line_no;
+        const std::size_t comment = raw_line.find(';');
+        if (comment != std::string::npos) raw_line.resize(comment);
+
+        std::istringstream words(raw_line);
+        std::string word;
+        if (!(words >> word)) continue;
+
+        if (word.back() == ':') {
+            word.pop_back();
+            if (labels.contains(word)) fail(line_no, "duplicate label " + word);
+            labels.emplace(word, offset);
+            if (!(words >> word)) continue; // label-only line
+        }
+
+        Token token;
+        token.mnemonic = word;
+        token.line = line_no;
+        const auto it = mnemonic_table().find(word);
+        if (it == mnemonic_table().end()) fail(line_no, "unknown mnemonic " + word);
+        if (it->second == OpCode::kPush) {
+            if (!(words >> token.operand)) fail(line_no, "PUSH needs an operand");
+            offset += 1 + 32;
+        } else if (it->second == OpCode::kDup || it->second == OpCode::kSwap) {
+            if (!(words >> token.operand)) fail(line_no, "DUP/SWAP need a depth");
+            offset += 2;
+        } else {
+            offset += 1;
+        }
+        std::string extra;
+        if (words >> extra) fail(line_no, "trailing junk '" + extra + "'");
+        tokens.push_back(std::move(token));
+    }
+
+    // Pass 2: emit.
+    Bytes code;
+    code.reserve(offset);
+    for (const auto& token : tokens) {
+        const OpCode op = mnemonic_table().at(token.mnemonic);
+        code.push_back(static_cast<std::uint8_t>(op));
+        if (op == OpCode::kPush) {
+            crypto::U256 value;
+            if (token.operand.starts_with("@")) {
+                const auto it = labels.find(token.operand.substr(1));
+                if (it == labels.end())
+                    fail(token.line, "unresolved label " + token.operand);
+                value = crypto::U256(it->second);
+            } else {
+                value = parse_immediate(token.operand, token.line);
+            }
+            append(code, value.to_be_bytes().view());
+        } else if (op == OpCode::kDup || op == OpCode::kSwap) {
+            const crypto::U256 depth = parse_immediate(token.operand, token.line);
+            if (depth > crypto::U256(255)) fail(token.line, "depth out of range");
+            code.push_back(static_cast<std::uint8_t>(depth.low64()));
+        }
+    }
+    return code;
+}
+
+std::string disassemble(const Bytes& code) {
+    // Reverse mnemonic lookup.
+    std::unordered_map<std::uint8_t, std::string> names;
+    for (const auto& [name, op] : mnemonic_table())
+        names.emplace(static_cast<std::uint8_t>(op), name);
+
+    std::ostringstream out;
+    std::size_t pc = 0;
+    while (pc < code.size()) {
+        out << pc << ": ";
+        const std::uint8_t byte = code[pc++];
+        const auto it = names.find(byte);
+        if (it == names.end()) {
+            out << "<bad 0x" << std::hex << int(byte) << std::dec << ">\n";
+            continue;
+        }
+        out << it->second;
+        const OpCode op = static_cast<OpCode>(byte);
+        if (op == OpCode::kPush) {
+            if (pc + 32 <= code.size()) {
+                const auto w = crypto::U256::from_be_bytes(ByteView{code.data() + pc, 32});
+                out << " " << (w.highest_bit() < 64
+                                   ? std::to_string(w.low64())
+                                   : "0x" + w.hex());
+                pc += 32;
+            } else {
+                out << " <truncated>";
+                pc = code.size();
+            }
+        } else if (op == OpCode::kDup || op == OpCode::kSwap) {
+            if (pc < code.size()) out << " " << int(code[pc++]);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace dlt::contract

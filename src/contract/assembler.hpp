@@ -1,0 +1,21 @@
+// Textual assembler for the contract VM: one mnemonic per line, decimal or
+// 0x-hex immediates for PUSH, `name:` labels, and `PUSH @name` label
+// references. Used by VM tests and as a debugging aid for compiler output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dlt::contract {
+
+/// Assemble source text to bytecode. Throws ContractError with a line number
+/// on unknown mnemonics, bad immediates, or unresolved labels.
+Bytes assemble(std::string_view source);
+
+/// Disassemble bytecode to one-instruction-per-line text (for debugging and
+/// golden tests).
+std::string disassemble(const Bytes& code);
+
+} // namespace dlt::contract

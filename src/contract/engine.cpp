@@ -1,0 +1,286 @@
+#include "contract/engine.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "datastruct/mpt.hpp"
+
+namespace dlt::contract {
+
+// --- WorldState -----------------------------------------------------------------------
+
+Amount WorldState::balance_of(const Address& addr) const {
+    const auto it = balances_.find(addr);
+    return it == balances_.end() ? 0 : it->second;
+}
+
+void WorldState::credit(const Address& addr, Amount amount) {
+    DLT_EXPECTS(amount >= 0);
+    balances_[addr] += amount;
+}
+
+void WorldState::debit(const Address& addr, Amount amount) {
+    DLT_EXPECTS(amount >= 0);
+    const auto it = balances_.find(addr);
+    if (it == balances_.end() || it->second < amount)
+        throw ValidationError("insufficient balance");
+    it->second -= amount;
+}
+
+std::uint64_t WorldState::nonce_of(const Address& addr) const {
+    const auto it = nonces_.find(addr);
+    return it == nonces_.end() ? 0 : it->second;
+}
+
+void WorldState::bump_nonce(const Address& addr) { ++nonces_[addr]; }
+
+const ContractAccount* WorldState::contract_at(const Address& addr) const {
+    const auto it = contracts_.find(addr);
+    return it == contracts_.end() ? nullptr : &it->second;
+}
+
+ContractAccount& WorldState::contract_mut(const Address& addr) {
+    const auto it = contracts_.find(addr);
+    if (it == contracts_.end()) throw ValidationError("no contract at address");
+    return it->second;
+}
+
+Hash256 WorldState::state_root() const {
+    // Gather every known address, then serialize each account into the trie.
+    datastruct::MerklePatriciaTrie trie;
+    auto add_account = [&](const Address& addr) {
+        if (trie.get(addr.view()).has_value()) return;
+        Writer w;
+        w.i64(balance_of(addr));
+        w.varint(nonce_of(addr));
+        const ContractAccount* contract = contract_at(addr);
+        if (contract != nullptr) {
+            w.u8(1);
+            w.fixed(crypto::sha256(contract->code));
+            // Storage digest: fold the (sorted) map into a running hash.
+            Hash256 acc{};
+            for (const auto& [key, value] : contract->storage)
+                acc = crypto::hash_pair(acc,
+                                        crypto::hash_pair(key.to_be_bytes(),
+                                                          value.to_be_bytes()));
+            w.fixed(acc);
+        } else {
+            w.u8(0);
+        }
+        trie.put(addr.view(), std::move(w).take());
+    };
+    for (const auto& [addr, bal] : balances_) add_account(addr);
+    for (const auto& [addr, nonce] : nonces_) add_account(addr);
+    for (const auto& [addr, contract] : contracts_) add_account(addr);
+    return trie.root_hash();
+}
+
+// --- Host binding ------------------------------------------------------------------------
+
+namespace {
+
+class WorldHost final : public HostInterface {
+public:
+    WorldHost(WorldState& world, const Address& self, double now, bool read_only)
+        : world_(world), self_(self), now_(now), read_only_(read_only) {}
+
+    Word storage_load(const Word& key) override {
+        const auto it = world_.contract_at(self_)->storage.find(key);
+        const auto& storage = world_.contract_at(self_)->storage;
+        return it == storage.end() ? Word::zero() : it->second;
+    }
+
+    void storage_store(const Word& key, const Word& value) override {
+        if (read_only_) throw ContractError("storage write in view call");
+        storage_mut()[key] = value;
+    }
+
+    std::int64_t balance_of(const Word& address_word) override {
+        return world_.balance_of(word_to_address(address_word));
+    }
+
+    bool transfer(const Word& to, std::int64_t amount) override {
+        if (read_only_) throw ContractError("transfer in view call");
+        if (amount < 0) return false;
+        if (world_.balance_of(self_) < amount) return false;
+        world_.debit(self_, amount);
+        world_.credit(word_to_address(to), amount);
+        return true;
+    }
+
+    void emit(const Event& event) override {
+        if (read_only_) throw ContractError("event in view call");
+        world_.append_event(WorldState::LoggedEvent{self_, event});
+    }
+
+    double timestamp() override { return now_; }
+
+private:
+    std::map<Word, Word>& storage_mut() { return world_.contract_mut(self_).storage; }
+
+    WorldState& world_;
+    Address self_;
+    double now_;
+    bool read_only_;
+};
+
+/// Snapshot of everything a single call can touch, for revert rollback.
+struct StateSnapshot {
+    std::unordered_map<Address, Amount> balances;
+    std::map<Word, Word> target_storage;
+    std::size_t event_count;
+};
+
+} // namespace
+
+// --- Engine ---------------------------------------------------------------------------------
+
+Address derive_contract_address(const Address& creator, std::uint64_t nonce) {
+    Writer w;
+    w.fixed(creator);
+    w.varint(nonce);
+    return crypto::hash160(w.data());
+}
+
+Receipt ContractEngine::deploy(const CompiledContract& compiled, const Address& creator,
+                               const std::vector<Word>& init_args, Amount endowment,
+                               std::uint64_t gas_limit, Amount gas_price,
+                               const Address& miner) {
+    const Address addr = derive_contract_address(creator, world_->nonce_of(creator));
+    world_->bump_nonce(creator);
+
+    // Code storage gas, charged before execution.
+    const std::uint64_t code_gas = compiled.bytecode.size() * gas_.deploy_per_byte;
+    Receipt receipt;
+    receipt.contract = addr;
+    if (code_gas > gas_limit) {
+        receipt.status = VmStatus::kOutOfGas;
+        receipt.gas_used = gas_limit;
+        receipt.fee_paid = static_cast<Amount>(gas_limit) * gas_price;
+        world_->debit(creator, receipt.fee_paid);
+        world_->credit(miner, receipt.fee_paid);
+        return receipt;
+    }
+
+    ContractAccount account;
+    account.code = compiled.bytecode;
+    account.abi = compiled.functions;
+    world_->contracts_.emplace(addr, std::move(account));
+
+    if (compiled.has_init()) {
+        Receipt init_receipt =
+            execute_on(addr, encode_call("init", init_args), creator, endowment,
+                       gas_limit - code_gas, gas_price, miner);
+        init_receipt.contract = addr;
+        init_receipt.gas_used += code_gas;
+        const Amount code_fee = static_cast<Amount>(code_gas) * gas_price;
+        world_->debit(creator, code_fee);
+        world_->credit(miner, code_fee);
+        init_receipt.fee_paid += code_fee;
+        if (!init_receipt.ok()) world_->contracts_.erase(addr);
+        return init_receipt;
+    }
+
+    // No constructor: move the endowment and charge code gas only.
+    if (endowment > 0) {
+        world_->debit(creator, endowment);
+        world_->credit(addr, endowment);
+    }
+    receipt.gas_used = code_gas;
+    receipt.fee_paid = static_cast<Amount>(code_gas) * gas_price;
+    world_->debit(creator, receipt.fee_paid);
+    world_->credit(miner, receipt.fee_paid);
+    return receipt;
+}
+
+Receipt ContractEngine::call(const Address& target, std::string_view fn,
+                             const std::vector<Word>& args, const Address& caller,
+                             Amount value, std::uint64_t gas_limit, Amount gas_price,
+                             const Address& miner) {
+    world_->bump_nonce(caller);
+    return execute_on(target, encode_call(fn, args), caller, value, gas_limit,
+                      gas_price, miner);
+}
+
+Receipt ContractEngine::execute_on(const Address& target,
+                                   const std::vector<Word>& calldata,
+                                   const Address& caller, Amount value,
+                                   std::uint64_t gas_limit, Amount gas_price,
+                                   const Address& miner) {
+    Receipt receipt;
+    receipt.contract = target;
+
+    const ContractAccount* account = world_->contract_at(target);
+    if (account == nullptr) throw ValidationError("call to non-contract address");
+
+    // Up-front solvency: worst-case gas plus attached value.
+    const Amount max_fee = static_cast<Amount>(gas_limit) * gas_price;
+    if (world_->balance_of(caller) < max_fee + value)
+        throw ValidationError("caller cannot cover gas and value");
+
+    // Snapshot for rollback.
+    StateSnapshot snapshot;
+    snapshot.balances = world_->balances_;
+    snapshot.target_storage = account->storage;
+    snapshot.event_count = world_->events_.size();
+
+    // Move the attached value before execution (visible via `balance(self)`).
+    if (value > 0) {
+        world_->debit(caller, value);
+        world_->credit(target, value);
+    }
+
+    CallContext ctx;
+    ctx.caller = address_to_word(caller);
+    ctx.self = address_to_word(target);
+    ctx.value = value;
+    ctx.calldata = calldata;
+    ctx.gas_limit = gas_limit;
+
+    WorldHost host(*world_, target, now_, /*read_only=*/false);
+    const VmResult result = execute(account->code, ctx, host, gas_);
+
+    receipt.status = result.status;
+    receipt.gas_used = result.gas_used;
+    receipt.return_value = result.return_value;
+    receipt.events = result.events;
+
+    if (!result.ok()) {
+        // Roll back everything but the gas charge.
+        world_->balances_ = std::move(snapshot.balances);
+        world_->contracts_.at(target).storage = std::move(snapshot.target_storage);
+        world_->events_.resize(snapshot.event_count);
+    }
+
+    receipt.fee_paid = static_cast<Amount>(receipt.gas_used) * gas_price;
+    world_->debit(caller, receipt.fee_paid);
+    world_->credit(miner, receipt.fee_paid);
+    return receipt;
+}
+
+VmResult ContractEngine::view(const Address& target, std::string_view fn,
+                              const std::vector<Word>& args,
+                              const Address& caller) const {
+    const ContractAccount* account = world_->contract_at(target);
+    if (account == nullptr) throw ValidationError("view on non-contract address");
+
+    CallContext ctx;
+    ctx.caller = address_to_word(caller);
+    ctx.self = address_to_word(target);
+    ctx.value = 0;
+    ctx.calldata = encode_call(fn, args);
+    ctx.gas_limit = 10'000'000; // views are free; the limit only bounds loops
+
+    WorldHost host(*world_, target, now_, /*read_only=*/true);
+    try {
+        return execute(account->code, ctx, host, gas_);
+    } catch (const ContractError&) {
+        VmResult result;
+        result.status = VmStatus::kReverted;
+        return result;
+    }
+}
+
+} // namespace dlt::contract

@@ -1,0 +1,119 @@
+// Contract engine: account-model world state plus the deploy/call machinery
+// around the VM (paper §3.2): contract accounts with code and storage, gas
+// bought by the caller and paid to the miner, value transfer, receipts, and
+// free read-only ("constant") view calls.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "contract/minisol.hpp"
+#include "contract/vm.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/amount.hpp"
+
+namespace dlt::contract {
+
+using crypto::Address;
+using ledger::Amount;
+
+struct ContractAccount {
+    Bytes code;
+    std::vector<FunctionInfo> abi;
+    std::map<Word, Word> storage;
+};
+
+/// Account-model world state (balances, nonces, contract accounts, event log).
+class WorldState {
+public:
+    Amount balance_of(const Address& addr) const;
+    void credit(const Address& addr, Amount amount);
+    /// Throws ValidationError on insufficient funds.
+    void debit(const Address& addr, Amount amount);
+
+    std::uint64_t nonce_of(const Address& addr) const;
+    void bump_nonce(const Address& addr);
+
+    bool is_contract(const Address& addr) const { return contracts_.contains(addr); }
+    const ContractAccount* contract_at(const Address& addr) const;
+
+    /// Authenticated root over every account (balances, nonces, code, storage),
+    /// computed via the Merkle-Patricia trie.
+    Hash256 state_root() const;
+
+    struct LoggedEvent {
+        Address contract;
+        Event event;
+    };
+    const std::vector<LoggedEvent>& event_log() const { return events_; }
+
+    /// Mutable access for the executing host; throws ValidationError when the
+    /// address holds no contract.
+    ContractAccount& contract_mut(const Address& addr);
+    void append_event(LoggedEvent event) { events_.push_back(std::move(event)); }
+
+private:
+    friend class ContractEngine;
+
+    std::unordered_map<Address, Amount> balances_;
+    std::unordered_map<Address, std::uint64_t> nonces_;
+    std::unordered_map<Address, ContractAccount> contracts_;
+    std::vector<LoggedEvent> events_;
+};
+
+/// Outcome of a deploy or call.
+struct Receipt {
+    VmStatus status = VmStatus::kSuccess;
+    std::optional<Word> return_value;
+    std::uint64_t gas_used = 0;
+    Amount fee_paid = 0; // gas_used * gas_price, credited to the miner
+    std::vector<Event> events;
+    Address contract; // target (or newly deployed) contract
+
+    bool ok() const { return status == VmStatus::kSuccess; }
+};
+
+class ContractEngine {
+public:
+    explicit ContractEngine(WorldState& world, GasSchedule gas = {})
+        : world_(&world), gas_(gas) {}
+
+    /// Simulation time exposed to contracts via `timestamp`.
+    void set_time(double now) { now_ = now; }
+
+    /// Deploy a compiled contract. Charges deploy gas (per byte) plus the cost
+    /// of running `init(args)` when present. The new address is derived from
+    /// (creator, creator nonce).
+    Receipt deploy(const CompiledContract& compiled, const Address& creator,
+                   const std::vector<Word>& init_args, Amount endowment,
+                   std::uint64_t gas_limit, Amount gas_price, const Address& miner);
+
+    /// Invoke `fn(args)` on a deployed contract with a transaction. Gas is paid
+    /// to the miner even when the call reverts; state effects of reverted calls
+    /// are rolled back.
+    Receipt call(const Address& target, std::string_view fn,
+                 const std::vector<Word>& args, const Address& caller, Amount value,
+                 std::uint64_t gas_limit, Amount gas_price, const Address& miner);
+
+    /// Execute a `view` function without a transaction: free, read-only (any
+    /// write attempt reverts), no miner involved — the paper's say() example.
+    VmResult view(const Address& target, std::string_view fn,
+                  const std::vector<Word>& args, const Address& caller) const;
+
+private:
+    Receipt execute_on(const Address& target, const std::vector<Word>& calldata,
+                       const Address& caller, Amount value, std::uint64_t gas_limit,
+                       Amount gas_price, const Address& miner);
+
+    WorldState* world_;
+    GasSchedule gas_;
+    double now_ = 0;
+};
+
+/// Deterministic contract address: hash160(creator || nonce).
+Address derive_contract_address(const Address& creator, std::uint64_t nonce);
+
+} // namespace dlt::contract

@@ -1,0 +1,46 @@
+#include "contract/events.hpp"
+
+#include "common/assert.hpp"
+
+namespace dlt::contract {
+
+std::size_t EventBus::subscribe(EventFilter filter, Handler handler,
+                                bool from_start) {
+    DLT_EXPECTS(handler != nullptr);
+    Subscription sub;
+    sub.id = next_id_++;
+    sub.filter = std::move(filter);
+    sub.handler = std::move(handler);
+    sub.cursor = from_start ? 0 : world_->event_log().size();
+    subs_.push_back(std::move(sub));
+    return subs_.back().id;
+}
+
+bool EventBus::unsubscribe(std::size_t id) {
+    for (auto& sub : subs_) {
+        if (sub.id == id && sub.active) {
+            sub.active = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t EventBus::poll() {
+    const auto& log = world_->event_log();
+    std::size_t delivered = 0;
+    for (auto& sub : subs_) {
+        if (!sub.active) continue;
+        while (sub.cursor < log.size()) {
+            const auto& entry = log[sub.cursor];
+            if (sub.filter.matches(entry)) {
+                sub.handler(Notification{sub.cursor, entry.contract, entry.event});
+                ++delivered;
+            }
+            ++sub.cursor;
+        }
+    }
+    return delivered;
+}
+
+} // namespace dlt::contract

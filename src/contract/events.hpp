@@ -1,0 +1,68 @@
+// Messaging / event-notification middleware (paper §5.2: "we envision that
+// blockchain middleware will be developed for the following services:
+// messaging and event notification, ..."). Applications subscribe to contract
+// events by contract address and/or topic; the bus polls the world event log
+// with a cursor so subscribers see each matching event exactly once, in order.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contract/engine.hpp"
+
+namespace dlt::contract {
+
+/// Subscription filter: match by contract, by topic, both, or everything.
+struct EventFilter {
+    std::optional<Address> contract;
+    std::optional<Word> topic;
+
+    bool matches(const WorldState::LoggedEvent& e) const {
+        if (contract && e.contract != *contract) return false;
+        if (topic && e.event.topic != *topic) return false;
+        return true;
+    }
+};
+
+/// A delivered notification.
+struct Notification {
+    std::size_t log_index = 0; // position in the world event log
+    Address contract;
+    Event event;
+};
+
+class EventBus {
+public:
+    explicit EventBus(const WorldState& world) : world_(&world) {}
+
+    using Handler = std::function<void(const Notification&)>;
+
+    /// Register a subscription; returns its id. Delivery starts from the
+    /// current end of the log (new events only) unless `from_start` is set.
+    std::size_t subscribe(EventFilter filter, Handler handler,
+                          bool from_start = false);
+
+    /// Cancel a subscription; returns false when the id is unknown.
+    bool unsubscribe(std::size_t id);
+
+    /// Deliver all new matching events to every subscriber (call after
+    /// executing transactions). Returns the number of notifications delivered.
+    std::size_t poll();
+
+private:
+    struct Subscription {
+        std::size_t id;
+        EventFilter filter;
+        Handler handler;
+        std::size_t cursor; // next log index to examine
+        bool active = true;
+    };
+
+    const WorldState* world_;
+    std::vector<Subscription> subs_;
+    std::size_t next_id_ = 1;
+};
+
+} // namespace dlt::contract

@@ -1,0 +1,753 @@
+#include "contract/minisol.hpp"
+
+#include <charconv>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::contract {
+
+namespace {
+
+// --- Lexer ------------------------------------------------------------------------
+
+enum class TokKind {
+    kIdent,
+    kNumber,
+    kPunct, // single/double char punctuation, stored in text
+    kEnd,
+};
+
+struct Tok {
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+    throw ContractError("minisol line " + std::to_string(line) + ": " + message);
+}
+
+std::vector<Tok> lex(std::string_view src) {
+    std::vector<Tok> out;
+    int line = 1;
+    std::size_t i = 0;
+    const auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && src[i] != '\n') ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                      src[i] == '_'))
+                ++i;
+            out.push_back(Tok{TokKind::kIdent, std::string(src.substr(start, i - start)),
+                              line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i]))))
+                ++i;
+            out.push_back(Tok{TokKind::kNumber, std::string(src.substr(start, i - start)),
+                              line});
+            continue;
+        }
+        // Two-char operators first.
+        static const char* kTwo[] = {"==", "!=", "<=", ">=", "&&", "||"};
+        bool matched = false;
+        for (const char* op : kTwo) {
+            if (c == op[0] && peek(1) == op[1]) {
+                out.push_back(Tok{TokKind::kPunct, op, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        static const std::string kSingle = "{}()[];,=+-*/%<>!";
+        if (kSingle.find(c) != std::string::npos) {
+            out.push_back(Tok{TokKind::kPunct, std::string(1, c), line});
+            ++i;
+            continue;
+        }
+        fail(line, std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(Tok{TokKind::kEnd, "", line});
+    return out;
+}
+
+// --- Code emission helpers -----------------------------------------------------------
+
+class Emitter {
+public:
+    void op(OpCode o) { code_.push_back(static_cast<std::uint8_t>(o)); }
+
+    void push_word(const Word& w) {
+        op(OpCode::kPush);
+        append(code_, w.to_be_bytes().view());
+    }
+
+    void push_u64(std::uint64_t v) { push_word(Word(v)); }
+
+    void dup(std::uint8_t depth) {
+        op(OpCode::kDup);
+        code_.push_back(depth);
+    }
+
+    void swap(std::uint8_t depth) {
+        op(OpCode::kSwap);
+        code_.push_back(depth);
+    }
+
+    /// Emit PUSH <label> with a backpatched 32-byte immediate.
+    void push_label(int label) {
+        op(OpCode::kPush);
+        patches_.emplace_back(code_.size(), label);
+        code_.insert(code_.end(), 32, 0);
+    }
+
+    int new_label() { return next_label_++; }
+
+    void bind(int label) { bound_[label] = code_.size(); }
+
+    /// Jump unconditionally to `label`.
+    void jump(int label) {
+        push_label(label);
+        op(OpCode::kJump);
+    }
+
+    /// Consume the condition on top of the stack; jump when non-zero.
+    void jumpi(int label) {
+        push_label(label);
+        swap(1);
+        op(OpCode::kJumpI);
+    }
+
+    Bytes finish() {
+        for (const auto& [pos, label] : patches_) {
+            const auto it = bound_.find(label);
+            if (it == bound_.end()) throw ContractError("internal: unbound label");
+            const Hash256 be = Word(it->second).to_be_bytes();
+            std::copy(be.data.begin(), be.data.end(),
+                      code_.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        return std::move(code_);
+    }
+
+    std::size_t offset() const { return code_.size(); }
+
+private:
+    Bytes code_;
+    int next_label_ = 0;
+    std::vector<std::pair<std::size_t, int>> patches_;
+    std::unordered_map<int, std::size_t> bound_;
+};
+
+// --- Parser / single-pass code generator ---------------------------------------------
+
+class Compiler {
+public:
+    explicit Compiler(std::string_view source) : tokens_(lex(source)) {}
+
+    CompiledContract compile();
+
+private:
+    // Token helpers.
+    const Tok& cur() const { return tokens_[pos_]; }
+    const Tok& next() { return tokens_[pos_++]; }
+    bool at_punct(std::string_view p) const {
+        return cur().kind == TokKind::kPunct && cur().text == p;
+    }
+    bool at_ident(std::string_view name) const {
+        return cur().kind == TokKind::kIdent && cur().text == name;
+    }
+    void expect_punct(std::string_view p) {
+        if (!at_punct(p)) fail(cur().line, "expected '" + std::string(p) + "'");
+        ++pos_;
+    }
+    std::string expect_ident() {
+        if (cur().kind != TokKind::kIdent) fail(cur().line, "expected identifier");
+        return next().text;
+    }
+    bool accept_punct(std::string_view p) {
+        if (at_punct(p)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool accept_ident(std::string_view name) {
+        if (at_ident(name)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    // Declarations.
+    void parse_contract();
+
+    // Statements and expressions (single pass: parse directly to bytecode).
+    void block();
+    void statement();
+    void expression() { or_expr(); }
+    void or_expr();
+    void and_expr();
+    void cmp_expr();
+    void add_expr();
+    void mul_expr();
+    void unary_expr();
+    void primary_expr();
+
+    // Symbols.
+    struct FunctionBody {
+        FunctionInfo info;
+        int label;
+        std::size_t token_start; // position of '{'
+    };
+
+    bool is_storage(const std::string& name) const { return storage_.contains(name); }
+    bool is_map(const std::string& name) const { return maps_.contains(name); }
+
+    std::size_t local_slot(const std::string& name, bool define, int line) {
+        const auto it = locals_.find(name);
+        if (it != locals_.end()) {
+            if (define) fail(line, "redefinition of '" + name + "'");
+            return it->second;
+        }
+        if (!define) fail(line, "unknown identifier '" + name + "'");
+        const std::size_t slot = locals_.size();
+        locals_.emplace(name, slot);
+        return slot;
+    }
+
+    /// Emit code leaving the storage key of map element `name[<expr>]` on the
+    /// stack; expects the caller to have consumed the tokens for '['.
+    void map_key(const std::string& name) {
+        emit_.push_u64(maps_.at(name));
+        expression();
+        expect_punct("]");
+        emit_.op(OpCode::kSha3);
+    }
+
+    std::vector<Tok> tokens_;
+    std::size_t pos_ = 0;
+
+    std::string contract_name_;
+    std::unordered_map<std::string, std::uint64_t> storage_; // name -> slot
+    std::unordered_map<std::string, std::uint64_t> maps_;    // name -> slot
+    std::vector<FunctionInfo> functions_;
+
+    Emitter emit_;
+    std::unordered_map<std::string, std::size_t> locals_; // per-function
+    bool in_view_fn_ = false;
+};
+
+CompiledContract Compiler::compile() {
+    parse_contract();
+    CompiledContract out;
+    out.name = contract_name_;
+    out.bytecode = emit_.finish();
+    out.functions = std::move(functions_);
+    return out;
+}
+
+void Compiler::parse_contract() {
+    if (!accept_ident("contract")) fail(cur().line, "expected 'contract'");
+    contract_name_ = expect_ident();
+    expect_punct("{");
+
+    // First pass over declarations: storage slots and function signatures, so
+    // forward references work. We scan, recording function token positions.
+    std::uint64_t next_slot = 0;
+    std::vector<std::size_t> function_starts;
+    const std::size_t body_start = pos_;
+    int depth = 1;
+    while (depth > 0) {
+        if (cur().kind == TokKind::kEnd) fail(cur().line, "unterminated contract");
+        if (at_punct("{")) ++depth;
+        if (at_punct("}")) {
+            --depth;
+            if (depth == 0) break;
+        }
+        if (depth == 1 && cur().kind == TokKind::kIdent) {
+            if (cur().text == "storage") {
+                ++pos_;
+                const std::string name = expect_ident();
+                expect_punct(";");
+                if (storage_.contains(name) || maps_.contains(name))
+                    fail(cur().line, "duplicate declaration '" + name + "'");
+                storage_.emplace(name, next_slot++);
+                continue;
+            }
+            if (cur().text == "map") {
+                ++pos_;
+                const std::string name = expect_ident();
+                expect_punct(";");
+                if (storage_.contains(name) || maps_.contains(name))
+                    fail(cur().line, "duplicate declaration '" + name + "'");
+                maps_.emplace(name, next_slot++);
+                continue;
+            }
+            if (cur().text == "fn") {
+                function_starts.push_back(pos_);
+            }
+        }
+        ++pos_;
+    }
+
+    // --- Dispatch preamble -----------------------------------------------------
+    // Selector on stack; compare against each function, jump to its body.
+    pos_ = body_start;
+    std::unordered_map<std::string, int> fn_labels;
+
+    // Pre-scan signatures to build the dispatch table.
+    std::vector<FunctionInfo> signatures;
+    for (const std::size_t start : function_starts) {
+        pos_ = start + 1; // skip 'fn'
+        FunctionInfo info;
+        info.name = expect_ident();
+        info.selector = selector_of(info.name);
+        expect_punct("(");
+        if (!at_punct(")")) {
+            for (;;) {
+                expect_ident();
+                ++info.arity;
+                if (!accept_punct(",")) break;
+            }
+        }
+        expect_punct(")");
+        while (cur().kind == TokKind::kIdent &&
+               (cur().text == "view" || cur().text == "payable")) {
+            if (cur().text == "view") info.is_view = true;
+            else info.is_payable = true;
+            ++pos_;
+        }
+        for (const auto& existing : signatures)
+            if (existing.name == info.name)
+                fail(cur().line, "duplicate function '" + info.name + "'");
+        signatures.push_back(info);
+    }
+
+    emit_.push_u64(0);
+    emit_.op(OpCode::kCallDataLoad); // selector
+    for (const auto& info : signatures) {
+        const int label = emit_.new_label();
+        fn_labels.emplace(info.name, label);
+        emit_.dup(0);
+        emit_.push_word(info.selector);
+        emit_.op(OpCode::kEq);
+        emit_.jumpi(label);
+    }
+    emit_.op(OpCode::kRevert); // unknown selector
+
+    // --- Function bodies ---------------------------------------------------------
+    for (std::size_t f = 0; f < function_starts.size(); ++f) {
+        pos_ = function_starts[f] + 1;
+        FunctionInfo info = signatures[f];
+        expect_ident();   // name
+        expect_punct("(");
+        locals_.clear();
+        std::vector<std::string> params;
+        if (!at_punct(")")) {
+            for (;;) {
+                params.push_back(expect_ident());
+                if (!accept_punct(",")) break;
+            }
+        }
+        expect_punct(")");
+        while (accept_ident("view") || accept_ident("payable")) {
+        }
+
+        emit_.bind(fn_labels.at(info.name));
+        emit_.op(OpCode::kPop); // drop the selector copy
+
+        if (!info.is_payable) {
+            emit_.op(OpCode::kCallValue);
+            emit_.op(OpCode::kIsZero);
+            emit_.op(OpCode::kRequire);
+        }
+
+        // Bind parameters: calldata words 1..n into memory slots.
+        for (std::size_t p = 0; p < params.size(); ++p) {
+            const std::size_t slot = local_slot(params[p], /*define=*/true, cur().line);
+            emit_.push_u64(slot);
+            emit_.push_u64(p + 1);
+            emit_.op(OpCode::kCallDataLoad);
+            emit_.op(OpCode::kMStore);
+        }
+
+        in_view_fn_ = info.is_view;
+        expect_punct("{");
+        while (!at_punct("}")) statement();
+        expect_punct("}");
+        emit_.op(OpCode::kStop); // implicit return
+
+        functions_.push_back(std::move(info));
+    }
+}
+
+
+void Compiler::block() {
+    expect_punct("{");
+    while (!at_punct("}")) statement();
+    expect_punct("}");
+}
+
+void Compiler::statement() {
+    const int line = cur().line;
+
+    if (accept_ident("let")) {
+        const std::string name = expect_ident();
+        expect_punct("=");
+        const std::size_t slot = local_slot(name, /*define=*/true, line);
+        emit_.push_u64(slot);
+        expression();
+        emit_.op(OpCode::kMStore);
+        expect_punct(";");
+        return;
+    }
+
+    if (accept_ident("if")) {
+        expect_punct("(");
+        expression();
+        expect_punct(")");
+        const int else_label = emit_.new_label();
+        const int end_label = emit_.new_label();
+        emit_.op(OpCode::kIsZero);
+        emit_.jumpi(else_label);
+        block();
+        if (accept_ident("else")) {
+            emit_.jump(end_label);
+            emit_.bind(else_label);
+            block();
+            emit_.bind(end_label);
+        } else {
+            emit_.bind(else_label);
+        }
+        return;
+    }
+
+    if (accept_ident("while")) {
+        const int head = emit_.new_label();
+        const int exit = emit_.new_label();
+        emit_.bind(head);
+        expect_punct("(");
+        expression();
+        expect_punct(")");
+        emit_.op(OpCode::kIsZero);
+        emit_.jumpi(exit);
+        block();
+        emit_.jump(head);
+        emit_.bind(exit);
+        return;
+    }
+
+    if (accept_ident("return")) {
+        if (accept_punct(";")) {
+            emit_.op(OpCode::kStop);
+            return;
+        }
+        expression();
+        expect_punct(";");
+        emit_.op(OpCode::kReturn);
+        return;
+    }
+
+    if (accept_ident("revert")) {
+        expect_punct(";");
+        emit_.op(OpCode::kRevert);
+        return;
+    }
+
+    if (accept_ident("require")) {
+        expect_punct("(");
+        expression();
+        expect_punct(")");
+        expect_punct(";");
+        emit_.op(OpCode::kRequire);
+        return;
+    }
+
+    if (accept_ident("emit")) {
+        const std::string event_name = expect_ident();
+        expect_punct("(");
+        emit_.push_word(event_topic(event_name));
+        expression();
+        expect_punct(")");
+        expect_punct(";");
+        if (in_view_fn_) fail(line, "emit not allowed in view function");
+        emit_.op(OpCode::kEmit);
+        return;
+    }
+
+    if (accept_ident("transfer")) {
+        expect_punct("(");
+        expression(); // to
+        expect_punct(",");
+        expression(); // amount
+        expect_punct(")");
+        expect_punct(";");
+        if (in_view_fn_) fail(line, "transfer not allowed in view function");
+        emit_.op(OpCode::kTransfer);
+        return;
+    }
+
+    // Assignment: IDENT = expr; | IDENT [ expr ] = expr;
+    if (cur().kind == TokKind::kIdent) {
+        const std::string name = next().text;
+        if (accept_punct("[")) {
+            if (!is_map(name)) fail(line, "'" + name + "' is not a map");
+            if (in_view_fn_) fail(line, "storage write in view function");
+            map_key(name);
+            expect_punct("=");
+            expression();
+            expect_punct(";");
+            emit_.op(OpCode::kSStore);
+            return;
+        }
+        expect_punct("=");
+        if (is_storage(name)) {
+            if (in_view_fn_) fail(line, "storage write in view function");
+            emit_.push_u64(storage_.at(name));
+            expression();
+            expect_punct(";");
+            emit_.op(OpCode::kSStore);
+            return;
+        }
+        const std::size_t slot = local_slot(name, /*define=*/false, line);
+        emit_.push_u64(slot);
+        expression();
+        expect_punct(";");
+        emit_.op(OpCode::kMStore);
+        return;
+    }
+
+    fail(line, "unexpected token '" + cur().text + "'");
+}
+
+void Compiler::or_expr() {
+    and_expr();
+    while (accept_punct("||")) {
+        and_expr();
+        emit_.op(OpCode::kOr);
+    }
+}
+
+void Compiler::and_expr() {
+    cmp_expr();
+    while (accept_punct("&&")) {
+        cmp_expr();
+        emit_.op(OpCode::kAnd);
+    }
+}
+
+void Compiler::cmp_expr() {
+    add_expr();
+    for (;;) {
+        if (accept_punct("==")) {
+            add_expr();
+            emit_.op(OpCode::kEq);
+        } else if (accept_punct("!=")) {
+            add_expr();
+            emit_.op(OpCode::kEq);
+            emit_.op(OpCode::kIsZero);
+        } else if (accept_punct("<")) {
+            add_expr();
+            emit_.op(OpCode::kLt);
+        } else if (accept_punct(">")) {
+            add_expr();
+            emit_.op(OpCode::kGt);
+        } else if (accept_punct("<=")) {
+            add_expr();
+            emit_.op(OpCode::kGt);
+            emit_.op(OpCode::kIsZero);
+        } else if (accept_punct(">=")) {
+            add_expr();
+            emit_.op(OpCode::kLt);
+            emit_.op(OpCode::kIsZero);
+        } else {
+            return;
+        }
+    }
+}
+
+void Compiler::add_expr() {
+    mul_expr();
+    for (;;) {
+        if (accept_punct("+")) {
+            mul_expr();
+            emit_.op(OpCode::kAdd);
+        } else if (accept_punct("-")) {
+            mul_expr();
+            emit_.op(OpCode::kSub);
+        } else {
+            return;
+        }
+    }
+}
+
+void Compiler::mul_expr() {
+    unary_expr();
+    for (;;) {
+        if (accept_punct("*")) {
+            unary_expr();
+            emit_.op(OpCode::kMul);
+        } else if (accept_punct("/")) {
+            unary_expr();
+            emit_.op(OpCode::kDiv);
+        } else if (accept_punct("%")) {
+            unary_expr();
+            emit_.op(OpCode::kMod);
+        } else {
+            return;
+        }
+    }
+}
+
+void Compiler::unary_expr() {
+    if (accept_punct("!")) {
+        unary_expr();
+        emit_.op(OpCode::kIsZero);
+        return;
+    }
+    if (accept_punct("-")) {
+        unary_expr();
+        emit_.push_u64(0);
+        emit_.swap(1);
+        emit_.op(OpCode::kSub);
+        return;
+    }
+    primary_expr();
+}
+
+void Compiler::primary_expr() {
+    const int line = cur().line;
+
+    if (accept_punct("(")) {
+        expression();
+        expect_punct(")");
+        return;
+    }
+
+    if (cur().kind == TokKind::kNumber) {
+        const std::string text = next().text;
+        try {
+            if (text.starts_with("0x") || text.starts_with("0X")) {
+                emit_.push_word(Word::from_hex(text.substr(2)));
+            } else {
+                std::uint64_t value = 0;
+                const auto [ptr, ec] =
+                    std::from_chars(text.data(), text.data() + text.size(), value);
+                if (ec != std::errc() || ptr != text.data() + text.size())
+                    fail(line, "bad number '" + text + "'");
+                emit_.push_u64(value);
+            }
+        } catch (const Error&) {
+            fail(line, "bad number '" + text + "'");
+        }
+        return;
+    }
+
+    if (cur().kind != TokKind::kIdent) fail(line, "expected expression");
+    const std::string name = next().text;
+
+    if (name == "caller") {
+        emit_.op(OpCode::kCaller);
+        return;
+    }
+    if (name == "callvalue") {
+        emit_.op(OpCode::kCallValue);
+        return;
+    }
+    if (name == "self") {
+        emit_.op(OpCode::kSelfAddr);
+        return;
+    }
+    if (name == "timestamp") {
+        emit_.op(OpCode::kTimestamp);
+        return;
+    }
+    if (name == "gasleft") {
+        emit_.op(OpCode::kGasLeft);
+        return;
+    }
+    if (name == "balance") {
+        expect_punct("(");
+        expression();
+        expect_punct(")");
+        emit_.op(OpCode::kBalance);
+        return;
+    }
+
+    if (accept_punct("[")) {
+        if (!is_map(name)) fail(line, "'" + name + "' is not a map");
+        map_key(name);
+        emit_.op(OpCode::kSLoad);
+        return;
+    }
+
+    if (is_storage(name)) {
+        emit_.push_u64(storage_.at(name));
+        emit_.op(OpCode::kSLoad);
+        return;
+    }
+
+    const std::size_t slot = local_slot(name, /*define=*/false, line);
+    emit_.push_u64(slot);
+    emit_.op(OpCode::kMLoad);
+}
+
+} // namespace
+
+const FunctionInfo* CompiledContract::find_function(std::string_view fn) const {
+    for (const auto& info : functions)
+        if (info.name == fn) return &info;
+    return nullptr;
+}
+
+CompiledContract compile(std::string_view source) {
+    Compiler compiler(source);
+    return compiler.compile();
+}
+
+Word selector_of(std::string_view fn_name) {
+    const Hash256 digest = crypto::tagged_hash("dlt/selector", to_bytes(fn_name));
+    // Use the low 8 bytes as the selector word (collisions are negligible at
+    // contract scale and checked per contract at compile time).
+    std::uint64_t sel = 0;
+    for (int i = 0; i < 8; ++i) sel = (sel << 8) | digest[static_cast<std::size_t>(i)];
+    return Word(sel);
+}
+
+Word event_topic(std::string_view event_name) {
+    return Word::from_hash(crypto::tagged_hash("dlt/event", to_bytes(event_name)));
+}
+
+std::vector<Word> encode_call(std::string_view fn, const std::vector<Word>& args) {
+    std::vector<Word> calldata;
+    calldata.reserve(args.size() + 1);
+    calldata.push_back(selector_of(fn));
+    for (const auto& a : args) calldata.push_back(a);
+    return calldata;
+}
+
+} // namespace dlt::contract

@@ -1,0 +1,77 @@
+// MiniSol: the contract language of the platform's contract layer (§4.3). A
+// small, Solidity-flavoured language compiled to VM bytecode:
+//
+//   contract Crowdfund {
+//       storage owner;
+//       storage goal;
+//       storage raised;
+//       map pledged;
+//
+//       fn init(g) { owner = caller; goal = g; }
+//
+//       fn donate() payable {
+//           pledged[caller] = pledged[caller] + callvalue;
+//           raised = raised + callvalue;
+//           emit Donated(callvalue);
+//       }
+//
+//       fn refund() {
+//           require(raised < goal);
+//           let amount = pledged[caller];
+//           require(amount > 0);
+//           pledged[caller] = 0;
+//           raised = raised - amount;
+//           transfer(caller, amount);
+//       }
+//
+//       fn total() view { return raised; }
+//   }
+//
+// Semantics: all values are 256-bit words; `storage` declares a persistent
+// scalar slot, `map` a persistent word->word mapping; `view` functions are
+// executed read-only and cost the caller nothing (the paper's "constant"
+// functions); non-`payable` functions reject attached value. Functions are
+// dispatched by a selector word (calldata word 0), arguments follow as words.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "contract/vm.hpp"
+
+namespace dlt::contract {
+
+struct FunctionInfo {
+    std::string name;
+    Word selector;
+    std::size_t arity = 0;
+    bool is_view = false;
+    bool is_payable = false;
+};
+
+struct CompiledContract {
+    std::string name;
+    Bytes bytecode;
+    std::vector<FunctionInfo> functions;
+
+    const FunctionInfo* find_function(std::string_view fn) const;
+    bool has_init() const { return find_function("init") != nullptr; }
+};
+
+/// Compile MiniSol source; throws ContractError with a line number on any
+/// lexical, syntactic, or semantic error.
+CompiledContract compile(std::string_view source);
+
+/// The dispatch selector for a function name.
+Word selector_of(std::string_view fn_name);
+
+/// Topic word for `emit Name(...)` events.
+Word event_topic(std::string_view event_name);
+
+/// Build calldata for a call: [selector, args...].
+std::vector<Word> encode_call(std::string_view fn, const std::vector<Word>& args);
+
+} // namespace dlt::contract

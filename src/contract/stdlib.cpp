@@ -1,0 +1,181 @@
+#include "contract/stdlib.hpp"
+
+namespace dlt::contract::stdlib {
+
+std::string hello_world_source() {
+    return R"(
+contract HelloWorld {
+    storage greeting;
+
+    fn init(g) { greeting = g; }
+
+    fn setGreeting(g) { greeting = g; }
+
+    fn say() view { return greeting; }
+}
+)";
+}
+
+std::string token_source() {
+    return R"(
+contract Token {
+    storage supply;
+    storage minter;
+    map balances;
+    map allowances;
+
+    fn init(initialSupply) {
+        minter = caller;
+        supply = initialSupply;
+        balances[caller] = initialSupply;
+    }
+
+    fn balanceOf(who) view { return balances[who]; }
+
+    fn totalSupply() view { return supply; }
+
+    fn transfer(to, amount) {
+        require(balances[caller] >= amount);
+        balances[caller] = balances[caller] - amount;
+        balances[to] = balances[to] + amount;
+        emit Transfer(amount);
+    }
+
+    fn approve(spender, amount) {
+        // Allowance key: hash of (owner, spender) folded into one map key.
+        allowances[caller * 7919 + spender] = amount;
+        emit Approval(amount);
+    }
+
+    fn allowance(owner, spender) view {
+        return allowances[owner * 7919 + spender];
+    }
+
+    fn transferFrom(owner, to, amount) {
+        require(allowances[owner * 7919 + caller] >= amount);
+        require(balances[owner] >= amount);
+        allowances[owner * 7919 + caller] = allowances[owner * 7919 + caller] - amount;
+        balances[owner] = balances[owner] - amount;
+        balances[to] = balances[to] + amount;
+        emit Transfer(amount);
+    }
+}
+)";
+}
+
+std::string crowdfund_source() {
+    return R"(
+contract Crowdfund {
+    storage owner;
+    storage goal;
+    storage deadline;
+    storage raised;
+    storage claimed;
+    map pledged;
+
+    fn init(g, d) {
+        owner = caller;
+        goal = g;
+        deadline = d;
+        raised = 0;
+        claimed = 0;
+    }
+
+    fn donate() payable {
+        require(timestamp < deadline);
+        require(callvalue > 0);
+        pledged[caller] = pledged[caller] + callvalue;
+        raised = raised + callvalue;
+        emit Donated(callvalue);
+    }
+
+    fn claim() {
+        require(caller == owner);
+        require(raised >= goal);
+        require(claimed == 0);
+        claimed = 1;
+        transfer(owner, raised);
+        emit Claimed(raised);
+    }
+
+    fn refund() {
+        require(timestamp >= deadline);
+        require(raised < goal);
+        let amount = pledged[caller];
+        require(amount > 0);
+        pledged[caller] = 0;
+        raised = raised - amount;
+        transfer(caller, amount);
+        emit Refunded(amount);
+    }
+
+    fn totalRaised() view { return raised; }
+
+    fn pledgeOf(who) view { return pledged[who]; }
+}
+)";
+}
+
+std::string escrow_source() {
+    return R"(
+contract Escrow {
+    storage buyer;
+    storage seller;
+    storage arbiter;
+    storage amount;
+    storage settled;
+
+    fn init(sellerAddr, arbiterAddr) payable {
+        buyer = caller;
+        seller = sellerAddr;
+        arbiter = arbiterAddr;
+        amount = callvalue;
+        settled = 0;
+    }
+
+    fn release() {
+        require(caller == arbiter || caller == buyer);
+        require(settled == 0);
+        settled = 1;
+        transfer(seller, amount);
+        emit Released(amount);
+    }
+
+    fn refund() {
+        require(caller == arbiter || caller == seller);
+        require(settled == 0);
+        settled = 1;
+        transfer(buyer, amount);
+        emit Refunded(amount);
+    }
+
+    fn status() view { return settled; }
+}
+)";
+}
+
+std::string notary_source() {
+    return R"(
+contract Notary {
+    map documentOwner;
+    map documentTime;
+
+    fn registerDocument(digest) {
+        require(documentOwner[digest] == 0);
+        documentOwner[digest] = caller;
+        documentTime[digest] = timestamp;
+        emit Registered(digest);
+    }
+
+    fn ownerOf(digest) view { return documentOwner[digest]; }
+
+    fn registeredAt(digest) view { return documentTime[digest]; }
+
+    fn verify(digest, claimedOwner) view {
+        return documentOwner[digest] == claimedOwner;
+    }
+}
+)";
+}
+
+} // namespace dlt::contract::stdlib

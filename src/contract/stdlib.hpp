@@ -1,0 +1,31 @@
+// Standard contract library: reusable MiniSol sources for the contract-layer
+// middleware the paper calls for (§5.2 — "reusable services and middleware
+// components can be expressed as smart contracts"). Each function returns the
+// source; compile with minisol::compile.
+#pragma once
+
+#include <string>
+
+namespace dlt::contract::stdlib {
+
+/// The paper's §2.5 HelloWorld example translated to MiniSol: setGreeting costs
+/// gas (it is a transaction), say() is a free constant function.
+std::string hello_world_source();
+
+/// Fungible token: init(supply) mints to the creator; transfer/approve/
+/// transferFrom/balanceOf/allowance in the ERC-20 tradition.
+std::string token_source();
+
+/// Crowdfunding campaign (a canonical Blockchain-2.0 DApp from §3.2):
+/// donate() payable, claim() by the owner once the goal is met, refund()
+/// otherwise.
+std::string crowdfund_source();
+
+/// Escrow between a buyer and a seller with an arbiter release/refund switch.
+std::string escrow_source();
+
+/// Document notary / registry (the Fig. 3 contract-layer example): register a
+/// document digest; proves existence and ownership at a timestamp.
+std::string notary_source();
+
+} // namespace dlt::contract::stdlib

@@ -1,0 +1,307 @@
+#include "contract/vm.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::contract {
+
+namespace {
+
+class Machine {
+public:
+    Machine(const Bytes& code, const CallContext& ctx, HostInterface& host,
+            const GasSchedule& gas)
+        : code_(code), ctx_(ctx), host_(host), gas_(gas), gas_left_(ctx.gas_limit) {}
+
+    VmResult run();
+
+private:
+    bool charge(std::uint64_t amount) {
+        if (gas_left_ < amount) return false;
+        gas_left_ -= amount;
+        return true;
+    }
+
+    bool push(const Word& w) {
+        if (stack_.size() >= 1024) return false;
+        stack_.push_back(w);
+        return true;
+    }
+
+    bool pop(Word& out) {
+        if (stack_.empty()) return false;
+        out = stack_.back();
+        stack_.pop_back();
+        return true;
+    }
+
+    const Bytes& code_;
+    const CallContext& ctx_;
+    HostInterface& host_;
+    const GasSchedule& gas_;
+    std::uint64_t gas_left_;
+    std::vector<Word> stack_;
+    std::vector<Word> memory_;
+    std::vector<Event> events_;
+};
+
+VmResult Machine::run() {
+    VmResult result;
+    std::size_t pc = 0;
+
+    auto finish = [&](VmStatus status) {
+        result.status = status;
+        result.gas_used = ctx_.gas_limit - gas_left_;
+        if (status == VmStatus::kSuccess) result.events = std::move(events_);
+        return result;
+    };
+
+    while (pc < code_.size()) {
+        const OpCode op = static_cast<OpCode>(code_[pc]);
+        ++pc;
+        if (!charge(gas_.base)) return finish(VmStatus::kOutOfGas);
+
+        Word a, b;
+        switch (op) {
+            case OpCode::kStop:
+                return finish(VmStatus::kSuccess);
+
+            case OpCode::kPush: {
+                if (pc + 32 > code_.size()) return finish(VmStatus::kBadInstruction);
+                const Word w = Word::from_be_bytes(ByteView{code_.data() + pc, 32});
+                pc += 32;
+                if (!push(w)) return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kPop:
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                break;
+
+            case OpCode::kDup: {
+                if (pc >= code_.size()) return finish(VmStatus::kBadInstruction);
+                const std::size_t depth = code_[pc++];
+                if (depth >= stack_.size()) return finish(VmStatus::kStackError);
+                if (!push(stack_[stack_.size() - 1 - depth]))
+                    return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kSwap: {
+                if (pc >= code_.size()) return finish(VmStatus::kBadInstruction);
+                const std::size_t depth = code_[pc++];
+                if (depth == 0 || depth >= stack_.size())
+                    return finish(VmStatus::kStackError);
+                std::swap(stack_.back(), stack_[stack_.size() - 1 - depth]);
+                break;
+            }
+
+            case OpCode::kAdd:
+            case OpCode::kSub:
+            case OpCode::kMul:
+            case OpCode::kDiv:
+            case OpCode::kMod:
+            case OpCode::kLt:
+            case OpCode::kGt:
+            case OpCode::kEq:
+            case OpCode::kAnd:
+            case OpCode::kOr: {
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                Word out;
+                switch (op) {
+                    case OpCode::kAdd: out = a + b; break;
+                    case OpCode::kSub: out = a - b; break;
+                    case OpCode::kMul: out = a.mul_wide(b).lo; break;
+                    case OpCode::kDiv: out = b.is_zero() ? Word::zero() : a / b; break;
+                    case OpCode::kMod: out = b.is_zero() ? Word::zero() : a % b; break;
+                    case OpCode::kLt: out = a < b ? Word::one() : Word::zero(); break;
+                    case OpCode::kGt: out = a > b ? Word::one() : Word::zero(); break;
+                    case OpCode::kEq: out = a == b ? Word::one() : Word::zero(); break;
+                    case OpCode::kAnd:
+                        out = (!a.is_zero() && !b.is_zero()) ? Word::one() : Word::zero();
+                        break;
+                    case OpCode::kOr:
+                        out = (!a.is_zero() || !b.is_zero()) ? Word::one() : Word::zero();
+                        break;
+                    default: break;
+                }
+                if (!push(out)) return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kIsZero:
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                if (!push(a.is_zero() ? Word::one() : Word::zero()))
+                    return finish(VmStatus::kStackError);
+                break;
+
+            case OpCode::kJump: {
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                const std::uint64_t target = a.low64();
+                if (target > code_.size()) return finish(VmStatus::kBadInstruction);
+                pc = static_cast<std::size_t>(target);
+                break;
+            }
+
+            case OpCode::kJumpI: {
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                // a = target, b = condition.
+                if (!b.is_zero()) {
+                    const std::uint64_t target = a.low64();
+                    if (target > code_.size()) return finish(VmStatus::kBadInstruction);
+                    pc = static_cast<std::size_t>(target);
+                }
+                break;
+            }
+
+            case OpCode::kSLoad:
+                if (!charge(gas_.sload)) return finish(VmStatus::kOutOfGas);
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                if (!push(host_.storage_load(a))) return finish(VmStatus::kStackError);
+                break;
+
+            case OpCode::kSStore:
+                if (!charge(gas_.sstore)) return finish(VmStatus::kOutOfGas);
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                host_.storage_store(a, b);
+                break;
+
+            case OpCode::kCaller:
+                if (!push(ctx_.caller)) return finish(VmStatus::kStackError);
+                break;
+            case OpCode::kCallValue:
+                if (!push(Word(static_cast<std::uint64_t>(ctx_.value))))
+                    return finish(VmStatus::kStackError);
+                break;
+            case OpCode::kSelfAddr:
+                if (!push(ctx_.self)) return finish(VmStatus::kStackError);
+                break;
+            case OpCode::kBalance:
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                if (!push(Word(static_cast<std::uint64_t>(host_.balance_of(a)))))
+                    return finish(VmStatus::kStackError);
+                break;
+            case OpCode::kGasLeft:
+                if (!push(Word(gas_left_))) return finish(VmStatus::kStackError);
+                break;
+            case OpCode::kTimestamp: {
+                const auto t = static_cast<std::uint64_t>(host_.timestamp());
+                if (!push(Word(t))) return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kCallDataLoad: {
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                const std::uint64_t index = a.low64();
+                const Word w = index < ctx_.calldata.size()
+                                   ? ctx_.calldata[static_cast<std::size_t>(index)]
+                                   : Word::zero();
+                if (!push(w)) return finish(VmStatus::kStackError);
+                break;
+            }
+            case OpCode::kCallDataSize:
+                if (!push(Word(ctx_.calldata.size())))
+                    return finish(VmStatus::kStackError);
+                break;
+
+            case OpCode::kMLoad: {
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                const std::uint64_t slot = a.low64();
+                const Word w = slot < memory_.size()
+                                   ? memory_[static_cast<std::size_t>(slot)]
+                                   : Word::zero();
+                if (!push(w)) return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kMStore: {
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                const std::uint64_t slot = a.low64();
+                if (slot >= 4096) return finish(VmStatus::kBadInstruction);
+                if (slot >= memory_.size())
+                    memory_.resize(static_cast<std::size_t>(slot) + 1);
+                memory_[static_cast<std::size_t>(slot)] = b;
+                break;
+            }
+
+            case OpCode::kSha3: {
+                if (!charge(gas_.sha3)) return finish(VmStatus::kOutOfGas);
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                const Hash256 digest =
+                    crypto::hash_pair(a.to_be_bytes(), b.to_be_bytes());
+                if (!push(Word::from_hash(digest))) return finish(VmStatus::kStackError);
+                break;
+            }
+
+            case OpCode::kTransfer: {
+                if (!charge(gas_.transfer)) return finish(VmStatus::kOutOfGas);
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                // a = to, b = amount.
+                const std::uint64_t amount = b.low64();
+                if (!host_.transfer(a, static_cast<std::int64_t>(amount)))
+                    return finish(VmStatus::kReverted);
+                break;
+            }
+
+            case OpCode::kEmit: {
+                if (!charge(gas_.emit_event)) return finish(VmStatus::kOutOfGas);
+                if (!pop(b) || !pop(a)) return finish(VmStatus::kStackError);
+                const Event event{a, b};
+                host_.emit(event);
+                events_.push_back(event);
+                break;
+            }
+
+            case OpCode::kReturn:
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                result.return_value = a;
+                return finish(VmStatus::kSuccess);
+
+            case OpCode::kRevert:
+                return finish(VmStatus::kReverted);
+
+            case OpCode::kRequire:
+                if (!pop(a)) return finish(VmStatus::kStackError);
+                if (a.is_zero()) return finish(VmStatus::kReverted);
+                break;
+
+            default:
+                return finish(VmStatus::kBadInstruction);
+        }
+    }
+    return finish(VmStatus::kSuccess);
+}
+
+} // namespace
+
+VmResult execute(const Bytes& code, const CallContext& ctx, HostInterface& host,
+                 const GasSchedule& gas) {
+    Machine machine(code, ctx, host, gas);
+    return machine.run();
+}
+
+Word address_to_word(const crypto::Address& addr) {
+    Hash256 padded{};
+    for (std::size_t i = 0; i < 20; ++i) padded[12 + i] = addr[i];
+    return Word::from_hash(padded);
+}
+
+crypto::Address word_to_address(const Word& word) {
+    const Hash256 be = word.to_be_bytes();
+    crypto::Address addr;
+    for (std::size_t i = 0; i < 20; ++i) addr[i] = be[12 + i];
+    return addr;
+}
+
+const char* vm_status_name(VmStatus status) {
+    switch (status) {
+        case VmStatus::kSuccess: return "success";
+        case VmStatus::kReverted: return "reverted";
+        case VmStatus::kOutOfGas: return "out-of-gas";
+        case VmStatus::kBadInstruction: return "bad-instruction";
+        case VmStatus::kStackError: return "stack-error";
+    }
+    return "?";
+}
+
+} // namespace dlt::contract

@@ -1,0 +1,129 @@
+// Smart-contract virtual machine (paper §2.5, contract layer of §4.3): a
+// gas-metered 256-bit stack machine in the EVM tradition. Every instruction
+// costs gas; state-mutating instructions cost more; running out of gas or
+// hitting REVERT aborts the call and rolls back its state effects. Constant
+// (read-only) calls execute without a transaction and cost the caller nothing —
+// exactly the say()/setGreeting() distinction in the paper's Solidity example.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/uint256.hpp"
+
+namespace dlt::contract {
+
+using Word = crypto::U256;
+
+enum class OpCode : std::uint8_t {
+    kStop = 0x00,
+    kPush = 0x01,      // followed by 32-byte immediate
+    kPop = 0x02,
+    kDup = 0x03,       // followed by 1-byte depth (0 = top)
+    kSwap = 0x04,      // followed by 1-byte depth (swap top with top-n)
+    kAdd = 0x10,
+    kSub = 0x11,
+    kMul = 0x12,
+    kDiv = 0x13,       // x / 0 == 0 (EVM convention)
+    kMod = 0x14,
+    kLt = 0x15,
+    kGt = 0x16,
+    kEq = 0x17,
+    kIsZero = 0x18,
+    kAnd = 0x19,       // logical
+    kOr = 0x1A,        // logical
+    kJump = 0x20,      // target from stack
+    kJumpI = 0x21,     // target, condition from stack
+    kSLoad = 0x30,     // key -> value
+    kSStore = 0x31,    // key, value ->
+    kCaller = 0x40,    // push caller address (zero-extended)
+    kCallValue = 0x41,
+    kSelfAddr = 0x42,
+    kBalance = 0x43,   // address -> balance
+    kGasLeft = 0x44,
+    kTimestamp = 0x45,
+    kCallDataLoad = 0x50, // word index -> word
+    kCallDataSize = 0x51,
+    kSha3 = 0x52,      // two words -> hash word (keyed pair hash)
+    kMLoad = 0x53,     // memory slot -> word (scratch memory, zero-initialized)
+    kMStore = 0x54,    // slot, word ->
+
+    kTransfer = 0x60,  // to, amount -> (moves value out of the contract)
+    kEmit = 0x70,      // topic, value -> appends an event
+    kReturn = 0x80,    // top of stack is the return word
+    kRevert = 0x81,
+    kRequire = 0x82,   // condition -> (reverts when zero)
+};
+
+/// Gas schedule (ratios mirror the EVM's shape: storage writes dominate).
+struct GasSchedule {
+    std::uint64_t base = 1;        // most opcodes
+    std::uint64_t sload = 20;
+    std::uint64_t sstore = 100;
+    std::uint64_t transfer = 50;
+    std::uint64_t emit_event = 30;
+    std::uint64_t sha3 = 10;
+    std::uint64_t deploy_per_byte = 2;
+};
+
+/// Event emitted during execution.
+struct Event {
+    Word topic;
+    Word value;
+
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Mutable world the VM executes against. The engine (engine.hpp) implements
+/// this over real account state; tests may stub it.
+class HostInterface {
+public:
+    virtual ~HostInterface() = default;
+
+    virtual Word storage_load(const Word& key) = 0;
+    virtual void storage_store(const Word& key, const Word& value) = 0;
+    virtual std::int64_t balance_of(const Word& address_word) = 0;
+    /// Move `amount` from the executing contract to `to`; returns false (and
+    /// the VM reverts) when the contract balance is insufficient.
+    virtual bool transfer(const Word& to, std::int64_t amount) = 0;
+    virtual void emit(const Event& event) = 0;
+    virtual double timestamp() = 0;
+};
+
+struct CallContext {
+    Word caller;        // address word of the caller
+    Word self;          // address word of the executing contract
+    std::int64_t value = 0; // coins attached
+    std::vector<Word> calldata;
+    std::uint64_t gas_limit = 100'000;
+};
+
+enum class VmStatus { kSuccess, kReverted, kOutOfGas, kBadInstruction, kStackError };
+
+struct VmResult {
+    VmStatus status = VmStatus::kSuccess;
+    std::optional<Word> return_value;
+    std::uint64_t gas_used = 0;
+    std::vector<Event> events;
+
+    bool ok() const { return status == VmStatus::kSuccess; }
+};
+
+/// Execute `code` to completion. Storage effects go through `host` as they
+/// happen; the engine wraps execution in a rollback scope.
+VmResult execute(const Bytes& code, const CallContext& ctx, HostInterface& host,
+                 const GasSchedule& gas = {});
+
+/// Pack an address into a stack word (zero-extended big-endian).
+Word address_to_word(const crypto::Address& addr);
+/// Truncate a word back to an address (low 20 bytes of the BE encoding).
+crypto::Address word_to_address(const Word& word);
+
+const char* vm_status_name(VmStatus status);
+
+} // namespace dlt::contract

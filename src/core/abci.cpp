@@ -1,0 +1,104 @@
+#include "core/abci.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::core {
+
+// --- KvStoreApp -------------------------------------------------------------------
+
+void KvStoreApp::begin_block(std::uint64_t height) { last_height_ = height; }
+
+AbciResult KvStoreApp::deliver_tx(ByteView tx) {
+    const std::string text(reinterpret_cast<const char*>(tx.data()), tx.size());
+    std::istringstream in(text);
+    std::string op, key;
+    if (!(in >> op >> key)) return {false, "malformed"};
+    if (op == "set") {
+        std::string value;
+        if (!(in >> value)) return {false, "set needs a value"};
+        store_[key] = value;
+        return {true, "stored"};
+    }
+    if (op == "del") {
+        return store_.erase(key) > 0 ? AbciResult{true, "deleted"}
+                                     : AbciResult{false, "missing"};
+    }
+    return {false, "unknown op"};
+}
+
+Hash256 KvStoreApp::end_block(std::uint64_t height) {
+    // Deterministic digest of the whole store (std::map iterates sorted).
+    Writer w;
+    w.u64(height);
+    w.varint(store_.size());
+    for (const auto& [k, v] : store_) {
+        w.str(k);
+        w.str(v);
+    }
+    return crypto::tagged_hash("dlt/abci-app-hash", w.data());
+}
+
+Bytes KvStoreApp::query(ByteView request) const {
+    const std::string key(reinterpret_cast<const char*>(request.data()),
+                          request.size());
+    const auto it = store_.find(key);
+    if (it == store_.end()) return {};
+    return to_bytes(it->second);
+}
+
+// --- ReplicatedApp -----------------------------------------------------------------
+
+ReplicatedApp::ReplicatedApp(consensus::PbftConfig config, AppFactory factory,
+                             std::uint64_t seed)
+    : cluster_(config, seed) {
+    DLT_EXPECTS(factory != nullptr);
+    const std::uint32_t n = cluster_.replica_count();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        apps_.push_back(factory());
+        applied_.push_back(0);
+        app_hashes_.emplace_back();
+    }
+}
+
+void ReplicatedApp::run_for(SimDuration duration) {
+    cluster_.run_for(duration);
+    drain_committed();
+}
+
+void ReplicatedApp::drain_committed() {
+    for (std::uint32_t r = 0; r < apps_.size(); ++r) {
+        const auto& log = cluster_.log_of(r);
+        while (applied_[r] < log.size()) {
+            const auto& batch = log[applied_[r]];
+            apps_[r]->begin_block(batch.sequence);
+            for (const auto& request : batch.requests) apps_[r]->deliver_tx(request);
+            app_hashes_[r].push_back(apps_[r]->end_block(batch.sequence));
+            ++applied_[r];
+        }
+    }
+    // Cross-check hashes block by block over the common prefix.
+    for (std::uint32_t r = 1; r < apps_.size(); ++r) {
+        const std::size_t common =
+            std::min(app_hashes_[0].size(), app_hashes_[r].size());
+        for (std::size_t i = 0; i < common; ++i) {
+            if (app_hashes_[0][i] != app_hashes_[r][i]) {
+                consistent_ = false;
+                return;
+            }
+        }
+    }
+}
+
+Bytes ReplicatedApp::query(std::uint32_t replica, ByteView request) const {
+    return apps_.at(replica)->query(request);
+}
+
+std::uint64_t ReplicatedApp::applied_blocks(std::uint32_t replica) const {
+    return applied_.at(replica);
+}
+
+} // namespace dlt::core

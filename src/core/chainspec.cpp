@@ -1,0 +1,81 @@
+#include "core/chainspec.hpp"
+
+namespace dlt::core {
+
+ChainSpec ChainSpec::bitcoin_like() {
+    ChainSpec spec;
+    spec.name = "bitcoin-like";
+    spec.consensus = ConsensusKind::kProofOfWork;
+    spec.branch_rule = consensus::BranchRule::kLongestChain;
+    spec.openness = Openness::kPublic;
+    spec.block_interval = 600.0;
+    spec.max_block_bytes = 1'000'000;
+    spec.avg_tx_bytes = 250; // ~4000 txs/block -> 600 s => ~6.7 tps ceiling
+    return spec;
+}
+
+ChainSpec ChainSpec::ethereum_like() {
+    ChainSpec spec;
+    spec.name = "ethereum-like";
+    spec.consensus = ConsensusKind::kProofOfWork;
+    spec.branch_rule = consensus::BranchRule::kGhost;
+    spec.openness = Openness::kPublic;
+    spec.block_interval = 15.0;
+    spec.max_block_bytes = 60'000; // gas-limit analogue: far smaller blocks
+    spec.avg_tx_bytes = 250;
+    return spec;
+}
+
+ChainSpec ChainSpec::hyperledger_like() {
+    ChainSpec spec;
+    spec.name = "hyperledger-like";
+    spec.consensus = ConsensusKind::kOrderingService;
+    spec.openness = Openness::kPermissioned;
+    spec.node_count = 8;
+    spec.batch_size = 500;
+    spec.batch_interval = 0.05;
+    return spec;
+}
+
+ChainSpec ChainSpec::pos_chain() {
+    ChainSpec spec;
+    spec.name = "pos-chain";
+    spec.consensus = ConsensusKind::kProofOfStake;
+    spec.openness = Openness::kPublic;
+    spec.block_interval = 10.0;
+    spec.max_block_bytes = 500'000;
+    return spec;
+}
+
+ChainSpec ChainSpec::poet_chain() {
+    ChainSpec spec;
+    spec.name = "poet-chain";
+    spec.consensus = ConsensusKind::kProofOfElapsedTime;
+    spec.openness = Openness::kPermissioned;
+    spec.block_interval = 20.0;
+    return spec;
+}
+
+ChainSpec ChainSpec::pbft_cluster() {
+    ChainSpec spec;
+    spec.name = "pbft-cluster";
+    spec.consensus = ConsensusKind::kPbft;
+    spec.openness = Openness::kPermissioned;
+    spec.node_count = 4;
+    spec.batch_size = 200;
+    spec.batch_interval = 0.05;
+    return spec;
+}
+
+const char* consensus_kind_name(ConsensusKind kind) {
+    switch (kind) {
+        case ConsensusKind::kProofOfWork: return "proof-of-work";
+        case ConsensusKind::kProofOfStake: return "proof-of-stake";
+        case ConsensusKind::kProofOfElapsedTime: return "proof-of-elapsed-time";
+        case ConsensusKind::kOrderingService: return "ordering-service";
+        case ConsensusKind::kPbft: return "pbft";
+    }
+    return "?";
+}
+
+} // namespace dlt::core

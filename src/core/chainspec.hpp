@@ -1,0 +1,59 @@
+// Chain specification: the tuning knobs of the whole platform (the paper's
+// thesis that "it is possible to tune blockchain systems to achieve the right
+// balance of DCS properties suitable for a particular application", §2.7).
+// Presets model the paper's three examples: Bitcoin (DC), Ethereum (DC with
+// shorter blocks + GHOST), Hyperledger (CS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "consensus/nakamoto.hpp"
+
+namespace dlt::core {
+
+enum class ConsensusKind {
+    kProofOfWork,
+    kProofOfStake,
+    kProofOfElapsedTime,
+    kOrderingService, // leader-based, no branching
+    kPbft,            // leader-based with Byzantine quorums
+};
+
+enum class Openness {
+    kPublic,       // anyone may join and propose (permissionless)
+    kPermissioned, // consortium membership required
+};
+
+struct ChainSpec {
+    std::string name;
+    ConsensusKind consensus = ConsensusKind::kProofOfWork;
+    consensus::BranchRule branch_rule = consensus::BranchRule::kLongestChain;
+    Openness openness = Openness::kPublic;
+    double block_interval = 600.0;      // seconds (PoW/PoS/PoET chains)
+    std::size_t max_block_bytes = 1'000'000;
+    std::size_t node_count = 16;
+    std::size_t batch_size = 500;       // leader-based batch size
+    double batch_interval = 0.5;        // leader-based batch timeout
+    std::size_t avg_tx_bytes = 250;     // workload shaping
+
+    /// Transactions one block/batch can hold.
+    std::size_t txs_per_block() const { return max_block_bytes / avg_tx_bytes; }
+
+    /// The paper's §2.7 Bitcoin: 10-minute blocks, 1 MB, longest chain → ~7 tps.
+    static ChainSpec bitcoin_like();
+    /// §2.7 Ethereum: ~15 s blocks, GHOST branch selection.
+    static ChainSpec ethereum_like();
+    /// §2.7 Hyperledger: permissioned ordering service, >10K tps.
+    static ChainSpec hyperledger_like();
+    /// PoS variant of the public chain (PeerCoin-style, §2.4).
+    static ChainSpec pos_chain();
+    /// PoET consortium chain (Sawtooth-style, §5.4).
+    static ChainSpec poet_chain();
+    /// PBFT consortium cluster.
+    static ChainSpec pbft_cluster();
+};
+
+const char* consensus_kind_name(ConsensusKind kind);
+
+} // namespace dlt::core

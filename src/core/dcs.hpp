@@ -1,0 +1,33 @@
+// DCS scoring (paper §2.7): quantifies Decentralization, Consistency, and
+// Scalability for a measured configuration, making the paper's conjecture —
+// "a blockchain system can only simultaneously provide two out of the three
+// properties" — testable (E8).
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dlt::core {
+
+struct DcsScore {
+    double decentralization = 0; // [0,1]
+    double consistency = 0;      // [0,1]
+    double scalability = 0;      // [0,1]
+
+    /// Number of properties meeting the "provides it" threshold.
+    int strong_properties(double threshold = 0.65) const;
+};
+
+/// Score a measured run.
+///  - D: structural decentralization index (openness + proposer dispersion).
+///  - C: 1 - stale/branch rate, with a bonus when forks are impossible; chains
+///       that fork must burn confirmations to regain certainty.
+///  - S: log-scaled confirmed throughput (1.0 at >= 10k tps, the paper's
+///       Hyperledger figure; ~0.25 at Bitcoin's ~7 tps).
+DcsScore score_dcs(const ChainSpec& spec, const ExperimentMetrics& metrics);
+
+/// Human-readable one-line summary, e.g. "D=0.90 C=0.97 S=0.24 (DC system)".
+std::string describe(const DcsScore& score);
+
+} // namespace dlt::core

@@ -1,0 +1,254 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "consensus/ordering.hpp"
+#include "consensus/pbft.hpp"
+#include "consensus/poet.hpp"
+#include "consensus/pos.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::core {
+
+namespace {
+
+double structural_decentralization(const ChainSpec& spec) {
+    // Structural index: how open is participation, and how concentrated is the
+    // right to propose? (The D axis of §2.7 is qualitative; this makes the
+    // qualitative ranking reproducible.)
+    double score = spec.openness == Openness::kPublic ? 0.7 : 0.2;
+    switch (spec.consensus) {
+        case ConsensusKind::kProofOfWork:
+        case ConsensusKind::kProofOfStake:
+            score += 0.2; // any participant can propose
+            break;
+        case ConsensusKind::kProofOfElapsedTime:
+            score += 0.15; // any member, trusted hardware required
+            break;
+        case ConsensusKind::kPbft:
+            score += 0.1; // rotating primary among a fixed quorum
+            break;
+        case ConsensusKind::kOrderingService:
+            score += 0.0; // designated orderer
+            break;
+    }
+    return std::min(score, 1.0);
+}
+
+ledger::Transaction make_workload_tx(Rng& rng, std::uint64_t sequence,
+                                     std::size_t tx_bytes) {
+    ledger::Transaction tx;
+    tx.kind = ledger::TxKind::kRecord;
+    tx.nonce = sequence;
+    const std::size_t payload =
+        tx_bytes > 80 ? tx_bytes - 80 : tx_bytes; // headroom for the envelope
+    tx.data.resize(payload);
+    for (auto& b : tx.data) b = static_cast<std::uint8_t>(rng.next());
+    tx.declared_fee = 100 + static_cast<ledger::Amount>(rng.uniform(100));
+    return tx;
+}
+
+ExperimentMetrics run_nakamoto(const ChainSpec& spec, const Workload& workload,
+                               std::uint64_t seed) {
+    consensus::NakamotoParams params;
+    params.node_count = spec.node_count;
+    params.block_interval = spec.block_interval;
+    params.branch_rule = spec.branch_rule;
+    params.max_block_bytes = spec.max_block_bytes;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.validation.max_block_bytes = spec.max_block_bytes;
+    params.chain_tag = spec.name;
+
+    consensus::NakamotoNetwork net(params, seed);
+    net.start();
+
+    Rng rng(seed ^ 0xFEED);
+    std::unordered_map<Hash256, double> submit_times;
+    std::uint64_t sequence = 0;
+    double next_arrival = rng.exponential(workload.tx_rate);
+    while (next_arrival < workload.duration) {
+        net.run_for(next_arrival - (net.now()));
+        ledger::Transaction tx = make_workload_tx(rng, sequence++, workload.tx_bytes);
+        submit_times.emplace(tx.txid(), net.now());
+        net.submit_transaction(tx, static_cast<net::NodeId>(
+                                       rng.uniform(params.node_count)));
+        next_arrival += rng.exponential(workload.tx_rate);
+    }
+    net.run_for(workload.duration - net.now());
+    // Drain: a couple more block intervals so in-flight txs confirm.
+    net.run_for(2 * spec.block_interval);
+
+    ExperimentMetrics metrics;
+    metrics.offered_tps = workload.tx_rate;
+    metrics.duration = workload.duration;
+    metrics.forks_possible = true;
+    metrics.stale_rate = net.stale_rate();
+    metrics.decentralization_index = structural_decentralization(spec);
+
+    double latency_sum = 0;
+    std::uint64_t confirmed = 0;
+    for (const auto& block : net.canonical_chain()) {
+        // Only credit work confirmed inside the measurement window; the drain
+        // period exists to settle gossip, not to pad throughput.
+        if (block.header.timestamp > workload.duration) continue;
+        ++metrics.blocks;
+        for (const auto& tx : block.txs) {
+            if (tx.is_coinbase()) continue;
+            ++confirmed;
+            const auto it = submit_times.find(tx.txid());
+            if (it != submit_times.end())
+                latency_sum += block.header.timestamp - it->second;
+        }
+    }
+    metrics.throughput_tps = static_cast<double>(confirmed) / workload.duration;
+    if (confirmed > 0)
+        metrics.mean_confirmation_latency = latency_sum / static_cast<double>(confirmed);
+    return metrics;
+}
+
+/// PoS / PoET chains: deterministic per-slot leadership, so the chain advances
+/// slot by slot with no forks; the workload drains through per-block capacity.
+ExperimentMetrics run_slotted(const ChainSpec& spec, const Workload& workload,
+                              std::uint64_t seed, bool poet) {
+    Rng rng(seed ^ 0xBEEF);
+    const Hash256 chain_seed = crypto::tagged_hash("dlt/slots", to_bytes(spec.name));
+    const std::size_t capacity = spec.txs_per_block();
+
+    // Pre-generate Poisson arrivals.
+    std::vector<double> arrivals;
+    double t = rng.exponential(workload.tx_rate);
+    while (t < workload.duration) {
+        arrivals.push_back(t);
+        t += rng.exponential(workload.tx_rate);
+    }
+
+    ExperimentMetrics metrics;
+    metrics.offered_tps = workload.tx_rate;
+    metrics.duration = workload.duration;
+    metrics.forks_possible = false;
+    metrics.stale_rate = 0;
+    metrics.decentralization_index = structural_decentralization(spec);
+
+    std::size_t next_tx = 0;
+    double latency_sum = 0;
+    std::uint64_t confirmed = 0;
+    double now = 0;
+    std::uint64_t slot = 0;
+    while (now < workload.duration + 2 * spec.block_interval) {
+        const double slot_time =
+            poet ? consensus::poet_round_duration(
+                       chain_seed, slot, static_cast<std::uint32_t>(spec.node_count),
+                       spec.block_interval * static_cast<double>(spec.node_count))
+                 : spec.block_interval;
+        now += slot_time;
+        ++slot;
+        ++metrics.blocks;
+        std::size_t in_block = 0;
+        while (next_tx < arrivals.size() && arrivals[next_tx] <= now &&
+               in_block < capacity) {
+            latency_sum += now - arrivals[next_tx];
+            ++next_tx;
+            ++in_block;
+            ++confirmed;
+        }
+    }
+    metrics.throughput_tps = static_cast<double>(confirmed) / workload.duration;
+    if (confirmed > 0)
+        metrics.mean_confirmation_latency = latency_sum / static_cast<double>(confirmed);
+    return metrics;
+}
+
+ExperimentMetrics run_ordering(const ChainSpec& spec, const Workload& workload,
+                               std::uint64_t seed) {
+    consensus::OrderingParams params;
+    params.peer_count = spec.node_count;
+    params.batch_size = spec.batch_size;
+    params.batch_interval = spec.batch_interval;
+    params.chain_tag = spec.name;
+    consensus::OrderingService svc(params, seed);
+
+    Rng rng(seed ^ 0xC0DE);
+    std::uint64_t sequence = 0;
+    double next_arrival = rng.exponential(workload.tx_rate);
+    while (next_arrival < workload.duration) {
+        svc.run_for(next_arrival - svc.now());
+        svc.submit(make_workload_tx(rng, sequence++, workload.tx_bytes));
+        next_arrival += rng.exponential(workload.tx_rate);
+    }
+    svc.run_for(workload.duration - svc.now() + 5.0);
+
+    ExperimentMetrics metrics;
+    metrics.offered_tps = workload.tx_rate;
+    metrics.duration = workload.duration;
+    metrics.forks_possible = false;
+    metrics.stale_rate = 0;
+    metrics.decentralization_index = structural_decentralization(spec);
+    metrics.blocks = svc.total_ordered();
+    std::uint64_t confirmed = 0;
+    for (const auto& block : svc.ledger_of(0)) confirmed += block.txs.size();
+    metrics.throughput_tps = static_cast<double>(confirmed) / workload.duration;
+    metrics.mean_confirmation_latency = svc.mean_delivery_latency();
+    return metrics;
+}
+
+ExperimentMetrics run_pbft(const ChainSpec& spec, const Workload& workload,
+                           std::uint64_t seed) {
+    consensus::PbftConfig config;
+    config.f = static_cast<std::uint32_t>(std::max<std::size_t>(1, (spec.node_count - 1) / 3));
+    config.batch_size = spec.batch_size;
+    config.batch_interval = spec.batch_interval;
+    consensus::PbftCluster cluster(config, seed);
+
+    Rng rng(seed ^ 0xCAFE);
+    std::uint64_t sequence = 0;
+    double next_arrival = rng.exponential(workload.tx_rate);
+    while (next_arrival < workload.duration) {
+        cluster.run_for(next_arrival - cluster.now());
+        Bytes request(workload.tx_bytes, 0);
+        for (auto& b : request) b = static_cast<std::uint8_t>(rng.next());
+        Writer w;
+        w.u64(sequence++);
+        w.blob(request);
+        cluster.submit(std::move(w).take());
+        next_arrival += rng.exponential(workload.tx_rate);
+    }
+    cluster.run_for(workload.duration - cluster.now() + 5.0);
+
+    ExperimentMetrics metrics;
+    metrics.offered_tps = workload.tx_rate;
+    metrics.duration = workload.duration;
+    metrics.forks_possible = false;
+    metrics.stale_rate = 0;
+    metrics.decentralization_index = structural_decentralization(spec);
+    metrics.blocks = cluster.log_of(0).size();
+    metrics.throughput_tps =
+        static_cast<double>(cluster.executed_requests(0)) / workload.duration;
+    metrics.mean_confirmation_latency = cluster.mean_commit_latency();
+    return metrics;
+}
+
+} // namespace
+
+ExperimentMetrics run_experiment(const ChainSpec& spec, const Workload& workload,
+                                 std::uint64_t seed) {
+    DLT_EXPECTS(workload.tx_rate > 0);
+    DLT_EXPECTS(workload.duration > 0);
+    switch (spec.consensus) {
+        case ConsensusKind::kProofOfWork:
+            return run_nakamoto(spec, workload, seed);
+        case ConsensusKind::kProofOfStake:
+            return run_slotted(spec, workload, seed, /*poet=*/false);
+        case ConsensusKind::kProofOfElapsedTime:
+            return run_slotted(spec, workload, seed, /*poet=*/true);
+        case ConsensusKind::kOrderingService:
+            return run_ordering(spec, workload, seed);
+        case ConsensusKind::kPbft:
+            return run_pbft(spec, workload, seed);
+    }
+    DLT_INVARIANT(false);
+    return {};
+}
+
+} // namespace dlt::core

@@ -1,0 +1,34 @@
+// Unified experiment harness: run the same offered workload against any
+// ChainSpec and collect comparable metrics. This is the platform's measurement
+// plane, feeding the DCS scorer (E8) and the per-spec experiments (E2-E5, E20).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/chainspec.hpp"
+
+namespace dlt::core {
+
+struct Workload {
+    double tx_rate = 10.0;      // offered transactions per second
+    double duration = 3600.0;   // simulated seconds
+    std::size_t tx_bytes = 250; // serialized size (payload shaping)
+};
+
+struct ExperimentMetrics {
+    double throughput_tps = 0;      // confirmed txs per simulated second
+    double offered_tps = 0;         // workload pressure
+    std::optional<double> mean_confirmation_latency; // submit -> confirmed
+    double stale_rate = 0;          // stale blocks / all blocks (0 for leader-based)
+    bool forks_possible = true;
+    std::uint64_t blocks = 0;       // blocks/batches committed
+    double decentralization_index = 0; // structural: openness + leaderlessness
+    double duration = 0;
+};
+
+/// Run `workload` on a network configured by `spec`. Deterministic per seed.
+ExperimentMetrics run_experiment(const ChainSpec& spec, const Workload& workload,
+                                 std::uint64_t seed);
+
+} // namespace dlt::core

@@ -1,0 +1,47 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace dlt::crypto {
+
+namespace {
+struct HmacKeyPads {
+    std::uint8_t ipad[64];
+    std::uint8_t opad[64];
+};
+
+HmacKeyPads derive_pads(ByteView key) {
+    std::uint8_t key_block[64] = {0};
+    if (key.size() > 64) {
+        const Hash256 digest = sha256(key);
+        std::memcpy(key_block, digest.data.data(), 32);
+    } else {
+        if (!key.empty()) std::memcpy(key_block, key.data(), key.size());
+    }
+    HmacKeyPads pads;
+    for (int i = 0; i < 64; ++i) {
+        pads.ipad[i] = key_block[i] ^ 0x36;
+        pads.opad[i] = key_block[i] ^ 0x5C;
+    }
+    return pads;
+}
+} // namespace
+
+Hash256 hmac_sha256(ByteView key, ByteView data) {
+    return hmac_sha256(key, data, ByteView{});
+}
+
+Hash256 hmac_sha256(ByteView key, ByteView data1, ByteView data2) {
+    const HmacKeyPads pads = derive_pads(key);
+    Sha256 inner;
+    inner.update(ByteView{pads.ipad, 64}).update(data1).update(data2);
+    const Hash256 inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(ByteView{pads.opad, 64}).update(inner_digest.view());
+    return outer.finalize();
+}
+
+} // namespace dlt::crypto

@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104), used by the RFC-6979 deterministic ECDSA nonce
+// derivation and by commitment schemes in the privacy module.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dlt::crypto {
+
+/// HMAC-SHA256 over `data` with the given key.
+Hash256 hmac_sha256(ByteView key, ByteView data);
+
+/// HMAC-SHA256 over the concatenation of two segments (avoids a copy at the
+/// RFC-6979 call sites).
+Hash256 hmac_sha256(ByteView key, ByteView data1, ByteView data2);
+
+} // namespace dlt::crypto

@@ -1,0 +1,49 @@
+#include "crypto/keys.hpp"
+
+#include "common/error.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::crypto {
+
+PublicKey::PublicKey(secp256k1::Point point) : point_(point) {
+    if (point_.infinity || !secp256k1::is_on_curve(point_))
+        throw CryptoError("invalid public key point");
+}
+
+PublicKey PublicKey::decode(ByteView bytes33) {
+    return PublicKey(secp256k1::decode_compressed(bytes33));
+}
+
+Address PublicKey::address() const { return hash160(encode()); }
+
+PrivateKey::PrivateKey(U256 secret) : secret_(secret) {
+    if (secret_.is_zero() || secret_ >= secp256k1::group_order())
+        throw CryptoError("private key out of range");
+}
+
+PrivateKey PrivateKey::generate(Rng& rng) {
+    for (;;) {
+        Hash256 raw;
+        for (auto& b : raw.data) b = static_cast<std::uint8_t>(rng.next());
+        const U256 candidate = U256::from_hash(raw);
+        if (!candidate.is_zero() && candidate < secp256k1::group_order())
+            return PrivateKey(candidate);
+    }
+}
+
+PrivateKey PrivateKey::from_seed(std::string_view label) {
+    Hash256 digest = tagged_hash("dlt/privkey", to_bytes(label));
+    for (;;) {
+        const U256 candidate = U256::from_hash(digest);
+        if (!candidate.is_zero() && candidate < secp256k1::group_order())
+            return PrivateKey(candidate);
+        digest = sha256(digest.view());
+    }
+}
+
+PublicKey PrivateKey::public_key() const {
+    return PublicKey(secp256k1::derive_public(secret_));
+}
+
+} // namespace dlt::crypto

@@ -1,0 +1,63 @@
+// Key management: value-type private keys, public keys, and 20-byte addresses.
+// This is the identity layer used by wallets, transaction signing, PoS stake
+// lotteries, and PBFT replica authentication.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace dlt::crypto {
+
+/// 20-byte account / wallet address (hash160 of the compressed public key).
+using Address = Hash160;
+
+class PublicKey {
+public:
+    /// Wraps a curve point; throws CryptoError unless it is a valid non-infinity
+    /// curve point.
+    explicit PublicKey(secp256k1::Point point);
+
+    /// Decode the 33-byte compressed SEC1 form.
+    static PublicKey decode(ByteView bytes33);
+
+    const secp256k1::Point& point() const { return point_; }
+    Bytes encode() const { return secp256k1::encode_compressed(point_); }
+
+    /// hash160(compressed encoding) — the account address.
+    Address address() const;
+
+    bool verify(const Hash256& msg_hash, const secp256k1::Signature& sig) const {
+        return secp256k1::verify(point_, msg_hash, sig);
+    }
+
+    friend bool operator==(const PublicKey&, const PublicKey&) = default;
+
+private:
+    secp256k1::Point point_;
+};
+
+class PrivateKey {
+public:
+    /// Wraps a scalar; throws CryptoError unless in [1, n).
+    explicit PrivateKey(U256 secret);
+
+    /// Draw a uniformly random key from the given deterministic stream.
+    static PrivateKey generate(Rng& rng);
+
+    /// Deterministic key for tests/examples: derived by hashing a label.
+    static PrivateKey from_seed(std::string_view label);
+
+    const U256& secret() const { return secret_; }
+    PublicKey public_key() const;
+    Address address() const { return public_key().address(); }
+
+    secp256k1::Signature sign(const Hash256& msg_hash) const {
+        return secp256k1::sign(secret_, msg_hash);
+    }
+
+private:
+    U256 secret_;
+};
+
+} // namespace dlt::crypto

@@ -1,0 +1,125 @@
+#include "crypto/ripemd160.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace dlt::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+std::uint32_t f(int j, std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    if (j < 16) return x ^ y ^ z;
+    if (j < 32) return (x & y) | (~x & z);
+    if (j < 48) return (x | ~y) ^ z;
+    if (j < 64) return (x & z) | (y & ~z);
+    return x ^ (y | ~z);
+}
+
+constexpr std::uint32_t K1[5] = {0x00000000, 0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC,
+                                 0xA953FD4E};
+constexpr std::uint32_t K2[5] = {0x50A28BE6, 0x5C4DD124, 0x6D703EF3, 0x7A6D76E9,
+                                 0x00000000};
+
+constexpr int R1[80] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+                        7,  4,  13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,
+                        3,  10, 14, 4,  9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,
+                        1,  9,  11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,
+                        4,  0,  5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13};
+
+constexpr int R2[80] = {5,  14, 7,  0,  9,  2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,
+                        6,  11, 3,  7,  0,  13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,
+                        15, 5,  1,  3,  7,  14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,
+                        8,  6,  4,  1,  3,  11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,
+                        12, 15, 10, 4,  1,  5,  8,  7,  6,  2,  13, 14, 0,  3,  9,  11};
+
+constexpr int S1[80] = {11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,
+                        7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,
+                        11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,
+                        11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,
+                        9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6};
+
+constexpr int S2[80] = {8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,
+                        9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,
+                        9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,
+                        15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,
+                        8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11};
+
+void compress(std::uint32_t state[5], const std::uint8_t* block) {
+    std::uint32_t x[16];
+    for (int i = 0; i < 16; ++i) {
+        x[i] = std::uint32_t(block[4 * i]) | (std::uint32_t(block[4 * i + 1]) << 8) |
+               (std::uint32_t(block[4 * i + 2]) << 16) |
+               (std::uint32_t(block[4 * i + 3]) << 24);
+    }
+
+    std::uint32_t a1 = state[0], b1 = state[1], c1 = state[2], d1 = state[3],
+                  e1 = state[4];
+    std::uint32_t a2 = a1, b2 = b1, c2 = c1, d2 = d1, e2 = e1;
+
+    for (int j = 0; j < 80; ++j) {
+        std::uint32_t t = rotl(a1 + f(j, b1, c1, d1) + x[R1[j]] + K1[j / 16], S1[j]) + e1;
+        a1 = e1;
+        e1 = d1;
+        d1 = rotl(c1, 10);
+        c1 = b1;
+        b1 = t;
+
+        t = rotl(a2 + f(79 - j, b2, c2, d2) + x[R2[j]] + K2[j / 16], S2[j]) + e2;
+        a2 = e2;
+        e2 = d2;
+        d2 = rotl(c2, 10);
+        c2 = b2;
+        b2 = t;
+    }
+
+    const std::uint32_t t = state[1] + c1 + d2;
+    state[1] = state[2] + d1 + e2;
+    state[2] = state[3] + e1 + a2;
+    state[3] = state[4] + a1 + b2;
+    state[4] = state[0] + b1 + c2;
+    state[0] = t;
+}
+
+} // namespace
+
+Hash160 ripemd160(ByteView data) {
+    std::uint32_t state[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                              0xC3D2E1F0};
+
+    std::size_t offset = 0;
+    while (offset + 64 <= data.size()) {
+        compress(state, data.data() + offset);
+        offset += 64;
+    }
+
+    // Final block(s) with padding and 64-bit little-endian bit length.
+    std::uint8_t tail[128] = {0};
+    const std::size_t rem = data.size() - offset;
+    if (rem > 0) std::memcpy(tail, data.data() + offset, rem);
+    tail[rem] = 0x80;
+    const std::size_t tail_blocks = (rem + 9 <= 64) ? 1 : 2;
+    const std::uint64_t bit_len = std::uint64_t(data.size()) * 8;
+    for (int i = 0; i < 8; ++i)
+        tail[tail_blocks * 64 - 8 + i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    compress(state, tail);
+    if (tail_blocks == 2) compress(state, tail + 64);
+
+    Hash160 digest;
+    for (int i = 0; i < 5; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(state[i]);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 8);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 16);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state[i] >> 24);
+    }
+    return digest;
+}
+
+Hash160 hash160(ByteView data) {
+    const Hash256 sha = sha256(data);
+    return ripemd160(sha.view());
+}
+
+} // namespace dlt::crypto

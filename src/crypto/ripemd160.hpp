@@ -1,0 +1,15 @@
+// RIPEMD-160, used (as in Bitcoin) to derive compact 20-byte addresses from
+// public keys: address = ripemd160(sha256(pubkey)).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dlt::crypto {
+
+/// One-shot RIPEMD-160.
+Hash160 ripemd160(ByteView data);
+
+/// Bitcoin-style hash160: ripemd160(sha256(data)).
+Hash160 hash160(ByteView data);
+
+} // namespace dlt::crypto

@@ -1,0 +1,464 @@
+#include "crypto/secp256k1.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+
+namespace dlt::crypto::secp256k1 {
+
+namespace {
+
+// Curve constants are function-local statics (initialized on first use) so
+// other translation units' dynamic initializers can safely call into this
+// module — a namespace-scope constant here would be subject to the static
+// initialization order fiasco.
+
+// p = 2^256 - 2^32 - 977
+const U256& P() {
+    static const U256 v = U256::from_hex(std::string(48, 'f') + "fffffffefffffc2f");
+    return v;
+}
+
+// n = group order
+const U256& N() {
+    static const U256 v =
+        U256::from_hex(std::string(31, 'f') + "ebaaedce6af48a03bbfd25e8cd0364141");
+    return v;
+}
+
+// 2^256 mod p = 2^32 + 977
+constexpr std::uint64_t kPComplement = 0x1000003D1ull;
+
+const U256& Gx() {
+    static const U256 v = U256::from_hex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+    return v;
+}
+
+const U256& Gy() {
+    static const U256 v = U256::from_hex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+    return v;
+}
+
+/// Reduce a value known to be < 2p into [0, p).
+U256 fe_normalize(const U256& a) { return a >= P() ? a - P() : a; }
+
+} // namespace
+
+const U256& field_prime() { return P(); }
+const U256& group_order() { return N(); }
+
+U256 fe_add(const U256& a, const U256& b) {
+    bool carry = false;
+    U256 sum = a.add(b, &carry);
+    if (carry) {
+        // sum_actual = 2^256 + sum ≡ sum + kPComplement (mod p)
+        bool c2 = false;
+        sum = sum.add(U256(kPComplement), &c2);
+        // a,b < p < 2^256 - 2^32 - 976 so no second carry is possible here.
+    }
+    return fe_normalize(sum);
+}
+
+U256 fe_sub(const U256& a, const U256& b) {
+    if (a >= b) return a - b;
+    return a + (P() - b);
+}
+
+U256 fe_mul(const U256& a, const U256& b) {
+    const U256::Wide prod = a.mul_wide(b);
+    // prod = hi*2^256 + lo ≡ hi*(2^32+977) + lo (mod p). hi*(2^32+977) fits in
+    // 256+34 bits; fold the overflow once more.
+    std::uint64_t carry1 = 0;
+    U256 folded = prod.hi.mul_u64(kPComplement, &carry1);
+    bool carry2 = false;
+    U256 acc = folded.add(prod.lo, &carry2);
+    std::uint64_t overflow = carry1 + (carry2 ? 1 : 0);
+    while (overflow != 0) {
+        // overflow*2^256 ≡ overflow*(2^32+977); overflow ≤ 2^34 so this terminates
+        // after one iteration in practice.
+        const U256::Wide fold2 = U256(overflow).mul_wide(U256(kPComplement));
+        bool c = false;
+        acc = acc.add(fold2.lo, &c);
+        overflow = (c ? 1 : 0) + fold2.hi.low64();
+    }
+    while (acc >= P()) acc = acc - P();
+    return acc;
+}
+
+U256 fe_sqr(const U256& a) { return fe_mul(a, a); }
+
+namespace {
+U256 fe_pow(const U256& base, const U256& exp) {
+    U256 result = U256::one();
+    U256 acc = fe_normalize(base);
+    const int top = exp.highest_bit();
+    for (int i = 0; i <= top; ++i) {
+        if (exp.bit(static_cast<unsigned>(i))) result = fe_mul(result, acc);
+        acc = fe_sqr(acc);
+    }
+    return result;
+}
+} // namespace
+
+U256 fe_inv(const U256& a) {
+    DLT_EXPECTS(!(a % P()).is_zero());
+    return fe_pow(a, P() - U256(2));
+}
+
+std::optional<U256> fe_sqrt(const U256& a) {
+    // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
+    const U256 exp = (P() + U256::one()) >> 2;
+    const U256 candidate = fe_pow(a, exp);
+    if (fe_sqr(candidate) != fe_normalize(a)) return std::nullopt;
+    return candidate;
+}
+
+namespace {
+// d = 2^256 - n (fits well under 2^129), the special form that lets us reduce
+// 512-bit products mod n with three folds instead of bit-by-bit division.
+const U256& NComplement() {
+    static const U256 v = (U256::max() - N()) + U256::one();
+    return v;
+}
+
+/// Reduce hi*2^256 + lo mod n using hi*2^256 ≡ hi*d (mod n).
+U256 sc_reduce_wide(const U256::Wide& p) {
+    // Fold 1: hi*d is at most ~385 bits.
+    const U256::Wide f1 = p.hi.mul_wide(NComplement());
+    bool c1 = false;
+    U256 acc = p.lo.add(f1.lo, &c1);
+    U256 rem = f1.hi + (c1 ? U256::one() : U256::zero()); // < 2^130
+
+    // Fold 2: rem*d is at most ~259 bits.
+    const U256::Wide f2 = rem.mul_wide(NComplement());
+    bool c2 = false;
+    acc = acc.add(f2.lo, &c2);
+    rem = f2.hi + (c2 ? U256::one() : U256::zero()); // tiny
+
+    // Fold 3: rem*d now fits comfortably in 256 bits.
+    bool c3 = false;
+    acc = acc.add(rem.mul_wide(NComplement()).lo, &c3);
+    if (c3) acc = acc + NComplement(); // acc wrapped: add 2^256 mod n once more
+    while (acc >= N()) acc = acc - N();
+    return acc;
+}
+} // namespace
+
+U256 sc_reduce(const U256& a) { return a >= N() ? a - N() : a; }
+
+U256 sc_add(const U256& a, const U256& b) {
+    bool carry = false;
+    U256 sum = a.add(b, &carry);
+    if (carry) {
+        // actual = 2^256 + sum; 2^256 mod n = 2^256 - n.
+        sum = sum.add(U256::max() - N() + U256::one(), nullptr);
+    }
+    return sum % N();
+}
+
+U256 sc_mul(const U256& a, const U256& b) { return sc_reduce_wide(a.mul_wide(b)); }
+
+U256 sc_inv(const U256& a) {
+    DLT_EXPECTS(!sc_reduce(a).is_zero());
+    // Fermat: a^(n-2) mod n.
+    U256 result = U256::one();
+    U256 acc = sc_reduce(a);
+    const U256 exp = N() - U256(2);
+    const int top = exp.highest_bit();
+    for (int i = 0; i <= top; ++i) {
+        if (exp.bit(static_cast<unsigned>(i))) result = sc_mul(result, acc);
+        acc = sc_mul(acc, acc);
+    }
+    return result;
+}
+
+// --- Jacobian point arithmetic ---------------------------------------------------
+
+namespace {
+
+struct Jacobian {
+    U256 x;
+    U256 y;
+    U256 z; // z == 0 means infinity
+};
+
+Jacobian to_jacobian(const Point& p) {
+    if (p.infinity) return Jacobian{U256::one(), U256::one(), U256::zero()};
+    return Jacobian{p.x, p.y, U256::one()};
+}
+
+Point to_affine(const Jacobian& j) {
+    if (j.z.is_zero()) return Point{};
+    const U256 zinv = fe_inv(j.z);
+    const U256 zinv2 = fe_sqr(zinv);
+    const U256 zinv3 = fe_mul(zinv2, zinv);
+    return Point{fe_mul(j.x, zinv2), fe_mul(j.y, zinv3), false};
+}
+
+Jacobian jac_double(const Jacobian& p) {
+    if (p.z.is_zero() || p.y.is_zero())
+        return Jacobian{U256::one(), U256::one(), U256::zero()};
+    // Standard dbl-2007-bl style formulas for a=0 curves.
+    const U256 a2 = fe_sqr(p.x);                      // X^2
+    const U256 b = fe_sqr(p.y);                       // Y^2
+    const U256 c = fe_sqr(b);                         // Y^4
+    U256 d = fe_mul(p.x, b);                          // X*Y^2
+    d = fe_add(d, d);
+    d = fe_add(d, d);                                 // 4*X*Y^2
+    U256 e = fe_add(a2, fe_add(a2, a2));              // 3*X^2
+    const U256 f = fe_sqr(e);
+    U256 x3 = fe_sub(f, fe_add(d, d));
+    U256 y3 = fe_mul(e, fe_sub(d, x3));
+    U256 c8 = fe_add(c, c);
+    c8 = fe_add(c8, c8);
+    c8 = fe_add(c8, c8);                              // 8*Y^4
+    y3 = fe_sub(y3, c8);
+    U256 z3 = fe_mul(p.y, p.z);
+    z3 = fe_add(z3, z3);
+    return Jacobian{x3, y3, z3};
+}
+
+Jacobian jac_add(const Jacobian& p, const Jacobian& q) {
+    if (p.z.is_zero()) return q;
+    if (q.z.is_zero()) return p;
+    const U256 z1z1 = fe_sqr(p.z);
+    const U256 z2z2 = fe_sqr(q.z);
+    const U256 u1 = fe_mul(p.x, z2z2);
+    const U256 u2 = fe_mul(q.x, z1z1);
+    const U256 s1 = fe_mul(p.y, fe_mul(z2z2, q.z));
+    const U256 s2 = fe_mul(q.y, fe_mul(z1z1, p.z));
+    if (u1 == u2) {
+        if (s1 == s2) return jac_double(p);
+        return Jacobian{U256::one(), U256::one(), U256::zero()}; // P + (-P) = O
+    }
+    const U256 h = fe_sub(u2, u1);
+    U256 i = fe_add(h, h);
+    i = fe_sqr(i);
+    const U256 j = fe_mul(h, i);
+    U256 r = fe_sub(s2, s1);
+    r = fe_add(r, r);
+    const U256 v = fe_mul(u1, i);
+    U256 x3 = fe_sub(fe_sub(fe_sqr(r), j), fe_add(v, v));
+    U256 s1j = fe_mul(s1, j);
+    U256 y3 = fe_sub(fe_mul(r, fe_sub(v, x3)), fe_add(s1j, s1j));
+    U256 z3 = fe_mul(fe_mul(p.z, q.z), h);
+    z3 = fe_add(z3, z3);
+    return Jacobian{x3, y3, z3};
+}
+
+Jacobian jac_multiply(const U256& k, const Jacobian& p) {
+    Jacobian result{U256::one(), U256::one(), U256::zero()};
+    const U256 scalar = sc_reduce(k);
+    const int top = scalar.highest_bit();
+    for (int i = top; i >= 0; --i) {
+        result = jac_double(result);
+        if (scalar.bit(static_cast<unsigned>(i))) result = jac_add(result, p);
+    }
+    return result;
+}
+
+/// Fixed-base window-4 table for the generator: table[16*i + j] = j * 2^(4i) * G.
+/// Signing is dominated by k*G; the table turns 256 doubles + ~128 adds into 64
+/// table additions. Built lazily once per process.
+const std::vector<Jacobian>& base_table() {
+    static const std::vector<Jacobian> table = [] {
+        std::vector<Jacobian> t(64 * 16,
+                                Jacobian{U256::one(), U256::one(), U256::zero()});
+        Jacobian power{Gx(), Gy(), U256::one()}; // 2^(4i) * G
+        for (int i = 0; i < 64; ++i) {
+            for (int j = 1; j < 16; ++j)
+                t[static_cast<std::size_t>(16 * i + j)] =
+                    jac_add(t[static_cast<std::size_t>(16 * i + j - 1)], power);
+            for (int d = 0; d < 4; ++d) power = jac_double(power);
+        }
+        return t;
+    }();
+    return table;
+}
+
+Jacobian jac_multiply_base(const U256& k) {
+    Jacobian result{U256::one(), U256::one(), U256::zero()};
+    const U256 scalar = sc_reduce(k);
+    for (int i = 0; i < 64; ++i) {
+        const unsigned nibble = static_cast<unsigned>(
+            (scalar.limbs[static_cast<std::size_t>(i / 16)] >> (4 * (i % 16))) & 0xF);
+        if (nibble != 0)
+            result = jac_add(result,
+                             base_table()[static_cast<std::size_t>(16 * i + static_cast<int>(nibble))]);
+    }
+    return result;
+}
+
+} // namespace
+
+const Point& generator() {
+    static const Point g{Gx(), Gy(), false};
+    return g;
+}
+
+bool is_on_curve(const Point& p) {
+    if (p.infinity) return true;
+    if (p.x >= P() || p.y >= P()) return false;
+    const U256 lhs = fe_sqr(p.y);
+    const U256 rhs = fe_add(fe_mul(fe_sqr(p.x), p.x), U256(7));
+    return lhs == rhs;
+}
+
+Point add(const Point& a, const Point& b) {
+    return to_affine(jac_add(to_jacobian(a), to_jacobian(b)));
+}
+
+Point negate(const Point& p) {
+    if (p.infinity) return p;
+    return Point{p.x, P() - p.y, false};
+}
+
+Point multiply(const U256& k, const Point& p) {
+    if (p == generator()) return to_affine(jac_multiply_base(k));
+    return to_affine(jac_multiply(k, to_jacobian(p)));
+}
+
+Point double_multiply(const U256& u1, const U256& u2, const Point& p) {
+    const Jacobian sum =
+        jac_add(jac_multiply_base(u1), jac_multiply(u2, to_jacobian(p)));
+    return to_affine(sum);
+}
+
+Bytes encode_compressed(const Point& p) {
+    if (p.infinity) throw CryptoError("cannot encode point at infinity");
+    Bytes out;
+    out.reserve(33);
+    out.push_back(p.y.is_odd() ? 0x03 : 0x02);
+    const Hash256 x = p.x.to_be_bytes();
+    append(out, x.view());
+    return out;
+}
+
+Point decode_compressed(ByteView bytes33) {
+    if (bytes33.size() != 33 || (bytes33[0] != 0x02 && bytes33[0] != 0x03))
+        throw CryptoError("malformed compressed point");
+    const U256 x = U256::from_be_bytes(bytes33.subspan(1));
+    if (x >= P()) throw CryptoError("point x out of range");
+    const U256 rhs = fe_add(fe_mul(fe_sqr(x), x), U256(7));
+    const std::optional<U256> y = fe_sqrt(rhs);
+    if (!y) throw CryptoError("x is not on the curve");
+    U256 y_final = *y;
+    const bool want_odd = bytes33[0] == 0x03;
+    if (y_final.is_odd() != want_odd) y_final = P() - y_final;
+    return Point{x, y_final, false};
+}
+
+Bytes Signature::encode() const {
+    Bytes out;
+    out.reserve(64);
+    append(out, r.to_be_bytes().view());
+    append(out, s.to_be_bytes().view());
+    return out;
+}
+
+Signature Signature::decode(ByteView bytes64) {
+    if (bytes64.size() != 64) throw CryptoError("signature must be 64 bytes");
+    return Signature{U256::from_be_bytes(bytes64.subspan(0, 32)),
+                     U256::from_be_bytes(bytes64.subspan(32, 32))};
+}
+
+U256 rfc6979_nonce(const U256& priv, const Hash256& msg_hash) {
+    // RFC 6979 §3.2 with HMAC-SHA256; qlen == hlen == 256 so bits2octets is a
+    // plain reduction mod n.
+    const Hash256 x = priv.to_be_bytes();
+    const Hash256 h1 = sc_reduce(U256::from_hash(msg_hash)).to_be_bytes();
+
+    std::uint8_t v_bytes[32];
+    std::uint8_t k_bytes[32];
+    std::fill(std::begin(v_bytes), std::end(v_bytes), 0x01);
+    std::fill(std::begin(k_bytes), std::end(k_bytes), 0x00);
+    auto v = ByteView{v_bytes, 32};
+    auto k = ByteView{k_bytes, 32};
+
+    auto hmac3 = [](ByteView key, ByteView a, ByteView b, ByteView c) {
+        Bytes joined;
+        joined.reserve(a.size() + b.size() + c.size());
+        append(joined, a);
+        append(joined, b);
+        append(joined, c);
+        return hmac_sha256(key, joined);
+    };
+
+    Hash256 kd = hmac3(k, v, Bytes{0x00}, [&] {
+        Bytes seed;
+        append(seed, x.view());
+        append(seed, h1.view());
+        return seed;
+    }());
+    std::copy(kd.data.begin(), kd.data.end(), k_bytes);
+    Hash256 vd = hmac_sha256(k, v);
+    std::copy(vd.data.begin(), vd.data.end(), v_bytes);
+
+    kd = hmac3(k, v, Bytes{0x01}, [&] {
+        Bytes seed;
+        append(seed, x.view());
+        append(seed, h1.view());
+        return seed;
+    }());
+    std::copy(kd.data.begin(), kd.data.end(), k_bytes);
+    vd = hmac_sha256(k, v);
+    std::copy(vd.data.begin(), vd.data.end(), v_bytes);
+
+    for (;;) {
+        vd = hmac_sha256(k, v);
+        std::copy(vd.data.begin(), vd.data.end(), v_bytes);
+        const U256 candidate = U256::from_be_bytes(v);
+        if (!candidate.is_zero() && candidate < N()) return candidate;
+        kd = hmac_sha256(k, v, Bytes{0x00});
+        std::copy(kd.data.begin(), kd.data.end(), k_bytes);
+        vd = hmac_sha256(k, v);
+        std::copy(vd.data.begin(), vd.data.end(), v_bytes);
+    }
+}
+
+Signature sign(const U256& priv, const Hash256& msg_hash) {
+    DLT_EXPECTS(!priv.is_zero() && priv < N());
+    const U256 z = sc_reduce(U256::from_hash(msg_hash));
+    U256 k = rfc6979_nonce(priv, msg_hash);
+    for (;;) {
+        const Point rp = multiply(k, generator());
+        const U256 r = sc_reduce(rp.x);
+        if (r.is_zero()) {
+            k = sc_add(k, U256::one());
+            continue;
+        }
+        U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, priv)));
+        if (s.is_zero()) {
+            k = sc_add(k, U256::one());
+            continue;
+        }
+        // Low-s normalization (BIP-62): accept the lexicographically smaller of
+        // s and n-s so signatures are non-malleable.
+        if (s > N() >> 1) s = N() - s;
+        return Signature{r, s};
+    }
+}
+
+bool verify(const Point& pub, const Hash256& msg_hash, const Signature& sig) {
+    if (pub.infinity || !is_on_curve(pub)) return false;
+    if (sig.r.is_zero() || sig.r >= N() || sig.s.is_zero() || sig.s >= N()) return false;
+    const U256 z = sc_reduce(U256::from_hash(msg_hash));
+    const U256 sinv = sc_inv(sig.s);
+    const U256 u1 = sc_mul(z, sinv);
+    const U256 u2 = sc_mul(sig.r, sinv);
+    const Point rp = double_multiply(u1, u2, pub);
+    if (rp.infinity) return false;
+    return sc_reduce(rp.x) == sig.r;
+}
+
+Point derive_public(const U256& priv) {
+    DLT_EXPECTS(!priv.is_zero() && priv < N());
+    return multiply(priv, generator());
+}
+
+} // namespace dlt::crypto::secp256k1

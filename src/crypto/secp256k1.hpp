@@ -1,0 +1,92 @@
+// secp256k1 elliptic-curve arithmetic and ECDSA, implemented from scratch on top
+// of U256: fast special-form reduction mod p = 2^256 - 2^32 - 977, Jacobian point
+// arithmetic, deterministic (RFC-6979) nonces, low-s signatures, compressed
+// public-key encoding with point decompression.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/uint256.hpp"
+
+namespace dlt::crypto::secp256k1 {
+
+/// Field prime p and group order n.
+const U256& field_prime();
+const U256& group_order();
+
+// --- Field arithmetic mod p ---------------------------------------------------
+
+U256 fe_add(const U256& a, const U256& b);
+U256 fe_sub(const U256& a, const U256& b);
+U256 fe_mul(const U256& a, const U256& b);
+U256 fe_sqr(const U256& a);
+/// Inverse via Fermat's little theorem; a must be non-zero mod p.
+U256 fe_inv(const U256& a);
+/// Square root (p ≡ 3 mod 4); returns nullopt when `a` is a non-residue.
+std::optional<U256> fe_sqrt(const U256& a);
+
+// --- Scalar arithmetic mod n ---------------------------------------------------
+
+U256 sc_add(const U256& a, const U256& b);
+U256 sc_mul(const U256& a, const U256& b);
+U256 sc_inv(const U256& a);
+/// Reduce an arbitrary 256-bit value (e.g. a hash) into [0, n).
+U256 sc_reduce(const U256& a);
+
+// --- Points ---------------------------------------------------------------------
+
+/// Affine curve point; (0,0) with infinity=true is the identity.
+struct Point {
+    U256 x;
+    U256 y;
+    bool infinity = true;
+
+    friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// The standard generator G.
+const Point& generator();
+
+/// True when the point satisfies y^2 = x^3 + 7 (or is infinity).
+bool is_on_curve(const Point& p);
+
+Point add(const Point& a, const Point& b);
+Point negate(const Point& p);
+/// Scalar multiplication k*P (k interpreted mod n).
+Point multiply(const U256& k, const Point& p);
+/// u1*G + u2*P, the ECDSA verification combination.
+Point double_multiply(const U256& u1, const U256& u2, const Point& p);
+
+/// Compressed SEC1 encoding (33 bytes: 02/03 || x). Throws CryptoError at infinity.
+Bytes encode_compressed(const Point& p);
+/// Decode a compressed point; throws CryptoError on malformed input or
+/// off-curve x.
+Point decode_compressed(ByteView bytes33);
+
+// --- ECDSA ------------------------------------------------------------------------
+
+struct Signature {
+    U256 r;
+    U256 s;
+
+    friend bool operator==(const Signature&, const Signature&) = default;
+
+    /// Fixed 64-byte r||s encoding.
+    Bytes encode() const;
+    static Signature decode(ByteView bytes64);
+};
+
+/// Deterministic nonce per RFC 6979 (HMAC-SHA256 construction).
+U256 rfc6979_nonce(const U256& priv, const Hash256& msg_hash);
+
+/// Sign a 32-byte message hash. priv must be in [1, n). Produces low-s signatures.
+Signature sign(const U256& priv, const Hash256& msg_hash);
+
+/// Verify a signature against a public-key point.
+bool verify(const Point& pub, const Hash256& msg_hash, const Signature& sig);
+
+/// Derive the public point priv*G; priv must be in [1, n).
+Point derive_public(const U256& priv);
+
+} // namespace dlt::crypto::secp256k1

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch: streaming context plus one-shot
+// helpers, including Bitcoin's double-SHA256 and BIP-340-style tagged hashes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dlt::crypto {
+
+class Sha256 {
+public:
+    Sha256() { reset(); }
+
+    void reset();
+    Sha256& update(ByteView data);
+    /// Finalize and return the 32-byte digest. The context is left finalized;
+    /// call reset() to reuse.
+    Hash256 finalize();
+
+private:
+    void compress(const std::uint8_t* block);
+
+    std::uint32_t state_[8];
+    std::uint8_t buffer_[64];
+    std::uint64_t total_len_ = 0;
+    std::size_t buffer_len_ = 0;
+};
+
+/// One-shot SHA-256.
+Hash256 sha256(ByteView data);
+
+/// Bitcoin-style double SHA-256: sha256(sha256(data)).
+Hash256 sha256d(ByteView data);
+
+/// Tagged hash: sha256(sha256(tag) || sha256(tag) || data). Domain-separates
+/// different uses of the hash function (block ids, tx ids, commitments, ...).
+Hash256 tagged_hash(std::string_view tag, ByteView data);
+
+/// Hash the concatenation of two digests (Merkle-tree inner nodes, Fig. 2).
+Hash256 hash_pair(const Hash256& left, const Hash256& right);
+
+} // namespace dlt::crypto

@@ -1,0 +1,237 @@
+#include "crypto/uint256.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace dlt::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+U256 U256::from_be_bytes(ByteView bytes32) {
+    if (bytes32.size() != 32) throw DecodeError("U256 requires exactly 32 bytes");
+    U256 out;
+    for (int limb = 0; limb < 4; ++limb) {
+        u64 v = 0;
+        for (int b = 0; b < 8; ++b)
+            v = (v << 8) | bytes32[static_cast<std::size_t>((3 - limb) * 8 + b)];
+        out.limbs[static_cast<std::size_t>(limb)] = v;
+    }
+    return out;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+    DLT_EXPECTS(hex.size() <= 64);
+    std::string padded(64 - hex.size(), '0');
+    padded.append(hex);
+    const Bytes raw = dlt::from_hex(padded);
+    return from_be_bytes(raw);
+}
+
+Hash256 U256::to_be_bytes() const {
+    Hash256 out;
+    for (int limb = 0; limb < 4; ++limb) {
+        const u64 v = limbs[static_cast<std::size_t>(limb)];
+        for (int b = 0; b < 8; ++b)
+            out[static_cast<std::size_t>((3 - limb) * 8 + b)] =
+                static_cast<std::uint8_t>(v >> (56 - 8 * b));
+    }
+    return out;
+}
+
+std::string U256::hex() const { return to_be_bytes().hex(); }
+
+int U256::highest_bit() const {
+    for (int limb = 3; limb >= 0; --limb) {
+        const u64 v = limbs[static_cast<std::size_t>(limb)];
+        if (v != 0) return limb * 64 + (63 - std::countl_zero(v));
+    }
+    return -1;
+}
+
+std::strong_ordering U256::operator<=>(const U256& other) const {
+    for (int i = 3; i >= 0; --i) {
+        const auto a = limbs[static_cast<std::size_t>(i)];
+        const auto b = other.limbs[static_cast<std::size_t>(i)];
+        if (a != b) return a < b ? std::strong_ordering::less : std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+}
+
+U256 U256::add(const U256& other, bool* carry) const {
+    U256 out;
+    u128 acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        acc += static_cast<u128>(limbs[static_cast<std::size_t>(i)]) +
+               other.limbs[static_cast<std::size_t>(i)];
+        out.limbs[static_cast<std::size_t>(i)] = static_cast<u64>(acc);
+        acc >>= 64;
+    }
+    if (carry != nullptr) *carry = acc != 0;
+    return out;
+}
+
+U256 U256::sub(const U256& other, bool* borrow) const {
+    U256 out;
+    u128 acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u128 lhs = limbs[static_cast<std::size_t>(i)];
+        const u128 rhs = static_cast<u128>(other.limbs[static_cast<std::size_t>(i)]) + acc;
+        if (lhs >= rhs) {
+            out.limbs[static_cast<std::size_t>(i)] = static_cast<u64>(lhs - rhs);
+            acc = 0;
+        } else {
+            out.limbs[static_cast<std::size_t>(i)] =
+                static_cast<u64>((u128(1) << 64) + lhs - rhs);
+            acc = 1;
+        }
+    }
+    if (borrow != nullptr) *borrow = acc != 0;
+    return out;
+}
+
+U256 U256::operator<<(unsigned n) const {
+    if (n >= 256) return U256{};
+    U256 out;
+    const unsigned limb_shift = n / 64;
+    const unsigned bit_shift = n % 64;
+    for (int i = 3; i >= 0; --i) {
+        const int src = i - static_cast<int>(limb_shift);
+        u64 v = 0;
+        if (src >= 0) {
+            v = limbs[static_cast<std::size_t>(src)] << bit_shift;
+            if (bit_shift != 0 && src - 1 >= 0)
+                v |= limbs[static_cast<std::size_t>(src - 1)] >> (64 - bit_shift);
+        }
+        out.limbs[static_cast<std::size_t>(i)] = v;
+    }
+    return out;
+}
+
+U256 U256::operator>>(unsigned n) const {
+    if (n >= 256) return U256{};
+    U256 out;
+    const unsigned limb_shift = n / 64;
+    const unsigned bit_shift = n % 64;
+    for (int i = 0; i < 4; ++i) {
+        const int src = i + static_cast<int>(limb_shift);
+        u64 v = 0;
+        if (src <= 3) {
+            v = limbs[static_cast<std::size_t>(src)] >> bit_shift;
+            if (bit_shift != 0 && src + 1 <= 3)
+                v |= limbs[static_cast<std::size_t>(src + 1)] << (64 - bit_shift);
+        }
+        out.limbs[static_cast<std::size_t>(i)] = v;
+    }
+    return out;
+}
+
+U256 U256::operator&(const U256& o) const {
+    U256 out;
+    for (int i = 0; i < 4; ++i)
+        out.limbs[static_cast<std::size_t>(i)] =
+            limbs[static_cast<std::size_t>(i)] & o.limbs[static_cast<std::size_t>(i)];
+    return out;
+}
+
+U256 U256::operator|(const U256& o) const {
+    U256 out;
+    for (int i = 0; i < 4; ++i)
+        out.limbs[static_cast<std::size_t>(i)] =
+            limbs[static_cast<std::size_t>(i)] | o.limbs[static_cast<std::size_t>(i)];
+    return out;
+}
+
+U256::Wide U256::mul_wide(const U256& other) const {
+    u64 prod[8] = {0};
+    for (int i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            const u128 cur = static_cast<u128>(limbs[static_cast<std::size_t>(i)]) *
+                                 other.limbs[static_cast<std::size_t>(j)] +
+                             prod[i + j] + carry;
+            prod[i + j] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        prod[i + 4] = carry;
+    }
+    Wide out;
+    for (int i = 0; i < 4; ++i) {
+        out.lo.limbs[static_cast<std::size_t>(i)] = prod[i];
+        out.hi.limbs[static_cast<std::size_t>(i)] = prod[i + 4];
+    }
+    return out;
+}
+
+U256 U256::mul_u64(u64 m, u64* carry_out) const {
+    U256 out;
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u128 cur =
+            static_cast<u128>(limbs[static_cast<std::size_t>(i)]) * m + carry;
+        out.limbs[static_cast<std::size_t>(i)] = static_cast<u64>(cur);
+        carry = static_cast<u64>(cur >> 64);
+    }
+    if (carry_out != nullptr) *carry_out = carry;
+    return out;
+}
+
+U256 U256::operator*(const U256& o) const { return mul_wide(o).lo; }
+
+U256::DivMod U256::divmod(const U256& divisor) const {
+    DLT_EXPECTS(!divisor.is_zero());
+    DivMod out;
+    if (*this < divisor) {
+        out.remainder = *this;
+        return out;
+    }
+    const int shift = highest_bit() - divisor.highest_bit();
+    U256 den = divisor << static_cast<unsigned>(shift);
+    U256 rem = *this;
+    for (int i = shift; i >= 0; --i) {
+        if (den <= rem) {
+            rem = rem - den;
+            out.quotient.limbs[static_cast<std::size_t>(i / 64)] |= u64(1)
+                                                                    << (i % 64);
+        }
+        den = den >> 1;
+    }
+    out.remainder = rem;
+    return out;
+}
+
+const U256& U256::zero() {
+    static const U256 v{};
+    return v;
+}
+
+const U256& U256::one() {
+    static const U256 v{1};
+    return v;
+}
+
+const U256& U256::max() {
+    static const U256 v{~u64(0), ~u64(0), ~u64(0), ~u64(0)};
+    return v;
+}
+
+U256 mod_wide(const U256::Wide& value, const U256& m) {
+    DLT_EXPECTS(!m.is_zero());
+    // Process the 512-bit value as hi*2^256 + lo with bit-by-bit long division.
+    // Start with the remainder of hi, then shift in the 256 bits of lo.
+    U256 rem = value.hi % m;
+    for (int i = 255; i >= 0; --i) {
+        // rem = rem*2 + bit; rem stays < 2m so a single conditional subtract works,
+        // but rem*2 may overflow 256 bits; detect via the carry.
+        bool carry = false;
+        rem = rem.add(rem, &carry);
+        if (value.lo.bit(static_cast<unsigned>(i))) rem = rem + U256::one();
+        if (carry || rem >= m) rem = rem - m;
+        if (rem >= m) rem = rem - m;
+    }
+    return rem;
+}
+
+} // namespace dlt::crypto

@@ -1,0 +1,98 @@
+// 256-bit unsigned integer arithmetic, the substrate for proof-of-work difficulty
+// targets and secp256k1 field/scalar arithmetic. Little-endian 64-bit limbs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dlt::crypto {
+
+struct U256Wide;
+struct U256DivMod;
+
+struct U256 {
+    // limbs[0] is least significant.
+    std::array<std::uint64_t, 4> limbs{};
+
+    constexpr U256() = default;
+    constexpr explicit U256(std::uint64_t v) : limbs{v, 0, 0, 0} {}
+    constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                   std::uint64_t l3)
+        : limbs{l0, l1, l2, l3} {}
+
+    static U256 from_be_bytes(ByteView bytes32);
+    static U256 from_hash(const Hash256& h) { return from_be_bytes(h.view()); }
+    static U256 from_hex(std::string_view hex);
+
+    Hash256 to_be_bytes() const;
+    std::string hex() const;
+
+    bool is_zero() const { return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0; }
+    bool bit(unsigned i) const { return (limbs[i / 64] >> (i % 64)) & 1; }
+    /// Index of the highest set bit, or -1 when zero.
+    int highest_bit() const;
+    bool is_odd() const { return limbs[0] & 1; }
+    std::uint64_t low64() const { return limbs[0]; }
+
+    friend bool operator==(const U256&, const U256&) = default;
+    std::strong_ordering operator<=>(const U256& other) const;
+
+    /// Sum; *carry (if non-null) receives the carry-out bit.
+    U256 add(const U256& other, bool* carry = nullptr) const;
+    /// Difference; *borrow (if non-null) receives the borrow-out bit.
+    U256 sub(const U256& other, bool* borrow = nullptr) const;
+
+    U256 operator+(const U256& o) const { return add(o); }
+    U256 operator-(const U256& o) const { return sub(o); }
+
+    U256 operator<<(unsigned n) const;
+    U256 operator>>(unsigned n) const;
+    U256 operator&(const U256& o) const;
+    U256 operator|(const U256& o) const;
+
+    /// Full 512-bit product (lo, hi halves).
+    using Wide = U256Wide;
+    Wide mul_wide(const U256& other) const;
+
+    /// Product with a 64-bit multiplier; returns low 256 bits, *carry_out (if
+    /// non-null) receives the overflowing 64 bits.
+    U256 mul_u64(std::uint64_t m, std::uint64_t* carry_out = nullptr) const;
+
+    /// Truncated 256-bit product (asserts no overflow in debug contract mode).
+    U256 operator*(const U256& o) const;
+
+    /// Quotient and remainder by binary long division; divisor must be non-zero.
+    using DivMod = U256DivMod;
+    DivMod divmod(const U256& divisor) const;
+
+    U256 operator/(const U256& o) const;
+    U256 operator%(const U256& o) const;
+
+    static const U256& zero();
+    static const U256& one();
+    static const U256& max();
+};
+
+struct U256Wide {
+    U256 lo;
+    U256 hi;
+};
+
+struct U256DivMod {
+    U256 quotient;
+    U256 remainder;
+};
+
+inline U256 U256::operator/(const U256& o) const { return divmod(o).quotient; }
+inline U256 U256::operator%(const U256& o) const { return divmod(o).remainder; }
+
+/// Reduce a 512-bit value mod m by binary long division. Exposed for scalar
+/// arithmetic (mod n) where no special-form reduction applies.
+U256 mod_wide(const U256::Wide& value, const U256& m);
+
+} // namespace dlt::crypto

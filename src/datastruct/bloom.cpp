@@ -1,0 +1,62 @@
+#include "datastruct/bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::datastruct {
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : bit_count_(bits), hash_count_(hashes), bits_((bits + 7) / 8, 0) {
+    DLT_EXPECTS(bits > 0);
+    DLT_EXPECTS(hashes > 0);
+}
+
+BloomFilter BloomFilter::optimal(std::size_t expected_items, double fp_rate) {
+    DLT_EXPECTS(expected_items > 0);
+    DLT_EXPECTS(fp_rate > 0 && fp_rate < 1);
+    const double ln2 = std::log(2.0);
+    const double bits = -static_cast<double>(expected_items) * std::log(fp_rate) /
+                        (ln2 * ln2);
+    const double hashes = bits / static_cast<double>(expected_items) * ln2;
+    return BloomFilter(static_cast<std::size_t>(std::ceil(bits)),
+                       static_cast<std::size_t>(std::max(1.0, std::round(hashes))));
+}
+
+std::size_t BloomFilter::bit_index(ByteView item, std::uint32_t seed) const {
+    crypto::Sha256 ctx;
+    const std::uint8_t seed_bytes[4] = {
+        static_cast<std::uint8_t>(seed), static_cast<std::uint8_t>(seed >> 8),
+        static_cast<std::uint8_t>(seed >> 16), static_cast<std::uint8_t>(seed >> 24)};
+    ctx.update(ByteView{seed_bytes, 4}).update(item);
+    const Hash256 digest = ctx.finalize();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | digest[static_cast<std::size_t>(i)];
+    return static_cast<std::size_t>(v % bit_count_);
+}
+
+void BloomFilter::insert(ByteView item) {
+    for (std::uint32_t k = 0; k < hash_count_; ++k) {
+        const std::size_t idx = bit_index(item, k);
+        bits_[idx / 8] |= static_cast<std::uint8_t>(1u << (idx % 8));
+    }
+}
+
+bool BloomFilter::maybe_contains(ByteView item) const {
+    for (std::uint32_t k = 0; k < hash_count_; ++k) {
+        const std::size_t idx = bit_index(item, k);
+        if ((bits_[idx / 8] & (1u << (idx % 8))) == 0) return false;
+    }
+    return true;
+}
+
+double BloomFilter::fill_ratio() const {
+    std::size_t set = 0;
+    for (const auto byte : bits_) set += static_cast<std::size_t>(std::popcount(byte));
+    return static_cast<double>(set) / static_cast<double>(bit_count_);
+}
+
+} // namespace dlt::datastruct

@@ -1,0 +1,221 @@
+#include "datastruct/iavl.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::datastruct {
+
+struct IavlTree::Node {
+    Bytes key;    // leaf: the key; inner: smallest key of the right subtree
+    Bytes value;  // leaf only
+    int height = 0;
+    std::size_t size = 1;
+    NodePtr left;
+    NodePtr right;
+
+    mutable std::optional<Hash256> cached_hash;
+
+    bool is_leaf() const { return height == 0; }
+
+    const Hash256& hash() const {
+        if (!cached_hash) {
+            Writer w;
+            w.u32(static_cast<std::uint32_t>(height));
+            w.u64(size);
+            w.blob(key);
+            if (is_leaf()) {
+                w.u8(0);
+                w.blob(value);
+            } else {
+                w.u8(1);
+                w.fixed(left->hash());
+                w.fixed(right->hash());
+            }
+            cached_hash = crypto::tagged_hash("dlt/iavl", w.data());
+        }
+        return *cached_hash;
+    }
+};
+
+namespace {
+
+using Node = IavlTree::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr make_leaf(Bytes key, Bytes value) {
+    auto n = std::make_shared<Node>();
+    n->key = std::move(key);
+    n->value = std::move(value);
+    return n;
+}
+
+NodePtr make_inner(NodePtr left, NodePtr right) {
+    DLT_EXPECTS(left && right);
+    auto n = std::make_shared<Node>();
+    n->height = 1 + std::max(left->height, right->height);
+    n->size = left->size + right->size;
+    // Split key: the smallest key in the right subtree.
+    const Node* cursor = right.get();
+    while (!cursor->is_leaf()) cursor = cursor->left.get();
+    n->key = cursor->key;
+    n->left = std::move(left);
+    n->right = std::move(right);
+    return n;
+}
+
+int balance_factor(const NodePtr& n) { return n->left->height - n->right->height; }
+
+NodePtr rotate_right(const NodePtr& n) {
+    // (L, R) -> (LL, (LR, R))
+    return make_inner(n->left->left, make_inner(n->left->right, n->right));
+}
+
+NodePtr rotate_left(const NodePtr& n) {
+    // (L, R) -> ((L, RL), RR)
+    return make_inner(make_inner(n->left, n->right->left), n->right->right);
+}
+
+NodePtr rebalance(NodePtr n) {
+    if (n->is_leaf()) return n;
+    const int bf = balance_factor(n);
+    if (bf > 1) {
+        if (balance_factor(n->left) < 0)
+            n = make_inner(rotate_left(n->left), n->right);
+        return rotate_right(n);
+    }
+    if (bf < -1) {
+        if (balance_factor(n->right) > 0)
+            n = make_inner(n->left, rotate_right(n->right));
+        return rotate_left(n);
+    }
+    return n;
+}
+
+bool key_less(const Bytes& a, ByteView b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool key_equal(const Bytes& a, ByteView b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+NodePtr insert(const NodePtr& node, ByteView key, Bytes value, bool& added) {
+    if (!node) {
+        added = true;
+        return make_leaf(Bytes(key.begin(), key.end()), std::move(value));
+    }
+    if (node->is_leaf()) {
+        if (key_equal(node->key, key)) {
+            added = false;
+            return make_leaf(node->key, std::move(value));
+        }
+        added = true;
+        NodePtr fresh = make_leaf(Bytes(key.begin(), key.end()), std::move(value));
+        if (key_less(node->key, key)) return make_inner(node, std::move(fresh));
+        return make_inner(std::move(fresh), node);
+    }
+    // Inner: descend by split key (keys >= split go right).
+    if (key_less(node->key, key) || key_equal(node->key, key)) {
+        NodePtr new_right = insert(node->right, key, std::move(value), added);
+        return rebalance(make_inner(node->left, std::move(new_right)));
+    }
+    NodePtr new_left = insert(node->left, key, std::move(value), added);
+    return rebalance(make_inner(std::move(new_left), node->right));
+}
+
+NodePtr erase(const NodePtr& node, ByteView key, bool& removed) {
+    if (!node) {
+        removed = false;
+        return nullptr;
+    }
+    if (node->is_leaf()) {
+        if (key_equal(node->key, key)) {
+            removed = true;
+            return nullptr;
+        }
+        removed = false;
+        return node;
+    }
+    if (key_less(node->key, key) || key_equal(node->key, key)) {
+        NodePtr new_right = erase(node->right, key, removed);
+        if (!removed) return node;
+        if (!new_right) return node->left;
+        return rebalance(make_inner(node->left, std::move(new_right)));
+    }
+    NodePtr new_left = erase(node->left, key, removed);
+    if (!removed) return node;
+    if (!new_left) return node->right;
+    return rebalance(make_inner(std::move(new_left), node->right));
+}
+
+bool check(const NodePtr& node, const Bytes* lo, const Bytes* hi) {
+    if (!node) return true;
+    if (node->is_leaf()) {
+        if (lo && key_less(node->key, *lo)) return false;
+        if (hi && !key_less(node->key, *hi)) return false;
+        return node->size == 1;
+    }
+    if (node->size != node->left->size + node->right->size) return false;
+    if (node->height != 1 + std::max(node->left->height, node->right->height))
+        return false;
+    if (std::abs(balance_factor(node)) > 1) return false;
+    // Left subtree keys < split key <= right subtree keys.
+    return check(node->left, lo, &node->key) && check(node->right, &node->key, hi);
+}
+
+void traverse(const NodePtr& node,
+              const std::function<void(ByteView, ByteView)>& fn) {
+    if (!node) return;
+    if (node->is_leaf()) {
+        fn(node->key, node->value);
+        return;
+    }
+    traverse(node->left, fn);
+    traverse(node->right, fn);
+}
+
+} // namespace
+
+void IavlTree::set(ByteView key, Bytes value) {
+    bool added = false;
+    root_ = insert(root_, key, std::move(value), added);
+}
+
+std::optional<Bytes> IavlTree::get(ByteView key) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+        if (node->is_leaf())
+            return key_equal(node->key, key) ? std::optional<Bytes>(node->value)
+                                             : std::nullopt;
+        node = (key_less(node->key, key) || key_equal(node->key, key))
+                   ? node->right.get()
+                   : node->left.get();
+    }
+    return std::nullopt;
+}
+
+bool IavlTree::remove(ByteView key) {
+    bool removed = false;
+    root_ = erase(root_, key, removed);
+    return removed;
+}
+
+Hash256 IavlTree::root_hash() const {
+    if (!root_) return Hash256{};
+    return root_->hash();
+}
+
+std::size_t IavlTree::size() const { return root_ ? root_->size : 0; }
+
+int IavlTree::height() const { return root_ ? root_->height : -1; }
+
+void IavlTree::for_each(const std::function<void(ByteView, ByteView)>& fn) const {
+    traverse(root_, fn);
+}
+
+bool IavlTree::check_invariants() const { return check(root_, nullptr, nullptr); }
+
+} // namespace dlt::datastruct

@@ -1,0 +1,54 @@
+// IAVL+ tree (the Tendermint state structure the paper cites in §5.4): a
+// persistent, authenticated AVL tree. Values live only in leaves; inner nodes
+// carry the split key, subtree size, height, and a hash binding both children.
+// Copy-on-write nodes give O(1) snapshots (versioned state, checkpoint sync).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dlt::datastruct {
+
+class IavlTree {
+public:
+    /// Implementation detail, public only for the out-of-line workers; opaque.
+    struct Node;
+
+    IavlTree() = default;
+
+    /// Insert or overwrite.
+    void set(ByteView key, Bytes value);
+
+    std::optional<Bytes> get(ByteView key) const;
+
+    /// Remove; returns false when absent.
+    bool remove(ByteView key);
+
+    /// Authenticated root; all-zero when empty.
+    Hash256 root_hash() const;
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    int height() const;
+
+    /// O(1) structural snapshot.
+    IavlTree snapshot() const { return *this; }
+
+    /// In-order traversal over (key, value) pairs.
+    void for_each(const std::function<void(ByteView, ByteView)>& fn) const;
+
+    /// Every inner node splits correctly and heights/sizes are AVL-consistent;
+    /// exposed for property tests.
+    bool check_invariants() const;
+
+private:
+    using NodePtr = std::shared_ptr<const Node>;
+
+    NodePtr root_;
+};
+
+} // namespace dlt::datastruct

@@ -1,0 +1,93 @@
+#include "datastruct/merkle.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::datastruct {
+
+using crypto::hash_pair;
+
+void MerkleStep::encode(Writer& w) const {
+    w.fixed(sibling);
+    w.u8(sibling_is_right ? 1 : 0);
+}
+
+MerkleStep MerkleStep::decode(Reader& r) {
+    MerkleStep s;
+    s.sibling = r.fixed<32>();
+    s.sibling_is_right = r.u8() != 0;
+    return s;
+}
+
+std::size_t MerkleProof::size_bytes() const {
+    Writer w;
+    encode(w);
+    return w.size();
+}
+
+void MerkleProof::encode(Writer& w) const {
+    w.varint(leaf_index);
+    w.varint(steps.size());
+    for (const auto& s : steps) s.encode(w);
+}
+
+MerkleProof MerkleProof::decode(Reader& r) {
+    MerkleProof p;
+    p.leaf_index = r.varint();
+    const std::uint64_t n = r.varint_count(33); // digest + side byte
+    p.steps.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) p.steps.push_back(MerkleStep::decode(r));
+    return p;
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+    if (leaves.empty()) {
+        root_ = Hash256{};
+        return;
+    }
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const auto& prev = levels_.back();
+        std::vector<Hash256> next;
+        next.reserve((prev.size() + 1) / 2);
+        for (std::size_t i = 0; i < prev.size(); i += 2) {
+            const Hash256& left = prev[i];
+            const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+            next.push_back(hash_pair(left, right));
+        }
+        levels_.push_back(std::move(next));
+    }
+    root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+    DLT_EXPECTS(index < leaf_count());
+    MerkleProof proof;
+    proof.leaf_index = index;
+    std::size_t pos = index;
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+        const auto& nodes = levels_[level];
+        const std::size_t sibling_pos = (pos % 2 == 0) ? pos + 1 : pos - 1;
+        MerkleStep step;
+        step.sibling_is_right = pos % 2 == 0;
+        step.sibling =
+            sibling_pos < nodes.size() ? nodes[sibling_pos] : nodes[pos]; // odd: self
+        proof.steps.push_back(step);
+        pos /= 2;
+    }
+    return proof;
+}
+
+Hash256 merkle_root_from_proof(const Hash256& leaf, const MerkleProof& proof) {
+    Hash256 acc = leaf;
+    for (const auto& step : proof.steps)
+        acc = step.sibling_is_right ? hash_pair(acc, step.sibling)
+                                    : hash_pair(step.sibling, acc);
+    return acc;
+}
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+    return MerkleTree(leaves).root();
+}
+
+} // namespace dlt::datastruct

@@ -1,0 +1,65 @@
+// Merkle trees (Fig. 2 of the paper): the per-block transaction tree, inclusion
+// proofs for lightweight (SPV) clients, and proof verification. Bitcoin-style
+// construction: leaves are hashed pairwise per level; an odd node is paired with
+// itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+
+namespace dlt::datastruct {
+
+/// One step of a Merkle inclusion proof: the sibling digest and which side it
+/// sits on when hashing upward.
+struct MerkleStep {
+    Hash256 sibling;
+    bool sibling_is_right = false;
+
+    friend bool operator==(const MerkleStep&, const MerkleStep&) = default;
+
+    void encode(Writer& w) const;
+    static MerkleStep decode(Reader& r);
+};
+
+/// Inclusion proof for the leaf at a known index.
+struct MerkleProof {
+    std::uint64_t leaf_index = 0;
+    std::vector<MerkleStep> steps;
+
+    friend bool operator==(const MerkleProof&, const MerkleProof&) = default;
+
+    /// Serialized size in bytes — the quantity E7 measures against full blocks.
+    std::size_t size_bytes() const;
+
+    void encode(Writer& w) const;
+    static MerkleProof decode(Reader& r);
+};
+
+/// Immutable Merkle tree over a list of leaf digests.
+class MerkleTree {
+public:
+    /// Build from leaf digests. An empty tree has the all-zero root.
+    explicit MerkleTree(std::vector<Hash256> leaves);
+
+    const Hash256& root() const { return root_; }
+    std::size_t leaf_count() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+    /// Proof for the leaf at `index`; precondition: index < leaf_count().
+    MerkleProof prove(std::size_t index) const;
+
+private:
+    std::vector<std::vector<Hash256>> levels_; // levels_[0] = leaves
+    Hash256 root_;
+};
+
+/// Recompute the root implied by `leaf` and `proof`; compare with a trusted root
+/// to complete SPV verification.
+Hash256 merkle_root_from_proof(const Hash256& leaf, const MerkleProof& proof);
+
+/// Convenience: root of a leaf list without keeping the tree.
+Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+} // namespace dlt::datastruct

@@ -1,0 +1,511 @@
+#include "datastruct/mpt.hpp"
+
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::datastruct {
+
+namespace {
+
+using Nibbles = std::vector<std::uint8_t>;
+
+Nibbles to_nibbles(ByteView key) {
+    Nibbles out;
+    out.reserve(key.size() * 2);
+    for (const auto b : key) {
+        out.push_back(static_cast<std::uint8_t>(b >> 4));
+        out.push_back(static_cast<std::uint8_t>(b & 0xF));
+    }
+    return out;
+}
+
+std::size_t common_prefix(const Nibbles& a, std::size_t a_off, const Nibbles& b,
+                          std::size_t b_off) {
+    std::size_t n = 0;
+    while (a_off + n < a.size() && b_off + n < b.size() &&
+           a[a_off + n] == b[b_off + n])
+        ++n;
+    return n;
+}
+
+} // namespace
+
+struct MerklePatriciaTrie::Node {
+    enum class Kind : std::uint8_t { kLeaf = 0, kExtension = 1, kBranch = 2 };
+
+    Kind kind;
+    Nibbles path;                      // leaf & extension
+    Bytes value;                       // leaf & branch (with has_value)
+    bool has_value = false;            // branch only
+    NodePtr child;                     // extension
+    std::array<NodePtr, 16> children{}; // branch
+
+    mutable std::optional<Hash256> cached_hash;
+    mutable std::once_flag hash_once;
+
+    static NodePtr leaf(Nibbles path, Bytes value) {
+        auto n = std::make_shared<Node>();
+        n->kind = Kind::kLeaf;
+        n->path = std::move(path);
+        n->value = std::move(value);
+        return n;
+    }
+
+    static NodePtr extension(Nibbles path, NodePtr child) {
+        DLT_EXPECTS(child != nullptr);
+        DLT_EXPECTS(!path.empty());
+        auto n = std::make_shared<Node>();
+        n->kind = Kind::kExtension;
+        n->path = std::move(path);
+        n->child = std::move(child);
+        return n;
+    }
+
+    /// Serialize with children replaced by their hashes; this is the preimage of
+    /// the node hash and the unit a proof carries.
+    Bytes serialize() const {
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(kind));
+        switch (kind) {
+            case Kind::kLeaf:
+                w.blob(path);
+                w.blob(value);
+                break;
+            case Kind::kExtension:
+                w.blob(path);
+                w.fixed(child->hash());
+                break;
+            case Kind::kBranch: {
+                std::uint16_t bitmap = 0;
+                for (int i = 0; i < 16; ++i)
+                    if (children[static_cast<std::size_t>(i)]) bitmap |= std::uint16_t(1u << i);
+                w.u16(bitmap);
+                for (const auto& c : children)
+                    if (c) w.fixed(c->hash());
+                w.u8(has_value ? 1 : 0);
+                if (has_value) w.blob(value);
+                break;
+            }
+        }
+        return std::move(w).take();
+    }
+
+    const Hash256& hash() const {
+        std::call_once(hash_once, [this] {
+            cached_hash = crypto::tagged_hash("dlt/mpt", serialize());
+        });
+        return *cached_hash;
+    }
+};
+
+namespace {
+
+using Node = MerklePatriciaTrie::Node;
+
+} // namespace
+
+// The recursive workers live as static members via a helper struct so they can
+// reach the private Node type.
+namespace {
+
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr insert(const NodePtr& node, const Nibbles& key, std::size_t off,
+               Bytes value, bool& added);
+NodePtr remove(const NodePtr& node, const Nibbles& key, std::size_t off,
+               bool& removed);
+
+/// Wrap `node` under `prefix` nibbles (identity when prefix is empty), merging
+/// consecutive extensions / extension+leaf pairs so the trie stays canonical.
+NodePtr wrap_with_prefix(Nibbles prefix, const NodePtr& node) {
+    if (prefix.empty()) return node;
+    if (node->kind == Node::Kind::kLeaf) {
+        Nibbles merged = std::move(prefix);
+        merged.insert(merged.end(), node->path.begin(), node->path.end());
+        return Node::leaf(std::move(merged), node->value);
+    }
+    if (node->kind == Node::Kind::kExtension) {
+        Nibbles merged = std::move(prefix);
+        merged.insert(merged.end(), node->path.begin(), node->path.end());
+        return Node::extension(std::move(merged), node->child);
+    }
+    return Node::extension(std::move(prefix), node);
+}
+
+/// Canonicalize a branch that may have lost children: a branch with no children
+/// becomes a leaf (or vanishes), one with a single child and no value collapses
+/// into its child under an extension.
+NodePtr normalize_branch(const std::array<NodePtr, 16>& children, bool has_value,
+                         Bytes value) {
+    int child_count = 0;
+    int only_index = -1;
+    for (int i = 0; i < 16; ++i) {
+        if (children[static_cast<std::size_t>(i)]) {
+            ++child_count;
+            only_index = i;
+        }
+    }
+    if (child_count == 0) {
+        if (!has_value) return nullptr;
+        return Node::leaf(Nibbles{}, std::move(value));
+    }
+    if (child_count == 1 && !has_value) {
+        const NodePtr& only = children[static_cast<std::size_t>(only_index)];
+        Nibbles prefix{static_cast<std::uint8_t>(only_index)};
+        return wrap_with_prefix(std::move(prefix), only);
+    }
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kBranch;
+    n->children = children;
+    n->has_value = has_value;
+    n->value = std::move(value);
+    return n;
+}
+
+NodePtr make_branch(std::array<NodePtr, 16> children, bool has_value, Bytes value) {
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kBranch;
+    n->children = std::move(children);
+    n->has_value = has_value;
+    n->value = std::move(value);
+    return n;
+}
+
+/// Split a leaf/extension node whose path diverges from the key at `split`
+/// (relative to the node's own path) into a branch.
+NodePtr split_node(const NodePtr& node, const Nibbles& key, std::size_t off,
+                   std::size_t split, Bytes value, bool& added) {
+    std::array<NodePtr, 16> children{};
+    bool has_value = false;
+    Bytes branch_value;
+
+    // Side A: the existing node, minus the consumed prefix.
+    const Nibbles& npath = node->path;
+    if (split == npath.size()) {
+        // Node path fully consumed; only legal for leaves here (extension paths
+        // fully matching are handled by the caller's descend case).
+        DLT_EXPECTS(node->kind == Node::Kind::kLeaf);
+        has_value = true;
+        branch_value = node->value;
+    } else {
+        const std::uint8_t branch_nibble = npath[split];
+        Nibbles rest(npath.begin() + static_cast<std::ptrdiff_t>(split) + 1,
+                     npath.end());
+        NodePtr sub;
+        if (node->kind == Node::Kind::kLeaf) {
+            sub = Node::leaf(std::move(rest), node->value);
+        } else {
+            sub = wrap_with_prefix(std::move(rest), node->child);
+        }
+        children[branch_nibble] = sub;
+    }
+
+    // Side B: the new key tail.
+    const std::size_t key_off = off + split;
+    if (key_off == key.size()) {
+        has_value = true;
+        branch_value = std::move(value);
+    } else {
+        const std::uint8_t branch_nibble = key[key_off];
+        Nibbles rest(key.begin() + static_cast<std::ptrdiff_t>(key_off) + 1, key.end());
+        children[branch_nibble] = Node::leaf(std::move(rest), std::move(value));
+    }
+
+    added = true;
+    const NodePtr branch = make_branch(std::move(children), has_value,
+                                       std::move(branch_value));
+    // Re-attach the shared prefix (if any) above the branch.
+    Nibbles prefix(npath.begin(), npath.begin() + static_cast<std::ptrdiff_t>(split));
+    return wrap_with_prefix(std::move(prefix), branch);
+}
+
+NodePtr insert(const NodePtr& node, const Nibbles& key, std::size_t off, Bytes value,
+               bool& added) {
+    if (!node) {
+        added = true;
+        return Node::leaf(Nibbles(key.begin() + static_cast<std::ptrdiff_t>(off), key.end()),
+                          std::move(value));
+    }
+
+    switch (node->kind) {
+        case Node::Kind::kLeaf: {
+            const std::size_t match = common_prefix(node->path, 0, key, off);
+            if (match == node->path.size() && off + match == key.size()) {
+                added = false; // overwrite
+                return Node::leaf(node->path, std::move(value));
+            }
+            return split_node(node, key, off, match, std::move(value), added);
+        }
+        case Node::Kind::kExtension: {
+            const std::size_t match = common_prefix(node->path, 0, key, off);
+            if (match == node->path.size()) {
+                NodePtr new_child =
+                    insert(node->child, key, off + match, std::move(value), added);
+                return Node::extension(node->path, std::move(new_child));
+            }
+            return split_node(node, key, off, match, std::move(value), added);
+        }
+        case Node::Kind::kBranch: {
+            if (off == key.size()) {
+                added = !node->has_value;
+                return make_branch(node->children, true, std::move(value));
+            }
+            const std::uint8_t nibble = key[off];
+            auto children = node->children;
+            children[nibble] = insert(children[nibble], key, off + 1, std::move(value),
+                                      added);
+            return make_branch(std::move(children), node->has_value, node->value);
+        }
+    }
+    DLT_INVARIANT(false);
+    return nullptr;
+}
+
+NodePtr remove(const NodePtr& node, const Nibbles& key, std::size_t off,
+               bool& removed) {
+    if (!node) {
+        removed = false;
+        return nullptr;
+    }
+    switch (node->kind) {
+        case Node::Kind::kLeaf: {
+            const std::size_t match = common_prefix(node->path, 0, key, off);
+            if (match == node->path.size() && off + match == key.size()) {
+                removed = true;
+                return nullptr;
+            }
+            removed = false;
+            return node;
+        }
+        case Node::Kind::kExtension: {
+            const std::size_t match = common_prefix(node->path, 0, key, off);
+            if (match != node->path.size()) {
+                removed = false;
+                return node;
+            }
+            NodePtr new_child = remove(node->child, key, off + match, removed);
+            if (!removed) return node;
+            if (!new_child) return nullptr; // child vanished entirely
+            return wrap_with_prefix(node->path, new_child);
+        }
+        case Node::Kind::kBranch: {
+            if (off == key.size()) {
+                if (!node->has_value) {
+                    removed = false;
+                    return node;
+                }
+                removed = true;
+                return normalize_branch(node->children, false, Bytes{});
+            }
+            const std::uint8_t nibble = key[off];
+            if (!node->children[nibble]) {
+                removed = false;
+                return node;
+            }
+            auto children = node->children;
+            children[nibble] = remove(children[nibble], key, off + 1, removed);
+            if (!removed) return node;
+            return normalize_branch(children, node->has_value, node->value);
+        }
+    }
+    DLT_INVARIANT(false);
+    return nullptr;
+}
+
+} // namespace
+
+void MerklePatriciaTrie::put(ByteView key, Bytes value) {
+    const Nibbles nibbles = to_nibbles(key);
+    bool added = false;
+    root_ = insert(root_, nibbles, 0, std::move(value), added);
+    if (added) ++size_;
+}
+
+std::optional<Bytes> MerklePatriciaTrie::get(ByteView key) const {
+    const Nibbles nibbles = to_nibbles(key);
+    const Node* node = root_.get();
+    std::size_t off = 0;
+    while (node != nullptr) {
+        switch (node->kind) {
+            case Node::Kind::kLeaf: {
+                const std::size_t match = common_prefix(node->path, 0, nibbles, off);
+                if (match == node->path.size() && off + match == nibbles.size())
+                    return node->value;
+                return std::nullopt;
+            }
+            case Node::Kind::kExtension: {
+                const std::size_t match = common_prefix(node->path, 0, nibbles, off);
+                if (match != node->path.size()) return std::nullopt;
+                off += match;
+                node = node->child.get();
+                break;
+            }
+            case Node::Kind::kBranch: {
+                if (off == nibbles.size())
+                    return node->has_value ? std::optional<Bytes>(node->value)
+                                           : std::nullopt;
+                node = node->children[nibbles[off]].get();
+                ++off;
+                break;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool MerklePatriciaTrie::erase(ByteView key) {
+    const Nibbles nibbles = to_nibbles(key);
+    bool removed = false;
+    root_ = remove(root_, nibbles, 0, removed);
+    if (removed) --size_;
+    return removed;
+}
+
+Hash256 MerklePatriciaTrie::root_hash() const {
+    if (!root_) return Hash256{};
+    return root_->hash();
+}
+
+std::size_t MptProof::size_bytes() const {
+    std::size_t total = 0;
+    for (const auto& n : nodes) total += n.size();
+    return total;
+}
+
+MptProof MerklePatriciaTrie::prove(ByteView key) const {
+    MptProof proof;
+    const Nibbles nibbles = to_nibbles(key);
+    const Node* node = root_.get();
+    std::size_t off = 0;
+    while (node != nullptr) {
+        proof.nodes.push_back(node->serialize());
+        switch (node->kind) {
+            case Node::Kind::kLeaf:
+                return proof;
+            case Node::Kind::kExtension: {
+                const std::size_t match = common_prefix(node->path, 0, nibbles, off);
+                if (match != node->path.size()) return proof;
+                off += match;
+                node = node->child.get();
+                break;
+            }
+            case Node::Kind::kBranch: {
+                if (off == nibbles.size()) return proof;
+                node = node->children[nibbles[off]].get();
+                ++off;
+                break;
+            }
+        }
+    }
+    return proof;
+}
+
+namespace {
+
+/// Parsed form of a serialized proof node.
+struct ParsedNode {
+    Node::Kind kind;
+    Nibbles path;
+    Bytes value;
+    bool has_value = false;
+    Hash256 child;                              // extension
+    std::array<std::optional<Hash256>, 16> children; // branch
+};
+
+ParsedNode parse_proof_node(const Bytes& raw) {
+    Reader r(raw);
+    ParsedNode out;
+    const std::uint8_t kind = r.u8();
+    if (kind > 2) throw ValidationError("mpt proof: bad node kind");
+    out.kind = static_cast<Node::Kind>(kind);
+    switch (out.kind) {
+        case Node::Kind::kLeaf: {
+            const Bytes p = r.blob();
+            out.path.assign(p.begin(), p.end());
+            out.value = r.blob();
+            break;
+        }
+        case Node::Kind::kExtension: {
+            const Bytes p = r.blob();
+            out.path.assign(p.begin(), p.end());
+            out.child = r.fixed<32>();
+            break;
+        }
+        case Node::Kind::kBranch: {
+            const std::uint16_t bitmap = r.u16();
+            for (int i = 0; i < 16; ++i)
+                if (bitmap & (1u << i))
+                    out.children[static_cast<std::size_t>(i)] = r.fixed<32>();
+            out.has_value = r.u8() != 0;
+            if (out.has_value) out.value = r.blob();
+            break;
+        }
+    }
+    r.expect_done();
+    return out;
+}
+
+} // namespace
+
+std::optional<Bytes> MerklePatriciaTrie::verify_proof(const Hash256& root,
+                                                      ByteView key,
+                                                      const MptProof& proof) {
+    const Nibbles nibbles = to_nibbles(key);
+    if (proof.nodes.empty()) {
+        if (root.is_zero()) return std::nullopt; // empty trie proves absence
+        throw ValidationError("mpt proof: empty proof for non-empty root");
+    }
+
+    Hash256 expected = root;
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < proof.nodes.size(); ++i) {
+        const Bytes& raw = proof.nodes[i];
+        if (crypto::tagged_hash("dlt/mpt", raw) != expected)
+            throw ValidationError("mpt proof: node hash mismatch");
+        const ParsedNode node = parse_proof_node(raw);
+        const bool last = i + 1 == proof.nodes.size();
+        switch (node.kind) {
+            case Node::Kind::kLeaf: {
+                if (!last) throw ValidationError("mpt proof: leaf before end");
+                const std::size_t match = common_prefix(node.path, 0, nibbles, off);
+                if (match == node.path.size() && off + match == nibbles.size())
+                    return node.value;
+                return std::nullopt; // divergent leaf proves absence
+            }
+            case Node::Kind::kExtension: {
+                const std::size_t match = common_prefix(node.path, 0, nibbles, off);
+                if (match != node.path.size()) {
+                    if (!last) throw ValidationError("mpt proof: extra nodes");
+                    return std::nullopt; // divergence proves absence
+                }
+                if (last) throw ValidationError("mpt proof: truncated at extension");
+                off += match;
+                expected = node.child;
+                break;
+            }
+            case Node::Kind::kBranch: {
+                if (off == nibbles.size()) {
+                    if (!last) throw ValidationError("mpt proof: extra nodes");
+                    return node.has_value ? std::optional<Bytes>(node.value)
+                                          : std::nullopt;
+                }
+                const auto& next = node.children[nibbles[off]];
+                if (!next) {
+                    if (!last) throw ValidationError("mpt proof: extra nodes");
+                    return std::nullopt; // missing child proves absence
+                }
+                if (last) throw ValidationError("mpt proof: truncated at branch");
+                expected = *next;
+                ++off;
+                break;
+            }
+        }
+    }
+    throw ValidationError("mpt proof: exhausted without terminal node");
+}
+
+} // namespace dlt::datastruct

@@ -1,0 +1,66 @@
+// Merkle-Patricia trie: the authenticated key-value store used for account state
+// (§5.4 of the paper names it, alongside IAVL+, as the data-layer structure whose
+// choice matters for validation speed and proof size). Persistent (copy-on-write)
+// nodes, so snapshots and historical roots share structure — which also backs the
+// checkpoint/fast-bootstrap machinery in the scaling module.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dlt::datastruct {
+
+/// Inclusion/exclusion proof: the serialized nodes along the lookup path.
+struct MptProof {
+    std::vector<Bytes> nodes;
+
+    std::size_t size_bytes() const;
+};
+
+class MerklePatriciaTrie {
+public:
+    /// Node is an implementation detail; it is public only so the out-of-line
+    /// recursive workers in mpt.cpp can name it. Treat as opaque.
+    struct Node;
+
+    MerklePatriciaTrie() = default;
+
+    /// Insert or overwrite. Empty values are legal.
+    void put(ByteView key, Bytes value);
+
+    std::optional<Bytes> get(ByteView key) const;
+
+    /// Remove; returns false when the key was absent.
+    bool erase(ByteView key);
+
+    /// Authenticated root; the all-zero hash for an empty trie.
+    Hash256 root_hash() const;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// O(1) snapshot sharing structure with this trie; later writes to either
+    /// side do not affect the other.
+    MerklePatriciaTrie snapshot() const { return *this; }
+
+    /// Merkle proof for `key` (inclusion if present, exclusion otherwise).
+    MptProof prove(ByteView key) const;
+
+    /// Verify a proof against a trusted root: returns the value bound to `key`
+    /// (nullopt for proven absence). Throws ValidationError when the proof does
+    /// not authenticate against `root`.
+    static std::optional<Bytes> verify_proof(const Hash256& root, ByteView key,
+                                             const MptProof& proof);
+
+private:
+    using NodePtr = std::shared_ptr<const Node>;
+
+    NodePtr root_;
+    std::size_t size_ = 0;
+};
+
+} // namespace dlt::datastruct

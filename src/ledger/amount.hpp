@@ -1,0 +1,35 @@
+// Monetary amounts and chain-wide monetary policy constants.
+#pragma once
+
+#include <cstdint>
+
+namespace dlt::ledger {
+
+/// Smallest currency unit (like satoshi); signed so fee arithmetic can detect
+/// underflow instead of wrapping.
+using Amount = std::int64_t;
+
+inline constexpr Amount kCoin = 100'000'000; // 1 coin = 1e8 base units
+
+/// Initial block subsidy (Bitcoin-like: 50 coins).
+inline constexpr Amount kInitialSubsidy = 50 * kCoin;
+
+/// Blocks between subsidy halvings (kept small relative to Bitcoin's 210000 so
+/// simulations exercise the schedule).
+inline constexpr std::uint64_t kHalvingInterval = 210'000;
+
+/// Hard cap sanity bound used by validation.
+inline constexpr Amount kMaxMoney = 21'000'000 * kCoin;
+
+/// True when an amount is representable and within the money supply.
+constexpr bool money_range(Amount value) { return value >= 0 && value <= kMaxMoney; }
+
+/// Subsidy for a block at `height` under the halving schedule.
+constexpr Amount block_subsidy(std::uint64_t height) {
+    const std::uint64_t halvings = height / kHalvingInterval;
+    if (halvings >= 63) return 0;
+    const Amount subsidy = kInitialSubsidy >> halvings;
+    return subsidy;
+}
+
+} // namespace dlt::ledger

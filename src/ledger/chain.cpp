@@ -1,0 +1,166 @@
+#include "ledger/chain.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace dlt::ledger {
+
+ChainStore::ChainStore(const Block& genesis) {
+    genesis_hash_ = genesis.hash();
+    ChainEntry entry;
+    entry.block = genesis;
+    entry.hash = genesis_hash_;
+    entry.height = genesis.header.height;
+    entry.cumulative_work = crypto::U256::one();
+    entries_.emplace(genesis_hash_, std::move(entry));
+    children_.emplace(genesis_hash_, std::vector<Hash256>{});
+}
+
+const ChainEntry* ChainStore::find(const Hash256& hash) const {
+    const auto it = entries_.find(hash);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ChainStore::insert(const Block& block, const crypto::U256& work,
+                        double received_at) {
+    const Hash256 hash = block.hash();
+    if (entries_.contains(hash)) return false;
+    const auto parent = entries_.find(block.header.prev_hash);
+    if (parent == entries_.end())
+        throw ValidationError("block parent unknown (orphan)");
+
+    ChainEntry entry;
+    entry.block = block;
+    entry.hash = hash;
+    entry.height = parent->second.height + 1;
+    entry.cumulative_work = parent->second.cumulative_work + work;
+    entry.received_at = received_at;
+    entries_.emplace(hash, std::move(entry));
+    children_[block.header.prev_hash].push_back(hash);
+    children_.emplace(hash, std::vector<Hash256>{});
+    return true;
+}
+
+const std::vector<Hash256>& ChainStore::children(const Hash256& hash) const {
+    static const std::vector<Hash256> kEmpty;
+    const auto it = children_.find(hash);
+    return it == children_.end() ? kEmpty : it->second;
+}
+
+std::vector<Hash256> ChainStore::leaves() const {
+    std::vector<Hash256> out;
+    for (const auto& [hash, kids] : children_)
+        if (kids.empty()) out.push_back(hash);
+    return out;
+}
+
+Hash256 ChainStore::best_tip_by_work() const {
+    const ChainEntry* best = nullptr;
+    for (const auto& [hash, entry] : entries_) {
+        if (!children(hash).empty()) continue;
+        if (best == nullptr || entry.cumulative_work > best->cumulative_work ||
+            (entry.cumulative_work == best->cumulative_work && entry.hash < best->hash))
+            best = &entry;
+    }
+    DLT_ENSURES(best != nullptr);
+    return best->hash;
+}
+
+std::size_t ChainStore::subtree_size(const Hash256& hash) const {
+    DLT_EXPECTS(contains(hash));
+    std::size_t count = 0;
+    std::vector<Hash256> stack{hash};
+    while (!stack.empty()) {
+        const Hash256 cur = stack.back();
+        stack.pop_back();
+        ++count;
+        for (const auto& child : children(cur)) stack.push_back(child);
+    }
+    return count;
+}
+
+Hash256 ChainStore::best_tip_by_ghost() const {
+    Hash256 cursor = genesis_hash_;
+    for (;;) {
+        const auto& kids = children(cursor);
+        if (kids.empty()) return cursor;
+        const Hash256* best = nullptr;
+        std::size_t best_weight = 0;
+        for (const auto& kid : kids) {
+            const std::size_t weight = subtree_size(kid);
+            if (best == nullptr || weight > best_weight ||
+                (weight == best_weight && kid < *best)) {
+                best = &kid;
+                best_weight = weight;
+            }
+        }
+        cursor = *best;
+    }
+}
+
+Hash256 ChainStore::ancestor(const Hash256& from, std::uint64_t steps) const {
+    const ChainEntry* entry = find(from);
+    DLT_EXPECTS(entry != nullptr);
+    Hash256 cursor = from;
+    while (steps > 0 && cursor != genesis_hash_) {
+        cursor = find(cursor)->block.header.prev_hash;
+        --steps;
+    }
+    return cursor;
+}
+
+Hash256 ChainStore::common_ancestor(const Hash256& a, const Hash256& b) const {
+    const ChainEntry* ea = find(a);
+    const ChainEntry* eb = find(b);
+    DLT_EXPECTS(ea != nullptr && eb != nullptr);
+    Hash256 ca = a;
+    Hash256 cb = b;
+    std::uint64_t ha = ea->height;
+    std::uint64_t hb = eb->height;
+    while (ha > hb) {
+        ca = find(ca)->block.header.prev_hash;
+        --ha;
+    }
+    while (hb > ha) {
+        cb = find(cb)->block.header.prev_hash;
+        --hb;
+    }
+    while (ca != cb) {
+        ca = find(ca)->block.header.prev_hash;
+        cb = find(cb)->block.header.prev_hash;
+    }
+    return ca;
+}
+
+ChainStore::ReorgPath ChainStore::reorg_path(const Hash256& from_tip,
+                                             const Hash256& to_tip) const {
+    const Hash256 fork = common_ancestor(from_tip, to_tip);
+    ReorgPath path;
+    for (Hash256 cursor = from_tip; cursor != fork;
+         cursor = find(cursor)->block.header.prev_hash)
+        path.disconnect.push_back(cursor);
+    for (Hash256 cursor = to_tip; cursor != fork;
+         cursor = find(cursor)->block.header.prev_hash)
+        path.connect.push_back(cursor);
+    std::reverse(path.connect.begin(), path.connect.end());
+    return path;
+}
+
+std::vector<Hash256> ChainStore::path_from_genesis(const Hash256& tip) const {
+    DLT_EXPECTS(contains(tip));
+    std::vector<Hash256> path;
+    for (Hash256 cursor = tip;; cursor = find(cursor)->block.header.prev_hash) {
+        path.push_back(cursor);
+        if (cursor == genesis_hash_) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::size_t ChainStore::stale_count(const Hash256& tip) const {
+    return entries_.size() - path_from_genesis(tip).size();
+}
+
+} // namespace dlt::ledger

@@ -1,0 +1,90 @@
+// Chain store: the block DAG every peer maintains. Tracks all branches (the
+// paper's §2.4 "branches can occur"), cumulative work, children, and provides
+// the primitives branch-selection policies need: longest/most-work tip lookup,
+// subtree weights for GHOST, common ancestors, and reorg paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/uint256.hpp"
+#include "ledger/block.hpp"
+
+namespace dlt::ledger {
+
+struct ChainEntry {
+    Block block;
+    Hash256 hash;
+    std::uint64_t height = 0;
+    crypto::U256 cumulative_work; // sum of per-block work from genesis
+    double received_at = 0;       // local arrival time (telemetry)
+};
+
+class ChainStore {
+public:
+    /// Create a store rooted at `genesis` (implicitly valid).
+    explicit ChainStore(const Block& genesis);
+
+    const Hash256& genesis_hash() const { return genesis_hash_; }
+
+    bool contains(const Hash256& hash) const { return entries_.contains(hash); }
+    const ChainEntry* find(const Hash256& hash) const;
+
+    /// Insert a block whose parent must already be present. `work` is the PoW
+    /// work the block represents (use U256::one() for non-PoW chains so
+    /// cumulative work equals height). Returns false when already present,
+    /// throws ValidationError when the parent is unknown.
+    bool insert(const Block& block, const crypto::U256& work, double received_at = 0);
+
+    /// Children of a block (insertion order).
+    const std::vector<Hash256>& children(const Hash256& hash) const;
+
+    /// All blocks with no children.
+    std::vector<Hash256> leaves() const;
+
+    /// Tip with maximum cumulative work (ties broken by lower hash — an
+    /// arbitrary but network-wide consistent rule). This is the
+    /// longest-chain/Nakamoto selection when per-block work is uniform.
+    Hash256 best_tip_by_work() const;
+
+    /// GHOST selection (§2.7, Ethereum): walk from genesis, at each fork taking
+    /// the child whose *subtree* contains the most blocks, until reaching a leaf.
+    Hash256 best_tip_by_ghost() const;
+
+    /// Number of blocks in the subtree rooted at `hash` (including itself).
+    std::size_t subtree_size(const Hash256& hash) const;
+
+    /// Walk up `steps` ancestors (stops at genesis).
+    Hash256 ancestor(const Hash256& from, std::uint64_t steps) const;
+
+    /// Lowest common ancestor of two blocks.
+    Hash256 common_ancestor(const Hash256& a, const Hash256& b) const;
+
+    /// Blocks to disconnect (old tip -> ancestor, exclusive) and connect
+    /// (ancestor -> new tip, in application order) when switching tips.
+    struct ReorgPath {
+        std::vector<Hash256> disconnect; // old branch, tip first
+        std::vector<Hash256> connect;    // new branch, oldest first
+    };
+    ReorgPath reorg_path(const Hash256& from_tip, const Hash256& to_tip) const;
+
+    /// Hash chain from genesis to `tip` inclusive.
+    std::vector<Hash256> path_from_genesis(const Hash256& tip) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /// Blocks not on the path from genesis to `tip` (stale/uncle blocks) — the
+    /// consistency cost E3 measures.
+    std::size_t stale_count(const Hash256& tip) const;
+
+private:
+    Hash256 genesis_hash_;
+    std::unordered_map<Hash256, ChainEntry> entries_;
+    std::unordered_map<Hash256, std::vector<Hash256>> children_;
+};
+
+} // namespace dlt::ledger

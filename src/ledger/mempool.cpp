@@ -1,0 +1,69 @@
+#include "ledger/mempool.hpp"
+
+#include <algorithm>
+
+namespace dlt::ledger {
+
+bool Mempool::add(const Transaction& tx) {
+    const Hash256 id = tx.txid();
+    if (pool_.contains(id)) return false;
+
+    PoolEntry entry;
+    entry.size = tx.serialized_size();
+    entry.fee = tx.declared_fee;
+    entry.fee_rate =
+        entry.size > 0 ? static_cast<double>(entry.fee) / static_cast<double>(entry.size)
+                       : 0.0;
+
+    if (pool_.size() >= max_transactions_) {
+        // Evict the lowest fee-rate entry if the newcomer beats it.
+        const auto worst = by_fee_rate_.begin();
+        if (worst == by_fee_rate_.end() || worst->first >= entry.fee_rate)
+            return false;
+        pool_.erase(worst->second);
+        by_fee_rate_.erase(worst);
+    }
+
+    by_fee_rate_.emplace(entry.fee_rate, id);
+    entry.tx = tx;
+    pool_.emplace(id, std::move(entry));
+    return true;
+}
+
+std::vector<Transaction> Mempool::select(std::size_t max_bytes,
+                                         std::size_t max_count) const {
+    std::vector<Transaction> selected;
+    std::size_t used = 0;
+    // Walk the fee index from the highest rate down.
+    for (auto it = by_fee_rate_.rbegin(); it != by_fee_rate_.rend(); ++it) {
+        if (selected.size() >= max_count) break;
+        const PoolEntry& entry = pool_.at(it->second);
+        if (used + entry.size > max_bytes) continue;
+        selected.push_back(entry.tx);
+        used += entry.size;
+    }
+    return selected;
+}
+
+void Mempool::remove_confirmed(const std::vector<Hash256>& txids) {
+    for (const auto& id : txids) {
+        const auto it = pool_.find(id);
+        if (it == pool_.end()) continue;
+        // Erase the matching index entry (equal fee rates may collide; match id).
+        const auto range = by_fee_rate_.equal_range(it->second.fee_rate);
+        for (auto idx = range.first; idx != range.second; ++idx) {
+            if (idx->second == id) {
+                by_fee_rate_.erase(idx);
+                break;
+            }
+        }
+        pool_.erase(it);
+    }
+}
+
+void Mempool::add_back(const std::vector<Transaction>& txs) {
+    for (const auto& tx : txs)
+        if (!tx.is_coinbase()) add(tx);
+}
+
+} // namespace dlt::ledger

@@ -1,0 +1,55 @@
+// Mempool: pending transactions awaiting inclusion (paper §2.4 — "transactions
+// are submitted by client users ... pooled into blocks"). Fee-rate ordered
+// selection, duplicate rejection, and eviction of confirmed transactions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/transaction.hpp"
+
+namespace dlt::ledger {
+
+class Mempool {
+public:
+    explicit Mempool(std::size_t max_transactions = 100'000)
+        : max_transactions_(max_transactions) {}
+
+    /// Add a transaction; returns false when already present or the pool is
+    /// full of higher-fee transactions.
+    bool add(const Transaction& tx);
+
+    bool contains(const Hash256& txid) const { return pool_.contains(txid); }
+    std::size_t size() const { return pool_.size(); }
+    bool empty() const { return pool_.empty(); }
+
+    /// Highest fee-rate transactions whose serialized sizes fit `max_bytes`
+    /// (greedy knapsack, the standard miner policy), capped at `max_count`.
+    std::vector<Transaction> select(std::size_t max_bytes,
+                                    std::size_t max_count = SIZE_MAX) const;
+
+    /// Drop all transactions included in a confirmed block.
+    void remove_confirmed(const std::vector<Hash256>& txids);
+
+    /// Re-add transactions from disconnected blocks during a reorg.
+    void add_back(const std::vector<Transaction>& txs);
+
+private:
+    struct PoolEntry {
+        Transaction tx;
+        std::size_t size = 0;
+        Amount fee = 0;
+        double fee_rate = 0;
+    };
+
+    std::size_t max_transactions_;
+    std::unordered_map<Hash256, PoolEntry> pool_;
+    /// Fee-rate index for O(log n) eviction and selection under saturation.
+    std::multimap<double, Hash256> by_fee_rate_;
+};
+
+} // namespace dlt::ledger

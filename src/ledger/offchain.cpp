@@ -1,0 +1,36 @@
+#include "ledger/offchain.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dlt::ledger {
+
+OffchainRef OffchainStore::put(Bytes payload) {
+    OffchainRef ref;
+    ref.digest = crypto::tagged_hash("dlt/offchain", payload);
+    ref.size = payload.size();
+    stored_bytes_ += static_cast<std::int64_t>(payload.size());
+    blobs_.emplace(ref.digest, std::move(payload));
+    return ref;
+}
+
+std::optional<Bytes> OffchainStore::get_verified(const OffchainRef& ref) const {
+    const auto it = blobs_.find(ref.digest);
+    if (it == blobs_.end()) return std::nullopt;
+    if (crypto::tagged_hash("dlt/offchain", it->second) != ref.digest)
+        return std::nullopt; // bit rot or substitution
+    return it->second;
+}
+
+bool OffchainStore::forget(const OffchainRef& ref) {
+    const auto it = blobs_.find(ref.digest);
+    if (it == blobs_.end()) return false;
+    stored_bytes_ -= static_cast<std::int64_t>(it->second.size());
+    blobs_.erase(it);
+    return true;
+}
+
+std::int64_t OffchainStore::bytes_saved_on_chain() const {
+    return stored_bytes_ - static_cast<std::int64_t>(blobs_.size() * 32);
+}
+
+} // namespace dlt::ledger

@@ -1,0 +1,51 @@
+// Off-chain data store (paper §4.5: "Off-chain data storage is a recent
+// development ... in order to reduce the amount of information stored in the
+// blockchain ... The trade-off is that off-chain information is no longer
+// durable or immutable"). Bulky payloads live in an ordinary store; only their
+// digests go on-chain. Retrieval is verified against the digest, and the store
+// can lose data — the durability trade-off is part of the model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace dlt::ledger {
+
+/// The digest recorded on-chain for an off-chain payload.
+struct OffchainRef {
+    Hash256 digest;
+    std::uint64_t size = 0;
+
+    friend bool operator==(const OffchainRef&, const OffchainRef&) = default;
+};
+
+class OffchainStore {
+public:
+    /// Store a payload; returns the reference to record on-chain.
+    OffchainRef put(Bytes payload);
+
+    /// Fetch and verify: returns the payload only when it is present AND
+    /// matches the digest (a corrupted or substituted payload is rejected).
+    std::optional<Bytes> get_verified(const OffchainRef& ref) const;
+
+    bool contains(const OffchainRef& ref) const { return blobs_.contains(ref.digest); }
+
+    /// Simulate data loss / retention expiry: drop a payload. The on-chain
+    /// digest survives; the data does not — §4.5's durability caveat.
+    bool forget(const OffchainRef& ref);
+
+    /// On-chain bytes saved by keeping this store's payloads off-chain
+    /// (payload bytes minus digest bytes).
+    std::int64_t bytes_saved_on_chain() const;
+
+    std::size_t size() const { return blobs_.size(); }
+
+private:
+    std::unordered_map<Hash256, Bytes> blobs_;
+    std::int64_t stored_bytes_ = 0;
+};
+
+} // namespace dlt::ledger

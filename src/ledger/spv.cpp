@@ -1,0 +1,96 @@
+#include "ledger/spv.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace dlt::ledger {
+
+SpvClient::SpvClient(const BlockHeader& genesis) {
+    genesis_ = genesis.hash();
+    Entry entry;
+    entry.header = genesis;
+    entry.height = genesis.height;
+    entry.cumulative_work = crypto::U256::one();
+    headers_.emplace(genesis_, std::move(entry));
+    best_ = genesis_;
+}
+
+bool SpvClient::add_header(const BlockHeader& header, bool check_pow) {
+    const Hash256 hash = header.hash();
+    if (headers_.contains(hash)) return true;
+    const auto parent = headers_.find(header.prev_hash);
+    if (parent == headers_.end()) return false;
+
+    if (check_pow) {
+        const auto target = compact_to_target(header.bits);
+        if (!hash_meets_target(hash, target))
+            throw ValidationError("spv: header fails its difficulty target");
+    }
+
+    Entry entry;
+    entry.header = header;
+    entry.height = parent->second.height + 1;
+    entry.cumulative_work =
+        parent->second.cumulative_work +
+        work_from_target(compact_to_target(header.bits));
+    const bool better = entry.cumulative_work > headers_.at(best_).cumulative_work;
+    headers_.emplace(hash, std::move(entry));
+    if (better) best_ = hash;
+    return true;
+}
+
+std::uint64_t SpvClient::best_height() const { return headers_.at(best_).height; }
+
+const BlockHeader& SpvClient::header_of(const Hash256& hash) const {
+    const auto it = headers_.find(hash);
+    if (it == headers_.end()) throw ValidationError("spv: unknown header");
+    return it->second.header;
+}
+
+bool SpvClient::confirmed(const Hash256& block_hash,
+                          std::uint64_t min_confirmations) const {
+    const auto it = headers_.find(block_hash);
+    if (it == headers_.end()) return false;
+    const Entry& best = headers_.at(best_);
+    if (best.height + 1 < it->second.height + min_confirmations) return false;
+
+    // Walk the best chain down to the target height and compare.
+    Hash256 cursor = best_;
+    std::uint64_t height = best.height;
+    while (height > it->second.height) {
+        cursor = headers_.at(cursor).header.prev_hash;
+        --height;
+    }
+    return cursor == block_hash;
+}
+
+bool SpvClient::verify_payment(const SpvPayment& payment,
+                               std::uint64_t min_confirmations) const {
+    const auto it = headers_.find(payment.block_hash);
+    if (it == headers_.end()) return false;
+    if (!confirmed(payment.block_hash, min_confirmations)) return false;
+    const Hash256 derived =
+        datastruct::merkle_root_from_proof(payment.txid, payment.proof);
+    return derived == it->second.header.merkle_root;
+}
+
+datastruct::BloomFilter SpvClient::make_address_filter(
+    const std::vector<crypto::Address>& addresses, double fp_rate) const {
+    DLT_EXPECTS(!addresses.empty());
+    auto filter = datastruct::BloomFilter::optimal(addresses.size(), fp_rate);
+    for (const auto& addr : addresses) filter.insert(addr.view());
+    return filter;
+}
+
+std::size_t SpvClient::storage_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [hash, entry] : headers_) {
+        Writer w;
+        entry.header.encode(w);
+        total += w.size();
+    }
+    return total;
+}
+
+} // namespace dlt::ledger

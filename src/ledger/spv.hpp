@@ -1,0 +1,78 @@
+// SPV light client (paper §2.2: "Merkle trees are advantageous as they provide
+// fast lookups of transaction inclusion for lightweight clients, who do not
+// possess a full copy of the ledger. For instance, Bitcoin employs Merkle trees
+// for the Simple Payment Verification protocol"). The client stores only block
+// headers, subscribes to relevant addresses through a bloom filter, and
+// verifies payments with Merkle proofs against its best header chain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/uint256.hpp"
+#include "datastruct/bloom.hpp"
+#include "datastruct/merkle.hpp"
+#include "ledger/block.hpp"
+#include "ledger/difficulty.hpp"
+
+namespace dlt::ledger {
+
+/// What a full node serves a light client for one relevant transaction.
+struct SpvPayment {
+    Hash256 txid;
+    Hash256 block_hash;
+    datastruct::MerkleProof proof;
+};
+
+class SpvClient {
+public:
+    /// The client is bootstrapped from a trusted genesis header.
+    explicit SpvClient(const BlockHeader& genesis);
+
+    /// Feed a header whose parent the client already knows. Returns false for
+    /// unknown parents (caller should fetch intermediate headers) and throws
+    /// ValidationError when `check_pow` is set and the header fails its own
+    /// difficulty target.
+    bool add_header(const BlockHeader& header, bool check_pow = false);
+
+    std::uint64_t best_height() const;
+    const Hash256& best_hash() const { return best_; }
+    bool knows(const Hash256& block_hash) const { return headers_.contains(block_hash); }
+
+    /// Cumulative-work tip tracking across competing header chains: the client
+    /// follows the most-work chain exactly like a full node, just headers-only.
+    const BlockHeader& header_of(const Hash256& hash) const;
+
+    /// True when `block_hash` is on the client's best chain with at least
+    /// `min_confirmations` headers on top.
+    bool confirmed(const Hash256& block_hash, std::uint64_t min_confirmations) const;
+
+    /// Verify a payment: the proof must authenticate the txid against the
+    /// Merkle root of a known header on the best chain.
+    bool verify_payment(const SpvPayment& payment,
+                        std::uint64_t min_confirmations = 1) const;
+
+    /// Bloom filter advertising the addresses this wallet cares about; full
+    /// nodes test outputs against it and forward matches with proofs.
+    datastruct::BloomFilter make_address_filter(
+        const std::vector<crypto::Address>& addresses, double fp_rate = 0.01) const;
+
+    /// Storage footprint in bytes (headers only) vs what a full node holds —
+    /// the lightweight-client saving the paper describes.
+    std::size_t storage_bytes() const;
+
+private:
+    struct Entry {
+        BlockHeader header;
+        std::uint64_t height = 0;
+        crypto::U256 cumulative_work;
+    };
+
+    std::unordered_map<Hash256, Entry> headers_;
+    Hash256 genesis_;
+    Hash256 best_;
+};
+
+} // namespace dlt::ledger

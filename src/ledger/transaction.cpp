@@ -1,0 +1,202 @@
+#include "ledger/transaction.hpp"
+
+#include "common/error.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::ledger {
+
+void OutPoint::encode(Writer& w) const {
+    w.fixed(txid);
+    w.u32(index);
+}
+
+OutPoint OutPoint::decode(Reader& r) {
+    OutPoint o;
+    o.txid = r.fixed<32>();
+    o.index = r.u32();
+    return o;
+}
+
+void TxInput::encode(Writer& w) const {
+    prevout.encode(w);
+    w.blob(pubkey);
+    w.blob(signature);
+}
+
+TxInput TxInput::decode(Reader& r) {
+    TxInput in;
+    in.prevout = OutPoint::decode(r);
+    in.pubkey = r.blob();
+    in.signature = r.blob();
+    return in;
+}
+
+void TxOutput::encode(Writer& w) const {
+    w.i64(value);
+    w.fixed(recipient);
+}
+
+TxOutput TxOutput::decode(Reader& r) {
+    TxOutput out;
+    out.value = r.i64();
+    out.recipient = r.fixed<20>();
+    return out;
+}
+
+namespace {
+void encode_body(const Transaction& tx, Writer& w, bool include_signatures) {
+    w.u8(static_cast<std::uint8_t>(tx.kind));
+    w.varint(tx.inputs.size());
+    for (const auto& in : tx.inputs) {
+        in.prevout.encode(w);
+        w.blob(in.pubkey);
+        if (include_signatures) w.blob(in.signature);
+    }
+    w.varint(tx.outputs.size());
+    for (const auto& out : tx.outputs) out.encode(w);
+    w.blob(tx.sender_pubkey);
+    w.varint(tx.nonce);
+    w.fixed(tx.target);
+    w.i64(tx.value);
+    w.blob(tx.data);
+    w.varint(tx.gas_limit);
+    w.i64(tx.gas_price);
+    if (include_signatures) w.blob(tx.account_signature);
+    w.i64(tx.declared_fee);
+}
+} // namespace
+
+Hash256 Transaction::txid() const {
+    if (!cached_txid_) {
+        Writer w;
+        encode_body(*this, w, /*include_signatures=*/true);
+        cached_txid_ = crypto::sha256d(w.data());
+    }
+    return *cached_txid_;
+}
+
+bool operator==(const Transaction& a, const Transaction& b) {
+    // Field-wise comparison, ignoring the txid cache.
+    return a.kind == b.kind && a.inputs == b.inputs && a.outputs == b.outputs &&
+           a.sender_pubkey == b.sender_pubkey && a.nonce == b.nonce &&
+           a.target == b.target && a.value == b.value && a.data == b.data &&
+           a.gas_limit == b.gas_limit && a.gas_price == b.gas_price &&
+           a.account_signature == b.account_signature &&
+           a.declared_fee == b.declared_fee;
+}
+
+Hash256 Transaction::sighash() const {
+    Writer w;
+    encode_body(*this, w, /*include_signatures=*/false);
+    return crypto::tagged_hash("dlt/sighash", w.data());
+}
+
+void Transaction::sign_with(const crypto::PrivateKey& key) {
+    invalidate_txid_cache(); // signatures are part of the txid
+    // Public keys are part of the signed message, so install them first.
+    const Bytes pub = key.public_key().encode();
+    if (uses_accounts()) {
+        sender_pubkey = pub;
+        account_signature = key.sign(sighash()).encode();
+        return;
+    }
+    for (auto& in : inputs) in.pubkey = pub;
+    const Hash256 digest = sighash();
+    const Bytes signature = key.sign(digest).encode();
+    for (auto& in : inputs) in.signature = signature;
+}
+
+bool Transaction::verify_signatures() const {
+    if (is_coinbase()) return true;
+    const Hash256 digest = sighash();
+    try {
+        if (uses_accounts()) {
+            if (sender_pubkey.empty() || account_signature.empty()) return false;
+            const crypto::PublicKey pub = crypto::PublicKey::decode(sender_pubkey);
+            return pub.verify(digest,
+                              crypto::secp256k1::Signature::decode(account_signature));
+        }
+        for (const auto& in : inputs) {
+            if (in.pubkey.empty() || in.signature.empty()) return false;
+            const crypto::PublicKey pub = crypto::PublicKey::decode(in.pubkey);
+            if (!pub.verify(digest, crypto::secp256k1::Signature::decode(in.signature)))
+                return false;
+        }
+        return !inputs.empty();
+    } catch (const CryptoError&) {
+        return false;
+    }
+}
+
+void Transaction::encode(Writer& w) const {
+    encode_body(*this, w, /*include_signatures=*/true);
+}
+
+Transaction Transaction::decode(Reader& r) {
+    Transaction tx;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(TxKind::kRecord))
+        throw DecodeError("unknown transaction kind");
+    tx.kind = static_cast<TxKind>(kind);
+    const std::uint64_t n_in = r.varint_count(37); // prevout(36) + 2 empty blobs
+    tx.inputs.reserve(n_in);
+    for (std::uint64_t i = 0; i < n_in; ++i) {
+        TxInput in;
+        in.prevout = OutPoint::decode(r);
+        in.pubkey = r.blob();
+        in.signature = r.blob();
+        tx.inputs.push_back(std::move(in));
+    }
+    const std::uint64_t n_out = r.varint_count(28); // value(8) + address(20)
+    tx.outputs.reserve(n_out);
+    for (std::uint64_t i = 0; i < n_out; ++i) tx.outputs.push_back(TxOutput::decode(r));
+    tx.sender_pubkey = r.blob();
+    tx.nonce = r.varint();
+    tx.target = r.fixed<20>();
+    tx.value = r.i64();
+    tx.data = r.blob();
+    tx.gas_limit = r.varint();
+    tx.gas_price = r.i64();
+    tx.account_signature = r.blob();
+    tx.declared_fee = r.i64();
+    return tx;
+}
+
+std::size_t Transaction::serialized_size() const {
+    Writer w;
+    encode(w);
+    return w.size();
+}
+
+Transaction make_coinbase(const crypto::Address& miner, Amount reward,
+                          std::uint64_t height) {
+    Transaction tx;
+    tx.kind = TxKind::kCoinbase;
+    tx.outputs.push_back(TxOutput{reward, miner});
+    // Encode the height in `nonce` so coinbases at different heights have
+    // distinct txids (Bitcoin's BIP-34 serves the same purpose).
+    tx.nonce = height;
+    return tx;
+}
+
+Transaction make_transfer(const std::vector<OutPoint>& spends,
+                          const std::vector<TxOutput>& outputs) {
+    Transaction tx;
+    tx.kind = TxKind::kTransfer;
+    tx.inputs.reserve(spends.size());
+    for (const auto& op : spends) tx.inputs.push_back(TxInput{op, {}, {}});
+    tx.outputs = outputs;
+    return tx;
+}
+
+Transaction make_record(const crypto::PublicKey& sender, std::uint64_t nonce,
+                        Bytes payload) {
+    Transaction tx;
+    tx.kind = TxKind::kRecord;
+    tx.sender_pubkey = sender.encode();
+    tx.nonce = nonce;
+    tx.data = std::move(payload);
+    return tx;
+}
+
+} // namespace dlt::ledger

@@ -1,0 +1,127 @@
+// Transactions. One envelope supports the paper's three application generations:
+// UTXO value transfer (Blockchain 1.0), account-model contract deployment and
+// invocation (2.0), and arbitrary application payloads recorded on-chain (3.0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/amount.hpp"
+
+namespace dlt::ledger {
+
+/// Reference to a previous transaction output.
+struct OutPoint {
+    Hash256 txid;
+    std::uint32_t index = 0;
+
+    friend auto operator<=>(const OutPoint&, const OutPoint&) = default;
+
+    void encode(Writer& w) const;
+    static OutPoint decode(Reader& r);
+};
+
+struct TxInput {
+    OutPoint prevout;
+    /// Compressed public key matching the spent output's address.
+    Bytes pubkey;
+    /// 64-byte signature over the transaction sighash.
+    Bytes signature;
+
+    friend bool operator==(const TxInput&, const TxInput&) = default;
+
+    void encode(Writer& w) const;
+    static TxInput decode(Reader& r);
+};
+
+struct TxOutput {
+    Amount value = 0;
+    crypto::Address recipient;
+
+    friend bool operator==(const TxOutput&, const TxOutput&) = default;
+
+    void encode(Writer& w) const;
+    static TxOutput decode(Reader& r);
+};
+
+enum class TxKind : std::uint8_t {
+    kCoinbase = 0,       // block reward, no inputs
+    kTransfer = 1,       // UTXO value transfer (1.0)
+    kContractDeploy = 2, // account-model: `data` is contract bytecode (2.0)
+    kContractCall = 3,   // account-model: `data` is call payload (2.0)
+    kRecord = 4,         // opaque application record (3.0)
+};
+
+struct Transaction {
+    TxKind kind = TxKind::kTransfer;
+
+    // UTXO family (kCoinbase / kTransfer).
+    std::vector<TxInput> inputs;
+    std::vector<TxOutput> outputs;
+
+    // Account family (kContractDeploy / kContractCall / kRecord).
+    Bytes sender_pubkey;      // compressed key of the caller
+    std::uint64_t nonce = 0;  // caller's account nonce
+    crypto::Address target;   // contract address (kContractCall)
+    Amount value = 0;         // coins attached to the call
+    Bytes data;               // code / calldata / record payload
+    std::uint64_t gas_limit = 0;
+    Amount gas_price = 0;
+    Bytes account_signature;  // signature over the sighash
+
+    /// Explicit fee for UTXO txs is implied (inputs - outputs); account txs pay
+    /// gas_used * gas_price. This field lets workload generators express intent
+    /// for mempool ordering before execution.
+    Amount declared_fee = 0;
+
+    bool is_coinbase() const { return kind == TxKind::kCoinbase; }
+    bool uses_accounts() const {
+        return kind == TxKind::kContractDeploy || kind == TxKind::kContractCall ||
+               kind == TxKind::kRecord;
+    }
+
+    /// Hash over the full serialization — the transaction id (Fig. 2 leaves).
+    /// Cached after the first call: transactions are value types that flow
+    /// through mempools, blocks, and UTXO updates, and recomputing the double
+    /// SHA-256 at every site dominates simulation cost. sign_with() refreshes
+    /// the cache; code that mutates fields directly after calling txid() must
+    /// call invalidate_txid_cache().
+    Hash256 txid() const;
+
+    /// Drop the cached txid (after direct field mutation).
+    void invalidate_txid_cache() { cached_txid_.reset(); }
+
+    /// Hash all fields except signatures — the message wallets sign.
+    Hash256 sighash() const;
+
+    /// Sign every input (UTXO family) or the account signature with `key`.
+    void sign_with(const crypto::PrivateKey& key);
+
+    /// Verify all signatures against the embedded public keys. Does not check
+    /// that pubkeys match spent outputs — that needs the UTXO set (validation.hpp).
+    bool verify_signatures() const;
+
+    friend bool operator==(const Transaction& a, const Transaction& b);
+
+    void encode(Writer& w) const;
+    static Transaction decode(Reader& r);
+
+    std::size_t serialized_size() const;
+
+private:
+    mutable std::optional<Hash256> cached_txid_;
+};
+
+/// Convenience builders used across tests, examples, and workload generators.
+Transaction make_coinbase(const crypto::Address& miner, Amount reward,
+                          std::uint64_t height);
+Transaction make_transfer(const std::vector<OutPoint>& spends,
+                          const std::vector<TxOutput>& outputs);
+Transaction make_record(const crypto::PublicKey& sender, std::uint64_t nonce,
+                        Bytes payload);
+
+} // namespace dlt::ledger

@@ -1,0 +1,121 @@
+#include "ledger/utxo.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace dlt::ledger {
+
+std::optional<TxOutput> UtxoSet::lookup(const OutPoint& op) const {
+    const auto it = entries_.find(op);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+bool UtxoSet::contains(const OutPoint& op) const { return entries_.contains(op); }
+
+Amount UtxoSet::total_value() const {
+    Amount total = 0;
+    for (const auto& [op, out] : entries_) total += out.value;
+    return total;
+}
+
+Amount UtxoSet::balance_of(const crypto::Address& addr) const {
+    Amount total = 0;
+    for (const auto& [op, out] : entries_)
+        if (out.recipient == addr) total += out.value;
+    return total;
+}
+
+std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::coins_of(
+    const crypto::Address& addr) const {
+    std::vector<std::pair<OutPoint, TxOutput>> coins;
+    for (const auto& [op, out] : entries_)
+        if (out.recipient == addr) coins.emplace_back(op, out);
+    return coins;
+}
+
+std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::export_all() const {
+    std::vector<std::pair<OutPoint, TxOutput>> all;
+    all.reserve(entries_.size());
+    for (const auto& [op, out] : entries_) all.emplace_back(op, out);
+    return all;
+}
+
+Amount UtxoSet::check_transaction(const Transaction& tx) const {
+    if (tx.is_coinbase()) return 0;
+    if (tx.kind != TxKind::kTransfer)
+        return 0; // account-family txs do not touch the UTXO set
+    if (tx.inputs.empty()) throw ValidationError("transfer with no inputs");
+
+    Amount in_value = 0;
+    std::vector<OutPoint> seen;
+    for (const auto& in : tx.inputs) {
+        for (const auto& prior : seen)
+            if (prior == in.prevout)
+                throw ValidationError("duplicate input within transaction");
+        seen.push_back(in.prevout);
+
+        const auto out = lookup(in.prevout);
+        if (!out) throw ValidationError("input spends unknown or spent output");
+        in_value += out->value;
+    }
+
+    Amount out_value = 0;
+    for (const auto& out : tx.outputs) {
+        if (!money_range(out.value)) throw ValidationError("output value out of range");
+        out_value += out.value;
+    }
+    if (!money_range(in_value) || !money_range(out_value))
+        throw ValidationError("value overflow");
+    if (out_value > in_value) throw ValidationError("outputs exceed inputs");
+    return in_value - out_value;
+}
+
+void UtxoSet::apply_transaction(const Transaction& tx, UtxoUndo& undo) {
+    if (tx.kind == TxKind::kTransfer) {
+        for (const auto& in : tx.inputs) {
+            const auto it = entries_.find(in.prevout);
+            DLT_INVARIANT(it != entries_.end()); // caller checked
+            undo.spent.emplace_back(in.prevout, it->second);
+            entries_.erase(it);
+        }
+    }
+    if (tx.kind == TxKind::kTransfer || tx.is_coinbase()) {
+        const Hash256 id = tx.txid();
+        for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+            const OutPoint op{id, i};
+            entries_.emplace(op, tx.outputs[i]);
+            undo.created.push_back(op);
+        }
+    }
+}
+
+Amount UtxoSet::check_and_apply(const Transaction& tx, UtxoUndo& undo) {
+    const Amount fee = check_transaction(tx); // throws without mutating
+    apply_transaction(tx, undo);
+    return fee;
+}
+
+UtxoUndo UtxoSet::apply_block(const Block& block) {
+    UtxoUndo undo;
+    try {
+        for (const auto& tx : block.txs) check_and_apply(tx, undo);
+    } catch (...) {
+        undo_block(undo); // roll back the partial application
+        throw;
+    }
+    return undo;
+}
+
+void UtxoSet::undo_block(const UtxoUndo& undo) {
+    // Remove created outputs (reverse order), then restore spent ones.
+    for (auto it = undo.created.rbegin(); it != undo.created.rend(); ++it) {
+        const auto found = entries_.find(*it);
+        DLT_INVARIANT(found != entries_.end());
+        entries_.erase(found);
+    }
+    for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
+        entries_.emplace(it->first, it->second);
+}
+
+} // namespace dlt::ledger

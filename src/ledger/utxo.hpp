@@ -1,0 +1,78 @@
+// UTXO set: the spendable-coin state of Blockchain-1.0 chains, with apply/undo
+// support so branch reorganizations (longest-chain and GHOST switches) can roll
+// the state back and forward deterministically.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+
+namespace dlt::ledger {
+
+/// Everything needed to undo one block application.
+struct UtxoUndo {
+    /// Outputs consumed by the block, with their original data, in spend order.
+    std::vector<std::pair<OutPoint, TxOutput>> spent;
+    /// Outpoints created by the block.
+    std::vector<OutPoint> created;
+};
+
+class UtxoSet {
+public:
+    UtxoSet() = default;
+
+    std::optional<TxOutput> lookup(const OutPoint& op) const;
+    bool contains(const OutPoint& op) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /// Total value across all unspent outputs.
+    Amount total_value() const;
+
+    /// Spendable balance of one address (linear scan; fine at simulation scale).
+    Amount balance_of(const crypto::Address& addr) const;
+
+    /// All outpoints owned by an address (wallet coin selection).
+    std::vector<std::pair<OutPoint, TxOutput>> coins_of(const crypto::Address& addr) const;
+
+    /// Full contents (snapshot serialization, bootstrap checkpoints).
+    std::vector<std::pair<OutPoint, TxOutput>> export_all() const;
+
+    /// Insert an entry directly (snapshot restore); overwrites silently.
+    void insert_raw(const OutPoint& op, const TxOutput& out) {
+        entries_[op] = out;
+    }
+
+    /// Check a transaction against the set: inputs exist, no intra-tx double
+    /// spends, value in >= value out. Returns the fee (inputs - outputs) on
+    /// success; throws ValidationError otherwise. Coinbases return 0.
+    Amount check_transaction(const Transaction& tx) const;
+
+    /// Validate and apply one transaction, appending to `undo`. Returns the fee.
+    /// Throws ValidationError without mutating on failure.
+    Amount check_and_apply(const Transaction& tx, UtxoUndo& undo);
+
+    /// Apply a whole block (earlier txs may fund later ones). Returns the undo
+    /// record. Throws ValidationError and leaves the set unchanged on any
+    /// invalid spend.
+    UtxoUndo apply_block(const Block& block);
+
+    /// Revert a block using its undo record (exact inverse of apply_block).
+    void undo_block(const UtxoUndo& undo);
+
+private:
+    void apply_transaction(const Transaction& tx, UtxoUndo& undo);
+
+    struct OutPointHash {
+        std::size_t operator()(const OutPoint& op) const noexcept {
+            return hash_value(op.txid) ^ (op.index * 0x9E3779B9u);
+        }
+    };
+
+    std::unordered_map<OutPoint, TxOutput, OutPointHash> entries_;
+};
+
+} // namespace dlt::ledger

@@ -1,0 +1,53 @@
+#include "ledger/validation.hpp"
+
+#include "common/error.hpp"
+
+namespace dlt::ledger {
+
+void check_block_structure(const Block& block, const ValidationRules& rules) {
+    if (block.serialized_size() > rules.max_block_bytes)
+        throw ValidationError("block exceeds size limit");
+    if (block.txs.size() > rules.max_txs_per_block)
+        throw ValidationError("block exceeds transaction count limit");
+    if (block.header.merkle_root != block.compute_merkle_root())
+        throw ValidationError("merkle root mismatch");
+
+    if (rules.require_coinbase && block.header.height > 0) {
+        if (block.txs.empty() || !block.txs.front().is_coinbase())
+            throw ValidationError("first transaction must be coinbase");
+    }
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        const auto& tx = block.txs[i];
+        if (tx.is_coinbase() && i != 0)
+            throw ValidationError("coinbase beyond first position");
+        if (rules.sig_mode == SigCheckMode::kFull && !tx.is_coinbase() &&
+            !tx.verify_signatures())
+            throw ValidationError("bad transaction signature");
+    }
+}
+
+UtxoUndo connect_block(const Block& block, UtxoSet& utxo,
+                       const ValidationRules& rules) {
+    check_block_structure(block, rules);
+
+    UtxoUndo undo;
+    Amount total_fees = 0;
+    try {
+        for (const auto& tx : block.txs) total_fees += utxo.check_and_apply(tx, undo);
+
+        if (rules.require_coinbase && block.header.height > 0 && !block.txs.empty() &&
+            block.txs.front().is_coinbase()) {
+            Amount claimed = 0;
+            for (const auto& out : block.txs.front().outputs) claimed += out.value;
+            const Amount ceiling = block_subsidy(block.header.height) + total_fees;
+            if (claimed > ceiling)
+                throw ValidationError("coinbase claims more than subsidy plus fees");
+        }
+    } catch (...) {
+        utxo.undo_block(undo);
+        throw;
+    }
+    return undo;
+}
+
+} // namespace dlt::ledger

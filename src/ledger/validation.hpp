@@ -1,0 +1,37 @@
+// Consensus-agnostic block validation rules (the "System layer" checks every
+// peer runs before accepting a block, §2.2/§2.4): structural limits, Merkle
+// root integrity, coinbase policy, and signature checking policy.
+#pragma once
+
+#include <cstdint>
+
+#include "ledger/block.hpp"
+#include "ledger/utxo.hpp"
+
+namespace dlt::ledger {
+
+/// How thoroughly to check signatures. Full ECDSA on every input reproduces
+/// real node behaviour; kSkip lets throughput experiments isolate consensus
+/// costs from our (intentionally unoptimized) bignum arithmetic — DESIGN.md
+/// records this as a measurement knob, not a protocol change.
+enum class SigCheckMode { kFull, kSkip };
+
+struct ValidationRules {
+    std::size_t max_block_bytes = 1'000'000; // the 1 MB limit behind "7 tps"
+    std::size_t max_txs_per_block = 50'000;
+    SigCheckMode sig_mode = SigCheckMode::kFull;
+    bool require_coinbase = true;
+    Amount max_subsidy = kInitialSubsidy;
+};
+
+/// Structural checks that need no chain context: size, Merkle root, coinbase
+/// placement, signatures (per `rules.sig_mode`). Throws ValidationError.
+void check_block_structure(const Block& block, const ValidationRules& rules);
+
+/// Full contextual check against the parent-chain UTXO set: applies every
+/// transaction, enforces the subsidy ceiling (subsidy + fees), and returns the
+/// undo data. Throws ValidationError; the UTXO set is unchanged on failure.
+UtxoUndo connect_block(const Block& block, UtxoSet& utxo,
+                       const ValidationRules& rules);
+
+} // namespace dlt::ledger

@@ -1,0 +1,133 @@
+#include "ledger/wallet.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dlt::ledger {
+
+Wallet::Wallet(std::string seed_label) : seed_(std::move(seed_label)) {
+    DLT_EXPECTS(!seed_.empty());
+}
+
+crypto::Address Wallet::fresh_address() {
+    const std::size_t index = keys_.size();
+    keys_.push_back(
+        crypto::PrivateKey::from_seed(seed_ + "/" + std::to_string(index)));
+    addresses_.push_back(keys_.back().address());
+    return addresses_.back();
+}
+
+bool Wallet::owns(const crypto::Address& addr) const {
+    return key_index_for(addr).has_value();
+}
+
+std::optional<std::size_t> Wallet::key_index_for(const crypto::Address& addr) const {
+    for (std::size_t i = 0; i < addresses_.size(); ++i)
+        if (addresses_[i] == addr) return i;
+    return std::nullopt;
+}
+
+void Wallet::process_block(const Block& block) {
+    for (const auto& tx : block.txs) {
+        // Remove coins spent by this transaction.
+        if (tx.kind == TxKind::kTransfer) {
+            for (const auto& in : tx.inputs) {
+                const auto it = std::find_if(
+                    coins_.begin(), coins_.end(), [&](const OwnedCoin& c) {
+                        return c.outpoint == in.prevout;
+                    });
+                if (it != coins_.end()) coins_.erase(it);
+            }
+        }
+        // Add outputs paying one of our addresses.
+        if (tx.kind == TxKind::kTransfer || tx.is_coinbase()) {
+            const Hash256 id = tx.txid();
+            for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+                const auto key = key_index_for(tx.outputs[i].recipient);
+                if (!key) continue;
+                coins_.push_back(OwnedCoin{OutPoint{id, i}, tx.outputs[i], *key, false});
+            }
+        }
+    }
+}
+
+void Wallet::undo_block(const Block& block) {
+    for (auto tx_it = block.txs.rbegin(); tx_it != block.txs.rend(); ++tx_it) {
+        const auto& tx = *tx_it;
+        if (tx.kind == TxKind::kTransfer || tx.is_coinbase()) {
+            // Forget coins this block created for us.
+            const Hash256 id = tx.txid();
+            coins_.erase(std::remove_if(coins_.begin(), coins_.end(),
+                                        [&](const OwnedCoin& c) {
+                                            return c.outpoint.txid == id;
+                                        }),
+                         coins_.end());
+        }
+        if (tx.kind == TxKind::kTransfer) {
+            // Restore coins it spent from us (we cannot know the output data
+            // without the chain; the caller re-processes older blocks instead).
+        }
+    }
+}
+
+Amount Wallet::balance() const {
+    Amount total = 0;
+    for (const auto& coin : coins_)
+        if (!coin.pending_spent) total += coin.output.value;
+    return total;
+}
+
+std::optional<Transaction> Wallet::pay(const crypto::Address& to, Amount amount,
+                                       Amount fee) {
+    DLT_EXPECTS(amount > 0);
+    DLT_EXPECTS(fee >= 0);
+
+    // Greedy largest-first selection over non-pending coins.
+    std::vector<OwnedCoin*> available;
+    for (auto& coin : coins_)
+        if (!coin.pending_spent) available.push_back(&coin);
+    std::sort(available.begin(), available.end(),
+              [](const OwnedCoin* a, const OwnedCoin* b) {
+                  return a->output.value > b->output.value;
+              });
+
+    std::vector<OwnedCoin*> selected;
+    Amount gathered = 0;
+    for (OwnedCoin* coin : available) {
+        if (gathered >= amount + fee) break;
+        selected.push_back(coin);
+        gathered += coin->output.value;
+    }
+    if (gathered < amount + fee) return std::nullopt;
+
+    Transaction tx;
+    tx.kind = TxKind::kTransfer;
+    tx.declared_fee = fee;
+    for (const OwnedCoin* coin : selected)
+        tx.inputs.push_back(TxInput{coin->outpoint, {}, {}});
+    tx.outputs.push_back(TxOutput{amount, to});
+    const Amount change = gathered - amount - fee;
+    if (change > 0) tx.outputs.push_back(TxOutput{change, fresh_address()});
+
+    // Per-input signing: install every input's pubkey first (the sighash
+    // commits to all of them), then sign each input with its own key.
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        tx.inputs[i].pubkey = key_at(selected[i]->key_index).public_key().encode();
+    const Hash256 digest = tx.sighash();
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        tx.inputs[i].signature = key_at(selected[i]->key_index).sign(digest).encode();
+    tx.invalidate_txid_cache();
+
+    mark_pending(tx);
+    return tx;
+}
+
+void Wallet::mark_pending(const Transaction& tx) {
+    for (const auto& in : tx.inputs) {
+        for (auto& coin : coins_)
+            if (coin.outpoint == in.prevout) coin.pending_spent = true;
+    }
+}
+
+} // namespace dlt::ledger

@@ -1,0 +1,68 @@
+// Wallet: key management, UTXO tracking, coin selection, and transaction
+// construction — the client-side role of §5.1's actor taxonomy ("who is sending
+// transactions?"). Wallets are not peers: they hold keys and build signed
+// transactions against a view of the chain.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+#include "ledger/utxo.hpp"
+
+namespace dlt::ledger {
+
+class Wallet {
+public:
+    /// Deterministic wallet: keys derived from a seed label ("<seed>/<index>").
+    explicit Wallet(std::string seed_label);
+
+    /// Derive (and remember) a fresh receive address.
+    crypto::Address fresh_address();
+
+    /// All addresses this wallet controls.
+    const std::vector<crypto::Address>& addresses() const { return addresses_; }
+    bool owns(const crypto::Address& addr) const;
+
+    /// Scan a confirmed block and update the wallet's coin set: adds outputs
+    /// paying us, removes coins we spent.
+    void process_block(const Block& block);
+
+    /// Roll back a disconnected block (reorg support): restores spent coins and
+    /// forgets created ones. Blocks must be undone in reverse order.
+    void undo_block(const Block& block);
+
+    Amount balance() const;
+    std::size_t coin_count() const { return coins_.size(); }
+
+    /// Build and sign a payment of `amount` to `to`, paying `fee`, returning
+    /// change to a fresh address. Greedy largest-first coin selection. Returns
+    /// nullopt when funds are insufficient.
+    std::optional<Transaction> pay(const crypto::Address& to, Amount amount,
+                                   Amount fee);
+
+    /// Mark a transaction's inputs as pending-spent so a second pay() cannot
+    /// double-spend before confirmation (called by pay() automatically).
+    void mark_pending(const Transaction& tx);
+
+private:
+    struct OwnedCoin {
+        OutPoint outpoint;
+        TxOutput output;
+        std::size_t key_index; // which derived key controls it
+        bool pending_spent = false;
+    };
+
+    const crypto::PrivateKey& key_at(std::size_t index) const { return keys_[index]; }
+    std::optional<std::size_t> key_index_for(const crypto::Address& addr) const;
+
+    std::string seed_;
+    std::vector<crypto::PrivateKey> keys_;
+    std::vector<crypto::Address> addresses_;
+    std::vector<OwnedCoin> coins_;
+};
+
+} // namespace dlt::ledger

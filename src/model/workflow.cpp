@@ -1,0 +1,137 @@
+#include "model/workflow.hpp"
+
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace dlt::model {
+
+WorkflowModel::WorkflowModel(std::string name, std::size_t state_count,
+                             std::size_t role_count)
+    : name_(std::move(name)), state_count_(state_count), role_count_(role_count),
+      labels_(state_count) {
+    DLT_EXPECTS(state_count >= 2);
+    DLT_EXPECTS(role_count >= 1);
+    DLT_EXPECTS(!name_.empty());
+}
+
+void WorkflowModel::label_state(std::size_t state, std::string label) {
+    DLT_EXPECTS(state < state_count_);
+    labels_[state] = std::move(label);
+}
+
+const std::string& WorkflowModel::state_label(std::size_t state) const {
+    DLT_EXPECTS(state < state_count_);
+    return labels_[state];
+}
+
+void WorkflowModel::add_transition(Transition t) {
+    if (t.from >= state_count_ || t.to >= state_count_)
+        throw ContractError("workflow: transition state out of range");
+    if (t.role >= role_count_) throw ContractError("workflow: role out of range");
+    if (t.task.empty()) throw ContractError("workflow: empty task name");
+    for (const auto& existing : transitions_)
+        if (existing.task == t.task)
+            throw ContractError("workflow: duplicate task '" + t.task + "'");
+    transitions_.push_back(std::move(t));
+}
+
+std::vector<std::size_t> WorkflowModel::terminal_states() const {
+    std::vector<bool> has_out(state_count_, false);
+    for (const auto& t : transitions_) has_out[t.from] = true;
+    std::vector<std::size_t> terminals;
+    for (std::size_t s = 0; s < state_count_; ++s)
+        if (!has_out[s]) terminals.push_back(s);
+    return terminals;
+}
+
+std::vector<ValidationIssue> WorkflowModel::validate() const {
+    std::vector<ValidationIssue> issues;
+
+    if (transitions_.empty()) {
+        issues.push_back({"workflow has no transitions"});
+        return issues;
+    }
+
+    // Reachability from the start state.
+    std::vector<bool> reachable(state_count_, false);
+    std::queue<std::size_t> frontier;
+    frontier.push(0);
+    reachable[0] = true;
+    while (!frontier.empty()) {
+        const std::size_t s = frontier.front();
+        frontier.pop();
+        for (const auto& t : transitions_) {
+            if (t.from == s && !reachable[t.to]) {
+                reachable[t.to] = true;
+                frontier.push(t.to);
+            }
+        }
+    }
+    for (std::size_t s = 0; s < state_count_; ++s)
+        if (!reachable[s])
+            issues.push_back({"state " + std::to_string(s) + " is unreachable"});
+
+    if (terminal_states().empty())
+        issues.push_back({"no terminal state: the process cannot complete"});
+
+    // Reserved generated-function names.
+    static const std::set<std::string> kReserved = {"init", "currentState",
+                                                    "isComplete"};
+    for (const auto& t : transitions_)
+        if (kReserved.contains(t.task))
+            issues.push_back({"task name '" + t.task + "' is reserved"});
+
+    return issues;
+}
+
+std::string WorkflowModel::to_minisol() const {
+    const auto issues = validate();
+    if (!issues.empty())
+        throw ContractError("workflow '" + name_ + "' invalid: " + issues[0].message);
+
+    std::ostringstream out;
+    out << "contract " << name_ << " {\n";
+    out << "    storage state;\n";
+    for (std::size_t r = 0; r < role_count_; ++r)
+        out << "    storage role" << r << ";\n";
+
+    // init binds the participants.
+    out << "\n    fn init(";
+    for (std::size_t r = 0; r < role_count_; ++r) {
+        if (r > 0) out << ", ";
+        out << "r" << r;
+    }
+    out << ") {\n";
+    for (std::size_t r = 0; r < role_count_; ++r)
+        out << "        role" << r << " = r" << r << ";\n";
+    out << "        state = 0;\n    }\n";
+
+    // One function per task.
+    for (const auto& t : transitions_) {
+        out << "\n    fn " << t.task << "() {\n";
+        out << "        require(state == " << t.from << ");\n";
+        out << "        require(caller == role" << t.role << ");\n";
+        out << "        state = " << t.to << ";\n";
+        out << "        emit " << t.task << "Done(" << t.to << ");\n";
+        out << "    }\n";
+    }
+
+    out << "\n    fn currentState() view { return state; }\n";
+
+    const auto terminals = terminal_states();
+    out << "\n    fn isComplete() view { return ";
+    for (std::size_t i = 0; i < terminals.size(); ++i) {
+        if (i > 0) out << " || ";
+        out << "state == " << terminals[i];
+    }
+    out << "; }\n";
+
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace dlt::model

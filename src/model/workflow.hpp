@@ -1,0 +1,77 @@
+// Modeling layer (paper §4.2): a BPMN-flavoured workflow model — states, role-
+// restricted task transitions, exclusive choices — that validates structurally
+// and compiles to a MiniSol smart contract enforcing the process on-chain.
+// This is the paper's "modeling approaches are required to express workflows
+// ... which will be correctly reflected in the lower layers" made concrete:
+// model -> contract -> VM bytecode -> ledger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dlt::model {
+
+/// One task edge: performing `task` moves the process from `from` to `to`, and
+/// only the participant bound to `role` may perform it. Exclusive (XOR)
+/// gateways are expressed naturally as multiple transitions leaving one state.
+struct Transition {
+    std::string task;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t role = 0;
+};
+
+/// Structural problems found by validate().
+struct ValidationIssue {
+    std::string message;
+};
+
+class WorkflowModel {
+public:
+    /// A workflow over `state_count` states (state 0 is the start) and
+    /// `role_count` participant roles.
+    WorkflowModel(std::string name, std::size_t state_count, std::size_t role_count);
+
+    const std::string& name() const { return name_; }
+    std::size_t state_count() const { return state_count_; }
+    std::size_t role_count() const { return role_count_; }
+    const std::vector<Transition>& transitions() const { return transitions_; }
+
+    /// Register a human-readable state label (optional, for documentation).
+    void label_state(std::size_t state, std::string label);
+    const std::string& state_label(std::size_t state) const;
+
+    /// Add a task edge; throws ContractError on out-of-range states/roles or a
+    /// duplicate task name.
+    void add_transition(Transition t);
+
+    /// States with no outgoing transitions (process end states).
+    std::vector<std::size_t> terminal_states() const;
+
+    /// Structural validation: every state reachable from the start, at least
+    /// one terminal state, no transition names that collide with the generated
+    /// contract's reserved functions.
+    std::vector<ValidationIssue> validate() const;
+
+    /// Generate the MiniSol contract enforcing this workflow. Throws
+    /// ContractError when validate() reports issues.
+    ///
+    /// Generated interface:
+    ///   init(role0, role1, ...)   — binds participant addresses
+    ///   <task>()                  — one function per transition
+    ///   currentState() view
+    ///   isComplete() view
+    std::string to_minisol() const;
+
+private:
+    std::string name_;
+    std::size_t state_count_;
+    std::size_t role_count_;
+    std::vector<Transition> transitions_;
+    std::vector<std::string> labels_;
+};
+
+} // namespace dlt::model

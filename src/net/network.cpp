@@ -1,0 +1,114 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace dlt::net {
+
+SimDuration LinkParams::sample_delay(std::size_t message_bytes, Rng& rng) const {
+    const double jitter = latency_jitter > 0
+                              ? (rng.uniform01() * 2.0 - 1.0) * latency_jitter
+                              : 0.0;
+    double latency = latency_mean + jitter;
+    if (latency < 0) latency = 0;
+    const double transfer =
+        bandwidth_bps > 0 ? static_cast<double>(message_bytes) * 8.0 / bandwidth_bps
+                          : 0.0;
+    return latency + transfer;
+}
+
+NodeId Network::add_node(std::function<void(const Delivery&)> handler) {
+    DLT_EXPECTS(handler != nullptr);
+    nodes_.push_back(NodeState{std::move(handler), {}, false});
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::connect(NodeId a, NodeId b, LinkParams params) {
+    DLT_EXPECTS(a < nodes_.size() && b < nodes_.size());
+    DLT_EXPECTS(a != b);
+    if (connected(a, b)) return;
+    links_.emplace(link_key(a, b), params);
+    nodes_[a].neighbors.push_back(b);
+    nodes_[b].neighbors.push_back(a);
+}
+
+bool Network::connected(NodeId a, NodeId b) const { return find_link(a, b) != nullptr; }
+
+const std::vector<NodeId>& Network::neighbors(NodeId n) const {
+    DLT_EXPECTS(n < nodes_.size());
+    return nodes_[n].neighbors;
+}
+
+const LinkParams* Network::find_link(NodeId a, NodeId b) const {
+    const auto it = links_.find(link_key(a, b));
+    return it == links_.end() ? nullptr : &it->second;
+}
+
+void Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
+    DLT_EXPECTS(from < nodes_.size() && to < nodes_.size());
+    const LinkParams* link = find_link(from, to);
+    if (link == nullptr) throw ValidationError("send between unconnected nodes");
+
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+
+    const SimDuration delay = link->sample_delay(payload.size(), rng_);
+    scheduler_->schedule_after(
+        delay, [this, from, to, topic = std::move(topic), payload = std::move(payload)] {
+            NodeState& target = nodes_[to];
+            if (target.crashed) {
+                ++stats_.messages_dropped;
+                return;
+            }
+            target.handler(Delivery{from, topic, payload});
+        });
+}
+
+void Network::send_to_neighbors(NodeId from, const std::string& topic,
+                                const Bytes& payload) {
+    for (const NodeId peer : neighbors(from)) send(from, peer, topic, payload);
+}
+
+void Network::set_crashed(NodeId n, bool crashed) {
+    DLT_EXPECTS(n < nodes_.size());
+    nodes_[n].crashed = crashed;
+}
+
+bool Network::is_crashed(NodeId n) const {
+    DLT_EXPECTS(n < nodes_.size());
+    return nodes_[n].crashed;
+}
+
+void Network::build_unstructured_overlay(std::size_t degree, LinkParams params) {
+    const std::size_t n = nodes_.size();
+    DLT_EXPECTS(n >= 2);
+    build_ring(params);
+    if (degree <= 2 || n <= 3) return;
+    for (NodeId i = 0; i < n; ++i) {
+        std::size_t attempts = 0;
+        while (nodes_[i].neighbors.size() < degree && attempts < 20 * degree) {
+            ++attempts;
+            const NodeId peer = static_cast<NodeId>(rng_.uniform(n));
+            if (peer == i || connected(i, peer)) continue;
+            connect(i, peer, params);
+        }
+    }
+}
+
+void Network::build_full_mesh(LinkParams params) {
+    const std::size_t n = nodes_.size();
+    for (NodeId i = 0; i < n; ++i)
+        for (NodeId j = i + 1; j < n; ++j) connect(i, j, params);
+}
+
+void Network::build_ring(LinkParams params) {
+    const std::size_t n = nodes_.size();
+    DLT_EXPECTS(n >= 2);
+    for (NodeId i = 0; i < n; ++i)
+        connect(i, static_cast<NodeId>((i + 1) % n), params);
+}
+
+} // namespace dlt::net

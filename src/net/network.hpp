@@ -1,0 +1,113 @@
+// Simulated P2P network (paper §2.3, network layer of §4.6): nodes joined by
+// links with latency + bandwidth models, message delivery through the
+// discrete-event scheduler, and topology builders for the unstructured overlays
+// popular blockchains use. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dlt::net {
+
+using NodeId = std::uint32_t;
+
+/// Link quality model. Delivery time = latency sample + size / bandwidth.
+struct LinkParams {
+    SimDuration latency_mean = 0.05;   // 50 ms, a typical WAN hop
+    SimDuration latency_jitter = 0.02; // uniform +/- jitter
+    double bandwidth_bps = 8e6 * 10;   // 10 MB/s
+
+    SimDuration sample_delay(std::size_t message_bytes, Rng& rng) const;
+};
+
+/// A message as seen by a receiving node.
+struct Delivery {
+    NodeId from = 0;
+    std::string topic;
+    Bytes payload;
+};
+
+/// Aggregate traffic counters (per network).
+struct TrafficStats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_dropped = 0;
+};
+
+class Network {
+public:
+    Network(sim::Scheduler& scheduler, Rng rng)
+        : scheduler_(&scheduler), rng_(std::move(rng)) {}
+
+    /// Add a node; its handler is invoked for each delivered message.
+    NodeId add_node(std::function<void(const Delivery&)> handler);
+
+    std::size_t node_count() const { return nodes_.size(); }
+
+    /// Create a bidirectional link; parallel links are allowed (first wins on
+    /// lookup). Self-links are rejected.
+    void connect(NodeId a, NodeId b, LinkParams params = {});
+
+    bool connected(NodeId a, NodeId b) const;
+    const std::vector<NodeId>& neighbors(NodeId n) const;
+
+    /// Send over an existing link; throws ValidationError when not connected.
+    /// Delivery is scheduled on the link's latency/bandwidth model. A node whose
+    /// `crashed` flag is set silently drops inbound messages.
+    void send(NodeId from, NodeId to, std::string topic, Bytes payload);
+
+    /// Convenience: send to every neighbor.
+    void send_to_neighbors(NodeId from, const std::string& topic, const Bytes& payload);
+
+    /// Crash / recover a node (fail-stop model for PBFT fault experiments).
+    void set_crashed(NodeId n, bool crashed);
+    bool is_crashed(NodeId n) const;
+
+    const TrafficStats& stats() const { return stats_; }
+    sim::Scheduler& scheduler() { return *scheduler_; }
+    Rng& rng() { return rng_; }
+
+    // --- Topology builders ------------------------------------------------------
+
+    /// Unstructured overlay: each node links to `degree` random distinct peers
+    /// (the union graph typically has ~2*degree mean degree). Guarantees
+    /// connectivity by first laying a ring.
+    void build_unstructured_overlay(std::size_t degree, LinkParams params = {});
+
+    /// Complete graph (small consortium networks, PBFT clusters).
+    void build_full_mesh(LinkParams params = {});
+
+    /// Simple ring (worst case diameter, useful in propagation experiments).
+    void build_ring(LinkParams params = {});
+
+private:
+    struct NodeState {
+        std::function<void(const Delivery&)> handler;
+        std::vector<NodeId> neighbors;
+        bool crashed = false;
+    };
+
+    static std::uint64_t link_key(NodeId a, NodeId b) {
+        const NodeId lo = a < b ? a : b;
+        const NodeId hi = a < b ? b : a;
+        return (static_cast<std::uint64_t>(lo) << 32) | hi;
+    }
+
+    const LinkParams* find_link(NodeId a, NodeId b) const;
+
+    sim::Scheduler* scheduler_;
+    Rng rng_;
+    std::vector<NodeState> nodes_;
+    std::unordered_map<std::uint64_t, LinkParams> links_;
+    TrafficStats stats_;
+};
+
+} // namespace dlt::net

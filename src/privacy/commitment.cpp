@@ -1,0 +1,26 @@
+#include "privacy/commitment.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dlt::privacy {
+
+Opening make_opening(ByteView value, Rng& rng) {
+    Opening opening;
+    opening.value = Bytes(value.begin(), value.end());
+    for (auto& b : opening.blinding.data) b = static_cast<std::uint8_t>(rng.next());
+    return opening;
+}
+
+Commitment commit(const Opening& opening) {
+    Bytes preimage;
+    preimage.reserve(32 + opening.value.size());
+    append(preimage, opening.blinding.view());
+    append(preimage, opening.value);
+    return Commitment{crypto::tagged_hash("dlt/commit", preimage)};
+}
+
+bool verify_opening(const Commitment& commitment, const Opening& opening) {
+    return commit(opening) == commitment;
+}
+
+} // namespace dlt::privacy

@@ -1,0 +1,30 @@
+// Hash-based commitments — the simulation stand-in for the zero-knowledge
+// machinery the paper cites (§5.3, zk-SNARKs): commit to a value without
+// revealing it, open later, verify bindingly. Used by the multi-channel ledger
+// to anchor private-channel state on a shared chain without disclosing it.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace dlt::privacy {
+
+struct Commitment {
+    Hash256 digest;
+
+    friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+struct Opening {
+    Bytes value;
+    Hash256 blinding;
+};
+
+/// Commit to `value` with a fresh random blinding factor.
+Opening make_opening(ByteView value, Rng& rng);
+Commitment commit(const Opening& opening);
+
+/// True when `opening` is the committed value (binding + hiding under SHA-256).
+bool verify_opening(const Commitment& commitment, const Opening& opening);
+
+} // namespace dlt::privacy

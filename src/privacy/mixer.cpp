@@ -1,0 +1,31 @@
+#include "privacy/mixer.hpp"
+
+#include "common/assert.hpp"
+
+namespace dlt::privacy {
+
+ledger::Transaction build_coinjoin(const std::vector<MixParticipant>& participants,
+                                   ledger::Amount denomination, Rng& rng) {
+    DLT_EXPECTS(participants.size() >= 2);
+    DLT_EXPECTS(denomination > 0);
+
+    ledger::Transaction tx;
+    tx.kind = ledger::TxKind::kTransfer;
+    for (const auto& p : participants)
+        tx.inputs.push_back(ledger::TxInput{p.coin, {}, {}});
+
+    std::vector<crypto::Address> destinations;
+    destinations.reserve(participants.size());
+    for (const auto& p : participants) destinations.push_back(p.fresh_address);
+    rng.shuffle(destinations);
+
+    for (const auto& dest : destinations)
+        tx.outputs.push_back(ledger::TxOutput{denomination, dest});
+    return tx;
+}
+
+double mixing_latency(std::size_t rounds, double block_interval) {
+    return static_cast<double>(rounds) * block_interval;
+}
+
+} // namespace dlt::privacy

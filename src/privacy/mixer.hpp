@@ -1,0 +1,33 @@
+// Mixer network (paper §5.3: "newer systems address these privacy concerns by
+// introducing mixer networks to hide the transaction history"). CoinJoin-style:
+// N participants with equal-denomination coins co-sign one transaction whose
+// shuffled outputs cannot be linked to specific inputs; chaining rounds grows
+// every participant's anonymity set multiplicatively while costing one
+// confirmation of latency per round (E12's trade-off).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/transaction.hpp"
+
+namespace dlt::privacy {
+
+struct MixParticipant {
+    ledger::OutPoint coin;     // equal-denomination input
+    crypto::Address fresh_address; // unlinkable output destination
+};
+
+/// Build one CoinJoin round: all inputs merged, outputs of `denomination`
+/// shuffled to the fresh addresses. Returns the unsigned transaction (each
+/// participant signs their own input in a real deployment; simulation-level
+/// callers use SigCheckMode::kSkip or sign with a session key).
+ledger::Transaction build_coinjoin(const std::vector<MixParticipant>& participants,
+                                   ledger::Amount denomination, Rng& rng);
+
+/// Latency model for E12: rounds * block interval (each round must confirm
+/// before the next can spend its outputs).
+double mixing_latency(std::size_t rounds, double block_interval);
+
+} // namespace dlt::privacy

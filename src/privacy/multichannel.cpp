@@ -1,0 +1,73 @@
+#include "privacy/multichannel.hpp"
+
+#include "common/error.hpp"
+
+namespace dlt::privacy {
+
+void MultiChannelLedger::create_channel(const std::string& name,
+                                        std::vector<Member> members) {
+    if (channels_.contains(name)) throw ValidationError("channel exists: " + name);
+    if (members.empty()) throw ValidationError("channel needs at least one member");
+    Channel channel;
+    channel.members.insert(members.begin(), members.end());
+    channels_.emplace(name, std::move(channel));
+}
+
+const MultiChannelLedger::Channel& MultiChannelLedger::channel_or_throw(
+    const std::string& name) const {
+    const auto it = channels_.find(name);
+    if (it == channels_.end()) throw ValidationError("unknown channel: " + name);
+    return it->second;
+}
+
+bool MultiChannelLedger::is_member(const std::string& channel,
+                                   const Member& who) const {
+    return channel_or_throw(channel).members.contains(who);
+}
+
+ChannelAnchor MultiChannelLedger::submit(const std::string& channel,
+                                         const Member& author, Bytes payload) {
+    const auto it = channels_.find(channel);
+    if (it == channels_.end()) throw ValidationError("unknown channel: " + channel);
+    Channel& ch = it->second;
+    if (!ch.members.contains(author))
+        throw ValidationError("submitter is not a channel member");
+
+    ChannelRecord record;
+    record.sequence = ch.records.size() + 1;
+    record.payload = payload;
+    record.author = author;
+
+    Opening opening = make_opening(payload, rng_);
+    ChannelAnchor anchor{channel, record.sequence, commit(opening)};
+
+    ch.records.push_back(std::move(record));
+    ch.openings.push_back(std::move(opening));
+    anchors_.push_back(anchor);
+    return anchor;
+}
+
+const std::vector<ChannelRecord>& MultiChannelLedger::read(const std::string& channel,
+                                                           const Member& who) const {
+    const Channel& ch = channel_or_throw(channel);
+    if (!ch.members.contains(who))
+        throw ValidationError("reader is not a channel member");
+    return ch.records;
+}
+
+const Opening& MultiChannelLedger::opening_for(const std::string& channel,
+                                               std::uint64_t sequence,
+                                               const Member& who) const {
+    const Channel& ch = channel_or_throw(channel);
+    if (!ch.members.contains(who))
+        throw ValidationError("requester is not a channel member");
+    if (sequence == 0 || sequence > ch.openings.size())
+        throw ValidationError("no such record");
+    return ch.openings[sequence - 1];
+}
+
+std::uint64_t MultiChannelLedger::height_of(const std::string& channel) const {
+    return channel_or_throw(channel).records.size();
+}
+
+} // namespace dlt::privacy

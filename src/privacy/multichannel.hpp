@@ -1,0 +1,82 @@
+// Multi-channel ledger (paper §5.3: "the blockchain platform must support such
+// privacy domains and yet still remain consistent. One such proposed approach
+// is called multi-channel", after Hyperledger Fabric). Each channel is an
+// isolated ledger visible only to its members; every committed channel block is
+// anchored on a shared chain as a commitment, so the consortium stays globally
+// consistent without leaking channel data (E15).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "privacy/commitment.hpp"
+
+namespace dlt::privacy {
+
+using Member = crypto::Address;
+
+struct ChannelRecord {
+    std::uint64_t sequence = 0;
+    Bytes payload;
+    Member author;
+};
+
+/// Anchor placed on the shared chain: proves a channel advanced without
+/// revealing what was written.
+struct ChannelAnchor {
+    std::string channel;
+    std::uint64_t sequence = 0;
+    Commitment commitment;
+};
+
+class MultiChannelLedger {
+public:
+    explicit MultiChannelLedger(std::uint64_t seed) : rng_(seed) {}
+
+    /// Create a channel; throws ValidationError when the name exists.
+    void create_channel(const std::string& name, std::vector<Member> members);
+
+    bool is_member(const std::string& channel, const Member& who) const;
+
+    /// Append a record; throws ValidationError when `author` is not a member.
+    /// Returns the anchor for the shared chain.
+    ChannelAnchor submit(const std::string& channel, const Member& author,
+                         Bytes payload);
+
+    /// Read the channel ledger; throws ValidationError for non-members — the
+    /// data-isolation guarantee.
+    const std::vector<ChannelRecord>& read(const std::string& channel,
+                                           const Member& who) const;
+
+    /// Anyone may read the anchors (they reveal only progress, not content).
+    const std::vector<ChannelAnchor>& anchors() const { return anchors_; }
+
+    /// A member proves to an auditor that a specific record matches an anchor
+    /// by revealing its opening.
+    const Opening& opening_for(const std::string& channel, std::uint64_t sequence,
+                               const Member& who) const;
+
+    std::size_t channel_count() const { return channels_.size(); }
+    std::uint64_t height_of(const std::string& channel) const;
+
+private:
+    struct Channel {
+        std::unordered_set<Member> members;
+        std::vector<ChannelRecord> records;
+        std::vector<Opening> openings; // parallel to records
+    };
+
+    const Channel& channel_or_throw(const std::string& name) const;
+
+    Rng rng_;
+    std::map<std::string, Channel> channels_;
+    std::vector<ChannelAnchor> anchors_;
+};
+
+} // namespace dlt::privacy

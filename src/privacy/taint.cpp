@@ -1,0 +1,55 @@
+#include "privacy/taint.hpp"
+
+namespace dlt::privacy {
+
+void TaintAnalyzer::add_transaction(const ledger::Transaction& tx) {
+    if (tx.kind != ledger::TxKind::kTransfer && !tx.is_coinbase()) return;
+    std::vector<ledger::OutPoint> spent;
+    spent.reserve(tx.inputs.size());
+    for (const auto& in : tx.inputs) spent.push_back(in.prevout);
+    tx_inputs_.emplace(tx.txid(), std::move(spent));
+}
+
+void TaintAnalyzer::add_block(const ledger::Block& block) {
+    for (const auto& tx : block.txs) add_transaction(tx);
+}
+
+OutPointSet TaintAnalyzer::origins_of(const ledger::OutPoint& op) const {
+    OutPointSet origins;
+    OutPointSet visited;
+    std::vector<ledger::OutPoint> stack{op};
+    while (!stack.empty()) {
+        const ledger::OutPoint cur = stack.back();
+        stack.pop_back();
+        if (!visited.insert(cur).second) continue;
+
+        const auto it = tx_inputs_.find(cur.txid);
+        if (it == tx_inputs_.end() || it->second.empty()) {
+            // Unknown transaction or coinbase: a root origin.
+            origins.insert(cur);
+            continue;
+        }
+        for (const auto& parent : it->second) stack.push_back(parent);
+    }
+    return origins;
+}
+
+std::size_t TaintAnalyzer::anonymity_set_size(const ledger::OutPoint& op) const {
+    return origins_of(op).size();
+}
+
+double TaintAnalyzer::taint_fraction(const ledger::OutPoint& op,
+                                     const OutPointSet& tainted_roots) const {
+    const OutPointSet origins = origins_of(op);
+    if (origins.empty()) return 0.0;
+    std::size_t tainted = 0;
+    for (const auto& origin : origins)
+        if (tainted_roots.contains(origin)) ++tainted;
+    return static_cast<double>(tainted) / static_cast<double>(origins.size());
+}
+
+bool TaintAnalyzer::fully_traceable(const ledger::OutPoint& op) const {
+    return origins_of(op).size() == 1;
+}
+
+} // namespace dlt::privacy

@@ -1,0 +1,103 @@
+#include "scaling/atomicswap.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::scaling {
+
+void HtlcChain::credit(const crypto::Address& who, ledger::Amount amount) {
+    DLT_EXPECTS(amount >= 0);
+    balances_[who] += amount;
+}
+
+ledger::Amount HtlcChain::balance_of(const crypto::Address& who) const {
+    const auto it = balances_.find(who);
+    return it == balances_.end() ? 0 : it->second;
+}
+
+std::uint64_t HtlcChain::lock(const crypto::Address& sender,
+                              const crypto::Address& recipient,
+                              ledger::Amount amount, const Hash256& hashlock,
+                              double timelock) {
+    if (amount <= 0) throw ValidationError("htlc: amount must be positive");
+    const auto it = balances_.find(sender);
+    if (it == balances_.end() || it->second < amount)
+        throw ValidationError("htlc: insufficient funds");
+    it->second -= amount;
+
+    const std::uint64_t id = next_id_++;
+    contracts_.emplace(id, Htlc{hashlock, sender, recipient, amount, timelock, false});
+    return id;
+}
+
+void HtlcChain::claim(std::uint64_t id, const Bytes& preimage) {
+    const auto it = contracts_.find(id);
+    if (it == contracts_.end()) throw ValidationError("htlc: unknown contract");
+    Htlc& htlc = it->second;
+    if (htlc.settled) throw ValidationError("htlc: already settled");
+    if (now_ >= htlc.timelock)
+        throw ValidationError("htlc: timelock expired, claim window closed");
+    if (swap_hashlock(preimage) != htlc.hashlock)
+        throw ValidationError("htlc: wrong preimage");
+
+    htlc.settled = true;
+    balances_[htlc.recipient] += htlc.amount;
+    preimages_.emplace(id, preimage); // revealed on-chain for all to see
+}
+
+void HtlcChain::refund(std::uint64_t id) {
+    const auto it = contracts_.find(id);
+    if (it == contracts_.end()) throw ValidationError("htlc: unknown contract");
+    Htlc& htlc = it->second;
+    if (htlc.settled) throw ValidationError("htlc: already settled");
+    if (now_ < htlc.timelock) throw ValidationError("htlc: timelock not yet expired");
+    htlc.settled = true;
+    balances_[htlc.sender] += htlc.amount;
+}
+
+const Htlc& HtlcChain::contract(std::uint64_t id) const {
+    const auto it = contracts_.find(id);
+    if (it == contracts_.end()) throw ValidationError("htlc: unknown contract");
+    return it->second;
+}
+
+std::optional<Bytes> HtlcChain::revealed_preimage(std::uint64_t id) const {
+    const auto it = preimages_.find(id);
+    if (it == preimages_.end()) return std::nullopt;
+    return it->second;
+}
+
+Hash256 swap_hashlock(const Bytes& secret) {
+    return crypto::tagged_hash("dlt/htlc", secret);
+}
+
+SwapOutcome execute_swap(HtlcChain& chain_a, HtlcChain& chain_b,
+                         const crypto::Address& alice, const crypto::Address& bob,
+                         ledger::Amount amount_a, ledger::Amount amount_b,
+                         const Bytes& alice_secret, double base_timeout) {
+    SwapOutcome outcome;
+    const Hash256 hashlock = swap_hashlock(alice_secret);
+
+    // 1. Alice (secret holder) locks on chain A with the LONGER timeout 2T:
+    //    she must remain refundable after Bob's window closes.
+    outcome.htlc_a = chain_a.lock(alice, bob, amount_a, hashlock,
+                                  chain_a.now() + 2 * base_timeout);
+
+    // 2. Bob verifies the A-side lock, then locks on chain B with timeout T.
+    outcome.htlc_b =
+        chain_b.lock(bob, alice, amount_b, hashlock, chain_b.now() + base_timeout);
+
+    // 3. Alice claims on chain B, revealing the secret on-chain.
+    chain_b.claim(outcome.htlc_b, alice_secret);
+
+    // 4. Bob reads the revealed preimage from chain B and claims on chain A.
+    const auto revealed = chain_b.revealed_preimage(outcome.htlc_b);
+    DLT_INVARIANT(revealed.has_value());
+    chain_a.claim(outcome.htlc_a, *revealed);
+
+    outcome.completed = true;
+    return outcome;
+}
+
+} // namespace dlt::scaling

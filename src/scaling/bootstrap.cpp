@@ -1,0 +1,95 @@
+#include "scaling/bootstrap.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::scaling {
+
+Bytes serialize_utxo(const ledger::UtxoSet& utxo) {
+    // Deterministic order: collect and sort by outpoint.
+    std::vector<std::pair<ledger::OutPoint, ledger::TxOutput>> entries;
+    // UtxoSet has no iterator; rebuild via coins_of is per-address. Add a
+    // serialization-friendly export: total_value()/size() exist, so walk via
+    // the public snapshot API below.
+    entries = utxo.export_all();
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    Writer w;
+    w.varint(entries.size());
+    for (const auto& [op, out] : entries) {
+        op.encode(w);
+        out.encode(w);
+    }
+    return std::move(w).take();
+}
+
+ledger::UtxoSet deserialize_utxo(ByteView raw) {
+    Reader r(raw);
+    const std::uint64_t count = r.varint();
+    ledger::UtxoSet utxo;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto op = ledger::OutPoint::decode(r);
+        const auto out = ledger::TxOutput::decode(r);
+        utxo.insert_raw(op, out);
+    }
+    r.expect_done();
+    return utxo;
+}
+
+Checkpoint make_checkpoint(const ledger::ChainStore& chain, const Hash256& tip,
+                           std::uint64_t height, const ledger::UtxoSet& utxo) {
+    const auto path = chain.path_from_genesis(tip);
+    DLT_EXPECTS(height < path.size());
+    Checkpoint cp;
+    cp.height = height;
+    cp.block_hash = path[height];
+    cp.utxo_snapshot = serialize_utxo(utxo);
+    cp.snapshot_digest = crypto::tagged_hash("dlt/utxo-snapshot", cp.utxo_snapshot);
+    return cp;
+}
+
+BootstrapCost full_sync_cost(const ledger::ChainStore& chain, const Hash256& tip) {
+    BootstrapCost cost;
+    for (const auto& hash : chain.path_from_genesis(tip)) {
+        const auto* entry = chain.find(hash);
+        cost.bytes_downloaded += entry->block.serialized_size();
+        ++cost.blocks_processed;
+    }
+    return cost;
+}
+
+BootstrapCost checkpoint_sync_cost(const ledger::ChainStore& chain, const Hash256& tip,
+                                   const Checkpoint& checkpoint) {
+    if (crypto::tagged_hash("dlt/utxo-snapshot", checkpoint.utxo_snapshot) !=
+        checkpoint.snapshot_digest)
+        throw ValidationError("checkpoint snapshot digest mismatch");
+
+    const auto path = chain.path_from_genesis(tip);
+    DLT_EXPECTS(checkpoint.height < path.size());
+    if (path[checkpoint.height] != checkpoint.block_hash)
+        throw ValidationError("checkpoint not on the active chain");
+
+    BootstrapCost cost;
+    // Headers up to and including the checkpoint.
+    for (std::uint64_t h = 0; h <= checkpoint.height; ++h) {
+        const auto* entry = chain.find(path[h]);
+        Writer w;
+        entry->block.header.encode(w);
+        cost.bytes_downloaded += w.size();
+        ++cost.headers_processed;
+    }
+    // The snapshot itself.
+    cost.bytes_downloaded += checkpoint.utxo_snapshot.size();
+    // Full blocks after the checkpoint.
+    for (std::uint64_t h = checkpoint.height + 1; h < path.size(); ++h) {
+        const auto* entry = chain.find(path[h]);
+        cost.bytes_downloaded += entry->block.serialized_size();
+        ++cost.blocks_processed;
+    }
+    return cost;
+}
+
+} // namespace dlt::scaling

@@ -1,0 +1,50 @@
+// Fast bootstrap (paper §5.4: "a more efficient protocol is needed to bootstrap
+// new miners when they join the network without requiring a full download of
+// the blockchain"). Compares full-chain initial block download against
+// checkpoint sync: headers to the checkpoint, a signed UTXO snapshot, then only
+// the blocks after the checkpoint (E14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/utxo.hpp"
+
+namespace dlt::scaling {
+
+/// A serialized UTXO snapshot at a checkpoint height, authenticated by a digest
+/// committed by block producers.
+struct Checkpoint {
+    std::uint64_t height = 0;
+    Hash256 block_hash;
+    Bytes utxo_snapshot;  // serialized UTXO set
+    Hash256 snapshot_digest;
+};
+
+/// Cost of bringing a new peer to the tip.
+struct BootstrapCost {
+    std::uint64_t bytes_downloaded = 0;
+    std::uint64_t blocks_processed = 0;  // fully validated blocks
+    std::uint64_t headers_processed = 0; // header-only validation
+};
+
+/// Build a checkpoint for the block at `height` on the active chain of `chain`
+/// with post-state `utxo`.
+Checkpoint make_checkpoint(const ledger::ChainStore& chain, const Hash256& tip,
+                           std::uint64_t height, const ledger::UtxoSet& utxo);
+
+/// Serialize / restore a UTXO set (the snapshot payload).
+Bytes serialize_utxo(const ledger::UtxoSet& utxo);
+ledger::UtxoSet deserialize_utxo(ByteView raw);
+
+/// Full initial block download: every block downloaded and fully processed.
+BootstrapCost full_sync_cost(const ledger::ChainStore& chain, const Hash256& tip);
+
+/// Checkpoint sync: headers up to the checkpoint, the snapshot, full blocks
+/// after it. Verifies the snapshot digest; throws ValidationError on mismatch.
+BootstrapCost checkpoint_sync_cost(const ledger::ChainStore& chain, const Hash256& tip,
+                                   const Checkpoint& checkpoint);
+
+} // namespace dlt::scaling

@@ -1,0 +1,117 @@
+// Payment channels and a Lightning-style channel network (paper §5.2/§5.4:
+// "offload transactions outside the blockchain, as in the Lightning network").
+// A channel locks on-chain funds once, then supports unlimited instant
+// off-chain balance updates signed by both parties; closing settles the final
+// balance on-chain. Multi-hop payments route through intermediate channels
+// with HTLC-like atomicity (E11: many payments per on-chain transaction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "ledger/amount.hpp"
+
+namespace dlt::scaling {
+
+using crypto::Address;
+using ledger::Amount;
+
+/// One two-party channel. Balance updates are sequence-numbered commitments
+/// signed by both sides; the latest sequence wins at settlement (stale-state
+/// publication loses, as in Lightning penalty semantics — modelled by always
+/// settling the highest sequence).
+class PaymentChannel {
+public:
+    PaymentChannel(const crypto::PrivateKey& a, const crypto::PrivateKey& b,
+                   Amount fund_a, Amount fund_b);
+
+    const Address& party_a() const { return addr_a_; }
+    const Address& party_b() const { return addr_b_; }
+    Amount balance_a() const { return balance_a_; }
+    Amount balance_b() const { return balance_b_; }
+    Amount capacity() const { return balance_a_ + balance_b_; }
+    std::uint64_t sequence() const { return sequence_; }
+    bool closed() const { return closed_; }
+
+    /// Off-chain payment inside the channel; returns false on insufficient
+    /// directional balance or a closed channel. Both signatures are produced
+    /// and verified (real ECDSA) on the new commitment.
+    bool pay_a_to_b(Amount amount);
+    bool pay_b_to_a(Amount amount);
+
+    /// Verify the current commitment's two signatures (tamper check).
+    bool commitment_valid() const;
+
+    /// Close: returns the final (a, b) balances to settle on-chain.
+    std::pair<Amount, Amount> close();
+
+    std::uint64_t offchain_payments() const { return payments_; }
+
+private:
+    Hash256 commitment_digest(std::uint64_t seq, Amount a, Amount b) const;
+    void resign();
+
+    crypto::PrivateKey key_a_;
+    crypto::PrivateKey key_b_;
+    Address addr_a_;
+    Address addr_b_;
+    Amount balance_a_;
+    Amount balance_b_;
+    std::uint64_t sequence_ = 0;
+    std::uint64_t payments_ = 0;
+    bool closed_ = false;
+    crypto::secp256k1::Signature sig_a_;
+    crypto::secp256k1::Signature sig_b_;
+};
+
+/// Network of channels supporting multi-hop routed payments.
+class ChannelNetwork {
+public:
+    /// Register a participant; returns its index.
+    std::size_t add_node(const std::string& seed_label);
+
+    const Address& address_of(std::size_t node) const;
+
+    /// Open a channel funded fund_a/fund_b between two nodes; counts one
+    /// on-chain transaction.
+    void open_channel(std::size_t a, std::size_t b, Amount fund_a, Amount fund_b);
+
+    /// Route `amount` from src to dst through the cheapest-hop path with
+    /// sufficient directional capacity. Every hop updates atomically (all or
+    /// nothing, as an HTLC chain would). Returns the path length or nullopt
+    /// when no route exists.
+    std::optional<std::size_t> route_payment(std::size_t src, std::size_t dst,
+                                             Amount amount);
+
+    /// Close every channel; returns the number of on-chain settlement
+    /// transactions (for E11's on-chain-vs-off-chain accounting).
+    std::size_t settle_all();
+
+    std::uint64_t onchain_tx_count() const { return onchain_txs_; }
+    std::uint64_t offchain_payment_count() const { return offchain_payments_; }
+    std::size_t channel_count() const { return channels_.size(); }
+
+    /// Final settled balance per node (valid after settle_all()).
+    Amount settled_balance(std::size_t node) const;
+
+private:
+    struct Edge {
+        std::size_t channel_index;
+        std::size_t peer;
+        bool is_a; // this node is party A of the channel
+    };
+
+    std::vector<crypto::PrivateKey> keys_;
+    std::vector<Address> addresses_;
+    std::vector<std::vector<Edge>> adjacency_;
+    std::vector<PaymentChannel> channels_;
+    std::vector<Amount> settled_;
+    std::uint64_t onchain_txs_ = 0;
+    std::uint64_t offchain_payments_ = 0;
+};
+
+} // namespace dlt::scaling

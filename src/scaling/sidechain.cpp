@@ -1,0 +1,60 @@
+#include "scaling/sidechain.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::scaling {
+
+void SideChain::trust_main_header(const ledger::BlockHeader& header) {
+    trusted_roots_.insert(header.merkle_root);
+}
+
+void SideChain::peg_in(const PegInProof& proof) {
+    if (proof.amount <= 0) throw ValidationError("peg-in amount must be positive");
+    if (!trusted_roots_.contains(proof.main_header.merkle_root))
+        throw ValidationError("peg-in references an unknown main-chain header");
+    if (used_locks_.contains(proof.lock_txid))
+        throw ValidationError("peg-in replay: lock already claimed");
+
+    const Hash256 derived =
+        datastruct::merkle_root_from_proof(proof.lock_txid, proof.inclusion);
+    if (derived != proof.main_header.merkle_root)
+        throw ValidationError("peg-in SPV proof does not authenticate");
+
+    used_locks_.insert(proof.lock_txid);
+    balances_[proof.beneficiary] += proof.amount;
+    total_pegged_ += proof.amount;
+}
+
+Hash256 SideChain::peg_out(const crypto::Address& who, ledger::Amount amount) {
+    if (amount <= 0) throw ValidationError("peg-out amount must be positive");
+    const auto it = balances_.find(who);
+    if (it == balances_.end() || it->second < amount)
+        throw ValidationError("insufficient side-chain balance");
+    it->second -= amount;
+    total_pegged_ -= amount;
+
+    Writer w;
+    w.fixed(who);
+    w.i64(amount);
+    w.u64(burn_counter_++);
+    return crypto::tagged_hash("dlt/peg-out", w.data());
+}
+
+void SideChain::transfer(const crypto::Address& from, const crypto::Address& to,
+                         ledger::Amount amount) {
+    if (amount <= 0) throw ValidationError("transfer amount must be positive");
+    const auto it = balances_.find(from);
+    if (it == balances_.end() || it->second < amount)
+        throw ValidationError("insufficient side-chain balance");
+    it->second -= amount;
+    balances_[to] += amount;
+}
+
+ledger::Amount SideChain::balance_of(const crypto::Address& who) const {
+    const auto it = balances_.find(who);
+    return it == balances_.end() ? 0 : it->second;
+}
+
+} // namespace dlt::scaling

@@ -1,0 +1,58 @@
+// Side chains with a two-way peg (paper §5.4 cites side-chains as the other
+// parallelism axis). Coins are locked on the main chain with an SPV-style
+// Merkle proof of the lock transaction; the side chain mints the pegged amount,
+// runs at its own (faster) block interval, and peg-outs burn side-chain coins
+// to unlock main-chain funds.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/keys.hpp"
+#include "datastruct/merkle.hpp"
+#include "ledger/amount.hpp"
+#include "ledger/block.hpp"
+
+namespace dlt::scaling {
+
+/// Proof that a lock transaction is confirmed on the main chain: the txid, its
+/// Merkle inclusion proof, and the header whose root authenticates it.
+struct PegInProof {
+    Hash256 lock_txid;
+    datastruct::MerkleProof inclusion;
+    ledger::BlockHeader main_header;
+    crypto::Address beneficiary;
+    ledger::Amount amount = 0;
+};
+
+class SideChain {
+public:
+    /// `trusted_main_roots` seeds the set of main-chain headers the side chain
+    /// accepts peg-ins against (a real deployment tracks main headers live).
+    void trust_main_header(const ledger::BlockHeader& header);
+
+    /// Verify the SPV proof and mint pegged coins; throws ValidationError on a
+    /// bad proof, unknown header, or replayed lock txid.
+    void peg_in(const PegInProof& proof);
+
+    /// Burn side-chain coins, releasing the main-chain lock. Returns the burn
+    /// receipt id the main chain would verify. Throws on insufficient balance.
+    Hash256 peg_out(const crypto::Address& who, ledger::Amount amount);
+
+    /// Fast internal transfer (side chains trade decentralization for speed).
+    void transfer(const crypto::Address& from, const crypto::Address& to,
+                  ledger::Amount amount);
+
+    ledger::Amount balance_of(const crypto::Address& who) const;
+    ledger::Amount total_pegged() const { return total_pegged_; }
+
+private:
+    std::unordered_set<Hash256> trusted_roots_; // merkle roots of trusted headers
+    std::unordered_set<Hash256> used_locks_;
+    std::unordered_map<crypto::Address, ledger::Amount> balances_;
+    ledger::Amount total_pegged_ = 0;
+    std::uint64_t burn_counter_ = 0;
+};
+
+} // namespace dlt::scaling

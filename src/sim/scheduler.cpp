@@ -1,0 +1,59 @@
+#include "sim/scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace dlt::sim {
+
+EventId Scheduler::schedule_at(SimTime t, std::function<void()> fn) {
+    DLT_EXPECTS(t >= now_);
+    DLT_EXPECTS(fn != nullptr);
+    const EventId id = next_id_++;
+    queue_.push(Entry{t, next_seq_++, id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool Scheduler::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Scheduler::step() {
+    while (!queue_.empty()) {
+        const Entry entry = queue_.top();
+        queue_.pop();
+        const auto it = handlers_.find(entry.id);
+        if (it == handlers_.end()) continue; // cancelled
+        now_ = entry.time;
+        // Move the handler out before invoking: it may schedule or cancel events,
+        // invalidating iterators.
+        std::function<void()> fn = std::move(it->second);
+        handlers_.erase(it);
+        ++processed_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::size_t Scheduler::run_until(SimTime t) {
+    std::size_t count = 0;
+    while (!queue_.empty()) {
+        // Skip over cancelled entries to find the true next event time.
+        const auto it = handlers_.find(queue_.top().id);
+        if (it == handlers_.end()) {
+            queue_.pop();
+            continue;
+        }
+        if (queue_.top().time > t) break;
+        step();
+        ++count;
+    }
+    now_ = t > now_ ? t : now_;
+    return count;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+    std::size_t count = 0;
+    while (count < max_events && step()) ++count;
+    return count;
+}
+
+} // namespace dlt::sim

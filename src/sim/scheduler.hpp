@@ -1,0 +1,73 @@
+// Discrete-event scheduler: the heart of the simulation substrate (see DESIGN.md
+// substitutions). Events are (time, sequence) ordered for full determinism;
+// handlers may schedule further events. Virtual time is decoupled from wall
+// clock, so simulating a day of a 10-minute-block network takes milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dlt::sim {
+
+/// Token identifying a scheduled event; usable to cancel timers.
+using EventId = std::uint64_t;
+
+class Scheduler {
+public:
+    Scheduler() = default;
+
+    SimTime now() const { return now_; }
+
+    /// Schedule `fn` at absolute time `t` (>= now). Returns a cancellation token.
+    EventId schedule_at(SimTime t, std::function<void()> fn);
+
+    /// Schedule `fn` after a delay (>= 0).
+    EventId schedule_after(SimDuration delay, std::function<void()> fn) {
+        return schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Cancel a pending event; returns false when already fired or cancelled.
+    bool cancel(EventId id);
+
+    /// Run the next event; returns false when the queue is empty.
+    bool step();
+
+    /// Run events until the queue empties or virtual time would exceed `t`.
+    /// Returns the number of events processed. The clock is advanced to `t`
+    /// even if the queue empties earlier.
+    std::size_t run_until(SimTime t);
+
+    /// Run until the queue is empty or `max_events` have fired.
+    std::size_t run(std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
+    bool idle() const { return handlers_.empty(); }
+    std::size_t pending() const { return handlers_.size(); }
+    std::uint64_t events_processed() const { return processed_; }
+
+private:
+    struct Entry {
+        SimTime time;
+        std::uint64_t seq;
+        EventId id;
+
+        bool operator>(const Entry& other) const {
+            if (time != other.time) return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    SimTime now_ = kSimStart;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t processed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+} // namespace dlt::sim

@@ -1,0 +1,246 @@
+// Unit tests for the common module: hex codecs, FixedBytes, serialization,
+// varints, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace {
+
+using namespace dlt;
+
+TEST(Hex, RoundTrip) {
+    const Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+    EXPECT_EQ(to_hex(data), "0001abff7e");
+    EXPECT_EQ(from_hex("0001abff7e"), data);
+    EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Hex, EmptyIsValid) {
+    EXPECT_EQ(to_hex(Bytes{}), "");
+    EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), DecodeError); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_THROW(from_hex("zz"), DecodeError); }
+
+TEST(FixedBytes, ZeroDetection) {
+    Hash256 h;
+    EXPECT_TRUE(h.is_zero());
+    h[31] = 1;
+    EXPECT_FALSE(h.is_zero());
+}
+
+TEST(FixedBytes, HexRoundTrip) {
+    Hash256 h;
+    for (std::size_t i = 0; i < 32; ++i) h[i] = static_cast<std::uint8_t>(i);
+    const Hash256 back = Hash256::from_hex_str(h.hex());
+    EXPECT_EQ(h, back);
+}
+
+TEST(FixedBytes, FromBytesRejectsWrongSize) {
+    const Bytes short_buf(31, 0);
+    EXPECT_THROW(Hash256::from_bytes(short_buf), DecodeError);
+}
+
+TEST(FixedBytes, OrderingIsLexicographic) {
+    Hash256 a, b;
+    b[0] = 1;
+    EXPECT_LT(a, b);
+}
+
+TEST(Serialize, IntegersRoundTrip) {
+    Writer w;
+    w.u8(0x12);
+    w.u16(0x3456);
+    w.u32(0x789ABCDE);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    w.f64(3.14159);
+
+    Reader r(w.data());
+    EXPECT_EQ(r.u8(), 0x12);
+    EXPECT_EQ(r.u16(), 0x3456);
+    EXPECT_EQ(r.u32(), 0x789ABCDEu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianOnWire) {
+    Writer w;
+    w.u32(0x01020304);
+    EXPECT_EQ(to_hex(w.data()), "04030201");
+}
+
+TEST(Serialize, VarintBoundaries) {
+    const std::uint64_t cases[] = {0,      1,          0xFC,       0xFD,
+                                   0xFFFF, 0x10000,    0xFFFFFFFF, 0x100000000ull,
+                                   0xFFFFFFFFFFFFFFFFull};
+    for (const auto v : cases) {
+        Writer w;
+        w.varint(v);
+        Reader r(w.data());
+        EXPECT_EQ(r.varint(), v) << v;
+        EXPECT_TRUE(r.done());
+    }
+}
+
+TEST(Serialize, VarintCompactSizes) {
+    auto encoded_size = [](std::uint64_t v) {
+        Writer w;
+        w.varint(v);
+        return w.size();
+    };
+    EXPECT_EQ(encoded_size(0xFC), 1u);
+    EXPECT_EQ(encoded_size(0xFD), 3u);
+    EXPECT_EQ(encoded_size(0xFFFF), 3u);
+    EXPECT_EQ(encoded_size(0x10000), 5u);
+    EXPECT_EQ(encoded_size(0x100000000ull), 9u);
+}
+
+TEST(Serialize, RejectsNonCanonicalVarint) {
+    // 0xFD prefix encoding a value < 0xFD must be rejected.
+    const Bytes bad = {0xFD, 0x01, 0x00};
+    Reader r(bad);
+    EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, BlobAndStringRoundTrip) {
+    Writer w;
+    w.blob(from_hex("deadbeef"));
+    w.str("hello ledger");
+    Reader r(w.data());
+    EXPECT_EQ(r.blob(), from_hex("deadbeef"));
+    EXPECT_EQ(r.str(), "hello ledger");
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+    Writer w;
+    w.u16(7);
+    Reader r(w.data());
+    r.u16();
+    EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Serialize, BlobLengthOverflowThrows) {
+    Writer w;
+    w.varint(1000); // declares 1000 bytes but provides none
+    Reader r(w.data());
+    EXPECT_THROW(r.blob(), DecodeError);
+}
+
+TEST(Serialize, ExpectDoneDetectsTrailing) {
+    Writer w;
+    w.u8(1);
+    w.u8(2);
+    Reader r(w.data());
+    r.u8();
+    EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[rng.uniform(10)];
+    for (const int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 100);
+        EXPECT_LT(c, n / 10 + n / 100);
+    }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(13);
+    const double rate = 0.25;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(17);
+    const int n = 200000;
+    double sum = 0, sumsq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(19);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+    Rng parent(23);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(29);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v); // astronomically unlikely to be identity
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+    Rng rng(31);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+} // namespace

@@ -1,0 +1,613 @@
+// Tests for the contract layer: VM semantics and gas metering, the assembler,
+// the MiniSol compiler, the engine (deploy/call/view, fees, rollback), the
+// standard contract library, and the workflow->contract pipeline (E16).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "contract/assembler.hpp"
+#include "contract/engine.hpp"
+#include "contract/minisol.hpp"
+#include "contract/stdlib.hpp"
+#include "contract/vm.hpp"
+#include "crypto/keys.hpp"
+#include "model/workflow.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::contract;
+using crypto::PrivateKey;
+using ledger::kCoin;
+
+/// In-memory host for raw VM tests.
+class TestHost : public HostInterface {
+public:
+    std::map<Word, Word> storage;
+    std::vector<Event> events;
+    std::map<Address, std::int64_t> balances;
+    Address self;
+    double now = 1000;
+
+    Word storage_load(const Word& key) override {
+        const auto it = storage.find(key);
+        return it == storage.end() ? Word::zero() : it->second;
+    }
+    void storage_store(const Word& key, const Word& value) override {
+        storage[key] = value;
+    }
+    std::int64_t balance_of(const Word& addr) override {
+        const auto it = balances.find(word_to_address(addr));
+        return it == balances.end() ? 0 : it->second;
+    }
+    bool transfer(const Word& to, std::int64_t amount) override {
+        if (balances[self] < amount) return false;
+        balances[self] -= amount;
+        balances[word_to_address(to)] += amount;
+        return true;
+    }
+    void emit(const Event& event) override { events.push_back(event); }
+    double timestamp() override { return now; }
+};
+
+VmResult run_asm(const std::string& source, TestHost& host, CallContext ctx = {}) {
+    return execute(assemble(source), ctx, host);
+}
+
+// --- VM ------------------------------------------------------------------------------
+
+TEST(Vm, ArithmeticAndReturn) {
+    TestHost host;
+    const auto result = run_asm("PUSH 7\nPUSH 5\nADD\nPUSH 2\nMUL\nRETURN", host);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result.return_value.has_value());
+    EXPECT_EQ(*result.return_value, Word(24));
+}
+
+TEST(Vm, DivisionByZeroYieldsZero) {
+    TestHost host;
+    const auto result = run_asm("PUSH 9\nPUSH 0\nDIV\nRETURN", host);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.return_value, Word(0));
+}
+
+TEST(Vm, ComparisonChain) {
+    TestHost host;
+    // (3 < 5) && (5 == 5) -> 1
+    const auto result =
+        run_asm("PUSH 3\nPUSH 5\nLT\nPUSH 5\nPUSH 5\nEQ\nAND\nRETURN", host);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.return_value, Word::one());
+}
+
+TEST(Vm, StorageRoundTrip) {
+    TestHost host;
+    const auto w = run_asm("PUSH 42\nPUSH 99\nSSTORE\nSTOP", host);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(host.storage.at(Word(42)), Word(99));
+    const auto r = run_asm("PUSH 42\nSLOAD\nRETURN", host);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.return_value, Word(99));
+}
+
+TEST(Vm, JumpSkipsCode) {
+    TestHost host;
+    const auto result = run_asm(
+        "PUSH @end\nJUMP\nPUSH 1\nPUSH 2\nSSTORE\nend:\nPUSH 7\nRETURN", host);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.return_value, Word(7));
+    EXPECT_TRUE(host.storage.empty());
+}
+
+TEST(Vm, ConditionalJumpTakenAndNot) {
+    TestHost host;
+    // cond=1: jump over the revert.
+    const auto taken = run_asm(
+        "PUSH @ok\nPUSH 1\nJUMPI\nREVERT\nok:\nPUSH 5\nRETURN", host);
+    EXPECT_TRUE(taken.ok());
+    // cond=0: fall through to revert.
+    const auto not_taken = run_asm(
+        "PUSH @ok\nPUSH 0\nJUMPI\nREVERT\nok:\nPUSH 5\nRETURN", host);
+    EXPECT_EQ(not_taken.status, VmStatus::kReverted);
+}
+
+TEST(Vm, OutOfGasStopsExecution) {
+    TestHost host;
+    CallContext ctx;
+    ctx.gas_limit = 10;
+    // Infinite loop: must terminate by gas exhaustion.
+    const auto result = run_asm("loop:\nPUSH @loop\nJUMP", host, ctx);
+    EXPECT_EQ(result.status, VmStatus::kOutOfGas);
+    EXPECT_EQ(result.gas_used, 10u);
+}
+
+TEST(Vm, SstoreCostsMoreThanAdd) {
+    TestHost host;
+    const auto add = run_asm("PUSH 1\nPUSH 2\nADD\nSTOP", host);
+    const auto store = run_asm("PUSH 1\nPUSH 2\nSSTORE\nSTOP", host);
+    EXPECT_GT(store.gas_used, add.gas_used * 5);
+}
+
+TEST(Vm, StackUnderflowDetected) {
+    TestHost host;
+    const auto result = run_asm("ADD", host);
+    EXPECT_EQ(result.status, VmStatus::kStackError);
+}
+
+TEST(Vm, RequireZeroReverts) {
+    TestHost host;
+    EXPECT_EQ(run_asm("PUSH 0\nREQUIRE\nSTOP", host).status, VmStatus::kReverted);
+    EXPECT_EQ(run_asm("PUSH 1\nREQUIRE\nSTOP", host).status, VmStatus::kSuccess);
+}
+
+TEST(Vm, MemoryIsZeroInitializedScratch) {
+    TestHost host;
+    const auto result = run_asm("PUSH 7\nMLOAD\nRETURN", host);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.return_value, Word(0));
+    const auto rt = run_asm("PUSH 3\nPUSH 77\nMSTORE\nPUSH 3\nMLOAD\nRETURN", host);
+    ASSERT_TRUE(rt.ok());
+    EXPECT_EQ(*rt.return_value, Word(77));
+}
+
+TEST(Vm, EventsOnlySurviveSuccess) {
+    TestHost host;
+    const auto result = run_asm("PUSH 1\nPUSH 2\nEMIT\nREVERT", host);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+    EXPECT_TRUE(result.events.empty()); // reverted: VM reports no events
+}
+
+TEST(Vm, CalldataAccess) {
+    TestHost host;
+    CallContext ctx;
+    ctx.calldata = {Word(11), Word(22)};
+    const auto size = execute(assemble("CALLDATASIZE\nRETURN"), ctx, host);
+    EXPECT_EQ(*size.return_value, Word(2));
+    const auto load = execute(assemble("PUSH 1\nCALLDATALOAD\nRETURN"), ctx, host);
+    EXPECT_EQ(*load.return_value, Word(22));
+    const auto oob = execute(assemble("PUSH 9\nCALLDATALOAD\nRETURN"), ctx, host);
+    EXPECT_EQ(*oob.return_value, Word(0));
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+    EXPECT_THROW(assemble("FLY 3"), ContractError);
+}
+
+TEST(Assembler, RejectsUnresolvedLabel) {
+    EXPECT_THROW(assemble("PUSH @nowhere\nJUMP"), ContractError);
+}
+
+TEST(Assembler, DisassembleRoundTrips) {
+    const Bytes code = assemble("PUSH 5\nPUSH 3\nADD\nRETURN");
+    const std::string text = disassemble(code);
+    EXPECT_NE(text.find("ADD"), std::string::npos);
+    EXPECT_NE(text.find("PUSH 5"), std::string::npos);
+}
+
+TEST(Vm, AddressWordRoundTrip) {
+    const Address addr = PrivateKey::from_seed("roundtrip").address();
+    EXPECT_EQ(word_to_address(address_to_word(addr)), addr);
+}
+
+// --- Engine fixtures --------------------------------------------------------------------
+
+struct EngineFixture {
+    WorldState world;
+    ContractEngine engine{world};
+    Address alice = PrivateKey::from_seed("e/alice").address();
+    Address bob = PrivateKey::from_seed("e/bob").address();
+    Address carol = PrivateKey::from_seed("e/carol").address();
+    Address miner = PrivateKey::from_seed("e/miner").address();
+
+    EngineFixture() {
+        world.credit(alice, 1000 * kCoin);
+        world.credit(bob, 1000 * kCoin);
+        world.credit(carol, 1000 * kCoin);
+        engine.set_time(1000);
+    }
+
+    Receipt deploy(const std::string& source, std::vector<Word> args = {},
+                   ledger::Amount endowment = 0, const Address* who = nullptr) {
+        const auto compiled = compile(source);
+        return engine.deploy(compiled, who ? *who : alice, args, endowment, 1'000'000,
+                             1, miner);
+    }
+
+    Receipt call(const Address& target, std::string_view fn, std::vector<Word> args,
+                 const Address& who, ledger::Amount value = 0) {
+        return engine.call(target, fn, args, who, value, 1'000'000, 1, miner);
+    }
+};
+
+// --- MiniSol + engine ----------------------------------------------------------------------
+
+TEST(MiniSol, HelloWorldMirrorsPaperExample) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::hello_world_source(), {Word(111)});
+    ASSERT_TRUE(receipt.ok());
+
+    // say() is constant: free, no transaction, no fee.
+    const auto miner_before = fx.world.balance_of(fx.miner);
+    const auto view = fx.engine.view(receipt.contract, "say", {}, fx.bob);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(*view.return_value, Word(111));
+    EXPECT_EQ(fx.world.balance_of(fx.miner), miner_before);
+
+    // setGreeting costs gas, paid to the miner.
+    const auto update = fx.call(receipt.contract, "setGreeting", {Word(222)}, fx.bob);
+    ASSERT_TRUE(update.ok());
+    EXPECT_GT(update.fee_paid, 0);
+    EXPECT_EQ(fx.world.balance_of(fx.miner), miner_before + update.fee_paid);
+    EXPECT_EQ(*fx.engine.view(receipt.contract, "say", {}, fx.bob).return_value,
+              Word(222));
+}
+
+TEST(MiniSol, ViewFunctionsCannotWriteAtCompileTime) {
+    // The compiler statically rejects storage writes in view functions.
+    EXPECT_THROW(compile(R"(
+contract Sneaky {
+    storage x;
+    fn peek() view { x = 1; return x; }
+})"),
+                 ContractError);
+}
+
+TEST(Engine, RuntimeReadOnlyGuardStopsRawBytecode) {
+    // Hand-assembled bytecode that bypasses the compiler's static check: the
+    // engine's read-only host must still stop the write during a view call.
+    EngineFixture fx;
+    CompiledContract sneaky;
+    sneaky.name = "Sneaky";
+    // Dispatch-free body: unconditionally store then stop.
+    sneaky.bytecode = assemble("PUSH 0\nPUSH 1\nSSTORE\nSTOP");
+    sneaky.functions.push_back(
+        FunctionInfo{"anything", selector_of("anything"), 0, true, false});
+    const Receipt deployed =
+        fx.engine.deploy(sneaky, fx.alice, {}, 0, 1'000'000, 1, fx.miner);
+    ASSERT_TRUE(deployed.ok());
+    const auto result = fx.engine.view(deployed.contract, "anything", {}, fx.alice);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+    // And the storage write did not stick: a transaction call sees slot 0 == 1
+    // only after a real (paid) call.
+    const auto paid = fx.call(deployed.contract, "anything", {}, fx.bob);
+    EXPECT_TRUE(paid.ok());
+}
+
+TEST(MiniSol, UnknownSelectorReverts) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::hello_world_source(), {Word(1)});
+    const auto result = fx.call(receipt.contract, "nonexistent", {}, fx.alice);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+}
+
+TEST(MiniSol, NonPayableRejectsValue) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::hello_world_source(), {Word(1)});
+    const auto result =
+        fx.call(receipt.contract, "setGreeting", {Word(5)}, fx.alice, 10 * kCoin);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+    // Attached value returned on revert; only gas lost.
+    EXPECT_GT(fx.world.balance_of(fx.alice), 989 * kCoin);
+}
+
+TEST(MiniSol, TokenTransfersAndAllowances) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::token_source(), {Word(10'000)});
+    ASSERT_TRUE(receipt.ok());
+    const Address token = receipt.contract;
+    const Word alice_w = address_to_word(fx.alice);
+    const Word bob_w = address_to_word(fx.bob);
+    const Word carol_w = address_to_word(fx.carol);
+
+    EXPECT_EQ(*fx.engine.view(token, "balanceOf", {alice_w}, fx.alice).return_value,
+              Word(10'000));
+
+    ASSERT_TRUE(fx.call(token, "transfer", {bob_w, Word(3'000)}, fx.alice).ok());
+    EXPECT_EQ(*fx.engine.view(token, "balanceOf", {bob_w}, fx.bob).return_value,
+              Word(3'000));
+
+    // Overdraft reverts and changes nothing.
+    EXPECT_EQ(fx.call(token, "transfer", {carol_w, Word(50'000)}, fx.bob).status,
+              VmStatus::kReverted);
+    EXPECT_EQ(*fx.engine.view(token, "balanceOf", {bob_w}, fx.bob).return_value,
+              Word(3'000));
+
+    // Approve + transferFrom.
+    ASSERT_TRUE(fx.call(token, "approve", {carol_w, Word(1'000)}, fx.bob).ok());
+    EXPECT_EQ(*fx.engine.view(token, "allowance", {bob_w, carol_w}, fx.bob).return_value,
+              Word(1'000));
+    ASSERT_TRUE(
+        fx.call(token, "transferFrom", {bob_w, carol_w, Word(700)}, fx.carol).ok());
+    EXPECT_EQ(*fx.engine.view(token, "balanceOf", {carol_w}, fx.carol).return_value,
+              Word(700));
+    EXPECT_EQ(*fx.engine.view(token, "allowance", {bob_w, carol_w}, fx.bob).return_value,
+              Word(300));
+    // Exceeding the remaining allowance fails.
+    EXPECT_EQ(
+        fx.call(token, "transferFrom", {bob_w, carol_w, Word(500)}, fx.carol).status,
+        VmStatus::kReverted);
+}
+
+TEST(MiniSol, CrowdfundLifecycle) {
+    EngineFixture fx;
+    fx.engine.set_time(100);
+    const auto receipt =
+        fx.deploy(stdlib::crowdfund_source(), {Word(5 * kCoin), Word(1000)});
+    ASSERT_TRUE(receipt.ok());
+    const Address fund = receipt.contract;
+
+    ASSERT_TRUE(fx.call(fund, "donate", {}, fx.bob, 3 * kCoin).ok());
+    ASSERT_TRUE(fx.call(fund, "donate", {}, fx.carol, 2 * kCoin).ok());
+    EXPECT_EQ(*fx.engine.view(fund, "totalRaised", {}, fx.alice).return_value,
+              Word(5 * kCoin));
+
+    // Goal met: claim pays the owner; refund is impossible.
+    const auto alice_before = fx.world.balance_of(fx.alice);
+    ASSERT_TRUE(fx.call(fund, "claim", {}, fx.alice).ok());
+    EXPECT_GT(fx.world.balance_of(fx.alice), alice_before + 4 * kCoin);
+    // Double-claim rejected.
+    EXPECT_EQ(fx.call(fund, "claim", {}, fx.alice).status, VmStatus::kReverted);
+}
+
+TEST(MiniSol, CrowdfundRefundPath) {
+    EngineFixture fx;
+    fx.engine.set_time(100);
+    const auto receipt =
+        fx.deploy(stdlib::crowdfund_source(), {Word(100 * kCoin), Word(1000)});
+    const Address fund = receipt.contract;
+
+    ASSERT_TRUE(fx.call(fund, "donate", {}, fx.bob, 3 * kCoin).ok());
+    // Before the deadline refunds are rejected.
+    EXPECT_EQ(fx.call(fund, "refund", {}, fx.bob).status, VmStatus::kReverted);
+
+    fx.engine.set_time(2000); // past deadline, goal unmet
+    EXPECT_EQ(fx.call(fund, "donate", {}, fx.carol, kCoin).status,
+              VmStatus::kReverted);
+    const auto bob_before = fx.world.balance_of(fx.bob);
+    ASSERT_TRUE(fx.call(fund, "refund", {}, fx.bob).ok());
+    EXPECT_GT(fx.world.balance_of(fx.bob), bob_before + 2 * kCoin);
+    // Refunding twice fails.
+    EXPECT_EQ(fx.call(fund, "refund", {}, fx.bob).status, VmStatus::kReverted);
+}
+
+TEST(MiniSol, EscrowReleaseAndRefund) {
+    EngineFixture fx;
+    const Word seller = address_to_word(fx.bob);
+    const Word arbiter = address_to_word(fx.carol);
+    const auto receipt =
+        fx.deploy(stdlib::escrow_source(), {seller, arbiter}, 10 * kCoin);
+    ASSERT_TRUE(receipt.ok());
+    EXPECT_EQ(fx.world.balance_of(receipt.contract), 10 * kCoin);
+
+    // Seller cannot release to themselves.
+    EXPECT_EQ(fx.call(receipt.contract, "release", {}, fx.bob).status,
+              VmStatus::kReverted);
+    // Arbiter releases to the seller.
+    const auto bob_before = fx.world.balance_of(fx.bob);
+    ASSERT_TRUE(fx.call(receipt.contract, "release", {}, fx.carol).ok());
+    EXPECT_EQ(fx.world.balance_of(fx.bob), bob_before + 10 * kCoin);
+    // Settled: refund now impossible.
+    EXPECT_EQ(fx.call(receipt.contract, "refund", {}, fx.carol).status,
+              VmStatus::kReverted);
+}
+
+TEST(MiniSol, NotaryRegistersDocuments) {
+    EngineFixture fx;
+    fx.engine.set_time(777);
+    const auto receipt = fx.deploy(stdlib::notary_source());
+    const Address notary = receipt.contract;
+    const Word digest = Word(0xD0C5);
+
+    ASSERT_TRUE(fx.call(notary, "registerDocument", {digest}, fx.bob).ok());
+    EXPECT_EQ(*fx.engine.view(notary, "ownerOf", {digest}, fx.alice).return_value,
+              address_to_word(fx.bob));
+    EXPECT_EQ(*fx.engine.view(notary, "registeredAt", {digest}, fx.alice).return_value,
+              Word(777));
+    EXPECT_EQ(*fx.engine
+                   .view(notary, "verify", {digest, address_to_word(fx.bob)}, fx.alice)
+                   .return_value,
+              Word::one());
+    // Double registration rejected.
+    EXPECT_EQ(fx.call(notary, "registerDocument", {digest}, fx.carol).status,
+              VmStatus::kReverted);
+}
+
+TEST(MiniSol, WhileLoopsAndLocals) {
+    EngineFixture fx;
+    const auto source = R"(
+contract Summer {
+    fn sum(n) view {
+        let total = 0;
+        let i = 1;
+        while (i <= n) {
+            total = total + i;
+            i = i + 1;
+        }
+        return total;
+    }
+})";
+    const auto receipt = fx.deploy(source);
+    ASSERT_TRUE(receipt.ok());
+    EXPECT_EQ(*fx.engine.view(receipt.contract, "sum", {Word(10)}, fx.alice)
+                   .return_value,
+              Word(55));
+    EXPECT_EQ(*fx.engine.view(receipt.contract, "sum", {Word(100)}, fx.alice)
+                   .return_value,
+              Word(5050));
+}
+
+TEST(MiniSol, IfElseBranches) {
+    EngineFixture fx;
+    const auto source = R"(
+contract Pick {
+    fn max(a, b) view {
+        if (a > b) { return a; } else { return b; }
+    }
+})";
+    const auto receipt = fx.deploy(source);
+    EXPECT_EQ(*fx.engine.view(receipt.contract, "max", {Word(3), Word(9)}, fx.alice)
+                   .return_value,
+              Word(9));
+    EXPECT_EQ(*fx.engine.view(receipt.contract, "max", {Word(8), Word(2)}, fx.alice)
+                   .return_value,
+              Word(8));
+}
+
+TEST(MiniSol, CompileErrorsCarryLineNumbers) {
+    EXPECT_THROW(compile("contract X { fn f() { y = 1; } }"), ContractError);
+    EXPECT_THROW(compile("contract X { storage a; storage a; }"), ContractError);
+    EXPECT_THROW(compile("contract X { fn f() {} fn f() {} }"), ContractError);
+    EXPECT_THROW(compile("notacontract"), ContractError);
+    try {
+        compile("contract X {\n fn f() {\n  broken @@;\n }\n}");
+        FAIL() << "expected ContractError";
+    } catch (const ContractError& e) {
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+}
+
+TEST(Engine, GasPaidEvenOnRevert) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(R"(
+contract AlwaysFails {
+    fn boom() { revert; }
+})");
+    const auto miner_before = fx.world.balance_of(fx.miner);
+    const auto result = fx.call(receipt.contract, "boom", {}, fx.bob);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+    EXPECT_GT(result.fee_paid, 0);
+    EXPECT_EQ(fx.world.balance_of(fx.miner), miner_before + result.fee_paid);
+}
+
+TEST(Engine, RevertRollsBackStateAndValue) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(R"(
+contract HalfDone {
+    storage x;
+    fn poke() payable { x = 99; revert; }
+})");
+    const auto bob_before = fx.world.balance_of(fx.bob);
+    const auto result = fx.call(receipt.contract, "poke", {}, fx.bob, 5 * kCoin);
+    EXPECT_EQ(result.status, VmStatus::kReverted);
+    EXPECT_EQ(fx.world.balance_of(receipt.contract), 0);
+    // Bob got the 5 coins back, lost only gas.
+    EXPECT_EQ(fx.world.balance_of(fx.bob), bob_before - result.fee_paid);
+}
+
+TEST(Engine, DeployChargesPerByte) {
+    EngineFixture fx;
+    const auto small = fx.deploy(stdlib::hello_world_source(), {Word(1)});
+    const auto large = fx.deploy(stdlib::token_source(), {Word(1)});
+    EXPECT_GT(large.gas_used, small.gas_used);
+}
+
+TEST(Engine, ContractAddressesAreDeterministicAndDistinct) {
+    const Address creator = PrivateKey::from_seed("creator").address();
+    EXPECT_EQ(derive_contract_address(creator, 0), derive_contract_address(creator, 0));
+    EXPECT_NE(derive_contract_address(creator, 0), derive_contract_address(creator, 1));
+}
+
+TEST(Engine, StateRootChangesWithStorage) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::hello_world_source(), {Word(1)});
+    const Hash256 before = fx.world.state_root();
+    ASSERT_TRUE(fx.call(receipt.contract, "setGreeting", {Word(2)}, fx.bob).ok());
+    EXPECT_NE(fx.world.state_root(), before);
+}
+
+TEST(Engine, EventsAreLogged) {
+    EngineFixture fx;
+    const auto receipt = fx.deploy(stdlib::token_source(), {Word(100)});
+    ASSERT_TRUE(
+        fx.call(receipt.contract, "transfer", {address_to_word(fx.bob), Word(10)},
+                fx.alice)
+            .ok());
+    ASSERT_FALSE(fx.world.event_log().empty());
+    EXPECT_EQ(fx.world.event_log().back().event.topic, event_topic("Transfer"));
+    EXPECT_EQ(fx.world.event_log().back().event.value, Word(10));
+}
+
+// --- Workflow model (modeling layer) -------------------------------------------------------
+
+model::WorkflowModel shipping_workflow() {
+    // Fig. 3's modeling-layer flow: Production -> Shipping -> Receipt, with a
+    // validation choice that can reject back to production.
+    model::WorkflowModel wf("Shipping", /*states=*/4, /*roles=*/2);
+    wf.label_state(0, "Produced");
+    wf.label_state(1, "Validated");
+    wf.label_state(2, "Shipped");
+    wf.label_state(3, "Received");
+    wf.add_transition({"validate", 0, 1, 0});
+    wf.add_transition({"rejectToProduction", 1, 0, 0});
+    wf.add_transition({"ship", 1, 2, 0});
+    wf.add_transition({"confirmReceipt", 2, 3, 1});
+    return wf;
+}
+
+TEST(Workflow, ValidModelHasNoIssues) {
+    EXPECT_TRUE(shipping_workflow().validate().empty());
+}
+
+TEST(Workflow, DetectsUnreachableState) {
+    model::WorkflowModel wf("Broken", 3, 1);
+    wf.add_transition({"go", 0, 1, 0});
+    // state 2 unreachable
+    const auto issues = wf.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("unreachable"), std::string::npos);
+}
+
+TEST(Workflow, DetectsReservedTaskNames) {
+    model::WorkflowModel wf("Bad", 2, 1);
+    wf.add_transition({"init", 0, 1, 0});
+    EXPECT_FALSE(wf.validate().empty());
+}
+
+TEST(Workflow, RejectsDuplicateTask) {
+    model::WorkflowModel wf("Dup", 3, 1);
+    wf.add_transition({"go", 0, 1, 0});
+    EXPECT_THROW(wf.add_transition({"go", 1, 2, 0}), ContractError);
+}
+
+TEST(Workflow, CompilesAndEnforcesProcess) {
+    EngineFixture fx;
+    const auto wf = shipping_workflow();
+    const auto compiled = compile(wf.to_minisol());
+    const Receipt deployed = fx.engine.deploy(
+        compiled, fx.alice,
+        {address_to_word(fx.bob), address_to_word(fx.carol)}, // supplier, customer
+        0, 2'000'000, 1, fx.miner);
+    ASSERT_TRUE(deployed.ok());
+    const Address proc = deployed.contract;
+
+    // Wrong order: cannot ship before validation.
+    EXPECT_EQ(fx.call(proc, "ship", {}, fx.bob).status, VmStatus::kReverted);
+    // Wrong role: the customer cannot validate.
+    EXPECT_EQ(fx.call(proc, "validate", {}, fx.carol).status, VmStatus::kReverted);
+
+    ASSERT_TRUE(fx.call(proc, "validate", {}, fx.bob).ok());
+    ASSERT_TRUE(fx.call(proc, "ship", {}, fx.bob).ok());
+    EXPECT_EQ(*fx.engine.view(proc, "isComplete", {}, fx.alice).return_value,
+              Word::zero());
+    ASSERT_TRUE(fx.call(proc, "confirmReceipt", {}, fx.carol).ok());
+    EXPECT_EQ(*fx.engine.view(proc, "currentState", {}, fx.alice).return_value, Word(3));
+    EXPECT_EQ(*fx.engine.view(proc, "isComplete", {}, fx.alice).return_value,
+              Word::one());
+}
+
+TEST(Workflow, RejectLoopReturnsToStart) {
+    EngineFixture fx;
+    const auto compiled = compile(shipping_workflow().to_minisol());
+    const Receipt deployed = fx.engine.deploy(
+        compiled, fx.alice, {address_to_word(fx.bob), address_to_word(fx.carol)}, 0,
+        2'000'000, 1, fx.miner);
+    const Address proc = deployed.contract;
+
+    ASSERT_TRUE(fx.call(proc, "validate", {}, fx.bob).ok());
+    ASSERT_TRUE(fx.call(proc, "rejectToProduction", {}, fx.bob).ok());
+    EXPECT_EQ(*fx.engine.view(proc, "currentState", {}, fx.alice).return_value,
+              Word(0));
+    // And the process can run again.
+    ASSERT_TRUE(fx.call(proc, "validate", {}, fx.bob).ok());
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+// Tests for the core platform (ChainSpec presets, the unified experiment
+// runner, DCS scoring — E8) and the application layer (the §5.1 use-case
+// template and the feasibility recommender).
+#include <gtest/gtest.h>
+
+#include "app/usecase.hpp"
+#include "core/chainspec.hpp"
+#include "core/dcs.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::core;
+using namespace dlt::app;
+
+Workload light_load(double rate = 5.0, double duration = 2000.0) {
+    Workload w;
+    w.tx_rate = rate;
+    w.duration = duration;
+    return w;
+}
+
+TEST(ChainSpec, PresetsHaveDistinctCharacters) {
+    const auto bitcoin = ChainSpec::bitcoin_like();
+    const auto ethereum = ChainSpec::ethereum_like();
+    const auto fabric = ChainSpec::hyperledger_like();
+    EXPECT_GT(bitcoin.block_interval, ethereum.block_interval);
+    EXPECT_EQ(fabric.openness, Openness::kPermissioned);
+    EXPECT_EQ(bitcoin.openness, Openness::kPublic);
+    EXPECT_EQ(ethereum.branch_rule, consensus::BranchRule::kGhost);
+}
+
+TEST(ChainSpec, BitcoinTxsPerBlockMatchesPaperMath) {
+    // 1 MB / 250 B = 4000 txs per block; at 600 s that's ~6.7 tps — the
+    // paper's "7 transactions per second".
+    const auto spec = ChainSpec::bitcoin_like();
+    EXPECT_EQ(spec.txs_per_block(), 4000u);
+    const double ceiling = spec.txs_per_block() / spec.block_interval;
+    EXPECT_NEAR(ceiling, 6.7, 0.1);
+}
+
+TEST(Experiment, OrderingServiceKeepsUpWithLoad) {
+    const auto metrics =
+        run_experiment(ChainSpec::hyperledger_like(), light_load(200.0, 60.0), 1);
+    EXPECT_GT(metrics.throughput_tps, 150.0);
+    EXPECT_EQ(metrics.stale_rate, 0.0);
+    EXPECT_FALSE(metrics.forks_possible);
+    ASSERT_TRUE(metrics.mean_confirmation_latency.has_value());
+    EXPECT_LT(*metrics.mean_confirmation_latency, 1.0);
+}
+
+TEST(Experiment, PosChainConfirmsWithinSlots) {
+    const auto metrics = run_experiment(ChainSpec::pos_chain(), light_load(20.0, 600.0), 2);
+    EXPECT_GT(metrics.throughput_tps, 15.0);
+    ASSERT_TRUE(metrics.mean_confirmation_latency.has_value());
+    EXPECT_LT(*metrics.mean_confirmation_latency, 3 * ChainSpec::pos_chain().block_interval);
+}
+
+TEST(Experiment, PoetChainProgresses) {
+    const auto metrics =
+        run_experiment(ChainSpec::poet_chain(), light_load(5.0, 600.0), 3);
+    EXPECT_GT(metrics.blocks, 10u);
+    EXPECT_GT(metrics.throughput_tps, 3.0);
+}
+
+TEST(Experiment, PbftClusterCommits) {
+    auto spec = ChainSpec::pbft_cluster();
+    const auto metrics = run_experiment(spec, light_load(100.0, 30.0), 4);
+    EXPECT_GT(metrics.throughput_tps, 70.0);
+    ASSERT_TRUE(metrics.mean_confirmation_latency.has_value());
+    EXPECT_LT(*metrics.mean_confirmation_latency, 2.0);
+}
+
+TEST(Experiment, BitcoinLikeThroughputIsCappedNearSeven) {
+    auto spec = ChainSpec::bitcoin_like();
+    spec.node_count = 6; // keep the sim light
+    Workload load;
+    load.tx_rate = 15.0; // offered load well above the ~7 tps ceiling
+    load.duration = 600.0 * 6;
+    const auto metrics = run_experiment(spec, load, 5);
+    EXPECT_LT(metrics.throughput_tps, 8.0);
+    EXPECT_GT(metrics.throughput_tps, 4.0);
+}
+
+// --- DCS (E8) --------------------------------------------------------------------------
+
+TEST(Dcs, HyperledgerIsCS) {
+    const auto spec = ChainSpec::hyperledger_like();
+    const auto metrics = run_experiment(spec, light_load(2000.0, 30.0), 6);
+    const auto score = score_dcs(spec, metrics);
+    EXPECT_LT(score.decentralization, 0.5);
+    EXPECT_GT(score.consistency, 0.9);
+    EXPECT_GT(score.scalability, 0.65);
+    EXPECT_EQ(score.strong_properties(), 2);
+}
+
+TEST(Dcs, BitcoinIsDC) {
+    auto spec = ChainSpec::bitcoin_like();
+    spec.node_count = 6;
+    Workload load;
+    load.tx_rate = 10.0;
+    load.duration = 600.0 * 6;
+    const auto metrics = run_experiment(spec, load, 7);
+    const auto score = score_dcs(spec, metrics);
+    EXPECT_GT(score.decentralization, 0.65);
+    EXPECT_GT(score.consistency, 0.65);
+    EXPECT_LT(score.scalability, 0.5);
+    EXPECT_EQ(score.strong_properties(), 2);
+}
+
+TEST(Dcs, NoConfigurationGetsAllThree) {
+    // The paper's conjecture, checked across every preset under load.
+    const ChainSpec specs[] = {ChainSpec::bitcoin_like(), ChainSpec::ethereum_like(),
+                               ChainSpec::hyperledger_like(), ChainSpec::pos_chain(),
+                               ChainSpec::pbft_cluster()};
+    int index = 0;
+    for (auto spec : specs) {
+        spec.node_count = std::min<std::size_t>(spec.node_count, 6);
+        Workload load;
+        load.tx_rate = 15.0;
+        load.duration = spec.consensus == ConsensusKind::kProofOfWork
+                            ? spec.block_interval * 8
+                            : 120.0;
+        const auto metrics = run_experiment(spec, load, 100 + index++);
+        const auto score = score_dcs(spec, metrics);
+        EXPECT_LE(score.strong_properties(), 2) << spec.name << ": " << describe(score);
+    }
+}
+
+TEST(Dcs, DescribeNamesTheStrongPair) {
+    DcsScore score;
+    score.decentralization = 0.9;
+    score.consistency = 0.9;
+    score.scalability = 0.1;
+    EXPECT_NE(describe(score).find("DC system"), std::string::npos);
+}
+
+// --- App layer ----------------------------------------------------------------------------
+
+TEST(UseCase, CryptocurrencyGetsPublicProofBased) {
+    const auto rec = recommend(cryptocurrency_usecase());
+    EXPECT_EQ(rec.spec.openness, Openness::kPublic);
+    EXPECT_TRUE(rec.spec.consensus == ConsensusKind::kProofOfWork ||
+                rec.spec.consensus == ConsensusKind::kProofOfStake);
+    EXPECT_FALSE(rec.needs_multichannel);
+}
+
+TEST(UseCase, SupplyChainGetsPermissionedHighThroughput) {
+    const auto rec = recommend(supply_chain_usecase());
+    EXPECT_EQ(rec.spec.openness, Openness::kPermissioned);
+    EXPECT_EQ(rec.spec.consensus, ConsensusKind::kOrderingService);
+    EXPECT_TRUE(rec.needs_multichannel);   // confidential pricing terms
+    EXPECT_TRUE(rec.needs_offchain_store); // sensor telemetry
+}
+
+TEST(UseCase, EhealthNeedsPrivacyDomains) {
+    const auto rec = recommend(ehealth_usecase());
+    EXPECT_TRUE(rec.needs_multichannel);
+    EXPECT_EQ(rec.spec.openness, Openness::kPermissioned);
+}
+
+TEST(UseCase, CrowdfundingStaysPublic) {
+    const auto rec = recommend(crowdfunding_usecase());
+    EXPECT_EQ(rec.spec.openness, Openness::kPublic);
+}
+
+TEST(UseCase, RationaleIsNonEmptyAndTraceable) {
+    for (const auto& uc : {cryptocurrency_usecase(), crowdfunding_usecase(),
+                           supply_chain_usecase(), land_registry_usecase(),
+                           ehealth_usecase()}) {
+        const auto rec = recommend(uc);
+        EXPECT_FALSE(rec.rationale.empty()) << uc.name;
+        EXPECT_NE(rec.spec.name.find(uc.name), std::string::npos);
+    }
+}
+
+TEST(UseCase, GenerationsAreLabelled) {
+    EXPECT_STREQ(generation_name(Generation::kCryptocurrency),
+                 "Blockchain 1.0 (cryptocurrency)");
+    EXPECT_EQ(cryptocurrency_usecase().generation, Generation::kCryptocurrency);
+    EXPECT_EQ(crowdfunding_usecase().generation, Generation::kDApps);
+    EXPECT_EQ(supply_chain_usecase().generation, Generation::kPervasive);
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+// Tests for authenticated data structures: Merkle trees + SPV proofs, bloom
+// filters, the Merkle-Patricia trie, and the IAVL+ tree (including property
+// tests against a reference std::map model).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "datastruct/bloom.hpp"
+#include "datastruct/iavl.hpp"
+#include "datastruct/merkle.hpp"
+#include "datastruct/mpt.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::datastruct;
+
+std::vector<Hash256> make_leaves(std::size_t n) {
+    std::vector<Hash256> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(crypto::sha256(to_bytes("leaf-" + std::to_string(i))));
+    return leaves;
+}
+
+// --- Merkle ----------------------------------------------------------------------
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+    EXPECT_TRUE(MerkleTree({}).root().is_zero());
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+    const auto leaves = make_leaves(1);
+    EXPECT_EQ(MerkleTree(leaves).root(), leaves[0]);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+    auto leaves = make_leaves(8);
+    const Hash256 original = merkle_root(leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        auto tampered = leaves;
+        tampered[i][0] ^= 0x01;
+        EXPECT_NE(merkle_root(tampered), original) << "leaf " << i;
+    }
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLast) {
+    const auto three = make_leaves(3);
+    auto four = three;
+    four.push_back(three[2]); // Bitcoin-style: odd node pairs with itself
+    EXPECT_EQ(merkle_root(three), merkle_root(four));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllLeavesProve) {
+    const std::size_t n = GetParam();
+    const auto leaves = make_leaves(n);
+    const MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+        const MerkleProof proof = tree.prove(i);
+        EXPECT_EQ(merkle_root_from_proof(leaves[i], proof), tree.root())
+            << "leaf " << i << " of " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100));
+
+TEST(MerkleProof, WrongLeafFailsVerification) {
+    const auto leaves = make_leaves(16);
+    const MerkleTree tree(leaves);
+    const MerkleProof proof = tree.prove(5);
+    EXPECT_NE(merkle_root_from_proof(leaves[6], proof), tree.root());
+}
+
+TEST(MerkleProof, ProofSizeIsLogarithmic) {
+    const MerkleTree small(make_leaves(16));
+    const MerkleTree large(make_leaves(1024));
+    EXPECT_EQ(small.prove(0).steps.size(), 4u);
+    EXPECT_EQ(large.prove(0).steps.size(), 10u);
+}
+
+TEST(MerkleProof, SerializationRoundTrip) {
+    const MerkleTree tree(make_leaves(20));
+    const MerkleProof proof = tree.prove(13);
+    const Bytes encoded = encode_to_bytes(proof);
+    EXPECT_EQ(decode_from_bytes<MerkleProof>(encoded), proof);
+}
+
+// --- Bloom -----------------------------------------------------------------------
+
+TEST(Bloom, NoFalseNegatives) {
+    BloomFilter filter(1024 * 8, 5);
+    std::vector<Bytes> items;
+    for (int i = 0; i < 100; ++i) items.push_back(to_bytes("item" + std::to_string(i)));
+    for (const auto& item : items) filter.insert(item);
+    for (const auto& item : items) EXPECT_TRUE(filter.maybe_contains(item));
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+    const double target = 0.01;
+    BloomFilter filter = BloomFilter::optimal(1000, target);
+    for (int i = 0; i < 1000; ++i) filter.insert(to_bytes("member" + std::to_string(i)));
+    int fps = 0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; ++i)
+        if (filter.maybe_contains(to_bytes("nonmember" + std::to_string(i)))) ++fps;
+    const double rate = static_cast<double>(fps) / probes;
+    EXPECT_LT(rate, target * 3);
+}
+
+TEST(Bloom, FillRatioGrows) {
+    BloomFilter filter(256, 3);
+    EXPECT_DOUBLE_EQ(filter.fill_ratio(), 0.0);
+    filter.insert(to_bytes("x"));
+    EXPECT_GT(filter.fill_ratio(), 0.0);
+}
+
+// --- MPT -------------------------------------------------------------------------
+
+TEST(Mpt, EmptyRoot) {
+    MerklePatriciaTrie trie;
+    EXPECT_TRUE(trie.root_hash().is_zero());
+    EXPECT_TRUE(trie.empty());
+}
+
+TEST(Mpt, PutGetSingle) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("key"), to_bytes("value"));
+    EXPECT_EQ(trie.get(to_bytes("key")), to_bytes("value"));
+    EXPECT_EQ(trie.size(), 1u);
+    EXPECT_FALSE(trie.get(to_bytes("other")).has_value());
+}
+
+TEST(Mpt, OverwriteKeepsSize) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("k"), to_bytes("v1"));
+    trie.put(to_bytes("k"), to_bytes("v2"));
+    EXPECT_EQ(trie.size(), 1u);
+    EXPECT_EQ(trie.get(to_bytes("k")), to_bytes("v2"));
+}
+
+TEST(Mpt, PrefixKeysCoexist) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("do"), to_bytes("verb"));
+    trie.put(to_bytes("dog"), to_bytes("animal"));
+    trie.put(to_bytes("doge"), to_bytes("coin"));
+    EXPECT_EQ(trie.get(to_bytes("do")), to_bytes("verb"));
+    EXPECT_EQ(trie.get(to_bytes("dog")), to_bytes("animal"));
+    EXPECT_EQ(trie.get(to_bytes("doge")), to_bytes("coin"));
+}
+
+TEST(Mpt, RootIsOrderIndependent) {
+    MerklePatriciaTrie a, b;
+    const std::vector<std::pair<std::string, std::string>> kvs = {
+        {"alpha", "1"}, {"beta", "2"}, {"gamma", "3"}, {"alphabet", "4"}, {"", "5"}};
+    for (const auto& [k, v] : kvs) a.put(to_bytes(k), to_bytes(v));
+    for (auto it = kvs.rbegin(); it != kvs.rend(); ++it)
+        b.put(to_bytes(it->first), to_bytes(it->second));
+    EXPECT_EQ(a.root_hash(), b.root_hash());
+}
+
+TEST(Mpt, EraseRestoresPriorRoot) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("a"), to_bytes("1"));
+    trie.put(to_bytes("ab"), to_bytes("2"));
+    const Hash256 before = trie.root_hash();
+    trie.put(to_bytes("abc"), to_bytes("3"));
+    EXPECT_NE(trie.root_hash(), before);
+    EXPECT_TRUE(trie.erase(to_bytes("abc")));
+    EXPECT_EQ(trie.root_hash(), before);
+}
+
+TEST(Mpt, EraseMissingReturnsFalse) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("a"), to_bytes("1"));
+    EXPECT_FALSE(trie.erase(to_bytes("b")));
+    EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(Mpt, SnapshotIsolation) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("k"), to_bytes("v1"));
+    MerklePatriciaTrie snap = trie.snapshot();
+    trie.put(to_bytes("k"), to_bytes("v2"));
+    trie.put(to_bytes("new"), to_bytes("x"));
+    EXPECT_EQ(snap.get(to_bytes("k")), to_bytes("v1"));
+    EXPECT_FALSE(snap.get(to_bytes("new")).has_value());
+    EXPECT_EQ(trie.get(to_bytes("k")), to_bytes("v2"));
+}
+
+TEST(Mpt, MatchesMapModel) {
+    Rng rng(99);
+    MerklePatriciaTrie trie;
+    std::map<std::string, Bytes> model;
+    for (int step = 0; step < 3000; ++step) {
+        const std::string key = "key-" + std::to_string(rng.uniform(200));
+        if (rng.chance(0.7)) {
+            Bytes value = to_bytes("val-" + std::to_string(rng.next() % 1000));
+            trie.put(to_bytes(key), value);
+            model[key] = value;
+        } else {
+            const bool trie_removed = trie.erase(to_bytes(key));
+            const bool model_removed = model.erase(key) > 0;
+            EXPECT_EQ(trie_removed, model_removed);
+        }
+        EXPECT_EQ(trie.size(), model.size());
+    }
+    for (const auto& [k, v] : model) EXPECT_EQ(trie.get(to_bytes(k)), v);
+}
+
+TEST(Mpt, DrainToEmptyRestoresZeroRoot) {
+    MerklePatriciaTrie trie;
+    for (int i = 0; i < 50; ++i)
+        trie.put(to_bytes("k" + std::to_string(i)), to_bytes("v"));
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(trie.erase(to_bytes("k" + std::to_string(i))));
+    EXPECT_TRUE(trie.root_hash().is_zero());
+    EXPECT_TRUE(trie.empty());
+}
+
+TEST(MptProof, InclusionVerifies) {
+    MerklePatriciaTrie trie;
+    for (int i = 0; i < 64; ++i)
+        trie.put(to_bytes("account-" + std::to_string(i)),
+                 to_bytes("balance-" + std::to_string(i * 100)));
+    const Hash256 root = trie.root_hash();
+    for (int i = 0; i < 64; ++i) {
+        const Bytes key = to_bytes("account-" + std::to_string(i));
+        const MptProof proof = trie.prove(key);
+        const auto value = MerklePatriciaTrie::verify_proof(root, key, proof);
+        ASSERT_TRUE(value.has_value()) << i;
+        EXPECT_EQ(*value, to_bytes("balance-" + std::to_string(i * 100)));
+    }
+}
+
+TEST(MptProof, AbsenceVerifies) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("exists"), to_bytes("yes"));
+    const Bytes key = to_bytes("missing");
+    const MptProof proof = trie.prove(key);
+    EXPECT_FALSE(MerklePatriciaTrie::verify_proof(trie.root_hash(), key, proof));
+}
+
+TEST(MptProof, TamperedProofRejected) {
+    MerklePatriciaTrie trie;
+    for (int i = 0; i < 16; ++i)
+        trie.put(to_bytes("k" + std::to_string(i)), to_bytes("v" + std::to_string(i)));
+    const Bytes key = to_bytes("k3");
+    MptProof proof = trie.prove(key);
+    ASSERT_FALSE(proof.nodes.empty());
+    proof.nodes.back()[proof.nodes.back().size() / 2] ^= 0x01;
+    EXPECT_THROW(MerklePatriciaTrie::verify_proof(trie.root_hash(), key, proof),
+                 ValidationError);
+}
+
+TEST(MptProof, WrongRootRejected) {
+    MerklePatriciaTrie trie;
+    trie.put(to_bytes("a"), to_bytes("1"));
+    const MptProof proof = trie.prove(to_bytes("a"));
+    Hash256 wrong = trie.root_hash();
+    wrong[0] ^= 0xFF;
+    EXPECT_THROW(MerklePatriciaTrie::verify_proof(wrong, to_bytes("a"), proof),
+                 ValidationError);
+}
+
+// --- IAVL ------------------------------------------------------------------------
+
+TEST(Iavl, EmptyRoot) {
+    IavlTree tree;
+    EXPECT_TRUE(tree.root_hash().is_zero());
+    EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(Iavl, SetGetRemove) {
+    IavlTree tree;
+    tree.set(to_bytes("k"), to_bytes("v"));
+    EXPECT_EQ(tree.get(to_bytes("k")), to_bytes("v"));
+    EXPECT_TRUE(tree.remove(to_bytes("k")));
+    EXPECT_FALSE(tree.remove(to_bytes("k")));
+    EXPECT_TRUE(tree.root_hash().is_zero());
+}
+
+TEST(Iavl, RootIsDeterministicForSameSequence) {
+    // Unlike the MPT, an AVL tree's shape (and thus root) depends on insertion
+    // order — true of Tendermint's IAVL as well. What consensus requires is
+    // determinism: identical operation sequences yield identical roots.
+    IavlTree a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.set(to_bytes("k" + std::to_string(i)), to_bytes("v" + std::to_string(i)));
+        b.set(to_bytes("k" + std::to_string(i)), to_bytes("v" + std::to_string(i)));
+    }
+    EXPECT_EQ(a.root_hash(), b.root_hash());
+    a.set(to_bytes("k5"), to_bytes("changed"));
+    EXPECT_NE(a.root_hash(), b.root_hash());
+}
+
+TEST(Iavl, HeightStaysLogarithmic) {
+    IavlTree tree;
+    for (int i = 0; i < 1024; ++i)
+        tree.set(to_bytes("sequential-key-" + std::to_string(i)), to_bytes("v"));
+    EXPECT_EQ(tree.size(), 1024u);
+    // AVL bound: height <= 1.44 log2(n) + small constant.
+    EXPECT_LE(tree.height(), 16);
+    EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(Iavl, MatchesMapModel) {
+    Rng rng(123);
+    IavlTree tree;
+    std::map<std::string, Bytes> model;
+    for (int step = 0; step < 3000; ++step) {
+        const std::string key = "key-" + std::to_string(rng.uniform(150));
+        if (rng.chance(0.65)) {
+            Bytes value = to_bytes("v" + std::to_string(rng.next() % 997));
+            tree.set(to_bytes(key), value);
+            model[key] = value;
+        } else {
+            EXPECT_EQ(tree.remove(to_bytes(key)), model.erase(key) > 0);
+        }
+        EXPECT_EQ(tree.size(), model.size());
+    }
+    EXPECT_TRUE(tree.check_invariants());
+    for (const auto& [k, v] : model) EXPECT_EQ(tree.get(to_bytes(k)), v);
+}
+
+TEST(Iavl, ForEachIsSortedAndComplete) {
+    IavlTree tree;
+    std::map<std::string, std::string> model;
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const std::string k = "k" + std::to_string(rng.uniform(500));
+        tree.set(to_bytes(k), to_bytes("v"));
+        model[k] = "v";
+    }
+    std::vector<std::string> visited;
+    tree.for_each([&](ByteView k, ByteView) {
+        visited.emplace_back(reinterpret_cast<const char*>(k.data()), k.size());
+    });
+    ASSERT_EQ(visited.size(), model.size());
+    auto it = model.begin();
+    for (const auto& k : visited) {
+        EXPECT_EQ(k, it->first);
+        ++it;
+    }
+}
+
+TEST(Iavl, SnapshotIsolation) {
+    IavlTree tree;
+    tree.set(to_bytes("a"), to_bytes("1"));
+    IavlTree snap = tree.snapshot();
+    tree.set(to_bytes("a"), to_bytes("2"));
+    tree.set(to_bytes("b"), to_bytes("3"));
+    EXPECT_EQ(snap.get(to_bytes("a")), to_bytes("1"));
+    EXPECT_FALSE(snap.get(to_bytes("b")).has_value());
+    EXPECT_EQ(snap.size(), 1u);
+}
+
+} // namespace

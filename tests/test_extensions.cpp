@@ -1,0 +1,454 @@
+// Tests for the extension modules: the SPV light client (§2.2), wallets,
+// difficulty retargeting in the Nakamoto network (§2.7), the ABCI replicated
+// application interface (§5.2), the off-chain data store (§4.5), and atomic
+// cross-chain swaps (§5.2).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "consensus/nakamoto.hpp"
+#include "core/abci.hpp"
+#include "crypto/sha256.hpp"
+#include "datastruct/merkle.hpp"
+#include "ledger/difficulty.hpp"
+#include "ledger/offchain.hpp"
+#include "ledger/spv.hpp"
+#include "ledger/wallet.hpp"
+#include "scaling/atomicswap.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::ledger;
+
+// --- SPV --------------------------------------------------------------------------
+
+struct SpvFixture {
+    consensus::NakamotoParams params;
+    std::unique_ptr<consensus::NakamotoNetwork> net;
+
+    SpvFixture() {
+        params.node_count = 4;
+        params.block_interval = 20.0;
+        params.validation.sig_mode = SigCheckMode::kSkip;
+        net = std::make_unique<consensus::NakamotoNetwork>(params, 61);
+        net->start();
+        net->run_for(20.0 * 40);
+    }
+};
+
+TEST(Spv, FollowsHeaderChain) {
+    SpvFixture fx;
+    const auto& chain = fx.net->chain_of(0);
+    const auto path = chain.path_from_genesis(fx.net->tip_of(0));
+
+    SpvClient client(chain.find(path[0])->block.header);
+    for (std::size_t i = 1; i < path.size(); ++i)
+        EXPECT_TRUE(client.add_header(chain.find(path[i])->block.header));
+    EXPECT_EQ(client.best_height(), path.size() - 1);
+    EXPECT_EQ(client.best_hash(), fx.net->tip_of(0));
+}
+
+TEST(Spv, RejectsHeaderWithUnknownParent) {
+    SpvFixture fx;
+    const auto& chain = fx.net->chain_of(0);
+    const auto path = chain.path_from_genesis(fx.net->tip_of(0));
+    SpvClient client(chain.find(path[0])->block.header);
+    // Skipping ahead (missing intermediate headers) returns false.
+    EXPECT_FALSE(client.add_header(chain.find(path[5])->block.header));
+}
+
+TEST(Spv, VerifiesPaymentWithMerkleProof) {
+    SpvFixture fx;
+    // Submit a record tx and let it confirm.
+    Transaction tx;
+    tx.kind = TxKind::kRecord;
+    tx.nonce = 7;
+    tx.data = to_bytes("pay-me");
+    tx.declared_fee = 50;
+    const Hash256 txid = tx.txid();
+    fx.net->submit_transaction(tx, 1);
+    fx.net->run_for(20.0 * 20);
+
+    const auto& chain = fx.net->chain_of(0);
+    const auto path = chain.path_from_genesis(fx.net->tip_of(0));
+    SpvClient client(chain.find(path[0])->block.header);
+    for (std::size_t i = 1; i < path.size(); ++i)
+        client.add_header(chain.find(path[i])->block.header);
+
+    // Find the confirming block and build the full node's response.
+    SpvPayment payment;
+    bool found = false;
+    for (const auto& hash : path) {
+        const auto& block = chain.find(hash)->block;
+        const auto txids = block.txids();
+        for (std::size_t i = 0; i < txids.size(); ++i) {
+            if (txids[i] == txid) {
+                const datastruct::MerkleTree tree(txids);
+                payment = SpvPayment{txid, hash, tree.prove(i)};
+                found = true;
+            }
+        }
+    }
+    ASSERT_TRUE(found) << "transaction did not confirm";
+    EXPECT_TRUE(client.verify_payment(payment, 1));
+
+    // A tampered proof fails.
+    SpvPayment bad = payment;
+    bad.proof.steps[0].sibling[0] ^= 1;
+    EXPECT_FALSE(client.verify_payment(bad, 1));
+
+    // A proof against an unknown block fails.
+    SpvPayment unknown = payment;
+    unknown.block_hash = crypto::sha256(to_bytes("nope"));
+    EXPECT_FALSE(client.verify_payment(unknown, 1));
+}
+
+TEST(Spv, StorageIsTinyComparedToFullBlocks) {
+    SpvFixture fx;
+    const auto& chain = fx.net->chain_of(0);
+    const auto path = chain.path_from_genesis(fx.net->tip_of(0));
+    SpvClient client(chain.find(path[0])->block.header);
+    std::size_t full_bytes = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        client.add_header(chain.find(path[i])->block.header);
+        full_bytes += chain.find(path[i])->block.serialized_size();
+    }
+    EXPECT_LT(client.storage_bytes(), full_bytes);
+}
+
+TEST(Spv, ConfirmationDepthChecksBestChain) {
+    SpvFixture fx;
+    const auto& chain = fx.net->chain_of(0);
+    const auto path = chain.path_from_genesis(fx.net->tip_of(0));
+    SpvClient client(chain.find(path[0])->block.header);
+    for (std::size_t i = 1; i < path.size(); ++i)
+        client.add_header(chain.find(path[i])->block.header);
+
+    const Hash256 deep = path[path.size() / 2];
+    EXPECT_TRUE(client.confirmed(deep, 1));
+    EXPECT_TRUE(client.confirmed(deep, path.size() / 2 - 1));
+    EXPECT_FALSE(client.confirmed(deep, path.size() + 10));
+}
+
+// --- Wallet ---------------------------------------------------------------------------
+
+TEST(Wallet, TracksCoinsAcrossBlocks) {
+    Wallet wallet("w1");
+    const auto addr = wallet.fresh_address();
+
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(addr, 50 * kCoin, 1));
+    wallet.process_block(b1);
+    EXPECT_EQ(wallet.balance(), 50 * kCoin);
+    EXPECT_EQ(wallet.coin_count(), 1u);
+}
+
+TEST(Wallet, BuildsValidSignedPayment) {
+    Wallet wallet("w2");
+    const auto addr = wallet.fresh_address();
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(addr, 50 * kCoin, 1));
+    wallet.process_block(b1);
+
+    const auto to = crypto::PrivateKey::from_seed("payee").address();
+    const auto tx = wallet.pay(to, 20 * kCoin, 1000);
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_TRUE(tx->verify_signatures());
+    // amount + change = input - fee
+    Amount out_total = 0;
+    for (const auto& out : tx->outputs) out_total += out.value;
+    EXPECT_EQ(out_total, 50 * kCoin - 1000);
+    EXPECT_EQ(tx->outputs[0].recipient, to);
+    EXPECT_EQ(tx->outputs[0].value, 20 * kCoin);
+}
+
+TEST(Wallet, RefusesOverdraft) {
+    Wallet wallet("w3");
+    const auto addr = wallet.fresh_address();
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(addr, kCoin, 1));
+    wallet.process_block(b1);
+    EXPECT_FALSE(wallet.pay(crypto::PrivateKey::from_seed("x").address(), 2 * kCoin, 0)
+                     .has_value());
+}
+
+TEST(Wallet, PendingCoinsAreNotDoubleSpent) {
+    Wallet wallet("w4");
+    const auto addr = wallet.fresh_address();
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(addr, 10 * kCoin, 1));
+    wallet.process_block(b1);
+
+    const auto to = crypto::PrivateKey::from_seed("y").address();
+    ASSERT_TRUE(wallet.pay(to, 8 * kCoin, 0).has_value());
+    // The single coin is now pending: a second spend must fail even though no
+    // block confirmed the first yet.
+    EXPECT_FALSE(wallet.pay(to, 8 * kCoin, 0).has_value());
+}
+
+TEST(Wallet, MultiKeyCoinSelectionSignsEachInput) {
+    Wallet wallet("w5");
+    const auto a1 = wallet.fresh_address();
+    const auto a2 = wallet.fresh_address();
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(a1, 3 * kCoin, 1));
+    Block b2;
+    b2.header.height = 2;
+    b2.txs.push_back(make_coinbase(a2, 3 * kCoin, 2));
+    wallet.process_block(b1);
+    wallet.process_block(b2);
+
+    // Needs both coins -> two inputs under two different keys.
+    const auto tx = wallet.pay(crypto::PrivateKey::from_seed("z").address(),
+                               5 * kCoin, 1000);
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_EQ(tx->inputs.size(), 2u);
+    EXPECT_TRUE(tx->verify_signatures());
+    EXPECT_NE(tx->inputs[0].pubkey, tx->inputs[1].pubkey);
+}
+
+TEST(Wallet, SpendsAreRemovedOnConfirmation) {
+    Wallet wallet("w6");
+    const auto addr = wallet.fresh_address();
+    Block b1;
+    b1.header.height = 1;
+    b1.txs.push_back(make_coinbase(addr, 10 * kCoin, 1));
+    wallet.process_block(b1);
+
+    const auto to = crypto::PrivateKey::from_seed("q").address();
+    const auto tx = wallet.pay(to, 4 * kCoin, 0);
+    ASSERT_TRUE(tx.has_value());
+
+    Block b2;
+    b2.header.height = 2;
+    b2.txs.push_back(make_coinbase(addr, 0, 2));
+    b2.txs.push_back(*tx);
+    wallet.process_block(b2);
+    // Change output (6 coins) is back, original coin gone.
+    EXPECT_EQ(wallet.balance(), 6 * kCoin);
+}
+
+// --- Difficulty retargeting in the network (E2 ablation) -----------------------------------
+
+TEST(Retargeting, HoldsIntervalUnderHashPowerGrowth) {
+    consensus::NakamotoParams params;
+    params.node_count = 4;
+    params.block_interval = 60.0;
+    params.validation.sig_mode = SigCheckMode::kSkip;
+    params.enable_retargeting = true;
+    params.retarget.interval_blocks = 8;
+    params.retarget.target_spacing = 60.0;
+    consensus::NakamotoNetwork net(params, 62);
+    net.set_network_hashrate(8.0); // 8x power from the start
+    net.start();
+    net.run_for(60.0 * 120);
+
+    // Without retargeting the interval would sit near 60/8 = 7.5 s; with it,
+    // difficulty climbs until the interval recovers toward 60 s.
+    const auto interval = net.observed_interval(24);
+    ASSERT_TRUE(interval.has_value());
+    EXPECT_GT(*interval, 30.0);
+}
+
+TEST(Retargeting, WithoutItHashPowerSpeedsBlocks) {
+    consensus::NakamotoParams params;
+    params.node_count = 4;
+    params.block_interval = 60.0;
+    params.validation.sig_mode = SigCheckMode::kSkip;
+    params.enable_retargeting = false;
+    consensus::NakamotoNetwork net(params, 63);
+    net.set_network_hashrate(8.0);
+    net.start();
+    net.run_for(60.0 * 40);
+    const auto interval = net.observed_interval(24);
+    ASSERT_TRUE(interval.has_value());
+    EXPECT_LT(*interval, 20.0); // ~7.5 s expected
+}
+
+// --- ABCI ------------------------------------------------------------------------------
+
+TEST(Abci, KvStoreAppliesAndQueries) {
+    core::KvStoreApp app;
+    app.begin_block(1);
+    EXPECT_TRUE(app.deliver_tx(to_bytes("set color blue")).ok);
+    EXPECT_TRUE(app.deliver_tx(to_bytes("set shape round")).ok);
+    EXPECT_FALSE(app.deliver_tx(to_bytes("nonsense")).ok);
+    app.end_block(1);
+    EXPECT_EQ(app.query(to_bytes("color")), to_bytes("blue"));
+    EXPECT_TRUE(app.query(to_bytes("missing")).empty());
+}
+
+TEST(Abci, AppHashIsDeterministic) {
+    core::KvStoreApp a, b;
+    for (auto* app : {&a, &b}) {
+        app->begin_block(1);
+        app->deliver_tx(to_bytes("set k1 v1"));
+        app->deliver_tx(to_bytes("set k2 v2"));
+    }
+    EXPECT_EQ(a.end_block(1), b.end_block(1));
+    a.begin_block(2);
+    a.deliver_tx(to_bytes("del k1"));
+    EXPECT_NE(a.end_block(2), b.end_block(1));
+}
+
+TEST(Abci, ReplicatedKvStoreStaysConsistent) {
+    consensus::PbftConfig config;
+    config.f = 1;
+    config.batch_size = 5;
+    config.batch_interval = 0.1;
+    core::ReplicatedApp app(config, [] { return std::make_unique<core::KvStoreApp>(); },
+                            64);
+    for (int i = 0; i < 20; ++i)
+        app.submit(to_bytes("set key" + std::to_string(i) + " value" +
+                            std::to_string(i)));
+    app.run_for(20.0);
+
+    EXPECT_TRUE(app.app_hashes_consistent());
+    EXPECT_GT(app.applied_blocks(0), 0u);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+        EXPECT_EQ(app.applied_blocks(r), app.applied_blocks(0));
+        EXPECT_EQ(app.query(r, to_bytes("key7")), to_bytes("value7")) << r;
+    }
+}
+
+TEST(Abci, SurvivesCrashedBackup) {
+    consensus::PbftConfig config;
+    config.f = 1;
+    config.batch_size = 5;
+    config.batch_interval = 0.1;
+    core::ReplicatedApp app(config, [] { return std::make_unique<core::KvStoreApp>(); },
+                            65);
+    app.cluster().set_fault(3, consensus::PbftFault::kCrashed);
+    for (int i = 0; i < 10; ++i) app.submit(to_bytes("set k" + std::to_string(i) + " v"));
+    app.run_for(20.0);
+    EXPECT_TRUE(app.app_hashes_consistent());
+    EXPECT_EQ(app.query(0, to_bytes("k3")), to_bytes("v"));
+}
+
+// --- Off-chain store ------------------------------------------------------------------
+
+TEST(Offchain, PutGetVerified) {
+    OffchainStore store;
+    const Bytes payload = to_bytes("a very large sensor telemetry dump");
+    const auto ref = store.put(payload);
+    const auto back = store.get_verified(ref);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+}
+
+TEST(Offchain, SubstitutedPayloadRejected) {
+    OffchainStore store;
+    const auto ref = store.put(to_bytes("original"));
+    OffchainRef forged = ref;
+    forged.digest[0] ^= 1; // claim a different digest
+    EXPECT_FALSE(store.get_verified(forged).has_value());
+}
+
+TEST(Offchain, DataLossIsDetectableNotSilent) {
+    // §4.5's trade-off: the digest survives on-chain, the data may not.
+    OffchainStore store;
+    const auto ref = store.put(to_bytes("ephemeral"));
+    EXPECT_TRUE(store.forget(ref));
+    EXPECT_FALSE(store.get_verified(ref).has_value()); // gone, and we know it
+    EXPECT_FALSE(store.forget(ref));
+}
+
+TEST(Offchain, SavingsScaleWithPayloadSize) {
+    OffchainStore store;
+    store.put(Bytes(10'000, 0xAA));
+    store.put(Bytes(90'000, 0xBB));
+    EXPECT_GT(store.bytes_saved_on_chain(), 99'000);
+}
+
+// --- Atomic swaps ----------------------------------------------------------------------
+
+struct SwapFixture {
+    scaling::HtlcChain chain_a{"chain-A"};
+    scaling::HtlcChain chain_b{"chain-B"};
+    crypto::Address alice = crypto::PrivateKey::from_seed("swap/alice").address();
+    crypto::Address bob = crypto::PrivateKey::from_seed("swap/bob").address();
+
+    SwapFixture() {
+        chain_a.credit(alice, 100);
+        chain_b.credit(bob, 2000);
+    }
+};
+
+TEST(AtomicSwap, HappyPathSwapsBothSides) {
+    SwapFixture fx;
+    const auto outcome = scaling::execute_swap(fx.chain_a, fx.chain_b, fx.alice,
+                                               fx.bob, 100, 2000,
+                                               to_bytes("alice-secret"), 100.0);
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_EQ(fx.chain_a.balance_of(fx.bob), 100);
+    EXPECT_EQ(fx.chain_b.balance_of(fx.alice), 2000);
+    EXPECT_EQ(fx.chain_a.balance_of(fx.alice), 0);
+    EXPECT_EQ(fx.chain_b.balance_of(fx.bob), 0);
+}
+
+TEST(AtomicSwap, WrongPreimageCannotClaim) {
+    SwapFixture fx;
+    const auto hashlock = scaling::swap_hashlock(to_bytes("real"));
+    const auto id = fx.chain_a.lock(fx.alice, fx.bob, 50, hashlock, 100.0);
+    EXPECT_THROW(fx.chain_a.claim(id, to_bytes("fake")), ValidationError);
+    EXPECT_EQ(fx.chain_a.balance_of(fx.bob), 0);
+}
+
+TEST(AtomicSwap, RefundOnlyAfterTimelock) {
+    SwapFixture fx;
+    const auto hashlock = scaling::swap_hashlock(to_bytes("s"));
+    const auto id = fx.chain_a.lock(fx.alice, fx.bob, 50, hashlock, 100.0);
+    EXPECT_THROW(fx.chain_a.refund(id), ValidationError); // too early
+    fx.chain_a.advance_time(101.0);
+    fx.chain_a.refund(id);
+    EXPECT_EQ(fx.chain_a.balance_of(fx.alice), 100); // funds restored
+    // Claim after refund impossible.
+    EXPECT_THROW(fx.chain_a.claim(id, to_bytes("s")), ValidationError);
+}
+
+TEST(AtomicSwap, ClaimWindowClosesAtTimelock) {
+    SwapFixture fx;
+    const auto hashlock = scaling::swap_hashlock(to_bytes("late"));
+    const auto id = fx.chain_a.lock(fx.alice, fx.bob, 50, hashlock, 100.0);
+    fx.chain_a.advance_time(150.0);
+    EXPECT_THROW(fx.chain_a.claim(id, to_bytes("late")), ValidationError);
+    fx.chain_a.refund(id); // the sender recovers instead
+    EXPECT_EQ(fx.chain_a.balance_of(fx.alice), 100);
+}
+
+TEST(AtomicSwap, AbortedSwapRefundsBothSides) {
+    // Bob locks but Alice never claims (loses interest): both sides refund
+    // after their timelocks — atomicity holds in the negative direction too.
+    SwapFixture fx;
+    const Bytes secret = to_bytes("never-revealed");
+    const auto hashlock = scaling::swap_hashlock(secret);
+    const auto a_id = fx.chain_a.lock(fx.alice, fx.bob, 100, hashlock, 200.0);
+    const auto b_id = fx.chain_b.lock(fx.bob, fx.alice, 2000, hashlock, 100.0);
+
+    fx.chain_b.advance_time(101.0);
+    fx.chain_b.refund(b_id);
+    fx.chain_a.advance_time(201.0);
+    fx.chain_a.refund(a_id);
+
+    EXPECT_EQ(fx.chain_a.balance_of(fx.alice), 100);
+    EXPECT_EQ(fx.chain_b.balance_of(fx.bob), 2000);
+}
+
+TEST(AtomicSwap, PreimageIsPublicAfterClaim) {
+    SwapFixture fx;
+    const Bytes secret = to_bytes("watch-me");
+    const auto hashlock = scaling::swap_hashlock(secret);
+    const auto id = fx.chain_b.lock(fx.bob, fx.alice, 10, hashlock, 100.0);
+    EXPECT_FALSE(fx.chain_b.revealed_preimage(id).has_value());
+    fx.chain_b.claim(id, secret);
+    const auto revealed = fx.chain_b.revealed_preimage(id);
+    ASSERT_TRUE(revealed.has_value());
+    EXPECT_EQ(*revealed, secret);
+}
+
+} // namespace

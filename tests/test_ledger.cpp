@@ -1,0 +1,534 @@
+// Tests for the ledger (data layer): transactions, blocks, difficulty encoding
+// and retargeting, the UTXO set with apply/undo, chain store branch tracking
+// (longest-chain and GHOST selection), mempool policy, and block validation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/block.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/difficulty.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/transaction.hpp"
+#include "ledger/utxo.hpp"
+#include "ledger/validation.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::ledger;
+using crypto::PrivateKey;
+using crypto::U256;
+
+const PrivateKey kAlice = PrivateKey::from_seed("alice");
+const PrivateKey kBob = PrivateKey::from_seed("bob");
+const PrivateKey kMiner = PrivateKey::from_seed("miner");
+
+// --- Transactions ------------------------------------------------------------------
+
+TEST(Transaction, SerializationRoundTrip) {
+    Transaction tx = make_transfer({OutPoint{crypto::sha256(to_bytes("prev")), 1}},
+                                   {TxOutput{5 * kCoin, kBob.address()}});
+    tx.declared_fee = 1000;
+    tx.sign_with(kAlice);
+    const Bytes encoded = encode_to_bytes(tx);
+    EXPECT_EQ(decode_from_bytes<Transaction>(encoded), tx);
+}
+
+TEST(Transaction, TxidCoversSignature) {
+    Transaction tx = make_transfer({OutPoint{crypto::sha256(to_bytes("p")), 0}},
+                                   {TxOutput{kCoin, kBob.address()}});
+    const Hash256 before = tx.txid();
+    tx.sign_with(kAlice);
+    EXPECT_NE(tx.txid(), before);
+}
+
+TEST(Transaction, SighashExcludesSignatureButCoversPubkey) {
+    Transaction tx = make_transfer({OutPoint{crypto::sha256(to_bytes("p")), 0}},
+                                   {TxOutput{kCoin, kBob.address()}});
+    tx.sign_with(kAlice);
+    const Hash256 signed_hash = tx.sighash();
+
+    // Stripping signatures leaves the sighash unchanged...
+    Transaction stripped = tx;
+    for (auto& in : stripped.inputs) in.signature.clear();
+    EXPECT_EQ(stripped.sighash(), signed_hash);
+
+    // ...but the pubkey is committed (swapping it changes the message).
+    Transaction swapped = tx;
+    swapped.inputs[0].pubkey = kBob.public_key().encode();
+    EXPECT_NE(swapped.sighash(), signed_hash);
+}
+
+TEST(Transaction, SignVerify) {
+    Transaction tx = make_transfer({OutPoint{crypto::sha256(to_bytes("p")), 0}},
+                                   {TxOutput{kCoin, kBob.address()}});
+    EXPECT_FALSE(tx.verify_signatures()); // unsigned
+    tx.sign_with(kAlice);
+    EXPECT_TRUE(tx.verify_signatures());
+    tx.outputs[0].value += 1; // tamper after signing
+    EXPECT_FALSE(tx.verify_signatures());
+}
+
+TEST(Transaction, AccountFamilySignVerify) {
+    Transaction tx = make_record(kAlice.public_key(), 7, to_bytes("record"));
+    tx.sign_with(kAlice);
+    EXPECT_TRUE(tx.verify_signatures());
+    tx.nonce = 8;
+    EXPECT_FALSE(tx.verify_signatures());
+}
+
+TEST(Transaction, CoinbaseNeedsNoSignature) {
+    const Transaction cb = make_coinbase(kMiner.address(), kInitialSubsidy, 1);
+    EXPECT_TRUE(cb.verify_signatures());
+    EXPECT_TRUE(cb.is_coinbase());
+}
+
+TEST(Transaction, CoinbasesAtDifferentHeightsDiffer) {
+    EXPECT_NE(make_coinbase(kMiner.address(), kInitialSubsidy, 1).txid(),
+              make_coinbase(kMiner.address(), kInitialSubsidy, 2).txid());
+}
+
+// --- Blocks ------------------------------------------------------------------------
+
+TEST(Block, HeaderHashChangesWithNonce) {
+    BlockHeader h;
+    const Hash256 before = h.hash();
+    h.nonce = 1;
+    EXPECT_NE(h.hash(), before);
+}
+
+TEST(Block, SerializationRoundTrip) {
+    Block b = make_genesis("test", easy_bits(4));
+    b.txs.push_back(make_coinbase(kMiner.address(), kInitialSubsidy, 0));
+    b.header.merkle_root = b.compute_merkle_root();
+    EXPECT_EQ(decode_from_bytes<Block>(encode_to_bytes(b)), b);
+}
+
+TEST(Block, GenesisIsDeterministicPerTag) {
+    EXPECT_EQ(make_genesis("a", easy_bits(4)).hash(), make_genesis("a", easy_bits(4)).hash());
+    EXPECT_NE(make_genesis("a", easy_bits(4)).hash(), make_genesis("b", easy_bits(4)).hash());
+}
+
+// --- Difficulty ----------------------------------------------------------------------
+
+TEST(Difficulty, CompactRoundTripOnBitcoinGenesisBits) {
+    const std::uint32_t bits = 0x1d00ffff; // Bitcoin's genesis difficulty
+    const U256 target = compact_to_target(bits);
+    EXPECT_EQ(target_to_compact(target), bits);
+    EXPECT_EQ(target.hex(),
+              "00000000ffff0000000000000000000000000000000000000000000000000000");
+}
+
+TEST(Difficulty, EasyBitsMatchShift) {
+    const U256 target = compact_to_target(easy_bits(8));
+    // Compact encoding truncates the mantissa; high byte must match max>>8.
+    EXPECT_LE(target, U256::max() >> 8);
+    EXPECT_GT(target, U256::max() >> 10);
+}
+
+TEST(Difficulty, HashMeetsTargetBoundary) {
+    const U256 target = U256::from_hex("0fffffffffffffffffffffffffffffffffffffff"
+                                       "ffffffffffffffffffffffff");
+    Hash256 under{};
+    under[0] = 0x0f;
+    EXPECT_TRUE(hash_meets_target(under, target));
+    Hash256 over{};
+    over[0] = 0x10;
+    EXPECT_FALSE(hash_meets_target(over, target));
+}
+
+TEST(Difficulty, RetargetRaisesDifficultyWhenBlocksTooFast) {
+    RetargetParams params;
+    const std::uint32_t bits = easy_bits(16);
+    // Blocks came in 2x too fast -> target halves (difficulty doubles).
+    const std::uint32_t harder = retarget(
+        bits, params.target_spacing * params.interval_blocks / 2.0, params);
+    EXPECT_LT(compact_to_target(harder), compact_to_target(bits));
+}
+
+TEST(Difficulty, RetargetClampsAdjustment) {
+    RetargetParams params;
+    params.max_adjustment = 4.0;
+    const std::uint32_t bits = easy_bits(16);
+    const U256 before = compact_to_target(bits);
+    // 100x too fast is clamped to a 4x harder target.
+    const U256 after = compact_to_target(retarget(
+        bits, params.target_spacing * params.interval_blocks / 100.0, params));
+    const U256 ratio = before / after;
+    EXPECT_GE(ratio, U256(3));
+    EXPECT_LE(ratio, U256(5));
+}
+
+TEST(Difficulty, WorkGrowsAsTargetShrinks) {
+    EXPECT_GT(work_from_target(U256::max() >> 20), work_from_target(U256::max() >> 10));
+}
+
+// --- UTXO ---------------------------------------------------------------------------
+
+Block chain_block(const Block& parent, std::vector<Transaction> txs, Amount fees = 0) {
+    Block b;
+    b.header.prev_hash = parent.hash();
+    b.header.height = parent.header.height + 1;
+    b.txs.push_back(
+        make_coinbase(kMiner.address(), block_subsidy(b.header.height) + fees,
+                      b.header.height));
+    for (auto& tx : txs) b.txs.push_back(std::move(tx));
+    b.header.merkle_root = b.compute_merkle_root();
+    return b;
+}
+
+TEST(Utxo, CoinbaseCreatesSpendableOutput) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    utxo.apply_block(b1);
+    EXPECT_EQ(utxo.size(), 1u);
+    EXPECT_EQ(utxo.balance_of(kMiner.address()), block_subsidy(1));
+}
+
+TEST(Utxo, TransferMovesValueAndPaysFee) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    utxo.apply_block(b1);
+
+    const auto coins = utxo.coins_of(kMiner.address());
+    ASSERT_EQ(coins.size(), 1u);
+    Transaction spend = make_transfer(
+        {coins[0].first}, {TxOutput{coins[0].second.value - 1000, kAlice.address()}});
+    spend.sign_with(kMiner);
+
+    UtxoUndo undo;
+    EXPECT_EQ(utxo.check_and_apply(spend, undo), 1000);
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), coins[0].second.value - 1000);
+    EXPECT_EQ(utxo.balance_of(kMiner.address()), 0);
+}
+
+TEST(Utxo, DoubleSpendRejected) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    utxo.apply_block(chain_block(genesis, {}));
+    const auto coins = utxo.coins_of(kMiner.address());
+    Transaction spend = make_transfer({coins[0].first},
+                                      {TxOutput{kCoin, kAlice.address()}});
+    UtxoUndo undo;
+    utxo.check_and_apply(spend, undo);
+    Transaction again = make_transfer({coins[0].first},
+                                      {TxOutput{kCoin, kBob.address()}});
+    EXPECT_THROW(utxo.check_transaction(again), ValidationError);
+}
+
+TEST(Utxo, IntraTransactionDuplicateInputRejected) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    utxo.apply_block(chain_block(genesis, {}));
+    const auto coins = utxo.coins_of(kMiner.address());
+    const Transaction bad = make_transfer({coins[0].first, coins[0].first},
+                                          {TxOutput{kCoin, kAlice.address()}});
+    EXPECT_THROW(utxo.check_transaction(bad), ValidationError);
+}
+
+TEST(Utxo, OutputsExceedingInputsRejected) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    utxo.apply_block(chain_block(genesis, {}));
+    const auto coins = utxo.coins_of(kMiner.address());
+    const Transaction bad = make_transfer(
+        {coins[0].first}, {TxOutput{coins[0].second.value + 1, kAlice.address()}});
+    EXPECT_THROW(utxo.check_transaction(bad), ValidationError);
+}
+
+TEST(Utxo, UndoBlockRestoresExactState) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    utxo.apply_block(b1);
+
+    const auto coins = utxo.coins_of(kMiner.address());
+    Transaction spend = make_transfer(
+        {coins[0].first}, {TxOutput{coins[0].second.value / 2, kAlice.address()},
+                           TxOutput{coins[0].second.value / 2, kBob.address()}});
+    const Block b2 = chain_block(b1, {spend});
+    const Amount miner_before = utxo.balance_of(kMiner.address());
+    const std::size_t size_before = utxo.size();
+
+    const UtxoUndo undo = utxo.apply_block(b2);
+    EXPECT_NE(utxo.size(), size_before);
+    utxo.undo_block(undo);
+    EXPECT_EQ(utxo.size(), size_before);
+    EXPECT_EQ(utxo.balance_of(kMiner.address()), miner_before);
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), 0);
+}
+
+TEST(Utxo, FailedBlockLeavesStateUnchanged) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    utxo.apply_block(chain_block(genesis, {}));
+    const std::size_t size_before = utxo.size();
+
+    // Second tx in the block double-spends the first's input.
+    const auto coins = utxo.coins_of(kMiner.address());
+    const Transaction t1 = make_transfer({coins[0].first},
+                                         {TxOutput{kCoin, kAlice.address()}});
+    const Transaction t2 = make_transfer({coins[0].first},
+                                         {TxOutput{kCoin, kBob.address()}});
+    Block bad;
+    bad.txs = {t1, t2};
+    EXPECT_THROW(utxo.apply_block(bad), ValidationError);
+    EXPECT_EQ(utxo.size(), size_before);
+    EXPECT_TRUE(utxo.contains(coins[0].first));
+}
+
+TEST(Utxo, IntraBlockChainingWorks) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    utxo.apply_block(chain_block(genesis, {}));
+    const auto coins = utxo.coins_of(kMiner.address());
+
+    Transaction t1 = make_transfer({coins[0].first},
+                                   {TxOutput{coins[0].second.value, kAlice.address()}});
+    // t2 spends t1's output inside the same block.
+    Transaction t2 = make_transfer({OutPoint{t1.txid(), 0}},
+                                   {TxOutput{coins[0].second.value, kBob.address()}});
+    Block b;
+    b.txs = {t1, t2};
+    utxo.apply_block(b);
+    EXPECT_EQ(utxo.balance_of(kBob.address()), coins[0].second.value);
+}
+
+// --- ChainStore -----------------------------------------------------------------------
+
+struct ChainFixture {
+    Block genesis = make_genesis("chain-test", easy_bits(2));
+    ChainStore store{genesis};
+
+    Block extend(const Block& parent, std::uint64_t salt) {
+        Block b;
+        b.header.prev_hash = parent.hash();
+        b.header.height = parent.header.height + 1;
+        b.header.nonce = salt;
+        b.header.merkle_root = b.compute_merkle_root();
+        store.insert(b, U256::one());
+        return b;
+    }
+};
+
+TEST(ChainStore, TracksHeightAndWork) {
+    ChainFixture f;
+    const Block b1 = f.extend(f.genesis, 1);
+    const Block b2 = f.extend(b1, 2);
+    EXPECT_EQ(f.store.find(b2.hash())->height, 2u);
+    EXPECT_EQ(f.store.find(b2.hash())->cumulative_work, U256(3));
+}
+
+TEST(ChainStore, RejectsOrphanInsert) {
+    ChainFixture f;
+    Block orphan;
+    orphan.header.prev_hash = crypto::sha256(to_bytes("unknown"));
+    EXPECT_THROW(f.store.insert(orphan, U256::one()), ValidationError);
+}
+
+TEST(ChainStore, DuplicateInsertReturnsFalse) {
+    ChainFixture f;
+    const Block b1 = f.extend(f.genesis, 1);
+    EXPECT_FALSE(f.store.insert(b1, U256::one()));
+}
+
+TEST(ChainStore, LongestChainWinsByWork) {
+    ChainFixture f;
+    const Block a1 = f.extend(f.genesis, 1);
+    const Block b1 = f.extend(f.genesis, 2);
+    const Block a2 = f.extend(a1, 3);
+    EXPECT_EQ(f.store.best_tip_by_work(), a2.hash());
+    (void)b1;
+}
+
+TEST(ChainStore, GhostPrefersHeavySubtreeOverLongChain) {
+    ChainFixture f;
+    // Branch A: a1 - a2 - a3 (long, thin).
+    const Block a1 = f.extend(f.genesis, 1);
+    const Block a2 = f.extend(a1, 2);
+    const Block a3 = f.extend(a2, 3);
+    // Branch B: b1 with three children (heavy subtree: 4 blocks).
+    const Block b1 = f.extend(f.genesis, 10);
+    const Block b2a = f.extend(b1, 11);
+    f.extend(b1, 12);
+    f.extend(b1, 13);
+
+    // Longest chain picks a3 (height 3); GHOST picks into branch B (weight 4 > 3).
+    EXPECT_EQ(f.store.best_tip_by_work(), a3.hash());
+    const Hash256 ghost_tip = f.store.best_tip_by_ghost();
+    bool in_b = false;
+    for (const auto& h : f.store.path_from_genesis(ghost_tip))
+        if (h == b1.hash()) in_b = true;
+    EXPECT_TRUE(in_b);
+    (void)b2a;
+}
+
+TEST(ChainStore, CommonAncestorAcrossBranches) {
+    ChainFixture f;
+    const Block a1 = f.extend(f.genesis, 1);
+    const Block a2 = f.extend(a1, 2);
+    const Block b1 = f.extend(a1, 3);
+    EXPECT_EQ(f.store.common_ancestor(a2.hash(), b1.hash()), a1.hash());
+    EXPECT_EQ(f.store.common_ancestor(a2.hash(), a2.hash()), a2.hash());
+}
+
+TEST(ChainStore, ReorgPathDisconnectsAndConnects) {
+    ChainFixture f;
+    const Block a1 = f.extend(f.genesis, 1);
+    const Block a2 = f.extend(a1, 2);
+    const Block b1 = f.extend(f.genesis, 3);
+    const Block b2 = f.extend(b1, 4);
+    const Block b3 = f.extend(b2, 5);
+
+    const auto path = f.store.reorg_path(a2.hash(), b3.hash());
+    ASSERT_EQ(path.disconnect.size(), 2u);
+    EXPECT_EQ(path.disconnect[0], a2.hash()); // tip first
+    EXPECT_EQ(path.disconnect[1], a1.hash());
+    ASSERT_EQ(path.connect.size(), 3u);
+    EXPECT_EQ(path.connect[0], b1.hash()); // oldest first
+    EXPECT_EQ(path.connect[2], b3.hash());
+}
+
+TEST(ChainStore, StaleCountExcludesActivePath) {
+    ChainFixture f;
+    const Block a1 = f.extend(f.genesis, 1);
+    const Block a2 = f.extend(a1, 2);
+    f.extend(f.genesis, 3); // stale branch
+    EXPECT_EQ(f.store.stale_count(a2.hash()), 1u);
+}
+
+// --- Mempool ----------------------------------------------------------------------
+
+Transaction fee_tx(std::uint64_t salt, Amount fee) {
+    Transaction tx = make_transfer({OutPoint{crypto::sha256(to_bytes("s" + std::to_string(salt))), 0}},
+                                   {TxOutput{kCoin, kAlice.address()}});
+    tx.declared_fee = fee;
+    return tx;
+}
+
+TEST(Mempool, RejectsDuplicates) {
+    Mempool pool;
+    const Transaction tx = fee_tx(1, 100);
+    EXPECT_TRUE(pool.add(tx));
+    EXPECT_FALSE(pool.add(tx));
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, SelectsByFeeRate) {
+    Mempool pool;
+    pool.add(fee_tx(1, 100));
+    pool.add(fee_tx(2, 10000));
+    pool.add(fee_tx(3, 1000));
+    const auto selected = pool.select(1'000'000, 2);
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_EQ(selected[0].declared_fee, 10000);
+    EXPECT_EQ(selected[1].declared_fee, 1000);
+}
+
+TEST(Mempool, RespectsByteBudget) {
+    Mempool pool;
+    for (int i = 0; i < 50; ++i) pool.add(fee_tx(i, 100 + i));
+    const std::size_t one_size = fee_tx(0, 100).serialized_size();
+    const auto selected = pool.select(one_size * 10 + 5);
+    EXPECT_LE(selected.size(), 10u);
+    EXPECT_GE(selected.size(), 9u);
+}
+
+TEST(Mempool, EvictsLowestFeeWhenFull) {
+    Mempool pool(3);
+    pool.add(fee_tx(1, 10));
+    pool.add(fee_tx(2, 20));
+    pool.add(fee_tx(3, 30));
+    EXPECT_TRUE(pool.add(fee_tx(4, 40))); // evicts fee=10
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_FALSE(pool.add(fee_tx(5, 5))); // worse than everything
+}
+
+TEST(Mempool, RemoveConfirmedAndAddBack) {
+    Mempool pool;
+    const Transaction tx = fee_tx(1, 100);
+    pool.add(tx);
+    pool.remove_confirmed({tx.txid()});
+    EXPECT_TRUE(pool.empty());
+    pool.add_back({tx, make_coinbase(kMiner.address(), kCoin, 3)});
+    EXPECT_EQ(pool.size(), 1u); // coinbase not re-added
+}
+
+// --- Validation -----------------------------------------------------------------------
+
+TEST(Validation, MerkleRootMismatchRejected) {
+    const Block genesis = make_genesis("val-test", easy_bits(2));
+    Block b = chain_block(genesis, {});
+    b.header.merkle_root[0] ^= 1;
+    ValidationRules rules;
+    EXPECT_THROW(check_block_structure(b, rules), ValidationError);
+}
+
+TEST(Validation, MissingCoinbaseRejected) {
+    Block b;
+    b.header.height = 1;
+    b.header.merkle_root = b.compute_merkle_root();
+    ValidationRules rules;
+    EXPECT_THROW(check_block_structure(b, rules), ValidationError);
+}
+
+TEST(Validation, OversizedBlockRejected) {
+    const Block genesis = make_genesis("val-test", easy_bits(2));
+    Block b = chain_block(genesis, {});
+    ValidationRules rules;
+    rules.max_block_bytes = 10;
+    EXPECT_THROW(check_block_structure(b, rules), ValidationError);
+}
+
+TEST(Validation, GreedyCoinbaseRejected) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("val-test", easy_bits(2));
+    Block b;
+    b.header.prev_hash = genesis.hash();
+    b.header.height = 1;
+    b.txs.push_back(make_coinbase(kMiner.address(), block_subsidy(1) + 1, 1));
+    b.header.merkle_root = b.compute_merkle_root();
+    ValidationRules rules;
+    EXPECT_THROW(connect_block(b, utxo, rules), ValidationError);
+    EXPECT_EQ(utxo.size(), 0u);
+}
+
+TEST(Validation, UnsignedTransferRejectedInFullMode) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("val-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    ValidationRules rules;
+    connect_block(b1, utxo, rules);
+
+    const auto coins = utxo.coins_of(kMiner.address());
+    Transaction unsigned_tx = make_transfer({coins[0].first},
+                                            {TxOutput{kCoin, kAlice.address()}});
+    const Block b2 = chain_block(b1, {unsigned_tx});
+    EXPECT_THROW(connect_block(b2, utxo, rules), ValidationError);
+
+    rules.sig_mode = SigCheckMode::kSkip;
+    EXPECT_NO_THROW(connect_block(b2, utxo, rules));
+}
+
+TEST(Validation, SignedChainConnects) {
+    UtxoSet utxo;
+    const Block genesis = make_genesis("val-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    ValidationRules rules;
+    connect_block(b1, utxo, rules);
+
+    const auto coins = utxo.coins_of(kMiner.address());
+    Transaction spend = make_transfer(
+        {coins[0].first}, {TxOutput{coins[0].second.value - 500, kAlice.address()}});
+    spend.sign_with(kMiner);
+    const Block b2 = chain_block(b1, {spend}, 500);
+    EXPECT_NO_THROW(connect_block(b2, utxo, rules));
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), coins[0].second.value - 500);
+}
+
+} // namespace

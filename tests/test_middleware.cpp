@@ -1,0 +1,294 @@
+// Tests for the §5.2 blockchain-middleware suite: event notification, identity
+// management, physical-world data integration, and chain analytics.
+#include <gtest/gtest.h>
+
+#include "app/analytics.hpp"
+#include "app/dataintegration.hpp"
+#include "app/identity.hpp"
+#include "common/error.hpp"
+#include "consensus/nakamoto.hpp"
+#include "contract/events.hpp"
+#include "contract/stdlib.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::contract;
+using ledger::kCoin;
+
+// --- Event bus --------------------------------------------------------------------
+
+struct EventFixture {
+    WorldState world;
+    ContractEngine engine{world};
+    Address alice = crypto::PrivateKey::from_seed("ev/alice").address();
+    Address bob = crypto::PrivateKey::from_seed("ev/bob").address();
+    Address miner = crypto::PrivateKey::from_seed("ev/miner").address();
+    Address token;
+
+    EventFixture() {
+        world.credit(alice, 100 * kCoin);
+        world.credit(bob, 100 * kCoin);
+        const auto compiled = compile(stdlib::token_source());
+        token = engine.deploy(compiled, alice, {Word(100'000)}, 0, 2'000'000, 1,
+                              miner)
+                    .contract;
+    }
+
+    void transfer(ledger::Amount amount) {
+        ASSERT_TRUE(engine
+                        .call(token, "transfer",
+                              {address_to_word(bob), Word(static_cast<std::uint64_t>(amount))},
+                              alice, 0, 100'000, 1, miner)
+                        .ok());
+    }
+};
+
+TEST(EventBus, DeliversMatchingEventsExactlyOnce) {
+    EventFixture fx;
+    EventBus bus(fx.world);
+    std::vector<Notification> seen;
+    bus.subscribe(EventFilter{fx.token, event_topic("Transfer")},
+                  [&](const Notification& n) { seen.push_back(n); });
+
+    fx.transfer(10);
+    fx.transfer(20);
+    EXPECT_EQ(bus.poll(), 2u);
+    EXPECT_EQ(bus.poll(), 0u); // cursor advanced: no duplicates
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].event.value, Word(10));
+    EXPECT_EQ(seen[1].event.value, Word(20));
+}
+
+TEST(EventBus, TopicFilterExcludesOtherEvents) {
+    EventFixture fx;
+    EventBus bus(fx.world);
+    int approvals = 0;
+    bus.subscribe(EventFilter{std::nullopt, event_topic("Approval")},
+                  [&](const Notification&) { ++approvals; });
+    fx.transfer(5); // emits Transfer, not Approval
+    EXPECT_EQ(bus.poll(), 0u);
+    ASSERT_TRUE(fx.engine
+                    .call(fx.token, "approve", {address_to_word(fx.bob), Word(7)},
+                          fx.alice, 0, 100'000, 1, fx.miner)
+                    .ok());
+    EXPECT_EQ(bus.poll(), 1u);
+    EXPECT_EQ(approvals, 1);
+}
+
+TEST(EventBus, FromStartReplaysHistory) {
+    EventFixture fx;
+    fx.transfer(1);
+    fx.transfer(2);
+    EventBus bus(fx.world);
+    int replayed = 0;
+    bus.subscribe(EventFilter{}, [&](const Notification&) { ++replayed; },
+                  /*from_start=*/true);
+    bus.poll();
+    EXPECT_EQ(replayed, 2);
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+    EventFixture fx;
+    EventBus bus(fx.world);
+    int count = 0;
+    const auto id = bus.subscribe(EventFilter{}, [&](const Notification&) { ++count; });
+    fx.transfer(1);
+    bus.poll();
+    EXPECT_TRUE(bus.unsubscribe(id));
+    EXPECT_FALSE(bus.unsubscribe(id));
+    fx.transfer(2);
+    bus.poll();
+    EXPECT_EQ(count, 1);
+}
+
+// --- Identity registry ------------------------------------------------------------
+
+TEST(Identity, RegisterResolveVerify) {
+    app::IdentityRegistry registry;
+    const auto key = crypto::PrivateKey::from_seed("id/alice");
+    registry.register_name("alice", key);
+
+    EXPECT_EQ(registry.resolve("alice"), key.address());
+    const Hash256 msg = crypto::sha256(to_bytes("login-challenge"));
+    EXPECT_TRUE(registry.verify_as("alice", msg, key.sign(msg)));
+    const auto eve = crypto::PrivateKey::from_seed("id/eve");
+    EXPECT_FALSE(registry.verify_as("alice", msg, eve.sign(msg)));
+}
+
+TEST(Identity, NameSquattingRejected) {
+    app::IdentityRegistry registry;
+    registry.register_name("acme", crypto::PrivateKey::from_seed("id/1"));
+    EXPECT_THROW(registry.register_name("acme", crypto::PrivateKey::from_seed("id/2")),
+                 ValidationError);
+}
+
+TEST(Identity, KeyRotationRequiresOldKey) {
+    app::IdentityRegistry registry;
+    const auto old_key = crypto::PrivateKey::from_seed("id/old");
+    const auto new_key = crypto::PrivateKey::from_seed("id/new");
+    const auto attacker = crypto::PrivateKey::from_seed("id/attacker");
+    registry.register_name("corp", old_key);
+
+    EXPECT_THROW(registry.rotate_key("corp", attacker, new_key.public_key()),
+                 ValidationError);
+    registry.rotate_key("corp", old_key, new_key.public_key());
+    EXPECT_EQ(registry.resolve("corp"), new_key.address());
+    EXPECT_EQ(registry.lookup("corp")->version, 2u);
+
+    // Old key no longer speaks for the name.
+    const Hash256 msg = crypto::sha256(to_bytes("act-as-corp"));
+    EXPECT_FALSE(registry.verify_as("corp", msg, old_key.sign(msg)));
+    EXPECT_TRUE(registry.verify_as("corp", msg, new_key.sign(msg)));
+}
+
+TEST(Identity, RevokedNamesStayBurned) {
+    app::IdentityRegistry registry;
+    const auto key = crypto::PrivateKey::from_seed("id/rev");
+    registry.register_name("ghost", key);
+    registry.revoke("ghost", key);
+
+    EXPECT_FALSE(registry.resolve("ghost").has_value());
+    EXPECT_FALSE(registry.verify_as("ghost", crypto::sha256(to_bytes("x")),
+                                    key.sign(crypto::sha256(to_bytes("x")))));
+    // Cannot re-register or rotate a revoked name.
+    EXPECT_THROW(registry.register_name("ghost", crypto::PrivateKey::from_seed("id/sq")),
+                 ValidationError);
+    EXPECT_THROW(registry.rotate_key("ghost", key,
+                                     crypto::PrivateKey::from_seed("id/n").public_key()),
+                 ValidationError);
+}
+
+// --- Sensor gateway ----------------------------------------------------------------
+
+struct SensorFixture {
+    app::SensorGateway gateway{8, 5.0};
+    crypto::PrivateKey key = crypto::PrivateKey::from_seed("sensor/thermo-1");
+
+    SensorFixture() { gateway.register_sensor("thermo-1", key.public_key()); }
+
+    app::IngestResult feed(double value, double t) {
+        return gateway.ingest(
+            app::SensorGateway::make_signed_reading("thermo-1", value, t, key));
+    }
+};
+
+TEST(Sensors, AuthenticReadingsAccepted) {
+    SensorFixture fx;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fx.feed(20.0 + 0.1 * i, i).status, app::ReadingStatus::kAccepted);
+    EXPECT_EQ(fx.gateway.accepted_count(), 10u);
+}
+
+TEST(Sensors, TamperedValueRejected) {
+    SensorFixture fx;
+    auto reading = app::SensorGateway::make_signed_reading("thermo-1", 20.0, 1, fx.key);
+    reading.value = 99.0; // tampered after signing
+    EXPECT_EQ(fx.gateway.ingest(reading).status, app::ReadingStatus::kBadSignature);
+}
+
+TEST(Sensors, ImpersonationRejected) {
+    SensorFixture fx;
+    const auto imposter = crypto::PrivateKey::from_seed("sensor/fake");
+    const auto reading =
+        app::SensorGateway::make_signed_reading("thermo-1", 20.0, 1, imposter);
+    EXPECT_EQ(fx.gateway.ingest(reading).status, app::ReadingStatus::kBadSignature);
+    EXPECT_EQ(fx.gateway
+                  .ingest(app::SensorGateway::make_signed_reading("nobody", 1, 1,
+                                                                  imposter))
+                  .status,
+              app::ReadingStatus::kUnknownSensor);
+}
+
+TEST(Sensors, PhysicalOutliersFlagged) {
+    SensorFixture fx;
+    // Stable readings around 20 degrees...
+    for (int i = 0; i < 8; ++i) fx.feed(20.0 + 0.05 * (i % 3), i);
+    // ...then a spike a tampered probe might produce.
+    const auto result = fx.feed(85.0, 9);
+    EXPECT_EQ(result.status, app::ReadingStatus::kOutlier);
+    EXPECT_GT(result.deviation, 5.0);
+    // Normal reading afterwards is fine again.
+    EXPECT_EQ(fx.feed(20.1, 10).status, app::ReadingStatus::kAccepted);
+}
+
+TEST(Sensors, BatchAnchoringProvesReadings) {
+    SensorFixture fx;
+    std::vector<app::SensorReading> readings;
+    for (int i = 0; i < 6; ++i) {
+        readings.push_back(
+            app::SensorGateway::make_signed_reading("thermo-1", 20.0 + i, i, fx.key));
+        fx.gateway.ingest(readings.back());
+    }
+    const auto batch = fx.gateway.seal_batch();
+    EXPECT_EQ(batch.leaves.size(), 6u);
+    EXPECT_EQ(fx.gateway.accepted_count(), 0u); // pending cleared
+
+    const auto proof = app::SensorGateway::prove_in_batch(batch, 3);
+    EXPECT_TRUE(app::SensorGateway::verify_anchored(readings[3], proof, batch.root));
+    // A reading not in the batch fails against the anchored root.
+    const auto other =
+        app::SensorGateway::make_signed_reading("thermo-1", 99.0, 99, fx.key);
+    EXPECT_FALSE(app::SensorGateway::verify_anchored(other, proof, batch.root));
+}
+
+// --- Chain analytics ------------------------------------------------------------------
+
+TEST(Analytics, MeasuresMinerConcentration) {
+    consensus::NakamotoParams params;
+    params.node_count = 4;
+    params.block_interval = 20.0;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.hashrate_shares = {0.7, 0.1, 0.1, 0.1}; // one whale
+    consensus::NakamotoNetwork net(params, 71);
+    net.start();
+    net.run_for(20.0 * 120);
+
+    const auto analytics = app::analyze_chain(net.chain_of(0), net.tip_of(0));
+    EXPECT_GT(analytics.canonical_blocks, 60u);
+    ASSERT_FALSE(analytics.miners.empty());
+    // The whale leads, and alone controls >50%: Nakamoto coefficient 1.
+    EXPECT_EQ(analytics.miners[0].miner, net.miner_address(0));
+    EXPECT_EQ(analytics.nakamoto_coefficient(), 1u);
+    EXPECT_GT(analytics.miner_gini(), 0.3);
+    EXPECT_NEAR(analytics.mean_block_interval, 20.0, 8.0);
+}
+
+TEST(Analytics, UniformMinersLookDecentralized) {
+    consensus::NakamotoParams params;
+    params.node_count = 8;
+    params.block_interval = 20.0;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    consensus::NakamotoNetwork net(params, 72);
+    net.start();
+    net.run_for(20.0 * 160);
+
+    const auto analytics = app::analyze_chain(net.chain_of(0), net.tip_of(0));
+    EXPECT_GE(analytics.nakamoto_coefficient(), 3u);
+    EXPECT_LT(analytics.miner_gini(), 0.35);
+}
+
+TEST(Analytics, CountsFeesAndTransactions) {
+    consensus::NakamotoParams params;
+    params.node_count = 4;
+    params.block_interval = 15.0;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    consensus::NakamotoNetwork net(params, 73);
+    net.start();
+    for (int i = 0; i < 10; ++i) {
+        ledger::Transaction tx;
+        tx.kind = ledger::TxKind::kRecord;
+        tx.nonce = static_cast<std::uint64_t>(i);
+        tx.declared_fee = 100;
+        net.submit_transaction(tx, 0);
+    }
+    net.run_for(15.0 * 60);
+
+    const auto analytics = app::analyze_chain(net.chain_of(0), net.tip_of(0));
+    EXPECT_EQ(analytics.total_transactions, 10u);
+    EXPECT_EQ(analytics.total_fees, 1000);
+    EXPECT_GT(analytics.mean_txs_per_block, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+// Tests for the privacy module: taint/traceability analysis, CoinJoin mixing
+// and its effect on anonymity sets (E12), commitments, and the multi-channel
+// ledger's isolation and anchoring (E15).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "privacy/commitment.hpp"
+#include "privacy/mixer.hpp"
+#include "privacy/multichannel.hpp"
+#include "privacy/taint.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::privacy;
+using namespace dlt::ledger;
+
+crypto::Address addr(const std::string& seed) {
+    return crypto::PrivateKey::from_seed(seed).address();
+}
+
+// Build a tiny chain: coinbases to users, then user transfers.
+struct TaintFixture {
+    TaintAnalyzer analyzer;
+    Transaction cb_a = make_coinbase(addr("ta"), kCoin, 1);
+    Transaction cb_b = make_coinbase(addr("tb"), kCoin, 2);
+    Transaction cb_c = make_coinbase(addr("tc"), kCoin, 3);
+
+    TaintFixture() {
+        analyzer.add_transaction(cb_a);
+        analyzer.add_transaction(cb_b);
+        analyzer.add_transaction(cb_c);
+    }
+};
+
+TEST(Taint, CoinbaseIsItsOwnOrigin) {
+    TaintFixture fx;
+    const OutPoint op{fx.cb_a.txid(), 0};
+    const auto origins = fx.analyzer.origins_of(op);
+    ASSERT_EQ(origins.size(), 1u);
+    EXPECT_TRUE(origins.contains(op));
+    EXPECT_TRUE(fx.analyzer.fully_traceable(op));
+}
+
+TEST(Taint, SimpleSpendChainStaysTraceable) {
+    TaintFixture fx;
+    const Transaction spend =
+        make_transfer({OutPoint{fx.cb_a.txid(), 0}}, {TxOutput{kCoin, addr("x")}});
+    fx.analyzer.add_transaction(spend);
+    const OutPoint op{spend.txid(), 0};
+    EXPECT_TRUE(fx.analyzer.fully_traceable(op));
+    EXPECT_EQ(fx.analyzer.anonymity_set_size(op), 1u);
+}
+
+TEST(Taint, MergingInputsMergesOrigins) {
+    TaintFixture fx;
+    const Transaction merge = make_transfer(
+        {OutPoint{fx.cb_a.txid(), 0}, OutPoint{fx.cb_b.txid(), 0}},
+        {TxOutput{2 * kCoin, addr("merged")}});
+    fx.analyzer.add_transaction(merge);
+    EXPECT_EQ(fx.analyzer.anonymity_set_size(OutPoint{merge.txid(), 0}), 2u);
+}
+
+TEST(Taint, TaintFractionTracksDirtyOrigins) {
+    TaintFixture fx;
+    const Transaction merge = make_transfer(
+        {OutPoint{fx.cb_a.txid(), 0}, OutPoint{fx.cb_b.txid(), 0}},
+        {TxOutput{2 * kCoin, addr("merged")}});
+    fx.analyzer.add_transaction(merge);
+
+    OutPointSet dirty;
+    dirty.insert(OutPoint{fx.cb_a.txid(), 0});
+    EXPECT_DOUBLE_EQ(fx.analyzer.taint_fraction(OutPoint{merge.txid(), 0}, dirty), 0.5);
+    // A coin with clean lineage scores zero.
+    EXPECT_DOUBLE_EQ(fx.analyzer.taint_fraction(OutPoint{fx.cb_c.txid(), 0}, dirty),
+                     0.0);
+}
+
+TEST(Mixer, CoinJoinGrowsAnonymitySet) {
+    TaintFixture fx;
+    Rng rng(1);
+    std::vector<MixParticipant> participants = {
+        {OutPoint{fx.cb_a.txid(), 0}, addr("fresh-a")},
+        {OutPoint{fx.cb_b.txid(), 0}, addr("fresh-b")},
+        {OutPoint{fx.cb_c.txid(), 0}, addr("fresh-c")},
+    };
+    const Transaction join = build_coinjoin(participants, kCoin, rng);
+    fx.analyzer.add_transaction(join);
+
+    // Every output of the join inherits all three origins.
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(fx.analyzer.anonymity_set_size(OutPoint{join.txid(), i}), 3u);
+}
+
+TEST(Mixer, ChainedRoundsMultiplyAnonymity) {
+    // Two mixing populations of 3, then a second round mixing one output of
+    // each: origins accumulate across rounds.
+    TaintAnalyzer analyzer;
+    std::vector<Transaction> roots;
+    for (int i = 0; i < 6; ++i) {
+        roots.push_back(make_coinbase(addr("root" + std::to_string(i)), kCoin, 10 + i));
+        analyzer.add_transaction(roots.back());
+    }
+    Rng rng(2);
+    const Transaction join1 = build_coinjoin(
+        {{OutPoint{roots[0].txid(), 0}, addr("f0")},
+         {OutPoint{roots[1].txid(), 0}, addr("f1")},
+         {OutPoint{roots[2].txid(), 0}, addr("f2")}},
+        kCoin, rng);
+    const Transaction join2 = build_coinjoin(
+        {{OutPoint{roots[3].txid(), 0}, addr("f3")},
+         {OutPoint{roots[4].txid(), 0}, addr("f4")},
+         {OutPoint{roots[5].txid(), 0}, addr("f5")}},
+        kCoin, rng);
+    analyzer.add_transaction(join1);
+    analyzer.add_transaction(join2);
+
+    const Transaction join3 = build_coinjoin(
+        {{OutPoint{join1.txid(), 0}, addr("g0")},
+         {OutPoint{join2.txid(), 0}, addr("g1")}},
+        kCoin, rng);
+    analyzer.add_transaction(join3);
+    EXPECT_EQ(analyzer.anonymity_set_size(OutPoint{join3.txid(), 0}), 6u);
+}
+
+TEST(Mixer, OutputsAreEqualDenomination) {
+    TaintFixture fx;
+    Rng rng(3);
+    const Transaction join = build_coinjoin(
+        {{OutPoint{fx.cb_a.txid(), 0}, addr("fa")},
+         {OutPoint{fx.cb_b.txid(), 0}, addr("fb")}},
+        kCoin / 2, rng);
+    ASSERT_EQ(join.outputs.size(), 2u);
+    for (const auto& out : join.outputs) EXPECT_EQ(out.value, kCoin / 2);
+}
+
+TEST(Mixer, LatencyGrowsWithRounds) {
+    EXPECT_DOUBLE_EQ(mixing_latency(3, 600.0), 1800.0);
+    EXPECT_GT(mixing_latency(5, 600.0), mixing_latency(1, 600.0));
+}
+
+// --- Commitments ----------------------------------------------------------------------
+
+TEST(Commitment, OpenVerifies) {
+    Rng rng(4);
+    const Opening opening = make_opening(to_bytes("secret-value"), rng);
+    const Commitment c = commit(opening);
+    EXPECT_TRUE(verify_opening(c, opening));
+}
+
+TEST(Commitment, WrongValueRejected) {
+    Rng rng(5);
+    const Opening opening = make_opening(to_bytes("truth"), rng);
+    const Commitment c = commit(opening);
+    Opening lie = opening;
+    lie.value = to_bytes("lie");
+    EXPECT_FALSE(verify_opening(c, lie));
+}
+
+TEST(Commitment, HidingUnderDifferentBlinding) {
+    Rng rng(6);
+    const Opening a = make_opening(to_bytes("same"), rng);
+    const Opening b = make_opening(to_bytes("same"), rng);
+    EXPECT_NE(commit(a).digest, commit(b).digest); // blinding hides equality
+}
+
+// --- Multi-channel ----------------------------------------------------------------------
+
+struct ChannelFixture {
+    MultiChannelLedger ledger{7};
+    crypto::Address hospital = addr("hospital");
+    crypto::Address clinic = addr("clinic");
+    crypto::Address insurer = addr("insurer");
+
+    ChannelFixture() {
+        ledger.create_channel("care-team", {hospital, clinic});
+        ledger.create_channel("billing", {hospital, insurer});
+    }
+};
+
+TEST(MultiChannel, MembersReadNonMembersCannot) {
+    ChannelFixture fx;
+    fx.ledger.submit("care-team", fx.hospital, to_bytes("patient record"));
+    EXPECT_EQ(fx.ledger.read("care-team", fx.clinic).size(), 1u);
+    EXPECT_THROW(fx.ledger.read("care-team", fx.insurer), ValidationError);
+}
+
+TEST(MultiChannel, NonMemberCannotSubmit) {
+    ChannelFixture fx;
+    EXPECT_THROW(fx.ledger.submit("billing", fx.clinic, to_bytes("x")),
+                 ValidationError);
+}
+
+TEST(MultiChannel, ChannelsProgressIndependently) {
+    ChannelFixture fx;
+    for (int i = 0; i < 5; ++i)
+        fx.ledger.submit("care-team", fx.hospital, to_bytes("r" + std::to_string(i)));
+    fx.ledger.submit("billing", fx.insurer, to_bytes("invoice"));
+    EXPECT_EQ(fx.ledger.height_of("care-team"), 5u);
+    EXPECT_EQ(fx.ledger.height_of("billing"), 1u);
+}
+
+TEST(MultiChannel, AnchorsRevealProgressNotContent) {
+    ChannelFixture fx;
+    const auto anchor = fx.ledger.submit("care-team", fx.hospital,
+                                         to_bytes("confidential diagnosis"));
+    // The anchor is public and carries only channel/sequence/commitment.
+    ASSERT_EQ(fx.ledger.anchors().size(), 1u);
+    EXPECT_EQ(fx.ledger.anchors()[0].channel, "care-team");
+    EXPECT_EQ(fx.ledger.anchors()[0].sequence, 1u);
+
+    // A member can open the commitment to an auditor.
+    const Opening& opening = fx.ledger.opening_for("care-team", 1, fx.hospital);
+    EXPECT_TRUE(verify_opening(anchor.commitment, opening));
+    EXPECT_EQ(opening.value, to_bytes("confidential diagnosis"));
+
+    // Non-members cannot obtain openings.
+    EXPECT_THROW(fx.ledger.opening_for("care-team", 1, fx.insurer), ValidationError);
+}
+
+TEST(MultiChannel, DuplicateChannelRejected) {
+    ChannelFixture fx;
+    EXPECT_THROW(fx.ledger.create_channel("billing", {fx.hospital}), ValidationError);
+}
+
+TEST(MultiChannel, UnknownChannelRejected) {
+    ChannelFixture fx;
+    EXPECT_THROW(fx.ledger.read("nonexistent", fx.hospital), ValidationError);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+// Robustness / fuzz-style property tests: adversarial bytes must never crash
+// the decoders or the VM — they either parse or throw typed errors. A peer that
+// aborts on malformed gossip is a denial-of-service vector, so these paths are
+// load-bearing for the network layer's safety.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "contract/minisol.hpp"
+#include "contract/vm.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/secp256k1.hpp"
+#include "datastruct/merkle.hpp"
+#include "datastruct/mpt.hpp"
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::ledger;
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+    Bytes out(rng.uniform(max_len + 1));
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+/// Decode must either succeed or throw DecodeError/CryptoError — never crash,
+/// never throw anything else.
+template <typename T>
+void fuzz_decoder(std::uint64_t seed, int iterations, std::size_t max_len) {
+    Rng rng(seed);
+    int decoded = 0;
+    for (int i = 0; i < iterations; ++i) {
+        const Bytes raw = random_bytes(rng, max_len);
+        try {
+            (void)decode_from_bytes<T>(raw);
+            ++decoded;
+        } catch (const Error&) {
+            // expected for malformed input
+        }
+    }
+    // Random bytes almost never decode; the point is we got here alive.
+    SUCCEED() << decoded << " of " << iterations << " random buffers decoded";
+}
+
+TEST(Fuzz, TransactionDecoderNeverCrashes) {
+    fuzz_decoder<Transaction>(101, 3000, 300);
+}
+
+TEST(Fuzz, BlockDecoderNeverCrashes) { fuzz_decoder<Block>(102, 3000, 500); }
+
+TEST(Fuzz, MerkleProofDecoderNeverCrashes) {
+    fuzz_decoder<datastruct::MerkleProof>(103, 3000, 200);
+}
+
+TEST(Fuzz, TruncatedValidTransactionsThrowCleanly) {
+    // Take a valid serialized tx and truncate at every length.
+    Transaction tx = make_transfer(
+        {OutPoint{crypto::tagged_hash("f", to_bytes("x")), 0}},
+        {TxOutput{1000, crypto::PrivateKey::from_seed("fz").address()}});
+    tx.sign_with(crypto::PrivateKey::from_seed("fz"));
+    const Bytes full = encode_to_bytes(tx);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        const ByteView prefix{full.data(), len};
+        EXPECT_THROW((void)decode_from_bytes<Transaction>(prefix), DecodeError)
+            << "length " << len;
+    }
+    // The full buffer decodes to the original.
+    EXPECT_EQ(decode_from_bytes<Transaction>(full), tx);
+}
+
+TEST(Fuzz, BitflippedTransactionsNeverCrash) {
+    Transaction tx = make_transfer(
+        {OutPoint{crypto::tagged_hash("f", to_bytes("y")), 1}},
+        {TxOutput{5000, crypto::PrivateKey::from_seed("fz2").address()}});
+    tx.sign_with(crypto::PrivateKey::from_seed("fz2"));
+    const Bytes full = encode_to_bytes(tx);
+    Rng rng(104);
+    for (int i = 0; i < 2000; ++i) {
+        Bytes mutated = full;
+        const std::size_t pos = rng.index(mutated.size());
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+        try {
+            const Transaction decoded = decode_from_bytes<Transaction>(mutated);
+            // If it decoded, signature verification must not crash either.
+            (void)decoded.verify_signatures();
+        } catch (const Error&) {
+        }
+    }
+}
+
+TEST(Fuzz, SignatureDecodingRejectsGarbage) {
+    Rng rng(105);
+    for (int i = 0; i < 500; ++i) {
+        const Bytes raw = random_bytes(rng, 80);
+        try {
+            (void)crypto::secp256k1::Signature::decode(raw);
+        } catch (const Error&) {
+        }
+        try {
+            (void)crypto::secp256k1::decode_compressed(raw);
+        } catch (const Error&) {
+        }
+    }
+}
+
+TEST(Fuzz, MptProofVerifierNeverCrashes) {
+    datastruct::MerklePatriciaTrie trie;
+    for (int i = 0; i < 32; ++i)
+        trie.put(to_bytes("k" + std::to_string(i)), to_bytes("v"));
+    const Hash256 root = trie.root_hash();
+    const Bytes key = to_bytes("k7");
+    auto proof = trie.prove(key);
+
+    Rng rng(106);
+    for (int i = 0; i < 1000; ++i) {
+        auto mutated = proof;
+        // Mutate one byte of one node, or truncate the node list.
+        if (rng.chance(0.8) && !mutated.nodes.empty()) {
+            auto& node = mutated.nodes[rng.index(mutated.nodes.size())];
+            if (!node.empty()) node[rng.index(node.size())] ^= 0xFF;
+        } else if (!mutated.nodes.empty()) {
+            mutated.nodes.resize(rng.index(mutated.nodes.size()));
+        }
+        try {
+            (void)datastruct::MerklePatriciaTrie::verify_proof(root, key, mutated);
+        } catch (const Error&) {
+        }
+    }
+}
+
+// --- VM fuzz ---------------------------------------------------------------------------
+
+class NullHost : public contract::HostInterface {
+public:
+    contract::Word storage_load(const contract::Word& key) override {
+        const auto it = storage_.find(key);
+        return it == storage_.end() ? contract::Word::zero() : it->second;
+    }
+    void storage_store(const contract::Word& key, const contract::Word& v) override {
+        storage_[key] = v;
+    }
+    std::int64_t balance_of(const contract::Word&) override { return 1000; }
+    bool transfer(const contract::Word&, std::int64_t) override { return true; }
+    void emit(const contract::Event&) override {}
+    double timestamp() override { return 0; }
+
+private:
+    std::map<contract::Word, contract::Word> storage_;
+};
+
+TEST(Fuzz, RandomBytecodeTerminatesUnderGas) {
+    Rng rng(107);
+    for (int i = 0; i < 3000; ++i) {
+        const Bytes code = random_bytes(rng, 200);
+        NullHost host;
+        contract::CallContext ctx;
+        ctx.gas_limit = 5000;
+        ctx.calldata = {contract::Word(1), contract::Word(2)};
+        const auto result = contract::execute(code, ctx, host);
+        // Whatever the bytes were, the VM halted with a classified status and
+        // within the gas budget.
+        EXPECT_LE(result.gas_used, ctx.gas_limit);
+    }
+}
+
+TEST(Fuzz, OpcodeSoupWithValidStructureTerminates) {
+    // Bias toward valid opcodes so execution goes deeper than the first byte.
+    const std::uint8_t ops[] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x10, 0x11, 0x12,
+                                0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1A,
+                                0x20, 0x21, 0x30, 0x31, 0x40, 0x41, 0x42, 0x43,
+                                0x44, 0x45, 0x50, 0x51, 0x52, 0x53, 0x54, 0x60,
+                                0x70, 0x80, 0x81, 0x82};
+    Rng rng(108);
+    for (int i = 0; i < 2000; ++i) {
+        Bytes code;
+        const std::size_t len = 5 + rng.uniform(60);
+        for (std::size_t k = 0; k < len; ++k) {
+            const std::uint8_t op = ops[rng.index(std::size(ops))];
+            code.push_back(op);
+            if (op == 0x01) { // PUSH needs a 32-byte immediate
+                for (int b = 0; b < 32; ++b)
+                    code.push_back(static_cast<std::uint8_t>(rng.next()));
+            } else if (op == 0x03 || op == 0x04) { // DUP/SWAP need a depth
+                code.push_back(static_cast<std::uint8_t>(rng.uniform(4)));
+            }
+        }
+        NullHost host;
+        contract::CallContext ctx;
+        ctx.gas_limit = 20'000;
+        const auto result = contract::execute(code, ctx, host);
+        EXPECT_LE(result.gas_used, ctx.gas_limit);
+    }
+}
+
+TEST(Fuzz, MiniSolCompilerRejectsGarbageWithTypedErrors) {
+    Rng rng(109);
+    const std::string alphabet = "abcdefz(){};=+-*/<>!&|0123456789 \n\tcontractfnstoragemapletifwhilereturn";
+    for (int i = 0; i < 1500; ++i) {
+        std::string source = "contract F { ";
+        const std::size_t len = rng.uniform(120);
+        for (std::size_t k = 0; k < len; ++k)
+            source.push_back(alphabet[rng.index(alphabet.size())]);
+        source += " }";
+        try {
+            (void)contract::compile(source);
+        } catch (const Error&) {
+            // ContractError with a line number is the contract here.
+        }
+    }
+}
+
+// --- Serialization round-trip properties over random valid values --------------------------
+
+TEST(Property, RandomTransactionsRoundTrip) {
+    Rng rng(110);
+    for (int i = 0; i < 300; ++i) {
+        Transaction tx;
+        tx.kind = static_cast<TxKind>(rng.uniform(5));
+        const std::size_t n_in = rng.uniform(4);
+        for (std::size_t k = 0; k < n_in; ++k) {
+            TxInput in;
+            for (auto& b : in.prevout.txid.data)
+                b = static_cast<std::uint8_t>(rng.next());
+            in.prevout.index = static_cast<std::uint32_t>(rng.uniform(10));
+            in.pubkey = random_bytes(rng, 40);
+            in.signature = random_bytes(rng, 70);
+            tx.inputs.push_back(std::move(in));
+        }
+        const std::size_t n_out = rng.uniform(4);
+        for (std::size_t k = 0; k < n_out; ++k) {
+            TxOutput out;
+            out.value = static_cast<Amount>(rng.uniform(kMaxMoney));
+            for (auto& b : out.recipient.data)
+                b = static_cast<std::uint8_t>(rng.next());
+            tx.outputs.push_back(out);
+        }
+        tx.nonce = rng.next();
+        tx.data = random_bytes(rng, 100);
+        tx.gas_limit = rng.next() % 1'000'000;
+        tx.gas_price = static_cast<Amount>(rng.uniform(100));
+        tx.declared_fee = static_cast<Amount>(rng.uniform(100000));
+
+        const Bytes encoded = encode_to_bytes(tx);
+        const Transaction back = decode_from_bytes<Transaction>(encoded);
+        EXPECT_EQ(back, tx);
+        EXPECT_EQ(back.txid(), tx.txid());
+    }
+}
+
+TEST(Property, RandomHeadersRoundTrip) {
+    Rng rng(111);
+    for (int i = 0; i < 500; ++i) {
+        BlockHeader h;
+        for (auto& b : h.prev_hash.data) b = static_cast<std::uint8_t>(rng.next());
+        for (auto& b : h.merkle_root.data) b = static_cast<std::uint8_t>(rng.next());
+        for (auto& b : h.state_root.data) b = static_cast<std::uint8_t>(rng.next());
+        h.height = rng.next();
+        h.timestamp = rng.uniform01() * 1e9;
+        h.bits = static_cast<std::uint32_t>(rng.next());
+        h.nonce = rng.next();
+        h.annex = random_bytes(rng, 50);
+        const Bytes encoded = encode_to_bytes(h);
+        EXPECT_EQ(decode_from_bytes<BlockHeader>(encoded), h);
+    }
+}
+
+} // namespace

@@ -1,0 +1,288 @@
+// Tests for the discrete-event scheduler, the simulated network, and the gossip
+// overlay: ordering, cancellation, latency models, topology builders, crash
+// behaviour, dedup, and propagation telemetry.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/gossip.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::sim;
+using namespace dlt::net;
+
+// --- Scheduler ---------------------------------------------------------------------
+
+TEST(Scheduler, RunsInTimeOrder) {
+    Scheduler sched;
+    std::vector<int> order;
+    sched.schedule_at(3.0, [&] { order.push_back(3); });
+    sched.schedule_at(1.0, [&] { order.push_back(1); });
+    sched.schedule_at(2.0, [&] { order.push_back(2); });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, FifoWithinSameTime) {
+    Scheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) sched.schedule_at(1.0, [&, i] { order.push_back(i); });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, HandlersCanScheduleMore) {
+    Scheduler sched;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10) sched.schedule_after(1.0, chain);
+    };
+    sched.schedule_after(1.0, chain);
+    sched.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(sched.now(), 10.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+    Scheduler sched;
+    bool ran = false;
+    const EventId id = sched.schedule_at(1.0, [&] { ran = true; });
+    EXPECT_TRUE(sched.cancel(id));
+    EXPECT_FALSE(sched.cancel(id)); // second cancel is a no-op
+    sched.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+    Scheduler sched;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) sched.schedule_at(i, [&] { ++count; });
+    const std::size_t processed = sched.run_until(5.5);
+    EXPECT_EQ(processed, 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_DOUBLE_EQ(sched.now(), 5.5);
+    sched.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, PastSchedulingRejected) {
+    Scheduler sched;
+    sched.schedule_at(5.0, [] {});
+    sched.run();
+    EXPECT_THROW(sched.schedule_at(1.0, [] {}), ContractViolation);
+}
+
+// --- Network -------------------------------------------------------------------------
+
+struct Inbox {
+    std::vector<Delivery> messages;
+    auto handler() {
+        return [this](const Delivery& d) { messages.push_back(d); };
+    }
+};
+
+TEST(Network, DeliversWithLatency) {
+    Scheduler sched;
+    Network net(sched, Rng(1));
+    Inbox a, b;
+    const NodeId na = net.add_node(a.handler());
+    const NodeId nb = net.add_node(b.handler());
+    LinkParams link;
+    link.latency_mean = 0.1;
+    link.latency_jitter = 0;
+    link.bandwidth_bps = 0; // no transfer delay
+    net.connect(na, nb, link);
+
+    net.send(na, nb, "ping", to_bytes("hello"));
+    EXPECT_TRUE(b.messages.empty());
+    sched.run();
+    ASSERT_EQ(b.messages.size(), 1u);
+    EXPECT_EQ(b.messages[0].from, na);
+    EXPECT_EQ(b.messages[0].topic, "ping");
+    EXPECT_DOUBLE_EQ(sched.now(), 0.1);
+}
+
+TEST(Network, BandwidthAddsTransferDelay) {
+    Scheduler sched;
+    Network net(sched, Rng(2));
+    Inbox inbox;
+    const NodeId a = net.add_node([](const Delivery&) {});
+    const NodeId b = net.add_node(inbox.handler());
+    LinkParams link;
+    link.latency_mean = 0;
+    link.latency_jitter = 0;
+    link.bandwidth_bps = 8000; // 1000 bytes/sec
+    net.connect(a, b, link);
+    net.send(a, b, "data", Bytes(500, 0xAB));
+    sched.run();
+    EXPECT_DOUBLE_EQ(sched.now(), 0.5); // 500 bytes at 1000 B/s
+}
+
+TEST(Network, SendWithoutLinkThrows) {
+    Scheduler sched;
+    Network net(sched, Rng(3));
+    const NodeId a = net.add_node([](const Delivery&) {});
+    const NodeId b = net.add_node([](const Delivery&) {});
+    EXPECT_THROW(net.send(a, b, "x", Bytes{}), ValidationError);
+}
+
+TEST(Network, CrashedNodeDropsMessages) {
+    Scheduler sched;
+    Network net(sched, Rng(4));
+    Inbox inbox;
+    const NodeId a = net.add_node([](const Delivery&) {});
+    const NodeId b = net.add_node(inbox.handler());
+    net.connect(a, b);
+    net.set_crashed(b, true);
+    net.send(a, b, "x", to_bytes("payload"));
+    sched.run();
+    EXPECT_TRUE(inbox.messages.empty());
+    EXPECT_EQ(net.stats().messages_dropped, 1u);
+
+    net.set_crashed(b, false);
+    net.send(a, b, "x", to_bytes("payload"));
+    sched.run();
+    EXPECT_EQ(inbox.messages.size(), 1u);
+}
+
+TEST(Network, FullMeshConnectsEveryPair) {
+    Scheduler sched;
+    Network net(sched, Rng(5));
+    for (int i = 0; i < 6; ++i) net.add_node([](const Delivery&) {});
+    net.build_full_mesh();
+    for (NodeId i = 0; i < 6; ++i)
+        for (NodeId j = 0; j < 6; ++j)
+            if (i != j) {
+                EXPECT_TRUE(net.connected(i, j));
+            }
+}
+
+TEST(Network, OverlayMeetsMinimumDegree) {
+    Scheduler sched;
+    Network net(sched, Rng(6));
+    const std::size_t n = 30;
+    for (std::size_t i = 0; i < n; ++i) net.add_node([](const Delivery&) {});
+    net.build_unstructured_overlay(5);
+    for (NodeId i = 0; i < n; ++i) EXPECT_GE(net.neighbors(i).size(), 2u);
+}
+
+TEST(Network, OverlayIsConnected) {
+    Scheduler sched;
+    Network net(sched, Rng(7));
+    const std::size_t n = 40;
+    for (std::size_t i = 0; i < n; ++i) net.add_node([](const Delivery&) {});
+    net.build_unstructured_overlay(4);
+
+    // BFS from node 0 must reach everyone (the ring guarantees it).
+    std::vector<bool> seen(n, false);
+    std::queue<NodeId> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t reached = 1;
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop();
+        for (const NodeId next : net.neighbors(cur)) {
+            if (!seen[next]) {
+                seen[next] = true;
+                ++reached;
+                frontier.push(next);
+            }
+        }
+    }
+    EXPECT_EQ(reached, n);
+}
+
+TEST(Network, TrafficStatsAccumulate) {
+    Scheduler sched;
+    Network net(sched, Rng(8));
+    const NodeId a = net.add_node([](const Delivery&) {});
+    const NodeId b = net.add_node([](const Delivery&) {});
+    net.connect(a, b);
+    net.send(a, b, "x", Bytes(10, 0));
+    net.send(b, a, "y", Bytes(20, 0));
+    EXPECT_EQ(net.stats().messages_sent, 2u);
+    EXPECT_EQ(net.stats().bytes_sent, 30u);
+}
+
+// --- Gossip ------------------------------------------------------------------------
+
+struct GossipHarness {
+    Scheduler sched;
+    Network net;
+    std::vector<int> deliveries;
+    std::unique_ptr<GossipOverlay> overlay;
+
+    GossipHarness(std::size_t n, GossipParams params, std::uint64_t seed = 42)
+        : net(sched, Rng(seed)), deliveries(n, 0) {
+        overlay = std::make_unique<GossipOverlay>(
+            net, n, params,
+            [this](NodeId node, const std::string&, const Bytes&) {
+                ++deliveries[node];
+            });
+    }
+};
+
+TEST(Gossip, FloodReachesAllNodes) {
+    GossipHarness h(25, GossipParams{.fanout = 0});
+    h.net.build_unstructured_overlay(4);
+    const Hash256 id = h.overlay->broadcast(0, "block", to_bytes("payload"));
+    h.sched.run();
+    EXPECT_DOUBLE_EQ(h.overlay->delivery_ratio(id), 1.0);
+    for (const int count : h.deliveries) EXPECT_EQ(count, 1); // exactly-once
+}
+
+TEST(Gossip, FanoutThreeStillReachesMostNodes) {
+    GossipHarness h(50, GossipParams{.fanout = 3});
+    h.net.build_unstructured_overlay(6);
+    const Hash256 id = h.overlay->broadcast(0, "tx", to_bytes("t"));
+    h.sched.run();
+    EXPECT_GT(h.overlay->delivery_ratio(id), 0.9);
+}
+
+TEST(Gossip, DistinctBroadcastsOfSamePayloadAreDistinct) {
+    GossipHarness h(10, GossipParams{});
+    h.net.build_full_mesh();
+    const Hash256 id1 = h.overlay->broadcast(0, "tx", to_bytes("same"));
+    h.sched.run();
+    const Hash256 id2 = h.overlay->broadcast(1, "tx", to_bytes("same"));
+    h.sched.run();
+    EXPECT_NE(id1, id2);
+    for (const int count : h.deliveries) EXPECT_EQ(count, 2);
+}
+
+TEST(Gossip, PropagationTimeGrowsSlowlyWithSize) {
+    auto median_time = [](std::size_t n) {
+        GossipHarness h(n, GossipParams{}, 7);
+        h.net.build_unstructured_overlay(6);
+        const Hash256 id = h.overlay->broadcast(0, "b", to_bytes("x"));
+        h.sched.run();
+        const auto t = h.overlay->time_to_quantile(id, 0.5);
+        return t.value_or(1e9);
+    };
+    const double small = median_time(16);
+    const double large = median_time(256);
+    // 16x nodes should cost far less than 16x time (log-ish growth).
+    EXPECT_LT(large, small * 6);
+}
+
+TEST(Gossip, RecordTracksArrivalTimes) {
+    GossipHarness h(5, GossipParams{});
+    h.net.build_full_mesh();
+    const Hash256 id = h.overlay->broadcast(2, "b", to_bytes("x"));
+    h.sched.run();
+    const PropagationRecord* rec = h.overlay->record(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->delivered, 5u);
+    EXPECT_DOUBLE_EQ(rec->arrival.at(2), rec->origin_time); // origin is instant
+}
+
+} // namespace
