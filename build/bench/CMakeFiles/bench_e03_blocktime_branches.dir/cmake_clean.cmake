@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_blocktime_branches.dir/bench_e03_blocktime_branches.cpp.o"
+  "CMakeFiles/bench_e03_blocktime_branches.dir/bench_e03_blocktime_branches.cpp.o.d"
+  "bench_e03_blocktime_branches"
+  "bench_e03_blocktime_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_blocktime_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

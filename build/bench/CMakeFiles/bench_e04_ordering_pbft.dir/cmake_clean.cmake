@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_ordering_pbft.dir/bench_e04_ordering_pbft.cpp.o"
+  "CMakeFiles/bench_e04_ordering_pbft.dir/bench_e04_ordering_pbft.cpp.o.d"
+  "bench_e04_ordering_pbft"
+  "bench_e04_ordering_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_ordering_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e04_ordering_pbft.
+# This may be replaced when dependencies are built.

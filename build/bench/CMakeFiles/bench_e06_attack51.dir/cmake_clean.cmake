@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_attack51.dir/bench_e06_attack51.cpp.o"
+  "CMakeFiles/bench_e06_attack51.dir/bench_e06_attack51.cpp.o.d"
+  "bench_e06_attack51"
+  "bench_e06_attack51.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_attack51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_spv_proofs.dir/bench_e07_spv_proofs.cpp.o"
+  "CMakeFiles/bench_e07_spv_proofs.dir/bench_e07_spv_proofs.cpp.o.d"
+  "bench_e07_spv_proofs"
+  "bench_e07_spv_proofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_spv_proofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

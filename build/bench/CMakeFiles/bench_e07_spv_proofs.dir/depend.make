@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e07_spv_proofs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_bitcoin_ng.dir/bench_e09_bitcoin_ng.cpp.o"
+  "CMakeFiles/bench_e09_bitcoin_ng.dir/bench_e09_bitcoin_ng.cpp.o.d"
+  "bench_e09_bitcoin_ng"
+  "bench_e09_bitcoin_ng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_bitcoin_ng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

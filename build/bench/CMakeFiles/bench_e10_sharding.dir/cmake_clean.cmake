@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_sharding.dir/bench_e10_sharding.cpp.o"
+  "CMakeFiles/bench_e10_sharding.dir/bench_e10_sharding.cpp.o.d"
+  "bench_e10_sharding"
+  "bench_e10_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

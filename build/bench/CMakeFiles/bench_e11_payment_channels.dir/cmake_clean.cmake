@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_payment_channels.dir/bench_e11_payment_channels.cpp.o"
+  "CMakeFiles/bench_e11_payment_channels.dir/bench_e11_payment_channels.cpp.o.d"
+  "bench_e11_payment_channels"
+  "bench_e11_payment_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_payment_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

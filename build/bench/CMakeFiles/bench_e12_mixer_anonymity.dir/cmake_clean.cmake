@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_mixer_anonymity.dir/bench_e12_mixer_anonymity.cpp.o"
+  "CMakeFiles/bench_e12_mixer_anonymity.dir/bench_e12_mixer_anonymity.cpp.o.d"
+  "bench_e12_mixer_anonymity"
+  "bench_e12_mixer_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_mixer_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

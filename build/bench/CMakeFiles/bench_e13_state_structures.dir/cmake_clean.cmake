@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_state_structures.dir/bench_e13_state_structures.cpp.o"
+  "CMakeFiles/bench_e13_state_structures.dir/bench_e13_state_structures.cpp.o.d"
+  "bench_e13_state_structures"
+  "bench_e13_state_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_state_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

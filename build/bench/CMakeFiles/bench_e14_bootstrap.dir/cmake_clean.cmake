@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_bootstrap.dir/bench_e14_bootstrap.cpp.o"
+  "CMakeFiles/bench_e14_bootstrap.dir/bench_e14_bootstrap.cpp.o.d"
+  "bench_e14_bootstrap"
+  "bench_e14_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_multichannel.dir/bench_e15_multichannel.cpp.o"
+  "CMakeFiles/bench_e15_multichannel.dir/bench_e15_multichannel.cpp.o.d"
+  "bench_e15_multichannel"
+  "bench_e15_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_contract_gas.dir/bench_e16_contract_gas.cpp.o"
+  "CMakeFiles/bench_e16_contract_gas.dir/bench_e16_contract_gas.cpp.o.d"
+  "bench_e16_contract_gas"
+  "bench_e16_contract_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_contract_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

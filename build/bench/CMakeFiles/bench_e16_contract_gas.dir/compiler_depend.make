@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e16_contract_gas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_pbft_faults.dir/bench_e17_pbft_faults.cpp.o"
+  "CMakeFiles/bench_e17_pbft_faults.dir/bench_e17_pbft_faults.cpp.o.d"
+  "bench_e17_pbft_faults"
+  "bench_e17_pbft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_pbft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

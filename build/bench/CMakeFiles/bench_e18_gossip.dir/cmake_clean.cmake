@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_gossip.dir/bench_e18_gossip.cpp.o"
+  "CMakeFiles/bench_e18_gossip.dir/bench_e18_gossip.cpp.o.d"
+  "bench_e18_gossip"
+  "bench_e18_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_generations.dir/bench_e19_generations.cpp.o"
+  "CMakeFiles/bench_e19_generations.dir/bench_e19_generations.cpp.o.d"
+  "bench_e19_generations"
+  "bench_e19_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_poet.dir/bench_e20_poet.cpp.o"
+  "CMakeFiles/bench_e20_poet.dir/bench_e20_poet.cpp.o.d"
+  "bench_e20_poet"
+  "bench_e20_poet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_poet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_chain_exchange.dir/cross_chain_exchange.cpp.o"
+  "CMakeFiles/cross_chain_exchange.dir/cross_chain_exchange.cpp.o.d"
+  "cross_chain_exchange"
+  "cross_chain_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_chain_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

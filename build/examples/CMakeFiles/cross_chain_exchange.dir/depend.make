@@ -1,0 +1,2 @@
+# Empty dependencies file for cross_chain_exchange.
+# This may be replaced when dependencies are built.

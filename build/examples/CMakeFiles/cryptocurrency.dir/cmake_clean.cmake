@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptocurrency.dir/cryptocurrency.cpp.o"
+  "CMakeFiles/cryptocurrency.dir/cryptocurrency.cpp.o.d"
+  "cryptocurrency"
+  "cryptocurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptocurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

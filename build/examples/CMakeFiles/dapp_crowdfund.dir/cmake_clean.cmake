@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapp_crowdfund.dir/dapp_crowdfund.cpp.o"
+  "CMakeFiles/dapp_crowdfund.dir/dapp_crowdfund.cpp.o.d"
+  "dapp_crowdfund"
+  "dapp_crowdfund.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapp_crowdfund.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dapp_crowdfund.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_channels.dir/payment_channels.cpp.o"
+  "CMakeFiles/payment_channels.dir/payment_channels.cpp.o.d"
+  "payment_channels"
+  "payment_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_app.dir/app/analytics.cpp.o"
+  "CMakeFiles/dlt_app.dir/app/analytics.cpp.o.d"
+  "CMakeFiles/dlt_app.dir/app/dataintegration.cpp.o"
+  "CMakeFiles/dlt_app.dir/app/dataintegration.cpp.o.d"
+  "CMakeFiles/dlt_app.dir/app/identity.cpp.o"
+  "CMakeFiles/dlt_app.dir/app/identity.cpp.o.d"
+  "CMakeFiles/dlt_app.dir/app/usecase.cpp.o"
+  "CMakeFiles/dlt_app.dir/app/usecase.cpp.o.d"
+  "libdlt_app.a"
+  "libdlt_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/dlt_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/dlt_common.dir/common/log.cpp.o"
+  "CMakeFiles/dlt_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/dlt_common.dir/common/rng.cpp.o"
+  "CMakeFiles/dlt_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/dlt_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/dlt_common.dir/common/serialize.cpp.o.d"
+  "libdlt_common.a"
+  "libdlt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

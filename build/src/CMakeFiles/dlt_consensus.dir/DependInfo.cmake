@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/attack.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/attack.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/attack.cpp.o.d"
+  "/root/repo/src/consensus/bitcoinng.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/bitcoinng.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/bitcoinng.cpp.o.d"
+  "/root/repo/src/consensus/nakamoto.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/nakamoto.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/nakamoto.cpp.o.d"
+  "/root/repo/src/consensus/ordering.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/ordering.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/ordering.cpp.o.d"
+  "/root/repo/src/consensus/pbft.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/pbft.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/pbft.cpp.o.d"
+  "/root/repo/src/consensus/poet.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/poet.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/poet.cpp.o.d"
+  "/root/repo/src/consensus/pos.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/pos.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/pos.cpp.o.d"
+  "/root/repo/src/consensus/pow.cpp" "src/CMakeFiles/dlt_consensus.dir/consensus/pow.cpp.o" "gcc" "src/CMakeFiles/dlt_consensus.dir/consensus/pow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlt_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_datastruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_consensus.dir/consensus/attack.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/attack.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/bitcoinng.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/bitcoinng.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/nakamoto.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/nakamoto.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/ordering.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/ordering.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/pbft.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/pbft.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/poet.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/poet.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/pos.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/pos.cpp.o.d"
+  "CMakeFiles/dlt_consensus.dir/consensus/pow.cpp.o"
+  "CMakeFiles/dlt_consensus.dir/consensus/pow.cpp.o.d"
+  "libdlt_consensus.a"
+  "libdlt_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contract/assembler.cpp" "src/CMakeFiles/dlt_contract.dir/contract/assembler.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/assembler.cpp.o.d"
+  "/root/repo/src/contract/engine.cpp" "src/CMakeFiles/dlt_contract.dir/contract/engine.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/engine.cpp.o.d"
+  "/root/repo/src/contract/events.cpp" "src/CMakeFiles/dlt_contract.dir/contract/events.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/events.cpp.o.d"
+  "/root/repo/src/contract/minisol.cpp" "src/CMakeFiles/dlt_contract.dir/contract/minisol.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/minisol.cpp.o.d"
+  "/root/repo/src/contract/stdlib.cpp" "src/CMakeFiles/dlt_contract.dir/contract/stdlib.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/stdlib.cpp.o.d"
+  "/root/repo/src/contract/vm.cpp" "src/CMakeFiles/dlt_contract.dir/contract/vm.cpp.o" "gcc" "src/CMakeFiles/dlt_contract.dir/contract/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlt_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_datastruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_contract.dir/contract/assembler.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/assembler.cpp.o.d"
+  "CMakeFiles/dlt_contract.dir/contract/engine.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/engine.cpp.o.d"
+  "CMakeFiles/dlt_contract.dir/contract/events.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/events.cpp.o.d"
+  "CMakeFiles/dlt_contract.dir/contract/minisol.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/minisol.cpp.o.d"
+  "CMakeFiles/dlt_contract.dir/contract/stdlib.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/stdlib.cpp.o.d"
+  "CMakeFiles/dlt_contract.dir/contract/vm.cpp.o"
+  "CMakeFiles/dlt_contract.dir/contract/vm.cpp.o.d"
+  "libdlt_contract.a"
+  "libdlt_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_core.dir/core/abci.cpp.o"
+  "CMakeFiles/dlt_core.dir/core/abci.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/core/chainspec.cpp.o"
+  "CMakeFiles/dlt_core.dir/core/chainspec.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/core/dcs.cpp.o"
+  "CMakeFiles/dlt_core.dir/core/dcs.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/dlt_core.dir/core/experiment.cpp.o.d"
+  "libdlt_core.a"
+  "libdlt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

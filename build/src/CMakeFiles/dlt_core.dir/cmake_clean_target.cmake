@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlt_core.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/crypto/keys.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/keys.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/crypto/ripemd160.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/ripemd160.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/crypto/secp256k1.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/secp256k1.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/crypto/uint256.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/crypto/uint256.cpp.o.d"
+  "libdlt_crypto.a"
+  "libdlt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datastruct/bloom.cpp" "src/CMakeFiles/dlt_datastruct.dir/datastruct/bloom.cpp.o" "gcc" "src/CMakeFiles/dlt_datastruct.dir/datastruct/bloom.cpp.o.d"
+  "/root/repo/src/datastruct/iavl.cpp" "src/CMakeFiles/dlt_datastruct.dir/datastruct/iavl.cpp.o" "gcc" "src/CMakeFiles/dlt_datastruct.dir/datastruct/iavl.cpp.o.d"
+  "/root/repo/src/datastruct/merkle.cpp" "src/CMakeFiles/dlt_datastruct.dir/datastruct/merkle.cpp.o" "gcc" "src/CMakeFiles/dlt_datastruct.dir/datastruct/merkle.cpp.o.d"
+  "/root/repo/src/datastruct/mpt.cpp" "src/CMakeFiles/dlt_datastruct.dir/datastruct/mpt.cpp.o" "gcc" "src/CMakeFiles/dlt_datastruct.dir/datastruct/mpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_datastruct.dir/datastruct/bloom.cpp.o"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/bloom.cpp.o.d"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/iavl.cpp.o"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/iavl.cpp.o.d"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/merkle.cpp.o"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/merkle.cpp.o.d"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/mpt.cpp.o"
+  "CMakeFiles/dlt_datastruct.dir/datastruct/mpt.cpp.o.d"
+  "libdlt_datastruct.a"
+  "libdlt_datastruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_datastruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/block.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/block.cpp.o.d"
+  "/root/repo/src/ledger/chain.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/chain.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/chain.cpp.o.d"
+  "/root/repo/src/ledger/difficulty.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/difficulty.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/difficulty.cpp.o.d"
+  "/root/repo/src/ledger/mempool.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/mempool.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/mempool.cpp.o.d"
+  "/root/repo/src/ledger/offchain.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/offchain.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/offchain.cpp.o.d"
+  "/root/repo/src/ledger/spv.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/spv.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/spv.cpp.o.d"
+  "/root/repo/src/ledger/transaction.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/transaction.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/transaction.cpp.o.d"
+  "/root/repo/src/ledger/utxo.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/utxo.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/utxo.cpp.o.d"
+  "/root/repo/src/ledger/validation.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/validation.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/validation.cpp.o.d"
+  "/root/repo/src/ledger/wallet.cpp" "src/CMakeFiles/dlt_ledger.dir/ledger/wallet.cpp.o" "gcc" "src/CMakeFiles/dlt_ledger.dir/ledger/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlt_datastruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

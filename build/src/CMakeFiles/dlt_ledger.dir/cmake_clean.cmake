@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_ledger.dir/ledger/block.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/block.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/chain.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/chain.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/difficulty.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/difficulty.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/mempool.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/mempool.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/offchain.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/offchain.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/spv.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/spv.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/transaction.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/transaction.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/utxo.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/utxo.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/validation.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/validation.cpp.o.d"
+  "CMakeFiles/dlt_ledger.dir/ledger/wallet.cpp.o"
+  "CMakeFiles/dlt_ledger.dir/ledger/wallet.cpp.o.d"
+  "libdlt_ledger.a"
+  "libdlt_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_model.dir/model/workflow.cpp.o"
+  "CMakeFiles/dlt_model.dir/model/workflow.cpp.o.d"
+  "libdlt_model.a"
+  "libdlt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

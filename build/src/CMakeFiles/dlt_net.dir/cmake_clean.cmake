@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_net.dir/net/gossip.cpp.o"
+  "CMakeFiles/dlt_net.dir/net/gossip.cpp.o.d"
+  "CMakeFiles/dlt_net.dir/net/network.cpp.o"
+  "CMakeFiles/dlt_net.dir/net/network.cpp.o.d"
+  "libdlt_net.a"
+  "libdlt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_privacy.dir/privacy/commitment.cpp.o"
+  "CMakeFiles/dlt_privacy.dir/privacy/commitment.cpp.o.d"
+  "CMakeFiles/dlt_privacy.dir/privacy/mixer.cpp.o"
+  "CMakeFiles/dlt_privacy.dir/privacy/mixer.cpp.o.d"
+  "CMakeFiles/dlt_privacy.dir/privacy/multichannel.cpp.o"
+  "CMakeFiles/dlt_privacy.dir/privacy/multichannel.cpp.o.d"
+  "CMakeFiles/dlt_privacy.dir/privacy/taint.cpp.o"
+  "CMakeFiles/dlt_privacy.dir/privacy/taint.cpp.o.d"
+  "libdlt_privacy.a"
+  "libdlt_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

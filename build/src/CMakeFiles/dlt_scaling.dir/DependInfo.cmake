@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/atomicswap.cpp" "src/CMakeFiles/dlt_scaling.dir/scaling/atomicswap.cpp.o" "gcc" "src/CMakeFiles/dlt_scaling.dir/scaling/atomicswap.cpp.o.d"
+  "/root/repo/src/scaling/bootstrap.cpp" "src/CMakeFiles/dlt_scaling.dir/scaling/bootstrap.cpp.o" "gcc" "src/CMakeFiles/dlt_scaling.dir/scaling/bootstrap.cpp.o.d"
+  "/root/repo/src/scaling/channels.cpp" "src/CMakeFiles/dlt_scaling.dir/scaling/channels.cpp.o" "gcc" "src/CMakeFiles/dlt_scaling.dir/scaling/channels.cpp.o.d"
+  "/root/repo/src/scaling/sharding.cpp" "src/CMakeFiles/dlt_scaling.dir/scaling/sharding.cpp.o" "gcc" "src/CMakeFiles/dlt_scaling.dir/scaling/sharding.cpp.o.d"
+  "/root/repo/src/scaling/sidechain.cpp" "src/CMakeFiles/dlt_scaling.dir/scaling/sidechain.cpp.o" "gcc" "src/CMakeFiles/dlt_scaling.dir/scaling/sidechain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlt_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_contract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_datastruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dlt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_scaling.dir/scaling/atomicswap.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/scaling/atomicswap.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/scaling/bootstrap.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/scaling/bootstrap.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/scaling/channels.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/scaling/channels.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/scaling/sharding.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/scaling/sharding.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/scaling/sidechain.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/scaling/sidechain.cpp.o.d"
+  "libdlt_scaling.a"
+  "libdlt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

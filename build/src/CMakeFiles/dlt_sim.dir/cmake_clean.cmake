@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/dlt_sim.dir/sim/scheduler.cpp.o.d"
+  "libdlt_sim.a"
+  "libdlt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus2.dir/test_consensus2.cpp.o"
+  "CMakeFiles/test_consensus2.dir/test_consensus2.cpp.o.d"
+  "test_consensus2"
+  "test_consensus2.pdb"
+  "test_consensus2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_app.dir/test_core_app.cpp.o"
+  "CMakeFiles/test_core_app.dir/test_core_app.cpp.o.d"
+  "test_core_app"
+  "test_core_app.pdb"
+  "test_core_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datastruct.dir/test_datastruct.cpp.o"
+  "CMakeFiles/test_datastruct.dir/test_datastruct.cpp.o.d"
+  "test_datastruct"
+  "test_datastruct.pdb"
+  "test_datastruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datastruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

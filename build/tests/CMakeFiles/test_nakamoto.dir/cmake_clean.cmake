@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nakamoto.dir/test_nakamoto.cpp.o"
+  "CMakeFiles/test_nakamoto.dir/test_nakamoto.cpp.o.d"
+  "test_nakamoto"
+  "test_nakamoto.pdb"
+  "test_nakamoto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nakamoto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_datastruct[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_ledger[1]_include.cmake")
+include("/root/repo/build/tests/test_nakamoto[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus2[1]_include.cmake")
+include("/root/repo/build/tests/test_contract[1]_include.cmake")
+include("/root/repo/build/tests/test_privacy[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_core_app[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_middleware[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
