@@ -8,6 +8,7 @@ using namespace dlt;
 using namespace dlt::consensus;
 
 int main() {
+    bench::Run bench_run("E01");
     bench::title("E1: Nakamoto convergence (Fig. 1, §2.3-2.4)",
                  "Claim: gossiping peers with longest-chain selection converge to "
                  "one blockchain despite concurrent mining.");

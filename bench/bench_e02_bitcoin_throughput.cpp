@@ -7,11 +7,13 @@
 #include "consensus/nakamoto.hpp"
 #include "core/dcs.hpp"
 #include "core/experiment.hpp"
+#include "crypto/keys.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
 
 int main() {
+    bench::Run run("E02");
     bench::title("E2: Bitcoin throughput ceiling (§2.7)",
                  "Claim: ~7 tps no matter the offered load; hash power growth is "
                  "absorbed by difficulty retargeting.");
@@ -89,6 +91,68 @@ int main() {
                        bench::fmt_int(blocks)});
         }
         table.print();
+    }
+
+    std::printf("\nFull-ECDSA validation (SigCheckMode::kFull, wall-clock):\n");
+    {
+        // Signed account-family records: every peer runs real signature
+        // verification when it connects a block, so this section measures the
+        // host-side crypto cost of validation (virtual-time results above are
+        // unaffected by how fast the host checks signatures).
+        bench::Timer sig_timer;
+        consensus::NakamotoParams params;
+        params.node_count = 8;
+        params.block_interval = 30.0;
+        params.validation.sig_mode = ledger::SigCheckMode::kFull;
+        consensus::NakamotoNetwork net(params, 99);
+        net.start();
+
+        std::vector<crypto::PrivateKey> signers;
+        for (int i = 0; i < 16; ++i)
+            signers.push_back(crypto::PrivateKey::from_seed("e02/signer/" +
+                                                            std::to_string(i)));
+
+        Rng rng(101);
+        const double duration = 600.0; // virtual seconds (~20 blocks)
+        const double tx_rate = 2.0;
+        std::uint64_t sequence = 0;
+        double next = rng.exponential(tx_rate);
+        while (next < duration) {
+            net.run_for(next - net.now());
+            ledger::Transaction tx;
+            tx.kind = ledger::TxKind::kRecord;
+            tx.nonce = sequence;
+            tx.data = Bytes(170, 0xCD);
+            tx.declared_fee = 100;
+            tx.sign_with(signers[sequence % signers.size()]);
+            ++sequence;
+            net.submit_transaction(tx, static_cast<net::NodeId>(rng.uniform(8)));
+            next += rng.exponential(tx_rate);
+        }
+        net.run_for(duration - net.now() + 120.0);
+
+        std::uint64_t confirmed = 0;
+        for (const auto& block : net.canonical_chain())
+            for (const auto& tx : block.txs)
+                if (!tx.is_coinbase()) ++confirmed;
+
+        const double wall = sig_timer.elapsed_s();
+        const std::uint64_t events = net.scheduler().events_processed();
+        bench::Table table({"submitted", "confirmed", "virtual-s", "wall-s",
+                            "events", "events/wall-s"});
+        table.row({bench::fmt_int(sequence), bench::fmt_int(confirmed),
+                   bench::fmt(duration, 0), bench::fmt(wall),
+                   bench::fmt_int(events),
+                   bench::fmt(bench::rate_per_sec(static_cast<double>(events), wall),
+                              0)});
+        table.print();
+
+        run.metric("sig_full_wall_s", wall);
+        run.metric("sig_full_submitted", sequence);
+        run.metric("sig_full_confirmed", confirmed);
+        run.metric("sig_full_events", events);
+        run.metric("sig_full_events_per_sec",
+                   bench::rate_per_sec(static_cast<double>(events), wall));
     }
 
     std::printf("\nExpected shape: confirmed tps tracks offered load until ~6.7 "

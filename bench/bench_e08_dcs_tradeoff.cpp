@@ -11,6 +11,7 @@ using namespace dlt;
 using namespace dlt::core;
 
 int main() {
+    bench::Run bench_run("E08");
     bench::title("E8: the DCS trade-off (§2.7)",
                  "Claim: Bitcoin and Ethereum are DC systems, Hyperledger is CS; "
                  "no tuning achieves all three at once.");

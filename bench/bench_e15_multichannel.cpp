@@ -20,6 +20,7 @@ crypto::Address org(const std::string& name) {
 } // namespace
 
 int main() {
+    bench::Run bench_run("E15");
     bench::title("E15: multi-channel privacy domains (§5.3)",
                  "Claim: privacy domains isolate data per member set while the "
                  "shared anchor chain keeps everyone consistent.");

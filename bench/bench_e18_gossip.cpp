@@ -24,7 +24,7 @@ RunResult run(std::size_t nodes, std::size_t fanout, std::uint64_t seed) {
     GossipParams params;
     params.fanout = fanout;
     GossipOverlay overlay(net, nodes, params,
-                          [](NodeId, const std::string&, const Bytes&) {});
+                          [](NodeId, const std::string&, ByteView) {});
     net.build_unstructured_overlay(6);
 
     // Average over several broadcasts from random origins.
@@ -57,6 +57,7 @@ RunResult run(std::size_t nodes, std::size_t fanout, std::uint64_t seed) {
 } // namespace
 
 int main() {
+    bench::Run bench_run("E18");
     bench::title("E18: gossip propagation (§2.3)",
                  "Claim: multi-round gossip reaches the whole unstructured "
                  "overlay in O(log n) time; fanout trades bandwidth for speed.");

@@ -11,6 +11,7 @@ using namespace dlt;
 using namespace dlt::consensus;
 
 int main() {
+    bench::Run bench_run("E20");
     bench::title("E20: Proof-of-Elapsed-Time (§5.4)",
                  "Claim: SGX-style wait timers give fair, computation-free leader "
                  "election; certificates are verifiable.");

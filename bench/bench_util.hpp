@@ -1,10 +1,13 @@
-// Shared helpers for the experiment harnesses: fixed-width table printing and
-// headline formatting so every bench binary reports in the same shape as
-// EXPERIMENTS.md records.
+// Shared helpers for the experiment harnesses: fixed-width table printing,
+// headline formatting, wall-clock timing, and machine-readable JSON reports so
+// every bench binary reports in the same shape as EXPERIMENTS.md records and
+// leaves a BENCH_<id>.json perf artifact behind for trend tracking.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bench {
@@ -50,5 +53,114 @@ inline std::string fmt(double v, int precision = 2) {
 }
 
 inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+// --- Wall-clock timing ---------------------------------------------------------
+
+/// Monotonic wall-clock stopwatch (virtual simulation time is tracked by the
+/// Scheduler; this measures how long the host actually took).
+class Timer {
+public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    double elapsed_s() const {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// count / seconds, guarded against zero division (events/sec, sims/sec, tx/sec).
+inline double rate_per_sec(double count, double seconds) {
+    return seconds > 0 ? count / seconds : 0.0;
+}
+
+// --- JSON perf reports ---------------------------------------------------------
+
+/// Collects named metrics for one experiment run and writes them as a flat JSON
+/// object to BENCH_<id>.json in the working directory on destruction (or an
+/// explicit write_json()). Every bench binary constructs one of these so each
+/// run — local or CI — leaves a machine-readable perf record behind.
+class Run {
+public:
+    explicit Run(std::string id) : id_(std::move(id)) {}
+
+    Run(const Run&) = delete;
+    Run& operator=(const Run&) = delete;
+
+    ~Run() {
+        if (!written_) write_json();
+    }
+
+    /// Record a numeric metric (insertion order is preserved in the output).
+    void metric(const std::string& name, double value) {
+        set(name, json_number(value));
+    }
+    void metric(const std::string& name, std::uint64_t value) {
+        set(name, std::to_string(value));
+    }
+
+    /// Record a string annotation.
+    void note(const std::string& name, const std::string& value) {
+        set(name, "\"" + escape(value) + "\"");
+    }
+
+    double elapsed_s() const { return timer_.elapsed_s(); }
+
+    /// Flush BENCH_<id>.json now. `wall_seconds` (whole-process wall time) is
+    /// always included; callers add section-level timings as plain metrics.
+    void write_json() {
+        written_ = true;
+        set("wall_seconds", json_number(timer_.elapsed_s()));
+        const std::string path = "BENCH_" + id_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) return; // read-only working dir: skip the artifact
+        std::fprintf(f, "{\n  \"id\": \"%s\"", escape(id_).c_str());
+        for (const auto& [name, value] : fields_)
+            std::fprintf(f, ",\n  \"%s\": %s", escape(name).c_str(), value.c_str());
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("\n[bench] wrote %s\n", path.c_str());
+    }
+
+private:
+    static std::string json_number(double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return buf;
+    }
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    void set(const std::string& name, std::string value) {
+        for (auto& [existing, v] : fields_) {
+            if (existing == name) {
+                v = std::move(value);
+                return;
+            }
+        }
+        fields_.emplace_back(name, std::move(value));
+    }
+
+    std::string id_;
+    Timer timer_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+    bool written_ = false;
+};
 
 } // namespace bench

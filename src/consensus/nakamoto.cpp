@@ -25,7 +25,7 @@ NakamotoNetwork::NakamotoNetwork(NakamotoParams params, std::uint64_t seed)
     network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(0xA));
     gossip_ = std::make_unique<net::GossipOverlay>(
         *network_, params_.node_count, params_.gossip,
-        [this](NodeId node, const std::string& topic, const Bytes& payload) {
+        [this](NodeId node, const std::string& topic, ByteView payload) {
             on_gossip(node, topic, payload);
         });
     network_->build_unstructured_overlay(params_.overlay_degree, params_.link);
@@ -64,7 +64,7 @@ void NakamotoNetwork::submit_transaction(const Transaction& tx, NodeId origin) {
 }
 
 void NakamotoNetwork::on_gossip(NodeId node, const std::string& topic,
-                                const Bytes& payload) {
+                                ByteView payload) {
     if (topic == "tx") {
         try {
             peers_[node].mempool.add(decode_from_bytes<Transaction>(payload));

@@ -139,7 +139,7 @@ private:
         Rng rng;
     };
 
-    void on_gossip(net::NodeId node, const std::string& topic, const Bytes& payload);
+    void on_gossip(net::NodeId node, const std::string& topic, ByteView payload);
     void handle_block(net::NodeId node, const ledger::Block& block);
     void try_insert_and_update(net::NodeId node, const ledger::Block& block);
     void update_active_tip(net::NodeId node);

@@ -1,5 +1,7 @@
 #include "consensus/ordering.hpp"
 
+#include <memory>
+
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
@@ -70,8 +72,9 @@ void OrderingService::cut_batch() {
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
     batch_submit_times_.emplace(seq, std::move(times));
 
-    const Bytes payload = w.data();
-    // Deliver to every committing peer, including the orderer's own peer.
+    const auto payload = std::make_shared<const Bytes>(w.data());
+    // Deliver to every committing peer, including the orderer's own peer; all
+    // deliveries share one payload buffer.
     for (std::uint32_t to = 0; to < params_.peer_count; ++to) {
         if (to == orderer) {
             scheduler_.schedule_after(0.0, [this, to, payload] {
@@ -87,7 +90,7 @@ void OrderingService::cut_batch() {
 void OrderingService::on_deliver(std::uint32_t peer, const net::Delivery& d) {
     if (d.topic != "block") return;
     try {
-        Reader r(d.payload);
+        Reader r(d.payload());
         OrderedBlock block;
         block.sequence = r.u64();
         block.orderer = r.u32();

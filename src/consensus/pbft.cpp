@@ -1,6 +1,7 @@
 #include "consensus/pbft.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
@@ -77,9 +78,10 @@ void PbftCluster::run_for(SimDuration duration) {
 void PbftCluster::broadcast(std::uint32_t from, const std::string& topic,
                             const Bytes& payload) {
     if (replicas_[from].fault == PbftFault::kCrashed) return;
+    const auto shared = std::make_shared<const Bytes>(payload);
     for (std::uint32_t to = 0; to < n_; ++to) {
         if (to == from) continue;
-        network_->send(from, to, topic, payload);
+        network_->send(from, to, topic, shared);
     }
 }
 
@@ -87,15 +89,15 @@ void PbftCluster::on_message(std::uint32_t replica, const Delivery& d) {
     if (replicas_[replica].fault == PbftFault::kCrashed) return;
     try {
         if (d.topic == "preprepare") {
-            handle_pre_prepare(replica, d.payload);
+            handle_pre_prepare(replica, d.payload());
         } else if (d.topic == "prepare") {
-            handle_prepare(replica, d.payload);
+            handle_prepare(replica, d.payload());
         } else if (d.topic == "commit") {
-            handle_commit(replica, d.payload);
+            handle_commit(replica, d.payload());
         } else if (d.topic == "viewchange") {
-            handle_view_change(replica, d.payload);
+            handle_view_change(replica, d.payload());
         } else if (d.topic == "newview") {
-            handle_new_view(replica, d.payload);
+            handle_new_view(replica, d.payload());
         }
     } catch (const Error&) {
         // Malformed message: drop, as a hardened replica would.

@@ -10,6 +10,7 @@ std::optional<std::uint64_t> mine_nonce(ledger::BlockHeader header,
     const crypto::U256 target = ledger::compact_to_target(header.bits);
     for (std::uint64_t i = 0; i < max_iterations; ++i) {
         header.nonce = start_nonce + i;
+        header.invalidate_hash_cache(); // grinding mutates a hashed header
         if (ledger::hash_meets_target(header.hash(), target)) return header.nonce;
     }
     return std::nullopt;

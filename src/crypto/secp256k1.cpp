@@ -251,30 +251,138 @@ Jacobian jac_add(const Jacobian& p, const Jacobian& q) {
     return Jacobian{x3, y3, z3};
 }
 
+Jacobian jac_negate(const Jacobian& p) {
+    if (p.z.is_zero() || p.y.is_zero()) return p;
+    return Jacobian{p.x, P() - p.y, p.z};
+}
+
+/// Affine point for precomputed tables. Mixed addition against an affine
+/// operand (Z2 = 1) drops the Z2 normalization work of the general Jacobian
+/// add: 8M+3S instead of 12M+4S.
+struct Affine {
+    U256 x;
+    U256 y;
+    bool infinity = true;
+};
+
+/// p + q with q affine (madd-2007-bl, Z2 = 1).
+Jacobian jac_add_affine(const Jacobian& p, const Affine& q) {
+    if (q.infinity) return p;
+    if (p.z.is_zero()) return Jacobian{q.x, q.y, U256::one()};
+    const U256 z1z1 = fe_sqr(p.z);
+    const U256 u2 = fe_mul(q.x, z1z1);
+    const U256 s2 = fe_mul(q.y, fe_mul(z1z1, p.z));
+    if (u2 == p.x) {
+        if (s2 == p.y) return jac_double(p);
+        return Jacobian{U256::one(), U256::one(), U256::zero()}; // P + (-P) = O
+    }
+    const U256 h = fe_sub(u2, p.x);
+    const U256 hh = fe_sqr(h);
+    U256 i = fe_add(hh, hh);
+    i = fe_add(i, i); // 4*H^2
+    const U256 j = fe_mul(h, i);
+    U256 r = fe_sub(s2, p.y);
+    r = fe_add(r, r);
+    const U256 v = fe_mul(p.x, i);
+    const U256 x3 = fe_sub(fe_sub(fe_sqr(r), j), fe_add(v, v));
+    const U256 yj = fe_mul(p.y, j);
+    const U256 y3 = fe_sub(fe_mul(r, fe_sub(v, x3)), fe_add(yj, yj));
+    U256 z3 = fe_mul(p.z, h);
+    z3 = fe_add(z3, z3);
+    return Jacobian{x3, y3, z3};
+}
+
+/// Width-4 non-adjacent form, least-significant digit first. Nonzero digits
+/// are odd, lie in {±1, ±3, ±5, ±7}, and average one per ~5 bits, so a generic
+/// 256-bit multiply needs ~51 additions instead of the ~128 of plain
+/// double-and-add. Returns the digit count (≤ 257 for scalars < 2^256).
+int wnaf_digits(const U256& k, std::int8_t out[260]) {
+    U256 d = k;
+    int len = 0;
+    while (!d.is_zero()) {
+        std::int8_t digit = 0;
+        if (d.is_odd()) {
+            const int word = static_cast<int>(d.low64() & 0xF); // mod 2^4
+            digit = static_cast<std::int8_t>(word < 8 ? word : word - 16);
+            if (digit > 0)
+                d = d - U256(static_cast<std::uint64_t>(digit));
+            else
+                d = d + U256(static_cast<std::uint64_t>(-digit));
+        }
+        out[len++] = digit;
+        d = d >> 1;
+    }
+    return len;
+}
+
 Jacobian jac_multiply(const U256& k, const Jacobian& p) {
-    Jacobian result{U256::one(), U256::one(), U256::zero()};
+    const Jacobian identity{U256::one(), U256::one(), U256::zero()};
     const U256 scalar = sc_reduce(k);
-    const int top = scalar.highest_bit();
-    for (int i = top; i >= 0; --i) {
+    if (scalar.is_zero() || p.z.is_zero()) return identity;
+
+    std::int8_t naf[260];
+    const int len = wnaf_digits(scalar, naf);
+
+    // Odd multiples 1P, 3P, 5P, 7P.
+    Jacobian odd[4];
+    odd[0] = p;
+    const Jacobian twop = jac_double(p);
+    for (int i = 1; i < 4; ++i) odd[i] = jac_add(odd[i - 1], twop);
+
+    Jacobian result = identity;
+    for (int i = len - 1; i >= 0; --i) {
         result = jac_double(result);
-        if (scalar.bit(static_cast<unsigned>(i))) result = jac_add(result, p);
+        const int d = naf[i];
+        if (d > 0)
+            result = jac_add(result, odd[(d - 1) / 2]);
+        else if (d < 0)
+            result = jac_add(result, jac_negate(odd[(-d - 1) / 2]));
     }
     return result;
 }
 
-/// Fixed-base window-4 table for the generator: table[16*i + j] = j * 2^(4i) * G.
-/// Signing is dominated by k*G; the table turns 256 doubles + ~128 adds into 64
-/// table additions. Built lazily once per process.
-const std::vector<Jacobian>& base_table() {
-    static const std::vector<Jacobian> table = [] {
-        std::vector<Jacobian> t(64 * 16,
-                                Jacobian{U256::one(), U256::one(), U256::zero()});
+/// Fixed-base window-4 comb table for the generator, stored in affine form:
+/// table[16*i + j] = j * 2^(4i) * G. Signing is dominated by k*G; the table
+/// turns 256 doubles + ~128 adds into 64 mixed additions with no doublings at
+/// all. Built lazily once per process: the Jacobian working table is converted
+/// to affine with a single batched field inversion (Montgomery's trick), so
+/// startup pays one fe_inv instead of 1008.
+const std::vector<Affine>& base_table() {
+    static const std::vector<Affine> table = [] {
+        const Jacobian identity{U256::one(), U256::one(), U256::zero()};
+        std::vector<Jacobian> jac(64 * 16, identity);
         Jacobian power{Gx(), Gy(), U256::one()}; // 2^(4i) * G
         for (int i = 0; i < 64; ++i) {
             for (int j = 1; j < 16; ++j)
-                t[static_cast<std::size_t>(16 * i + j)] =
-                    jac_add(t[static_cast<std::size_t>(16 * i + j - 1)], power);
+                jac[static_cast<std::size_t>(16 * i + j)] =
+                    jac_add(jac[static_cast<std::size_t>(16 * i + j - 1)], power);
             for (int d = 0; d < 4; ++d) power = jac_double(power);
+        }
+
+        // Batch inversion: prefix[k] holds the product of all previous z's, so
+        // after one inversion of the grand product each z's inverse peels off
+        // with two multiplications.
+        std::vector<std::size_t> live;
+        std::vector<U256> prefix;
+        live.reserve(jac.size());
+        prefix.reserve(jac.size());
+        U256 acc = U256::one();
+        for (std::size_t i = 0; i < jac.size(); ++i) {
+            if (jac[i].z.is_zero()) continue;
+            live.push_back(i);
+            prefix.push_back(acc);
+            acc = fe_mul(acc, jac[i].z);
+        }
+        U256 inv = fe_inv(acc);
+
+        std::vector<Affine> t(jac.size());
+        for (std::size_t k = live.size(); k-- > 0;) {
+            const Jacobian& src = jac[live[k]];
+            const U256 zinv = fe_mul(inv, prefix[k]);
+            inv = fe_mul(inv, src.z);
+            const U256 zinv2 = fe_sqr(zinv);
+            t[live[k]] = Affine{fe_mul(src.x, zinv2),
+                                fe_mul(src.y, fe_mul(zinv2, zinv)), false};
         }
         return t;
     }();
@@ -288,8 +396,9 @@ Jacobian jac_multiply_base(const U256& k) {
         const unsigned nibble = static_cast<unsigned>(
             (scalar.limbs[static_cast<std::size_t>(i / 16)] >> (4 * (i % 16))) & 0xF);
         if (nibble != 0)
-            result = jac_add(result,
-                             base_table()[static_cast<std::size_t>(16 * i + static_cast<int>(nibble))]);
+            result = jac_add_affine(
+                result,
+                base_table()[static_cast<std::size_t>(16 * i + static_cast<int>(nibble))]);
     }
     return result;
 }

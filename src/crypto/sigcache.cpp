@@ -1,0 +1,107 @@
+#include "crypto/sigcache.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::crypto {
+
+SigCache::SigCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) capacity_ = 1;
+    map_.reserve(capacity_);
+    fifo_.reserve(capacity_);
+}
+
+Hash256 SigCache::entry_key(ByteView pubkey, const Hash256& msg_hash, ByteView sig) {
+    Bytes preimage;
+    preimage.reserve(pubkey.size() + msg_hash.size() + sig.size());
+    preimage.insert(preimage.end(), pubkey.begin(), pubkey.end());
+    preimage.insert(preimage.end(), msg_hash.data.begin(), msg_hash.data.end());
+    preimage.insert(preimage.end(), sig.begin(), sig.end());
+    return tagged_hash("dlt/sigcache", preimage);
+}
+
+std::optional<bool> SigCache::lookup(const Hash256& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void SigCache::insert(const Hash256& key, bool valid) {
+    if (map_.size() >= capacity_ && map_.find(key) == map_.end()) {
+        // Evict the oldest insertion to make room.
+        map_.erase(fifo_[head_]);
+        fifo_[head_] = key; // reuse the ring slot for the newcomer
+        head_ = (head_ + 1) % fifo_.size();
+        map_.emplace(key, valid);
+        ++stats_.evictions;
+        ++stats_.insertions;
+        return;
+    }
+    if (map_.emplace(key, valid).second) {
+        fifo_.push_back(key);
+        ++stats_.insertions;
+    }
+}
+
+void SigCache::clear() {
+    map_.clear();
+    fifo_.clear();
+    head_ = 0;
+}
+
+void SigCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    clear();
+    map_.reserve(capacity_);
+    fifo_.reserve(capacity_);
+}
+
+SigCache& SigCache::global() {
+    static SigCache cache;
+    return cache;
+}
+
+namespace {
+
+// Decompressing a SEC1 key costs a field square root, and the simulator reuses
+// a handful of signer keys across thousands of signatures — memoize the decode.
+// Decoding is pure, so this is invisible apart from the saved work.
+const secp256k1::Point& decode_pubkey_memoized(ByteView pubkey33) {
+    static std::unordered_map<std::string, secp256k1::Point> memo;
+    constexpr std::size_t kMaxEntries = 1 << 12;
+    std::string key(reinterpret_cast<const char*>(pubkey33.data()), pubkey33.size());
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    if (memo.size() >= kMaxEntries) memo.clear(); // rare; refills immediately
+    const secp256k1::Point point = secp256k1::decode_compressed(pubkey33);
+    return memo.emplace(std::move(key), point).first->second;
+}
+
+} // namespace
+
+bool verify_signature_cached(ByteView pubkey33, const Hash256& msg_hash,
+                             ByteView sig64) {
+    SigCache& cache = SigCache::global();
+    const Hash256 key = SigCache::entry_key(pubkey33, msg_hash, sig64);
+    if (const auto cached = cache.lookup(key)) return *cached;
+
+    bool valid = false;
+    try {
+        const secp256k1::Point& pubkey = decode_pubkey_memoized(pubkey33);
+        valid = secp256k1::verify(pubkey, msg_hash,
+                                  secp256k1::Signature::decode(sig64));
+    } catch (const CryptoError&) {
+        valid = false; // malformed key or signature: definitively invalid
+    }
+    cache.insert(key, valid);
+    return valid;
+}
+
+} // namespace dlt::crypto

@@ -1,0 +1,77 @@
+// Bounded signature-verification cache, modeled on Bitcoin Core's sigcache: a
+// process-wide memo of ECDSA verification outcomes keyed by a salted hash of
+// (pubkey, message hash, signature). In the simulator every one of the N
+// simulated nodes validates the same gossiped block, so without this cache the
+// host pays for the same expensive verification N times; with it, the first
+// node pays and the rest hit the cache. Negative outcomes (bad signatures,
+// malformed keys) are cached too, so a block full of garbage is cheap to reject
+// repeatedly. Observable behaviour is unchanged: verification is a pure
+// function of (pubkey, msg_hash, sig).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dlt::crypto {
+
+struct SigCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+};
+
+/// Fixed-capacity map from entry key to verification outcome with FIFO
+/// eviction (oldest insertion evicted first). Single-threaded, like the rest
+/// of the simulator.
+class SigCache {
+public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit SigCache(std::size_t capacity = kDefaultCapacity);
+
+    /// Salted digest binding the full verification question. Using a hash as
+    /// the key bounds entry size regardless of input sizes.
+    static Hash256 entry_key(ByteView pubkey, const Hash256& msg_hash, ByteView sig);
+
+    /// Cached outcome for a key; counts a hit or miss.
+    std::optional<bool> lookup(const Hash256& key);
+
+    /// Record an outcome. A key already present is left untouched (outcomes are
+    /// deterministic, so the stored value is necessarily identical).
+    void insert(const Hash256& key, bool valid);
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Drop all entries and reset the FIFO; optionally change capacity.
+    void clear();
+    void set_capacity(std::size_t capacity);
+
+    const SigCacheStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+    /// The process-wide instance used by transaction validation.
+    static SigCache& global();
+
+private:
+    std::size_t capacity_;
+    std::unordered_map<Hash256, bool> map_;
+    std::vector<Hash256> fifo_; // ring buffer of inserted keys, oldest at head_
+    std::size_t head_ = 0;
+    SigCacheStats stats_;
+};
+
+/// Verify `sig64` (64-byte r||s) by `pubkey33` (compressed SEC1) over
+/// `msg_hash`, consulting the global SigCache first. On a hit nothing is
+/// decoded — point decompression is itself a field exponentiation, so cache
+/// hits skip that cost too. Malformed inputs verify as false (and the negative
+/// outcome is cached) instead of throwing.
+bool verify_signature_cached(ByteView pubkey33, const Hash256& msg_hash,
+                             ByteView sig64);
+
+} // namespace dlt::crypto

@@ -6,9 +6,20 @@
 namespace dlt::ledger {
 
 Hash256 BlockHeader::hash() const {
-    Writer w;
-    encode(w);
-    return crypto::sha256d(w.data());
+    if (!cached_hash_) {
+        Writer w;
+        encode(w);
+        cached_hash_ = crypto::sha256d(w.data());
+    }
+    return *cached_hash_;
+}
+
+bool operator==(const BlockHeader& a, const BlockHeader& b) {
+    // Field-wise comparison, ignoring the hash cache.
+    return a.prev_hash == b.prev_hash && a.merkle_root == b.merkle_root &&
+           a.state_root == b.state_root && a.height == b.height &&
+           a.timestamp == b.timestamp && a.bits == b.bits && a.nonce == b.nonce &&
+           a.proposer == b.proposer && a.annex == b.annex;
 }
 
 void BlockHeader::encode(Writer& w) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -26,13 +27,22 @@ struct BlockHeader {
     /// ordering-service sequence number, Bitcoin-NG key-block marker, ...
     Bytes annex;
 
-    friend bool operator==(const BlockHeader&, const BlockHeader&) = default;
+    friend bool operator==(const BlockHeader& a, const BlockHeader& b);
 
-    /// Block id: sha256d over the serialized header.
+    /// Block id: sha256d over the serialized header. Cached after the first
+    /// call — headers are hashed at every chain-index lookup, gossip frame, and
+    /// PoW check. Code that mutates a field after calling hash() must call
+    /// invalidate_hash_cache() (the PoW nonce grind is the canonical case).
     Hash256 hash() const;
+
+    /// Drop the cached hash (after direct field mutation).
+    void invalidate_hash_cache() { cached_hash_.reset(); }
 
     void encode(Writer& w) const;
     static BlockHeader decode(Reader& r);
+
+private:
+    mutable std::optional<Hash256> cached_hash_;
 };
 
 struct Block {

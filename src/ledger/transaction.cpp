@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sigcache.hpp"
 
 namespace dlt::ledger {
 
@@ -86,9 +87,12 @@ bool operator==(const Transaction& a, const Transaction& b) {
 }
 
 Hash256 Transaction::sighash() const {
-    Writer w;
-    encode_body(*this, w, /*include_signatures=*/false);
-    return crypto::tagged_hash("dlt/sighash", w.data());
+    if (!cached_sighash_) {
+        Writer w;
+        encode_body(*this, w, /*include_signatures=*/false);
+        cached_sighash_ = crypto::tagged_hash("dlt/sighash", w.data());
+    }
+    return *cached_sighash_;
 }
 
 void Transaction::sign_with(const crypto::PrivateKey& key) {
@@ -108,24 +112,22 @@ void Transaction::sign_with(const crypto::PrivateKey& key) {
 
 bool Transaction::verify_signatures() const {
     if (is_coinbase()) return true;
+    // Routed through the process-wide sigcache: in the simulator every node
+    // validates the same gossiped transaction, and only the first pays for the
+    // point decompression + ECDSA verification. Malformed keys/signatures
+    // verify as false inside verify_signature_cached (no throw).
     const Hash256 digest = sighash();
-    try {
-        if (uses_accounts()) {
-            if (sender_pubkey.empty() || account_signature.empty()) return false;
-            const crypto::PublicKey pub = crypto::PublicKey::decode(sender_pubkey);
-            return pub.verify(digest,
-                              crypto::secp256k1::Signature::decode(account_signature));
-        }
-        for (const auto& in : inputs) {
-            if (in.pubkey.empty() || in.signature.empty()) return false;
-            const crypto::PublicKey pub = crypto::PublicKey::decode(in.pubkey);
-            if (!pub.verify(digest, crypto::secp256k1::Signature::decode(in.signature)))
-                return false;
-        }
-        return !inputs.empty();
-    } catch (const CryptoError&) {
-        return false;
+    if (uses_accounts()) {
+        if (sender_pubkey.empty() || account_signature.empty()) return false;
+        return crypto::verify_signature_cached(sender_pubkey, digest,
+                                               account_signature);
     }
+    for (const auto& in : inputs) {
+        if (in.pubkey.empty() || in.signature.empty()) return false;
+        if (!crypto::verify_signature_cached(in.pubkey, digest, in.signature))
+            return false;
+    }
+    return !inputs.empty();
 }
 
 void Transaction::encode(Writer& w) const {

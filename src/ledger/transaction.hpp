@@ -88,14 +88,19 @@ struct Transaction {
     /// Cached after the first call: transactions are value types that flow
     /// through mempools, blocks, and UTXO updates, and recomputing the double
     /// SHA-256 at every site dominates simulation cost. sign_with() refreshes
-    /// the cache; code that mutates fields directly after calling txid() must
-    /// call invalidate_txid_cache().
+    /// the cache; code that mutates fields directly after calling txid() or
+    /// sighash() must call invalidate_txid_cache().
     Hash256 txid() const;
 
-    /// Drop the cached txid (after direct field mutation).
-    void invalidate_txid_cache() { cached_txid_.reset(); }
+    /// Drop both hash caches (after direct field mutation).
+    void invalidate_txid_cache() {
+        cached_txid_.reset();
+        cached_sighash_.reset();
+    }
 
-    /// Hash all fields except signatures — the message wallets sign.
+    /// Hash all fields except signatures — the message wallets sign. Cached
+    /// like txid(): every node re-derives the sighash when verifying, and the
+    /// serialization cost is identical.
     Hash256 sighash() const;
 
     /// Sign every input (UTXO family) or the account signature with `key`.
@@ -114,6 +119,7 @@ struct Transaction {
 
 private:
     mutable std::optional<Hash256> cached_txid_;
+    mutable std::optional<Hash256> cached_sighash_;
 };
 
 /// Convenience builders used across tests, examples, and workload generators.

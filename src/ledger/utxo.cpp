@@ -20,18 +20,47 @@ Amount UtxoSet::total_value() const {
 }
 
 Amount UtxoSet::balance_of(const crypto::Address& addr) const {
-    Amount total = 0;
-    for (const auto& [op, out] : entries_)
-        if (out.recipient == addr) total += out.value;
-    return total;
+    const auto it = by_addr_.find(addr);
+    return it == by_addr_.end() ? 0 : it->second.balance;
 }
 
 std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::coins_of(
     const crypto::Address& addr) const {
     std::vector<std::pair<OutPoint, TxOutput>> coins;
-    for (const auto& [op, out] : entries_)
-        if (out.recipient == addr) coins.emplace_back(op, out);
+    const auto it = by_addr_.find(addr);
+    if (it == by_addr_.end()) return coins;
+    coins.reserve(it->second.coins.size());
+    for (const auto& op : it->second.coins) {
+        const auto entry = entries_.find(op);
+        DLT_INVARIANT(entry != entries_.end()); // index mirrors entries_
+        coins.emplace_back(op, entry->second);
+    }
     return coins;
+}
+
+void UtxoSet::index_add(const OutPoint& op, const TxOutput& out) {
+    auto& entry = by_addr_[out.recipient];
+    entry.balance += out.value;
+    entry.coins.insert(op);
+}
+
+void UtxoSet::index_remove(const OutPoint& op, const TxOutput& out) {
+    const auto it = by_addr_.find(out.recipient);
+    DLT_INVARIANT(it != by_addr_.end());
+    it->second.balance -= out.value;
+    it->second.coins.erase(op);
+    if (it->second.coins.empty()) by_addr_.erase(it);
+}
+
+void UtxoSet::insert_raw(const OutPoint& op, const TxOutput& out) {
+    const auto it = entries_.find(op);
+    if (it != entries_.end()) {
+        index_remove(op, it->second); // silent overwrite replaces the old owner
+        it->second = out;
+    } else {
+        entries_.emplace(op, out);
+    }
+    index_add(op, out);
 }
 
 std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::export_all() const {
@@ -77,6 +106,7 @@ void UtxoSet::apply_transaction(const Transaction& tx, UtxoUndo& undo) {
             const auto it = entries_.find(in.prevout);
             DLT_INVARIANT(it != entries_.end()); // caller checked
             undo.spent.emplace_back(in.prevout, it->second);
+            index_remove(in.prevout, it->second);
             entries_.erase(it);
         }
     }
@@ -84,7 +114,8 @@ void UtxoSet::apply_transaction(const Transaction& tx, UtxoUndo& undo) {
         const Hash256 id = tx.txid();
         for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
             const OutPoint op{id, i};
-            entries_.emplace(op, tx.outputs[i]);
+            if (entries_.emplace(op, tx.outputs[i]).second)
+                index_add(op, tx.outputs[i]);
             undo.created.push_back(op);
         }
     }
@@ -112,10 +143,12 @@ void UtxoSet::undo_block(const UtxoUndo& undo) {
     for (auto it = undo.created.rbegin(); it != undo.created.rend(); ++it) {
         const auto found = entries_.find(*it);
         DLT_INVARIANT(found != entries_.end());
+        index_remove(*it, found->second);
         entries_.erase(found);
     }
     for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
-        entries_.emplace(it->first, it->second);
+        if (entries_.emplace(it->first, it->second).second)
+            index_add(it->first, it->second);
 }
 
 } // namespace dlt::ledger

@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -32,19 +33,18 @@ public:
     /// Total value across all unspent outputs.
     Amount total_value() const;
 
-    /// Spendable balance of one address (linear scan; fine at simulation scale).
+    /// Spendable balance of one address — O(1) via the address index.
     Amount balance_of(const crypto::Address& addr) const;
 
-    /// All outpoints owned by an address (wallet coin selection).
+    /// All outpoints owned by an address (wallet coin selection). O(coins of
+    /// that address) via the address index, not O(set size).
     std::vector<std::pair<OutPoint, TxOutput>> coins_of(const crypto::Address& addr) const;
 
     /// Full contents (snapshot serialization, bootstrap checkpoints).
     std::vector<std::pair<OutPoint, TxOutput>> export_all() const;
 
     /// Insert an entry directly (snapshot restore); overwrites silently.
-    void insert_raw(const OutPoint& op, const TxOutput& out) {
-        entries_[op] = out;
-    }
+    void insert_raw(const OutPoint& op, const TxOutput& out);
 
     /// Check a transaction against the set: inputs exist, no intra-tx double
     /// spends, value in >= value out. Returns the fee (inputs - outputs) on
@@ -72,7 +72,19 @@ private:
         }
     };
 
+    /// Per-address running balance + owned outpoints, kept in lockstep with
+    /// entries_ through every insertion and erasure (apply, undo, raw insert),
+    /// so reorgs keep the index exact.
+    struct AddressEntry {
+        Amount balance = 0;
+        std::unordered_set<OutPoint, OutPointHash> coins;
+    };
+
+    void index_add(const OutPoint& op, const TxOutput& out);
+    void index_remove(const OutPoint& op, const TxOutput& out);
+
     std::unordered_map<OutPoint, TxOutput, OutPointHash> entries_;
+    std::unordered_map<crypto::Address, AddressEntry> by_addr_;
 };
 
 } // namespace dlt::ledger

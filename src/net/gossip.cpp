@@ -11,13 +11,14 @@ namespace dlt::net {
 namespace {
 /// Frame: message id || payload. The id is carried explicitly so relays don't
 /// have to re-derive it from (topic, payload) and so distinct broadcasts of
-/// identical payloads stay distinguishable.
-Bytes frame_message(const Hash256& id, const Bytes& payload) {
+/// identical payloads stay distinguishable. Framed once per broadcast; every
+/// hop and delivery shares this one buffer.
+std::shared_ptr<const Bytes> frame_message(const Hash256& id, const Bytes& payload) {
     Bytes framed;
     framed.reserve(32 + payload.size());
     append(framed, id.view());
     append(framed, payload);
-    return framed;
+    return std::make_shared<const Bytes>(std::move(framed));
 }
 } // namespace
 
@@ -54,27 +55,26 @@ Hash256 GossipOverlay::broadcast(NodeId origin, const std::string& topic,
 }
 
 void GossipOverlay::on_delivery(NodeId at, const Delivery& d) {
-    if (d.payload.size() < 32) return; // malformed frame
-    const Hash256 id = Hash256::from_bytes(ByteView{d.payload.data(), 32});
+    if (d.payload().size() < 32) return; // malformed frame
+    const Hash256 id = Hash256::from_bytes(ByteView{d.payload().data(), 32});
     if (seen_[at].contains(id)) return;
-    accept(at, id, d.topic, d.payload);
+    accept(at, id, d.topic, d.body);
 }
 
 void GossipOverlay::accept(NodeId at, const Hash256& id, const std::string& topic,
-                           const Bytes& framed) {
+                           const std::shared_ptr<const Bytes>& framed) {
     seen_[at].insert(id);
 
     auto& rec = records_[id];
     ++rec.delivered;
     rec.arrival.emplace(at, network_->scheduler().now());
 
-    const Bytes payload(framed.begin() + 32, framed.end());
-    handler_(at, topic, payload);
+    handler_(at, topic, ByteView{*framed}.subspan(32)); // zero-copy payload view
     relay(at, at, topic, framed);
 }
 
 void GossipOverlay::relay(NodeId at, NodeId /*skip*/, const std::string& topic,
-                          const Bytes& framed) {
+                          const std::shared_ptr<const Bytes>& framed) {
     const auto& peers = network_->neighbors(at);
     if (peers.empty()) return;
     if (params_.fanout == 0 || params_.fanout >= peers.size()) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,8 +35,10 @@ struct PropagationRecord {
 /// invoked exactly once per (node, message).
 class GossipOverlay {
 public:
-    /// Handler(node, topic, payload) fires on first delivery at each node.
-    using Handler = std::function<void(NodeId, const std::string&, const Bytes&)>;
+    /// Handler(node, topic, payload) fires on first delivery at each node. The
+    /// payload view aliases the shared message frame — copy it if it must
+    /// outlive the callback.
+    using Handler = std::function<void(NodeId, const std::string&, ByteView)>;
 
     /// Precondition: `network` has no nodes yet.
     GossipOverlay(Network& network, std::size_t node_count, GossipParams params,
@@ -60,9 +63,10 @@ public:
 
 private:
     void on_delivery(NodeId at, const Delivery& d);
-    void relay(NodeId at, NodeId skip, const std::string& topic, const Bytes& framed);
+    void relay(NodeId at, NodeId skip, const std::string& topic,
+               const std::shared_ptr<const Bytes>& framed);
     void accept(NodeId at, const Hash256& id, const std::string& topic,
-                const Bytes& framed);
+                const std::shared_ptr<const Bytes>& framed);
 
     Network* network_;
     GossipParams params_;

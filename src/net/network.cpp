@@ -48,14 +48,21 @@ const LinkParams* Network::find_link(NodeId a, NodeId b) const {
 }
 
 void Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
+    send(from, to, std::move(topic),
+         std::make_shared<const Bytes>(std::move(payload)));
+}
+
+void Network::send(NodeId from, NodeId to, std::string topic,
+                   std::shared_ptr<const Bytes> payload) {
     DLT_EXPECTS(from < nodes_.size() && to < nodes_.size());
+    DLT_EXPECTS(payload != nullptr);
     const LinkParams* link = find_link(from, to);
     if (link == nullptr) throw ValidationError("send between unconnected nodes");
 
     ++stats_.messages_sent;
-    stats_.bytes_sent += payload.size();
+    stats_.bytes_sent += payload->size();
 
-    const SimDuration delay = link->sample_delay(payload.size(), rng_);
+    const SimDuration delay = link->sample_delay(payload->size(), rng_);
     scheduler_->schedule_after(
         delay, [this, from, to, topic = std::move(topic), payload = std::move(payload)] {
             NodeState& target = nodes_[to];
@@ -69,7 +76,8 @@ void Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
 
 void Network::send_to_neighbors(NodeId from, const std::string& topic,
                                 const Bytes& payload) {
-    for (const NodeId peer : neighbors(from)) send(from, peer, topic, payload);
+    const auto shared = std::make_shared<const Bytes>(payload);
+    for (const NodeId peer : neighbors(from)) send(from, peer, topic, shared);
 }
 
 void Network::set_crashed(NodeId n, bool crashed) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,11 +29,22 @@ struct LinkParams {
     SimDuration sample_delay(std::size_t message_bytes, Rng& rng) const;
 };
 
-/// A message as seen by a receiving node.
+/// A message as seen by a receiving node. The body is shared: a broadcast to N
+/// neighbors schedules N deliveries that all point at one buffer instead of
+/// copying the payload per hop (messages are immutable once sent).
 struct Delivery {
     NodeId from = 0;
     std::string topic;
-    Bytes payload;
+    std::shared_ptr<const Bytes> body;
+
+    Delivery(NodeId from_, std::string topic_, std::shared_ptr<const Bytes> body_)
+        : from(from_), topic(std::move(topic_)), body(std::move(body_)) {}
+    Delivery(NodeId from_, std::string topic_, Bytes payload_)
+        : from(from_),
+          topic(std::move(topic_)),
+          body(std::make_shared<const Bytes>(std::move(payload_))) {}
+
+    const Bytes& payload() const { return *body; }
 };
 
 /// Aggregate traffic counters (per network).
@@ -61,10 +73,14 @@ public:
 
     /// Send over an existing link; throws ValidationError when not connected.
     /// Delivery is scheduled on the link's latency/bandwidth model. A node whose
-    /// `crashed` flag is set silently drops inbound messages.
+    /// `crashed` flag is set silently drops inbound messages. The shared_ptr
+    /// overload lets fan-out callers frame a message once and share the buffer
+    /// across every recipient.
     void send(NodeId from, NodeId to, std::string topic, Bytes payload);
+    void send(NodeId from, NodeId to, std::string topic,
+              std::shared_ptr<const Bytes> payload);
 
-    /// Convenience: send to every neighbor.
+    /// Convenience: send to every neighbor (one shared buffer, zero copies).
     void send_to_neighbors(NodeId from, const std::string& topic, const Bytes& payload);
 
     /// Crash / recover a node (fail-stop model for PBFT fault experiments).

@@ -8,24 +8,34 @@ EventId Scheduler::schedule_at(SimTime t, std::function<void()> fn) {
     DLT_EXPECTS(t >= now_);
     DLT_EXPECTS(fn != nullptr);
     const EventId id = next_id_++;
-    queue_.push(Entry{t, next_seq_++, id});
-    handlers_.emplace(id, std::move(fn));
+    queue_.push(Entry{t, id});
+    slots_.push_back(Slot{std::move(fn)});
+    ++live_;
     return id;
 }
 
-bool Scheduler::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Scheduler::cancel(EventId id) {
+    Slot* slot = slot_of(id);
+    if (slot == nullptr || slot->fn == nullptr) return false;
+    slot->fn = nullptr; // tombstone; the heap entry is skipped when popped
+    --live_;
+    trim_front();
+    return true;
+}
 
 bool Scheduler::step() {
     while (!queue_.empty()) {
         const Entry entry = queue_.top();
         queue_.pop();
-        const auto it = handlers_.find(entry.id);
-        if (it == handlers_.end()) continue; // cancelled
+        Slot* slot = slot_of(entry.id);
+        if (slot == nullptr || slot->fn == nullptr) continue; // cancelled
         now_ = entry.time;
-        // Move the handler out before invoking: it may schedule or cancel events,
-        // invalidating iterators.
-        std::function<void()> fn = std::move(it->second);
-        handlers_.erase(it);
+        // Move the handler out before invoking: it may schedule or cancel
+        // events, growing or trimming the slot window.
+        std::function<void()> fn = std::move(slot->fn);
+        slot->fn = nullptr;
+        --live_;
+        trim_front();
         ++processed_;
         fn();
         return true;
@@ -37,12 +47,13 @@ std::size_t Scheduler::run_until(SimTime t) {
     std::size_t count = 0;
     while (!queue_.empty()) {
         // Skip over cancelled entries to find the true next event time.
-        const auto it = handlers_.find(queue_.top().id);
-        if (it == handlers_.end()) {
+        const Entry& top = queue_.top();
+        Slot* slot = slot_of(top.id);
+        if (slot == nullptr || slot->fn == nullptr) {
             queue_.pop();
             continue;
         }
-        if (queue_.top().time > t) break;
+        if (top.time > t) break;
         step();
         ++count;
     }

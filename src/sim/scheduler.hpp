@@ -1,14 +1,14 @@
 // Discrete-event scheduler: the heart of the simulation substrate (see DESIGN.md
-// substitutions). Events are (time, sequence) ordered for full determinism;
-// handlers may schedule further events. Virtual time is decoupled from wall
-// clock, so simulating a day of a 10-minute-block network takes milliseconds.
+// substitutions). Events are (time, id) ordered for full determinism; handlers
+// may schedule further events. Virtual time is decoupled from wall clock, so
+// simulating a day of a 10-minute-block network takes milliseconds.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -18,6 +18,12 @@ namespace dlt::sim {
 /// Token identifying a scheduled event; usable to cancel timers.
 using EventId = std::uint64_t;
 
+/// Event ids are issued monotonically, so the id doubles as the FIFO tie-break
+/// within a timestamp, and handlers live in a contiguous sliding window indexed
+/// by id instead of a hash map: scheduling is a heap push + deque append, and
+/// cancellation just nulls the handler slot (a tombstone the heap pop skips).
+/// This removes the per-event hash insert/find/erase of the old
+/// unordered_map-based design from the hottest loop in the simulator.
 class Scheduler {
 public:
     Scheduler() = default;
@@ -46,28 +52,48 @@ public:
     /// Run until the queue is empty or `max_events` have fired.
     std::size_t run(std::size_t max_events = std::numeric_limits<std::size_t>::max());
 
-    bool idle() const { return handlers_.empty(); }
-    std::size_t pending() const { return handlers_.size(); }
+    bool idle() const { return live_ == 0; }
+    std::size_t pending() const { return live_; }
     std::uint64_t events_processed() const { return processed_; }
 
 private:
     struct Entry {
         SimTime time;
-        std::uint64_t seq;
-        EventId id;
+        EventId id; // monotonic: orders FIFO within equal times
 
         bool operator>(const Entry& other) const {
             if (time != other.time) return time > other.time;
-            return seq > other.seq;
+            return id > other.id;
         }
     };
 
+    /// Handler for the event with id base_id_ + index; empty when the event
+    /// already fired or was cancelled (tombstone).
+    struct Slot {
+        std::function<void()> fn;
+    };
+
+    /// Slot for `id`, or nullptr when outside the live window.
+    Slot* slot_of(EventId id) {
+        if (id < base_id_ || id >= next_id_) return nullptr;
+        return &slots_[static_cast<std::size_t>(id - base_id_)];
+    }
+
+    /// Drop consumed slots from the front of the window.
+    void trim_front() {
+        while (!slots_.empty() && slots_.front().fn == nullptr) {
+            slots_.pop_front();
+            ++base_id_;
+        }
+    }
+
     SimTime now_ = kSimStart;
-    std::uint64_t next_seq_ = 0;
     EventId next_id_ = 1;
+    EventId base_id_ = 1; // id of slots_.front()
+    std::size_t live_ = 0;
     std::uint64_t processed_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    std::unordered_map<EventId, std::function<void()>> handlers_;
+    std::deque<Slot> slots_;
 };
 
 } // namespace dlt::sim

@@ -11,6 +11,7 @@
 #include "crypto/ripemd160.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sigcache.hpp"
 #include "crypto/uint256.hpp"
 
 namespace {
@@ -382,6 +383,159 @@ TEST(Keys, FromSeedIsStable) {
 TEST(Keys, RejectsOutOfRangeSecret) {
     EXPECT_THROW(PrivateKey(U256::zero()), CryptoError);
     EXPECT_THROW(PrivateKey(ec::group_order()), CryptoError);
+}
+
+// --- Scalar multiplication cross-checks (wNAF / fixed-base comb) --------------------
+
+// Textbook double-and-add over the public affine API, as an independent oracle
+// for the wNAF and comb-table fast paths.
+ec::Point ref_multiply(U256 k, ec::Point p) {
+    ec::Point acc; // infinity
+    while (!k.is_zero()) {
+        if (k.bit(0)) acc = ec::add(acc, p);
+        p = ec::add(p, p);
+        k = k >> 1;
+    }
+    return acc;
+}
+
+TEST(Secp256k1, MultiplyMatchesRepeatedAddition) {
+    // Q != G so multiply() takes the generic wNAF path, not the comb table.
+    const ec::Point q = ec::add(ec::generator(), ec::generator());
+    ec::Point acc; // infinity
+    for (std::uint64_t k = 1; k <= 40; ++k) {
+        acc = ec::add(acc, q);
+        EXPECT_EQ(ec::multiply(U256(k), q), acc) << "k=" << k;
+    }
+}
+
+TEST(Secp256k1, FixedBaseMatchesDoubleAndAdd) {
+    for (const char* seed : {"comb-a", "comb-b", "comb-c"}) {
+        const U256 k = ec::sc_reduce(U256::from_hash(sha256(to_bytes(seed))));
+        EXPECT_EQ(ec::multiply(k, ec::generator()),
+                  ref_multiply(k, ec::generator()))
+            << seed;
+    }
+}
+
+TEST(Secp256k1, WnafMatchesDoubleAndAddOnRandomScalars) {
+    const ec::Point q = ec::multiply(U256(7), ec::generator());
+    for (const char* seed : {"wnaf-a", "wnaf-b", "wnaf-c"}) {
+        const U256 k = ec::sc_reduce(U256::from_hash(sha256(to_bytes(seed))));
+        EXPECT_EQ(ec::multiply(k, q), ref_multiply(k, q)) << seed;
+    }
+}
+
+TEST(Secp256k1, OrderMinusOneNegates) {
+    // n-1 is all-high nibbles in wNAF terms: exercises negative digits and the
+    // full depth of the comb table.
+    const U256 n_minus_1 = ec::group_order() - U256::one();
+    EXPECT_EQ(ec::multiply(n_minus_1, ec::generator()),
+              ec::negate(ec::generator()));
+    const ec::Point q = ec::multiply(U256(5), ec::generator());
+    EXPECT_EQ(ec::multiply(n_minus_1, q), ec::negate(q));
+}
+
+TEST(Secp256k1, DoubleMultiplyMatchesSeparateMultiplies) {
+    const ec::Point q = ec::multiply(U256(11), ec::generator());
+    const U256 u1 = ec::sc_reduce(U256::from_hash(sha256(to_bytes("dm-u1"))));
+    const U256 u2 = ec::sc_reduce(U256::from_hash(sha256(to_bytes("dm-u2"))));
+    EXPECT_EQ(ec::double_multiply(u1, u2, q),
+              ec::add(ec::multiply(u1, ec::generator()), ec::multiply(u2, q)));
+}
+
+// --- Signature cache ----------------------------------------------------------------
+
+Hash256 cache_key_for(unsigned i) {
+    return sha256(to_bytes("sigcache-key-" + std::to_string(i)));
+}
+
+TEST(SigCache, LookupMissThenHit) {
+    SigCache cache(8);
+    const Hash256 key = cache_key_for(0);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, true);
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(*hit);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(SigCache, StoresNegativeOutcomes) {
+    SigCache cache(8);
+    const Hash256 key = cache_key_for(1);
+    cache.insert(key, false);
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(*hit);
+}
+
+TEST(SigCache, DuplicateInsertIsIgnored) {
+    SigCache cache(8);
+    const Hash256 key = cache_key_for(2);
+    cache.insert(key, true);
+    cache.insert(key, true);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(SigCache, EvictsOldestInsertionFirst) {
+    SigCache cache(3);
+    for (unsigned i = 0; i < 3; ++i) cache.insert(cache_key_for(i), true);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // A fourth insertion evicts key 0 (the oldest), keeping size at capacity.
+    cache.insert(cache_key_for(3), true);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.lookup(cache_key_for(0)).has_value());
+    EXPECT_TRUE(cache.lookup(cache_key_for(1)).has_value());
+    EXPECT_TRUE(cache.lookup(cache_key_for(2)).has_value());
+    EXPECT_TRUE(cache.lookup(cache_key_for(3)).has_value());
+
+    // The next eviction takes key 1: FIFO order survives the ring wrap.
+    cache.insert(cache_key_for(4), true);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_FALSE(cache.lookup(cache_key_for(1)).has_value());
+    EXPECT_TRUE(cache.lookup(cache_key_for(4)).has_value());
+}
+
+TEST(SigCache, CachedVerifyMatchesDirectVerify) {
+    SigCache& cache = SigCache::global();
+    cache.clear();
+    cache.reset_stats();
+
+    const PrivateKey priv = PrivateKey::from_seed("sigcache-verify");
+    const Hash256 msg = sha256(to_bytes("cached message"));
+    const Bytes pubkey = priv.public_key().encode();
+    const Bytes sig = priv.sign(msg).encode();
+
+    EXPECT_TRUE(verify_signature_cached(pubkey, msg, sig));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_TRUE(verify_signature_cached(pubkey, msg, sig)); // second call hits
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // A wrong message is rejected, and the rejection is cached too.
+    const Hash256 other = sha256(to_bytes("some other message"));
+    EXPECT_FALSE(verify_signature_cached(pubkey, other, sig));
+    EXPECT_FALSE(verify_signature_cached(pubkey, other, sig));
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(SigCache, MalformedInputsVerifyFalseWithoutThrowing) {
+    SigCache& cache = SigCache::global();
+    cache.clear();
+    cache.reset_stats();
+
+    const Hash256 msg = sha256(to_bytes("garbage"));
+    const Bytes bad_pubkey(33, 0xAB); // 0xAB is not a valid SEC1 prefix
+    const Bytes bad_sig(64, 0x00);
+    EXPECT_FALSE(verify_signature_cached(bad_pubkey, msg, bad_sig));
+    EXPECT_FALSE(verify_signature_cached(bad_pubkey, msg, bad_sig));
+    EXPECT_EQ(cache.stats().hits, 1u); // the negative outcome was cached
 }
 
 } // namespace

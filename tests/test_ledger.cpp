@@ -3,6 +3,9 @@
 // (longest-chain and GHOST selection), mempool policy, and block validation.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "crypto/keys.hpp"
@@ -51,14 +54,17 @@ TEST(Transaction, SighashExcludesSignatureButCoversPubkey) {
     tx.sign_with(kAlice);
     const Hash256 signed_hash = tx.sighash();
 
-    // Stripping signatures leaves the sighash unchanged...
+    // Stripping signatures leaves the sighash unchanged... (direct field
+    // mutation requires dropping the hash caches, per the documented contract)
     Transaction stripped = tx;
     for (auto& in : stripped.inputs) in.signature.clear();
+    stripped.invalidate_txid_cache();
     EXPECT_EQ(stripped.sighash(), signed_hash);
 
     // ...but the pubkey is committed (swapping it changes the message).
     Transaction swapped = tx;
     swapped.inputs[0].pubkey = kBob.public_key().encode();
+    swapped.invalidate_txid_cache();
     EXPECT_NE(swapped.sighash(), signed_hash);
 }
 
@@ -69,6 +75,7 @@ TEST(Transaction, SignVerify) {
     tx.sign_with(kAlice);
     EXPECT_TRUE(tx.verify_signatures());
     tx.outputs[0].value += 1; // tamper after signing
+    tx.invalidate_txid_cache();
     EXPECT_FALSE(tx.verify_signatures());
 }
 
@@ -77,6 +84,7 @@ TEST(Transaction, AccountFamilySignVerify) {
     tx.sign_with(kAlice);
     EXPECT_TRUE(tx.verify_signatures());
     tx.nonce = 8;
+    tx.invalidate_txid_cache();
     EXPECT_FALSE(tx.verify_signatures());
 }
 
@@ -97,7 +105,26 @@ TEST(Block, HeaderHashChangesWithNonce) {
     BlockHeader h;
     const Hash256 before = h.hash();
     h.nonce = 1;
+    h.invalidate_hash_cache(); // direct mutation after hash(): documented contract
     EXPECT_NE(h.hash(), before);
+}
+
+TEST(Block, HeaderHashCacheInvalidation) {
+    // The cache must survive copies and be dropped on invalidate.
+    BlockHeader h;
+    h.bits = 0x207fffff;
+    const Hash256 original = h.hash();
+    BlockHeader copy = h; // copies the cached hash
+    EXPECT_EQ(copy.hash(), original);
+    copy.nonce = 99;
+    copy.invalidate_hash_cache();
+    EXPECT_NE(copy.hash(), original);
+    EXPECT_EQ(h.hash(), original); // the source header is untouched
+    // Equality ignores the cache: a never-hashed header with equal fields
+    // compares equal to a hashed one.
+    BlockHeader fresh;
+    fresh.bits = 0x207fffff;
+    EXPECT_EQ(fresh, h);
 }
 
 TEST(Block, SerializationRoundTrip) {
@@ -297,6 +324,78 @@ TEST(Utxo, IntraBlockChainingWorks) {
     b.txs = {t1, t2};
     utxo.apply_block(b);
     EXPECT_EQ(utxo.balance_of(kBob.address()), coins[0].second.value);
+}
+
+// Recompute every address's balance and coin set from a full export_all() scan
+// and compare against the indexed accessors. Guards the address index through
+// apply/undo cycles.
+void expect_address_index_matches_scan(const UtxoSet& utxo,
+                                       const std::vector<crypto::Address>& addrs) {
+    std::map<crypto::Address, Amount> balances;
+    std::map<crypto::Address, std::set<std::pair<Hash256, std::uint32_t>>> coins;
+    for (const auto& [op, out] : utxo.export_all()) {
+        balances[out.recipient] += out.value;
+        coins[out.recipient].insert({op.txid, op.index});
+    }
+    for (const auto& addr : addrs) {
+        EXPECT_EQ(utxo.balance_of(addr), balances[addr]) << addr.hex();
+        std::set<std::pair<Hash256, std::uint32_t>> indexed;
+        for (const auto& [op, out] : utxo.coins_of(addr)) {
+            EXPECT_EQ(out.recipient, addr);
+            indexed.insert({op.txid, op.index});
+        }
+        EXPECT_EQ(indexed, coins[addr]) << addr.hex();
+    }
+}
+
+TEST(Utxo, AddressIndexConsistentAcrossReorg) {
+    UtxoSet utxo;
+    const std::vector<crypto::Address> addrs = {
+        kMiner.address(), kAlice.address(), kBob.address(),
+        PrivateKey::from_seed("never-funded").address()};
+
+    const Block genesis = make_genesis("utxo-test", easy_bits(2));
+    const Block b1 = chain_block(genesis, {});
+    utxo.apply_block(b1);
+    expect_address_index_matches_scan(utxo, addrs);
+
+    // b2 splits the miner's coinbase between Alice and Bob.
+    const auto miner_coins = utxo.coins_of(kMiner.address());
+    ASSERT_EQ(miner_coins.size(), 1u);
+    const Amount half = miner_coins[0].second.value / 2;
+    Transaction split = make_transfer({miner_coins[0].first},
+                                      {TxOutput{half, kAlice.address()},
+                                       TxOutput{half, kBob.address()}});
+    const Block b2 = chain_block(b1, {split});
+    const UtxoUndo undo2 = utxo.apply_block(b2);
+    expect_address_index_matches_scan(utxo, addrs);
+
+    // b3 moves Alice's coin on to Bob.
+    const auto alice_coins = utxo.coins_of(kAlice.address());
+    ASSERT_EQ(alice_coins.size(), 1u);
+    Transaction sweep = make_transfer({alice_coins[0].first},
+                                      {TxOutput{half, kBob.address()}});
+    const Block b3 = chain_block(b2, {sweep});
+    const UtxoUndo undo3 = utxo.apply_block(b3);
+    expect_address_index_matches_scan(utxo, addrs);
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), 0);
+    EXPECT_EQ(utxo.balance_of(kBob.address()), 2 * half);
+
+    // Reorg: roll back b3 then b2; the index must follow exactly.
+    utxo.undo_block(undo3);
+    expect_address_index_matches_scan(utxo, addrs);
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), half);
+
+    utxo.undo_block(undo2);
+    expect_address_index_matches_scan(utxo, addrs);
+    EXPECT_EQ(utxo.balance_of(kAlice.address()), 0);
+    EXPECT_EQ(utxo.balance_of(kBob.address()), 0);
+    EXPECT_EQ(utxo.balance_of(kMiner.address()), miner_coins[0].second.value);
+
+    // Re-apply the branch: apply after undo is a clean round trip.
+    utxo.apply_block(b2);
+    expect_address_index_matches_scan(utxo, addrs);
+    EXPECT_EQ(utxo.balance_of(kBob.address()), half);
 }
 
 // --- ChainStore -----------------------------------------------------------------------

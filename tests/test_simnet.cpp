@@ -225,7 +225,7 @@ struct GossipHarness {
         : net(sched, Rng(seed)), deliveries(n, 0) {
         overlay = std::make_unique<GossipOverlay>(
             net, n, params,
-            [this](NodeId node, const std::string&, const Bytes&) {
+            [this](NodeId node, const std::string&, ByteView) {
                 ++deliveries[node];
             });
     }

@@ -78,7 +78,7 @@ TEST_P(GossipSweep, DedupHoldsAtEveryFanout) {
     params.fanout = fanout;
     net::GossipOverlay overlay(network, 40, params,
                                [&](net::NodeId node, const std::string&,
-                                   const Bytes&) { ++deliveries[node]; });
+                                   ByteView) { ++deliveries[node]; });
     network.build_unstructured_overlay(6);
 
     overlay.broadcast(0, "b", to_bytes("payload"));
