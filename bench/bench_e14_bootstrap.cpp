@@ -1,10 +1,13 @@
 // E14 — §5.4 (bootstrap): joining peers should not need the full chain.
 // Compares full initial block download vs checkpoint sync (headers + UTXO
 // snapshot + recent blocks) across chain lengths.
+#include <filesystem>
+
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "consensus/nakamoto.hpp"
 #include "scaling/bootstrap.hpp"
+#include "storage/snapshot.hpp"
 
 using namespace dlt;
 using namespace dlt::scaling;
@@ -52,6 +55,29 @@ int main() {
 
         const BootstrapCost full = full_sync_cost(chain, tip);
         const BootstrapCost fast = checkpoint_sync_cost(chain, tip, cp);
+
+        // Persistency integration (E21): round-trip the checkpoint through an
+        // on-disk snapshot; serving it from disk must cost exactly the same.
+        {
+            const auto snap_dir = std::filesystem::temp_directory_path() /
+                                  ("dlt-bench-e14-" + std::to_string(target_blocks));
+            std::filesystem::remove_all(snap_dir);
+            storage::SnapshotManager snapshots(snap_dir);
+            storage::Snapshot snap;
+            snap.height = cp.height;
+            snap.block_hash = cp.block_hash;
+            snap.digest = cp.snapshot_digest;
+            snap.utxo_snapshot = cp.utxo_snapshot;
+            snapshots.save(snap);
+            const Checkpoint from_disk = snapshots.load_latest()->to_checkpoint();
+            const BootstrapCost disk_cost = checkpoint_sync_cost(chain, tip, from_disk);
+            if (disk_cost.bytes_downloaded != fast.bytes_downloaded ||
+                disk_cost.blocks_processed != fast.blocks_processed ||
+                disk_cost.headers_processed != fast.headers_processed)
+                std::printf("!! disk-snapshot checkpoint cost diverges at %d blocks\n",
+                            target_blocks);
+            std::filesystem::remove_all(snap_dir);
+        }
 
         table.row({bench::fmt_int(path.size()),
                    bench::fmt_int(full.bytes_downloaded),

@@ -37,4 +37,10 @@ public:
     using Error::Error;
 };
 
+/// Durable-storage failure (I/O error, unreadable record, inconsistent journal).
+class StorageError : public Error {
+public:
+    using Error::Error;
+};
+
 } // namespace dlt

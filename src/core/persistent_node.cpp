@@ -1,0 +1,178 @@
+#include "core/persistent_node.hpp"
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+#include "crypto/uint256.hpp"
+
+namespace dlt::core {
+
+namespace {
+constexpr std::uint8_t kWalConnect = 1;
+constexpr std::uint8_t kWalDisconnect = 2;
+} // namespace
+
+PersistentNode::PersistentNode(std::filesystem::path dir, const ledger::Block& genesis,
+                               PersistentNodeOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      genesis_(genesis),
+      snapshots_(dir_ / "snapshots"),
+      chain_(genesis),
+      tip_(genesis.hash()) {
+    std::filesystem::create_directories(dir_);
+
+    storage::BlockStoreOptions store_options;
+    store_options.cache_capacity = options_.block_cache_capacity;
+    store_options.injector = options_.injector;
+    store_options.fsync = options_.fsync;
+    store_ = std::make_unique<storage::BlockStore>(dir_, store_options);
+
+    storage::WalOptions wal_options;
+    wal_options.injector = options_.injector;
+    wal_options.fsync = options_.fsync;
+    wal_ = std::make_unique<storage::Wal>(dir_ / "wal.log", wal_options);
+
+    recovery_.wal_bytes_truncated = wal_->open_stats().truncated_bytes;
+    recovery_.store_bytes_truncated = store_->stats().truncated_bytes;
+
+    // Rebuild the chain index from the durable block files (height order, so
+    // parents precede children). Blocks whose parent never became durable are
+    // unreachable and skipped.
+    for (const auto& [hash, height] : store_->all_blocks()) {
+        const auto block = store_->read_block(hash);
+        try {
+            chain_.insert(*block, crypto::U256::one());
+        } catch (const ValidationError&) {
+            DLT_LOG(kWarn, "storage")
+                << "skipping orphan block " << hash.hex() << " at height " << height;
+        }
+    }
+
+    // Base state: newest valid snapshot, else genesis.
+    std::uint64_t base_seq = 0;
+    if (const auto snap = snapshots_.load_latest()) {
+        if (!chain_.contains(snap->block_hash))
+            throw StorageError("snapshot references a block missing from the store");
+        utxo_ = scaling::deserialize_utxo(ByteView(snap->utxo_snapshot));
+        tip_ = snap->block_hash;
+        height_ = snap->height;
+        base_seq = snap->wal_seq;
+        recovery_.from_snapshot = true;
+        recovery_.snapshot_height = snap->height;
+    } else {
+        utxo_ = ledger::UtxoSet();
+        // Genesis transactions (if any) seed the initial coin supply.
+        utxo_.apply_block(genesis_);
+    }
+    // After a snapshot + WAL reset + restart the log is empty and would hand
+    // out sequence numbers the snapshot already claims to cover — push the
+    // counter past the snapshot so new records always replay.
+    wal_->ensure_next_seq_at_least(base_seq + 1);
+
+    // Replay the committed journal suffix on top of the base state.
+    for (const auto& rec : wal_->records()) {
+        if (rec.seq <= base_seq) continue;
+        Reader r(ByteView(rec.payload));
+        const Hash256 hash = r.fixed<32>();
+        r.expect_done();
+        if (rec.type == kWalConnect) {
+            const auto block = store_->read_block(hash);
+            if (!block) {
+                // The journal committed but the block payload is gone — only
+                // possible under external corruption. Stop at the last state
+                // we can prove consistent.
+                DLT_LOG(kWarn, "storage") << "WAL references missing block "
+                                          << hash.hex() << "; stopping replay";
+                break;
+            }
+            if (block->header.prev_hash != tip_)
+                throw StorageError("WAL connect does not extend the recovered tip");
+            utxo_.apply_block(*block);
+            tip_ = hash;
+            height_ += 1;
+        } else if (rec.type == kWalDisconnect) {
+            if (hash != tip_)
+                throw StorageError("WAL disconnect does not match the recovered tip");
+            utxo_.undo_block(store_->read_undo(hash));
+            const auto* entry = chain_.find(hash);
+            tip_ = entry->block.header.prev_hash;
+            height_ -= 1;
+        } else {
+            throw StorageError("unknown WAL record type " + std::to_string(rec.type));
+        }
+        ++recovery_.wal_records_replayed;
+    }
+}
+
+void PersistentNode::fail_if_crashed() const {
+    if (crashed_)
+        throw storage::CrashError("node crashed; reopen the directory to recover");
+}
+
+void PersistentNode::connect_block(const ledger::Block& block) {
+    fail_if_crashed();
+    if (block.header.prev_hash != tip_)
+        throw ValidationError("connect_block: block does not extend the current tip");
+
+    // Validate + apply in memory first (throws without side effects), then
+    // make it durable: block + undo, then the WAL commit record. A crash
+    // between the two leaves an uncommitted block the next open ignores.
+    ledger::UtxoUndo undo = utxo_.apply_block(block);
+    const Hash256 hash = block.hash();
+    try {
+        store_->append(block, undo);
+        Writer w;
+        w.fixed(hash);
+        wal_->append(kWalConnect, w.data());
+    } catch (const storage::CrashError&) {
+        crashed_ = true;
+        throw;
+    } catch (...) {
+        utxo_.undo_block(undo); // real I/O error: keep the node usable
+        throw;
+    }
+    chain_.insert(block, crypto::U256::one());
+    tip_ = hash;
+    height_ += 1;
+}
+
+void PersistentNode::disconnect_tip() {
+    fail_if_crashed();
+    if (tip_ == chain_.genesis_hash())
+        throw StorageError("cannot disconnect the genesis block");
+
+    const ledger::UtxoUndo undo = store_->read_undo(tip_);
+    const Hash256 old_tip = tip_;
+    try {
+        Writer w;
+        w.fixed(old_tip);
+        wal_->append(kWalDisconnect, w.data());
+    } catch (const storage::CrashError&) {
+        crashed_ = true;
+        throw;
+    }
+    utxo_.undo_block(undo);
+    const auto* entry = chain_.find(old_tip);
+    tip_ = entry->block.header.prev_hash;
+    height_ -= 1;
+}
+
+std::filesystem::path PersistentNode::snapshot() {
+    fail_if_crashed();
+    const storage::Snapshot snap =
+        storage::SnapshotManager::make(utxo_, height_, tip_, wal_->last_seq());
+    const auto path = snapshots_.save(snap);
+    // The snapshot now covers every journaled transition; the WAL can restart
+    // empty. A crash between save and reset is safe: replay skips records
+    // with seq <= the snapshot's wal_seq.
+    wal_->reset();
+    snapshots_.prune(options_.snapshots_to_keep);
+    return path;
+}
+
+scaling::Checkpoint PersistentNode::checkpoint() const {
+    return storage::SnapshotManager::make(utxo_, height_, tip_, wal_->last_seq())
+        .to_checkpoint();
+}
+
+} // namespace dlt::core

@@ -1,0 +1,97 @@
+// PersistentNode: a node whose chain state survives crashes (paper §3.1
+// "Dependable" + §5.4 bootstrap). All state transitions — block connects and
+// disconnects — are journaled write-ahead: block + undo data go to the
+// BlockStore, then a WAL record commits the transition, then memory is
+// updated. Recovery on open is: load the newest valid snapshot (or genesis),
+// rebuild the block index, and replay the committed WAL suffix, so a process
+// killed at *any* write offset (see storage::CrashInjector) reopens to the
+// exact state of its last committed transition.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "ledger/block.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/utxo.hpp"
+#include "scaling/bootstrap.hpp"
+#include "storage/blockstore.hpp"
+#include "storage/snapshot.hpp"
+#include "storage/wal.hpp"
+
+namespace dlt::core {
+
+struct PersistentNodeOptions {
+    std::size_t block_cache_capacity = 64;
+    storage::FsyncMode fsync = storage::FsyncMode::kAlways;
+    /// Fault hook shared by the WAL and block store write paths; tests arm it
+    /// to kill the node after N bytes and prove recovery.
+    storage::CrashInjector* injector = nullptr;
+    /// Snapshots to keep on disk when snapshot() prunes old ones.
+    std::size_t snapshots_to_keep = 2;
+};
+
+class PersistentNode {
+public:
+    struct RecoveryStats {
+        bool from_snapshot = false;
+        std::uint64_t snapshot_height = 0;
+        std::uint64_t wal_records_replayed = 0;
+        std::uint64_t wal_bytes_truncated = 0;   // torn tail repaired
+        std::uint64_t store_bytes_truncated = 0; // torn block/undo tails
+    };
+
+    /// Open (or create) the node's durable state under `dir`. `genesis` must
+    /// be the same block across restarts (it anchors the chain index).
+    PersistentNode(std::filesystem::path dir, const ledger::Block& genesis,
+                   PersistentNodeOptions options = {});
+
+    /// Validate `block` against the current tip state, persist it (block +
+    /// undo + WAL commit), and advance the tip. The block's parent must be the
+    /// current tip. Throws ValidationError on invalid blocks (nothing is
+    /// persisted), CrashError when the injector trips (the node is dead
+    /// afterwards; reopen to recover).
+    void connect_block(const ledger::Block& block);
+
+    /// Roll the tip back one block using its durable undo record (reorg
+    /// support). Works across restarts and below snapshot heights, down to
+    /// genesis.
+    void disconnect_tip();
+
+    /// Write an atomic state snapshot at the current tip and reset the WAL
+    /// (its records are now folded into the snapshot). Returns the snapshot
+    /// path. Old snapshots beyond `snapshots_to_keep` are pruned.
+    std::filesystem::path snapshot();
+
+    /// Bootstrap-compatible checkpoint of the current in-memory state.
+    scaling::Checkpoint checkpoint() const;
+
+    const Hash256& tip() const { return tip_; }
+    std::uint64_t height() const { return height_; }
+    const ledger::UtxoSet& utxo() const { return utxo_; }
+    const ledger::ChainStore& chain() const { return chain_; }
+    const RecoveryStats& recovery() const { return recovery_; }
+    storage::BlockStore& block_store() { return *store_; }
+
+private:
+    void replay_wal();
+    void fail_if_crashed() const;
+
+    std::filesystem::path dir_;
+    PersistentNodeOptions options_;
+    ledger::Block genesis_;
+
+    std::unique_ptr<storage::BlockStore> store_;
+    std::unique_ptr<storage::Wal> wal_;
+    storage::SnapshotManager snapshots_;
+
+    ledger::ChainStore chain_;
+    ledger::UtxoSet utxo_;
+    Hash256 tip_;
+    std::uint64_t height_ = 0;
+    RecoveryStats recovery_;
+    bool crashed_ = false; // a CrashError fired; node must be reopened
+};
+
+} // namespace dlt::core

@@ -73,6 +73,7 @@ void Sha256::compress(const std::uint8_t* block) {
 }
 
 Sha256& Sha256::update(ByteView data) {
+    if (data.empty()) return *this; // empty views may carry a null data()
     total_len_ += data.size();
     std::size_t offset = 0;
 

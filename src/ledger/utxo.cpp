@@ -1,9 +1,70 @@
 #include "ledger/utxo.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/error.hpp"
 
 namespace dlt::ledger {
+
+namespace {
+// Serialized footprint of one entry: OutPoint (32-byte txid + u32 index) plus
+// TxOutput (i64 value + 20-byte address). Used to bound decoded element counts
+// against the bytes actually present.
+constexpr std::size_t kOutPointBytes = 36;
+constexpr std::size_t kEntryBytes = kOutPointBytes + 28;
+} // namespace
+
+void UtxoUndo::encode(Writer& w) const {
+    w.varint(spent.size());
+    for (const auto& [op, out] : spent) {
+        op.encode(w);
+        out.encode(w);
+    }
+    w.varint(created.size());
+    for (const auto& op : created) op.encode(w);
+}
+
+UtxoUndo UtxoUndo::decode(Reader& r) {
+    UtxoUndo undo;
+    const std::uint64_t spent_count = r.varint_count(kEntryBytes);
+    undo.spent.reserve(spent_count);
+    for (std::uint64_t i = 0; i < spent_count; ++i) {
+        const auto op = OutPoint::decode(r);
+        const auto out = TxOutput::decode(r);
+        undo.spent.emplace_back(op, out);
+    }
+    const std::uint64_t created_count = r.varint_count(kOutPointBytes);
+    undo.created.reserve(created_count);
+    for (std::uint64_t i = 0; i < created_count; ++i)
+        undo.created.push_back(OutPoint::decode(r));
+    return undo;
+}
+
+void UtxoSet::encode(Writer& w) const {
+    auto entries = export_all();
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.varint(entries.size());
+    for (const auto& [op, out] : entries) {
+        op.encode(w);
+        out.encode(w);
+    }
+}
+
+UtxoSet UtxoSet::decode(Reader& r) {
+    const std::uint64_t count = r.varint_count(kEntryBytes);
+    UtxoSet utxo;
+    utxo.entries_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto op = OutPoint::decode(r);
+        const auto out = TxOutput::decode(r);
+        if (!money_range(out.value))
+            throw DecodeError("utxo snapshot entry value out of range");
+        utxo.insert_raw(op, out);
+    }
+    return utxo;
+}
 
 std::optional<TxOutput> UtxoSet::lookup(const OutPoint& op) const {
     const auto it = entries_.find(op);

@@ -20,6 +20,13 @@ struct UtxoUndo {
     std::vector<std::pair<OutPoint, TxOutput>> spent;
     /// Outpoints created by the block.
     std::vector<OutPoint> created;
+
+    friend bool operator==(const UtxoUndo&, const UtxoUndo&) = default;
+
+    /// Serialization for the storage layer's per-block undo records, so a
+    /// restarted node can disconnect blocks it connected in a previous life.
+    void encode(Writer& w) const;
+    static UtxoUndo decode(Reader& r);
 };
 
 class UtxoSet {
@@ -42,6 +49,15 @@ public:
 
     /// Full contents (snapshot serialization, bootstrap checkpoints).
     std::vector<std::pair<OutPoint, TxOutput>> export_all() const;
+
+    /// Canonical snapshot serialization: entries sorted by outpoint, so equal
+    /// sets always produce byte-identical (and therefore digest-identical)
+    /// snapshots regardless of hash-map iteration order.
+    void encode(Writer& w) const;
+
+    /// Rebuild a set from its snapshot serialization. Rejects truncated or
+    /// corrupt input with DecodeError before any large allocation.
+    static UtxoSet decode(Reader& r);
 
     /// Insert an entry directly (snapshot restore); overwrites silently.
     void insert_raw(const OutPoint& op, const TxOutput& out);

@@ -8,35 +8,28 @@
 namespace dlt::scaling {
 
 Bytes serialize_utxo(const ledger::UtxoSet& utxo) {
-    // Deterministic order: collect and sort by outpoint.
-    std::vector<std::pair<ledger::OutPoint, ledger::TxOutput>> entries;
-    // UtxoSet has no iterator; rebuild via coins_of is per-address. Add a
-    // serialization-friendly export: total_value()/size() exist, so walk via
-    // the public snapshot API below.
-    entries = utxo.export_all();
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-
-    Writer w;
-    w.varint(entries.size());
-    for (const auto& [op, out] : entries) {
-        op.encode(w);
-        out.encode(w);
-    }
-    return std::move(w).take();
+    // Canonical sorted encoding lives on UtxoSet itself (the storage layer's
+    // snapshot manager shares it); this wrapper keeps the historical API.
+    return encode_to_bytes(utxo);
 }
 
 ledger::UtxoSet deserialize_utxo(ByteView raw) {
     Reader r(raw);
-    const std::uint64_t count = r.varint();
     ledger::UtxoSet utxo;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const auto op = ledger::OutPoint::decode(r);
-        const auto out = ledger::TxOutput::decode(r);
-        utxo.insert_raw(op, out);
+    try {
+        utxo = ledger::UtxoSet::decode(r);
+        r.expect_done();
+    } catch (const DecodeError& e) {
+        throw DecodeError(std::string("utxo snapshot: ") + e.what());
     }
-    r.expect_done();
     return utxo;
+}
+
+ledger::UtxoSet restore_snapshot(const Checkpoint& checkpoint) {
+    if (crypto::tagged_hash("dlt/utxo-snapshot", checkpoint.utxo_snapshot) !=
+        checkpoint.snapshot_digest)
+        throw ValidationError("checkpoint snapshot digest mismatch");
+    return deserialize_utxo(checkpoint.utxo_snapshot);
 }
 
 Checkpoint make_checkpoint(const ledger::ChainStore& chain, const Hash256& tip,

@@ -35,9 +35,16 @@ struct BootstrapCost {
 Checkpoint make_checkpoint(const ledger::ChainStore& chain, const Hash256& tip,
                            std::uint64_t height, const ledger::UtxoSet& utxo);
 
-/// Serialize / restore a UTXO set (the snapshot payload).
+/// Serialize / restore a UTXO set (the snapshot payload). Deserialization
+/// rejects truncated or corrupt input with DecodeError (bounded element
+/// counts, full-consumption check) instead of ever reading past the buffer.
 Bytes serialize_utxo(const ledger::UtxoSet& utxo);
 ledger::UtxoSet deserialize_utxo(ByteView raw);
+
+/// Restore the UTXO set a checkpoint carries, verifying the snapshot digest
+/// before decoding. Throws ValidationError on digest mismatch and DecodeError
+/// on malformed payload — the only safe way to adopt a downloaded snapshot.
+ledger::UtxoSet restore_snapshot(const Checkpoint& checkpoint);
 
 /// Full initial block download: every block downloaded and fully processed.
 BootstrapCost full_sync_cost(const ledger::ChainStore& chain, const Hash256& tip);

@@ -1,0 +1,159 @@
+#include "storage/blockstore.hpp"
+
+#include <algorithm>
+
+#include "common/serialize.hpp"
+#include "storage/recordio.hpp"
+
+namespace dlt::storage {
+
+namespace {
+constexpr std::uint32_t kBlockMagic = 0x424C4B31; // "BLK1"
+constexpr std::uint32_t kUndoMagic = 0x554E4431;  // "UND1"
+} // namespace
+
+BlockStore::BlockStore(const std::filesystem::path& dir, BlockStoreOptions options)
+    : blocks_path_(dir / "blocks.dat"),
+      undo_path_(dir / "undo.dat"),
+      fsync_mode_(options.fsync),
+      cache_(options.cache_capacity) {
+    std::filesystem::create_directories(dir);
+
+    // Index rebuild: scan the block file, decoding every intact record. A
+    // record whose payload fails to decode (CRC collision or software bug)
+    // ends the valid prefix exactly like a torn frame would.
+    const Bytes block_image = read_file(blocks_path_);
+    std::uint64_t valid_end = 0;
+    bool decode_failed = false;
+    const ScanResult block_scan = scan_records(
+        ByteView(block_image), kBlockMagic,
+        [&](std::uint64_t offset, ByteView payload) {
+            if (decode_failed) return;
+            try {
+                const auto block = decode_from_bytes<ledger::Block>(payload);
+                index_[block.hash()] = {offset, static_cast<std::uint32_t>(payload.size()),
+                                        block.header.height};
+                valid_end = offset + kRecordHeaderSize + payload.size();
+            } catch (const DecodeError&) {
+                decode_failed = true;
+            }
+        });
+    if (!decode_failed) valid_end = block_scan.valid_end;
+    indexed_on_open_ = index_.size();
+    truncated_bytes_ = block_image.size() - valid_end;
+
+    const Bytes undo_image = read_file(undo_path_);
+    std::uint64_t undo_valid_end = 0;
+    bool undo_decode_failed = false;
+    const ScanResult undo_scan = scan_records(
+        ByteView(undo_image), kUndoMagic,
+        [&](std::uint64_t offset, ByteView payload) {
+            if (undo_decode_failed) return;
+            if (payload.size() < Hash256::size()) {
+                undo_decode_failed = true;
+                return;
+            }
+            const Hash256 hash = Hash256::from_bytes(payload.subspan(0, Hash256::size()));
+            undo_index_[hash] = {offset, static_cast<std::uint32_t>(payload.size()), 0};
+            undo_valid_end = offset + kRecordHeaderSize + payload.size();
+        });
+    if (!undo_decode_failed) undo_valid_end = undo_scan.valid_end;
+    truncated_bytes_ += undo_image.size() - undo_valid_end;
+
+    blocks_out_ = std::make_unique<AppendFile>(blocks_path_, options.injector);
+    undo_out_ = std::make_unique<AppendFile>(undo_path_, options.injector);
+    if (blocks_out_->size() > valid_end) blocks_out_->truncate(valid_end);
+    if (undo_out_->size() > undo_valid_end) undo_out_->truncate(undo_valid_end);
+    blocks_in_ = std::make_unique<RandomAccessFile>(blocks_path_);
+    undo_in_ = std::make_unique<RandomAccessFile>(undo_path_);
+}
+
+void BlockStore::append(const ledger::Block& block, const ledger::UtxoUndo& undo) {
+    const Hash256 hash = block.hash();
+    if (index_.contains(hash)) return;
+
+    // Undo first: a crash mid-block-write then leaves an orphan undo record
+    // (harmless), never a committed block without its undo data.
+    Writer uw;
+    uw.fixed(hash);
+    undo.encode(uw);
+    const Bytes undo_frame = frame_record(kUndoMagic, uw.data());
+    const std::uint64_t undo_offset = undo_out_->size();
+    undo_out_->append(undo_frame);
+
+    const Bytes payload = encode_to_bytes(block);
+    const Bytes frame = frame_record(kBlockMagic, payload);
+    const std::uint64_t offset = blocks_out_->size();
+    blocks_out_->append(frame);
+    if (fsync_mode_ == FsyncMode::kAlways) {
+        undo_out_->sync();
+        blocks_out_->sync();
+    }
+
+    undo_index_[hash] = {undo_offset, static_cast<std::uint32_t>(uw.size()), 0};
+    index_[hash] = {offset, static_cast<std::uint32_t>(payload.size()),
+                    block.header.height};
+    cache_.put(hash, std::make_shared<const ledger::Block>(block));
+}
+
+Bytes BlockStore::read_payload(const RandomAccessFile& file, const Location& loc,
+                               std::uint32_t magic, const char* what) const {
+    const Bytes frame = file.read_at(loc.offset, kRecordHeaderSize + loc.length);
+    if (frame.size() != kRecordHeaderSize + loc.length)
+        throw StorageError(std::string(what) + " record truncated on disk");
+    return read_record(ByteView(frame), 0, magic);
+}
+
+std::shared_ptr<const ledger::Block> BlockStore::read_block(const Hash256& hash) {
+    if (auto cached = cache_.get(hash)) return *cached;
+    const auto it = index_.find(hash);
+    if (it == index_.end()) return nullptr;
+    const Bytes payload = read_payload(*blocks_in_, it->second, kBlockMagic, "block");
+    auto block =
+        std::make_shared<const ledger::Block>(decode_from_bytes<ledger::Block>(payload));
+    if (block->hash() != hash)
+        throw StorageError("block file corrupt: stored block hash mismatch");
+    cache_.put(hash, block);
+    return block;
+}
+
+ledger::UtxoUndo BlockStore::read_undo(const Hash256& hash) {
+    const auto it = undo_index_.find(hash);
+    if (it == undo_index_.end())
+        throw StorageError("no undo record for block " + hash.hex());
+    const Bytes payload = read_payload(*undo_in_, it->second, kUndoMagic, "undo");
+    Reader r(payload);
+    const Hash256 stored = r.fixed<32>();
+    if (stored != hash) throw StorageError("undo file corrupt: keyed hash mismatch");
+    const auto undo = ledger::UtxoUndo::decode(r);
+    r.expect_done();
+    return undo;
+}
+
+std::optional<std::uint64_t> BlockStore::height_of(const Hash256& hash) const {
+    const auto it = index_.find(hash);
+    if (it == index_.end()) return std::nullopt;
+    return it->second.height;
+}
+
+std::vector<std::pair<Hash256, std::uint64_t>> BlockStore::all_blocks() const {
+    std::vector<std::pair<Hash256, std::uint64_t>> out;
+    out.reserve(index_.size());
+    for (const auto& [hash, loc] : index_) out.emplace_back(hash, loc.height);
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second < b.second : a.first < b.first;
+    });
+    return out;
+}
+
+BlockStoreStats BlockStore::stats() const {
+    BlockStoreStats s;
+    s.blocks_indexed = indexed_on_open_;
+    s.truncated_bytes = truncated_bytes_;
+    s.cache_hits = cache_.hits();
+    s.cache_misses = cache_.misses();
+    s.cache_evictions = cache_.evictions();
+    return s;
+}
+
+} // namespace dlt::storage

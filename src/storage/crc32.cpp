@@ -1,0 +1,33 @@
+#include "storage/crc32.hpp"
+
+#include <array>
+
+namespace dlt::storage {
+
+namespace {
+
+// Reflected lookup table for polynomial 0x1EDC6F41 (bit-reversed: 0x82F63B78),
+// built once at static-initialization time.
+std::array<std::uint32_t, 256> build_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = build_table();
+
+} // namespace
+
+std::uint32_t crc32c(ByteView data, std::uint32_t seed) {
+    std::uint32_t crc = ~seed;
+    for (const std::uint8_t byte : data)
+        crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+    return ~crc;
+}
+
+} // namespace dlt::storage

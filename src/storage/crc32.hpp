@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum every on-disk
+// record in the storage layer carries. Chosen over CRC-32 (IEEE) for its
+// better burst-error detection; implemented as a standard reflected
+// table-driven loop so no platform intrinsics are required.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dlt::storage {
+
+/// CRC-32C over `data`, starting from `seed` (pass a previous result to
+/// checksum a logical record spread over several buffers).
+std::uint32_t crc32c(ByteView data, std::uint32_t seed = 0);
+
+} // namespace dlt::storage

@@ -1,0 +1,74 @@
+// Intrusive-free LRU cache: a doubly-linked recency list plus a hash index
+// into it. Used by the BlockStore to keep recently decoded blocks in memory so
+// hot reads skip the disk + decode path entirely.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace dlt::storage {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+public:
+    explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    std::optional<Value> get(const Key& key) {
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return it->second->second;
+    }
+
+    /// Insert or refresh `key`; evicts the least-recently-used entry when full.
+    /// A capacity of zero disables caching entirely.
+    void put(const Key& key, Value value) {
+        if (capacity_ == 0) return;
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        if (order_.size() >= capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+            ++evictions_;
+        }
+        order_.emplace_front(key, std::move(value));
+        index_.emplace(key, order_.begin());
+    }
+
+    bool contains(const Key& key) const { return index_.contains(key); }
+
+    void clear() {
+        order_.clear();
+        index_.clear();
+    }
+
+    std::size_t size() const { return order_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+private:
+    std::size_t capacity_;
+    std::list<std::pair<Key, Value>> order_; // front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator, Hash>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace dlt::storage

@@ -1,0 +1,69 @@
+#include "storage/recordio.hpp"
+
+#include "common/error.hpp"
+#include "storage/crc32.hpp"
+
+namespace dlt::storage {
+
+namespace {
+
+std::uint32_t read_u32le(ByteView buf, std::uint64_t offset) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[offset + i]) << (8 * i);
+    return v;
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+Bytes frame_record(std::uint32_t magic, ByteView payload) {
+    Bytes out;
+    out.reserve(kRecordHeaderSize + payload.size());
+    put_u32le(out, magic);
+    put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+    put_u32le(out, crc32c(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+ScanResult scan_records(ByteView file, std::uint32_t magic,
+                        const std::function<void(std::uint64_t, ByteView)>& on_record) {
+    ScanResult result;
+    std::uint64_t pos = 0;
+    while (file.size() - pos >= kRecordHeaderSize) {
+        const std::uint32_t rec_magic = read_u32le(file, pos);
+        const std::uint32_t length = read_u32le(file, pos + 4);
+        const std::uint32_t crc = read_u32le(file, pos + 8);
+        if (rec_magic != magic) break;
+        if (length > file.size() - pos - kRecordHeaderSize) break; // torn payload
+        const ByteView payload = file.subspan(pos + kRecordHeaderSize, length);
+        if (crc32c(payload) != crc) break;
+        on_record(pos, payload);
+        ++result.records;
+        pos += kRecordHeaderSize + length;
+    }
+    result.valid_end = pos;
+    result.truncated = file.size() - pos;
+    return result;
+}
+
+Bytes read_record(ByteView file, std::uint64_t offset, std::uint32_t magic) {
+    if (offset + kRecordHeaderSize > file.size())
+        throw StorageError("record header past end of file");
+    const std::uint32_t rec_magic = read_u32le(file, offset);
+    const std::uint32_t length = read_u32le(file, offset + 4);
+    const std::uint32_t crc = read_u32le(file, offset + 8);
+    if (rec_magic != magic) throw StorageError("record magic mismatch");
+    if (length > file.size() - offset - kRecordHeaderSize)
+        throw StorageError("record length overruns file");
+    const ByteView payload = file.subspan(offset + kRecordHeaderSize, length);
+    if (crc32c(payload) != crc) throw StorageError("record checksum mismatch");
+    return Bytes(payload.begin(), payload.end());
+}
+
+} // namespace dlt::storage

@@ -1,0 +1,128 @@
+#include "storage/snapshot.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+#include "storage/file.hpp"
+#include "storage/recordio.hpp"
+
+namespace dlt::storage {
+
+namespace {
+constexpr std::uint32_t kSnapMagic = 0x534E4150; // "SNAP"
+constexpr std::uint32_t kSnapVersion = 1;
+// Same tag scaling::make_checkpoint commits to, so a disk snapshot's digest is
+// interchangeable with an in-memory checkpoint's.
+constexpr std::string_view kDigestTag = "dlt/utxo-snapshot";
+} // namespace
+
+scaling::Checkpoint Snapshot::to_checkpoint() const {
+    scaling::Checkpoint cp;
+    cp.height = height;
+    cp.block_hash = block_hash;
+    cp.utxo_snapshot = utxo_snapshot;
+    cp.snapshot_digest = digest;
+    return cp;
+}
+
+SnapshotManager::SnapshotManager(const std::filesystem::path& dir) : dir_(dir) {
+    std::filesystem::create_directories(dir_);
+}
+
+Snapshot SnapshotManager::make(const ledger::UtxoSet& utxo, std::uint64_t height,
+                               const Hash256& block_hash, std::uint64_t wal_seq) {
+    Snapshot snap;
+    snap.height = height;
+    snap.block_hash = block_hash;
+    snap.wal_seq = wal_seq;
+    snap.utxo_snapshot = encode_to_bytes(utxo);
+    snap.digest = crypto::tagged_hash(kDigestTag, snap.utxo_snapshot);
+    return snap;
+}
+
+std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) const {
+    Writer w;
+    w.u32(kSnapVersion);
+    w.u64(snapshot.height);
+    w.fixed(snapshot.block_hash);
+    w.fixed(snapshot.digest);
+    w.u64(snapshot.wal_seq);
+    w.blob(snapshot.utxo_snapshot);
+    const Bytes frame = frame_record(kSnapMagic, w.data());
+
+    const std::filesystem::path path =
+        dir_ / ("snapshot-" + std::to_string(snapshot.height) + ".snap");
+    write_file_atomic(path, frame);
+    return path;
+}
+
+Snapshot SnapshotManager::load(const std::filesystem::path& path) const {
+    const Bytes image = read_file(path);
+    if (image.empty()) throw StorageError("snapshot missing or empty: " + path.string());
+    const Bytes payload = read_record(ByteView(image), 0, kSnapMagic);
+    if (image.size() != kRecordHeaderSize + payload.size())
+        throw StorageError("snapshot has trailing garbage: " + path.string());
+
+    Reader r(payload);
+    const std::uint32_t version = r.u32();
+    if (version != kSnapVersion)
+        throw StorageError("unsupported snapshot version " + std::to_string(version));
+    Snapshot snap;
+    snap.height = r.u64();
+    snap.block_hash = r.fixed<32>();
+    snap.digest = r.fixed<32>();
+    snap.wal_seq = r.u64();
+    snap.utxo_snapshot = r.blob();
+    r.expect_done();
+
+    if (crypto::tagged_hash(kDigestTag, snap.utxo_snapshot) != snap.digest)
+        throw StorageError("snapshot digest mismatch: " + path.string());
+    return snap;
+}
+
+std::vector<std::filesystem::path> SnapshotManager::list() const {
+    std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.starts_with("snapshot-") && name.ends_with(".snap")) {
+            const std::string digits = name.substr(9, name.size() - 9 - 5);
+            try {
+                found.emplace_back(std::stoull(digits), entry.path());
+            } catch (const std::exception&) {
+                // not one of ours; ignore
+            }
+        }
+    }
+    std::sort(found.begin(), found.end());
+    std::vector<std::filesystem::path> paths;
+    paths.reserve(found.size());
+    for (auto& [height, path] : found) paths.push_back(std::move(path));
+    return paths;
+}
+
+std::optional<Snapshot> SnapshotManager::load_latest() const {
+    const auto paths = list();
+    for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+        try {
+            return load(*it);
+        } catch (const Error& e) {
+            DLT_LOG(kWarn, "storage")
+                << "skipping corrupt snapshot " << it->string() << ": " << e.what();
+        }
+    }
+    return std::nullopt;
+}
+
+void SnapshotManager::prune(std::size_t keep) const {
+    const auto paths = list();
+    if (paths.size() <= keep) return;
+    for (std::size_t i = 0; i + keep < paths.size(); ++i) {
+        std::error_code ec;
+        std::filesystem::remove(paths[i], ec);
+    }
+}
+
+} // namespace dlt::storage

@@ -1,0 +1,62 @@
+// State snapshots: atomic on-disk UTXO/chain-state checkpoints. Each snapshot
+// is one CRC-framed file written with write-temp + rename, so a crash during
+// snapshotting leaves at most a stale `.tmp` — never a half-written snapshot.
+// Snapshots carry the WAL sequence number they cover, letting recovery skip
+// journal records the snapshot already includes, and they convert losslessly
+// to scaling::Checkpoint so fast bootstrap (E14) can serve them straight from
+// disk.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "scaling/bootstrap.hpp"
+
+namespace dlt::storage {
+
+struct Snapshot {
+    std::uint64_t height = 0;
+    Hash256 block_hash;          // tip the snapshot state corresponds to
+    Hash256 digest;              // tagged hash over utxo_snapshot
+    std::uint64_t wal_seq = 0;   // last WAL record folded into this state
+    Bytes utxo_snapshot;         // canonical UtxoSet serialization
+
+    /// Bootstrap-compatible view (same digest tag as scaling::make_checkpoint).
+    scaling::Checkpoint to_checkpoint() const;
+};
+
+class SnapshotManager {
+public:
+    explicit SnapshotManager(const std::filesystem::path& dir);
+
+    /// Build a snapshot of `utxo` at (`height`, `block_hash`) covering WAL
+    /// records up to `wal_seq`.
+    static Snapshot make(const ledger::UtxoSet& utxo, std::uint64_t height,
+                         const Hash256& block_hash, std::uint64_t wal_seq);
+
+    /// Persist atomically as `snapshot-<height>.snap`; returns the final path.
+    std::filesystem::path save(const Snapshot& snapshot) const;
+
+    /// Strict load: throws StorageError/DecodeError on framing, field, or
+    /// digest corruption. Never reads past the buffer.
+    Snapshot load(const std::filesystem::path& path) const;
+
+    /// Newest snapshot that loads and verifies; corrupt files are skipped
+    /// (with a warning) in favour of older ones — a corrupt latest snapshot
+    /// degrades bootstrap, it must not brick the node.
+    std::optional<Snapshot> load_latest() const;
+
+    /// Snapshot files present, sorted by height ascending.
+    std::vector<std::filesystem::path> list() const;
+
+    /// Delete all but the `keep` newest snapshots.
+    void prune(std::size_t keep) const;
+
+private:
+    std::filesystem::path dir_;
+};
+
+} // namespace dlt::storage
