@@ -24,7 +24,7 @@ RunResult run(std::size_t nodes, std::size_t fanout, std::uint64_t seed) {
     GossipParams params;
     params.fanout = fanout;
     GossipOverlay overlay(net, nodes, params,
-                          [](NodeId, const std::string&, ByteView) {});
+                          [](NodeId, NodeId, const std::string&, ByteView) {});
     net.build_unstructured_overlay(6);
 
     // Average over several broadcasts from random origins.

@@ -13,7 +13,7 @@ BitcoinNgSimulation::BitcoinNgSimulation(BitcoinNgParams params, std::uint64_t s
     network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(1));
     gossip_ = std::make_unique<net::GossipOverlay>(
         *network_, params_.node_count, net::GossipParams{},
-        [](net::NodeId, const std::string&, ByteView) {
+        [](net::NodeId, net::NodeId, const std::string&, ByteView) {
             // Microblock and key-block contents are tracked centrally; the
             // gossip layer is exercised for realistic propagation cost.
         });

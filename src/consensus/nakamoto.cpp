@@ -25,9 +25,8 @@ NakamotoNetwork::NakamotoNetwork(NakamotoParams params, std::uint64_t seed)
     network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(0xA));
     gossip_ = std::make_unique<net::GossipOverlay>(
         *network_, params_.node_count, params_.gossip,
-        [this](NodeId node, const std::string& topic, ByteView payload) {
-            on_gossip(node, topic, payload);
-        });
+        [this](NodeId node, NodeId from, const std::string& topic,
+               ByteView payload) { on_gossip(node, from, topic, payload); });
     network_->build_unstructured_overlay(params_.overlay_degree, params_.link);
 
     // Normalize hash power.
@@ -63,7 +62,7 @@ void NakamotoNetwork::submit_transaction(const Transaction& tx, NodeId origin) {
     gossip_->broadcast(origin, "tx", encode_to_bytes(tx));
 }
 
-void NakamotoNetwork::on_gossip(NodeId node, const std::string& topic,
+void NakamotoNetwork::on_gossip(NodeId node, NodeId from, const std::string& topic,
                                 ByteView payload) {
     if (topic == "tx") {
         try {
@@ -73,23 +72,57 @@ void NakamotoNetwork::on_gossip(NodeId node, const std::string& topic,
         }
         return;
     }
-    if (topic == "block") {
+    if (topic == "block" || topic == "d/block") {
         try {
-            handle_block(node, decode_from_bytes<Block>(payload));
+            handle_block(node, decode_from_bytes<Block>(payload), from);
         } catch (const Error&) {
         }
         return;
     }
+    if (topic == "d/getblock") {
+        // Peer `from` asks for one block by hash; reply when we have it so its
+        // ancestor walk makes progress, or tell it we can't help so it may
+        // retry elsewhere.
+        if (payload.size() != 32) return;
+        const Hash256 want = Hash256::from_bytes(payload);
+        const auto* entry = peers_[node].chain->find(want);
+        if (entry != nullptr) {
+            gossip_->send_direct(node, from, "d/block", encode_to_bytes(entry->block));
+        } else {
+            gossip_->send_direct(node, from, "d/notfound", want.bytes());
+        }
+        return;
+    }
+    if (topic == "d/notfound") {
+        // The peer we asked lacks the block; clear the in-flight marker so a
+        // later arrival can trigger a fresh request toward a better peer.
+        if (payload.size() != 32) return;
+        peers_[node].sync_requested.erase(Hash256::from_bytes(payload));
+        return;
+    }
 }
 
-void NakamotoNetwork::handle_block(NodeId node, const Block& block) {
+void NakamotoNetwork::handle_block(NodeId node, const Block& block, NodeId from) {
     Peer& peer = peers_[node];
     if (peer.chain->contains(block.hash())) return;
     if (!peer.chain->contains(block.header.prev_hash)) {
-        peer.orphans[block.header.prev_hash].push_back(block);
+        auto& siblings = peer.orphans[block.header.prev_hash];
+        const Hash256 hash = block.hash();
+        const bool duplicate =
+            std::any_of(siblings.begin(), siblings.end(),
+                        [&](const Block& b) { return b.hash() == hash; });
+        if (!duplicate) siblings.push_back(block);
+        request_block(node, block.header.prev_hash, from);
         return;
     }
     try_insert_and_update(node, block);
+}
+
+void NakamotoNetwork::request_block(NodeId node, const Hash256& hash, NodeId from) {
+    Peer& peer = peers_[node];
+    if (from == node) return; // locally injected: nobody to ask
+    if (!peer.sync_requested.insert(hash).second) return; // already in flight
+    gossip_->send_direct(node, from, "d/getblock", hash.bytes());
 }
 
 void NakamotoNetwork::try_insert_and_update(NodeId node, const Block& block) {
@@ -101,6 +134,7 @@ void NakamotoNetwork::try_insert_and_update(NodeId node, const Block& block) {
         const Block current = std::move(pending.back());
         pending.pop_back();
         const Hash256 hash = current.hash();
+        peer.sync_requested.erase(hash); // a pending ancestor fetch is satisfied
         if (!peer.chain->contains(hash)) {
             const auto target = ledger::compact_to_target(current.header.bits);
             peer.chain->insert(current, ledger::work_from_target(target),

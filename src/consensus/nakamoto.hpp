@@ -119,6 +119,9 @@ public:
 
     const NakamotoStats& stats() const { return stats_; }
     const net::TrafficStats& traffic() const { return network_->stats(); }
+    /// Underlying simulated network (fault injection: apply a FaultPlan,
+    /// partition/heal, churn).
+    net::Network& network() { return *network_; }
     const ledger::ChainStore& chain_of(net::NodeId node) const;
     const ledger::UtxoSet& utxo_of(net::NodeId node) const;
     const crypto::Address& miner_address(net::NodeId node) const;
@@ -136,11 +139,18 @@ private:
         std::optional<sim::EventId> mining_event;
         std::unordered_map<Hash256, std::vector<ledger::Block>> orphans; // by parent
         std::unordered_set<Hash256> invalid;
+        std::unordered_set<Hash256> sync_requested; // ancestor fetches in flight
         Rng rng;
     };
 
-    void on_gossip(net::NodeId node, const std::string& topic, ByteView payload);
-    void handle_block(net::NodeId node, const ledger::Block& block);
+    void on_gossip(net::NodeId node, net::NodeId from, const std::string& topic,
+                   ByteView payload);
+    void handle_block(net::NodeId node, const ledger::Block& block,
+                      net::NodeId from);
+    /// Ask `from` for a block we are missing (orphan-parent fetch; the request
+    /// walks back one hop per round trip until the branch roots in our chain —
+    /// how peers resynchronize after a partition heals).
+    void request_block(net::NodeId node, const Hash256& hash, net::NodeId from);
     void try_insert_and_update(net::NodeId node, const ledger::Block& block);
     void update_active_tip(net::NodeId node);
     Hash256 select_tip(const Peer& peer) const;

@@ -350,6 +350,11 @@ void PbftCluster::start_view_change(std::uint32_t replica) {
     w.u32(r.id);
     broadcast(replica, "viewchange", w.data());
     handle_view_change(replica, std::move(w).take()); // count own vote uniformly
+
+    // The vote may not reach a quorum (partitioned cluster, >f crashes): re-arm
+    // the timer so the view change is re-broadcast once the network heals.
+    // Votes are per-replica sets, so retries never double-count.
+    arm_view_timer(replica);
 }
 
 void PbftCluster::handle_view_change(std::uint32_t replica, const Bytes& payload) {

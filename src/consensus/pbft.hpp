@@ -79,6 +79,9 @@ public:
     std::optional<double> mean_commit_latency() const;
 
     const net::TrafficStats& traffic() const { return network_->stats(); }
+    /// Underlying simulated network (fault injection: apply a FaultPlan,
+    /// partition/heal the cluster).
+    net::Network& network() { return *network_; }
 
 private:
     struct SlotState {

@@ -36,6 +36,9 @@ struct ChainSpec {
     std::size_t batch_size = 500;       // leader-based batch size
     double batch_interval = 0.5;        // leader-based batch timeout
     std::size_t avg_tx_bytes = 250;     // workload shaping
+    /// Ambient per-message loss/duplication every link suffers (the §3.1
+    /// dependability axis); defaults to a clean network.
+    net::FaultParams faults{};
 
     /// Transactions one block/batch can hold.
     std::size_t txs_per_block() const { return max_block_bytes / avg_tx_bytes; }

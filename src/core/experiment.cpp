@@ -59,6 +59,8 @@ ExperimentMetrics run_nakamoto(const ChainSpec& spec, const Workload& workload,
     params.max_block_bytes = spec.max_block_bytes;
     params.validation.sig_mode = ledger::SigCheckMode::kSkip;
     params.validation.max_block_bytes = spec.max_block_bytes;
+    params.link.loss = spec.faults.loss;
+    params.link.duplicate = spec.faults.duplicate;
     params.chain_tag = spec.name;
 
     consensus::NakamotoNetwork net(params, seed);
@@ -199,6 +201,8 @@ ExperimentMetrics run_pbft(const ChainSpec& spec, const Workload& workload,
     config.f = static_cast<std::uint32_t>(std::max<std::size_t>(1, (spec.node_count - 1) / 3));
     config.batch_size = spec.batch_size;
     config.batch_interval = spec.batch_interval;
+    config.link.loss = spec.faults.loss;
+    config.link.duplicate = spec.faults.duplicate;
     consensus::PbftCluster cluster(config, seed);
 
     Rng rng(seed ^ 0xCAFE);

@@ -41,6 +41,7 @@ GossipOverlay::GossipOverlay(Network& network, std::size_t node_count,
 Hash256 GossipOverlay::broadcast(NodeId origin, const std::string& topic,
                                  const Bytes& payload) {
     DLT_EXPECTS(origin < seen_.size());
+    DLT_EXPECTS(!is_direct_topic(topic));
     // Unique id: hash over topic, payload, origin, and injection time.
     Writer w;
     w.str(topic);
@@ -50,18 +51,33 @@ Hash256 GossipOverlay::broadcast(NodeId origin, const std::string& topic,
     const Hash256 id = crypto::tagged_hash("dlt/gossip-id", w.data());
 
     records_[id].origin_time = network_->scheduler().now();
-    accept(origin, id, topic, frame_message(id, payload));
+    accept(origin, origin, id, topic, frame_message(id, payload));
     return id;
 }
 
+void GossipOverlay::send_direct(NodeId from, NodeId to, const std::string& topic,
+                                const Bytes& payload) {
+    DLT_EXPECTS(from < seen_.size() && to < seen_.size());
+    DLT_EXPECTS(is_direct_topic(topic));
+    // The link may have churned away since the triggering message was sent;
+    // a real peer's reply would hit a closed socket, so drop silently.
+    if (!network_->connected(from, to)) return;
+    network_->send(from, to, topic, payload);
+}
+
 void GossipOverlay::on_delivery(NodeId at, const Delivery& d) {
+    if (is_direct_topic(d.topic)) { // point-to-point: no dedup, no relay
+        handler_(at, d.from, d.topic, ByteView{d.payload()});
+        return;
+    }
     if (d.payload().size() < 32) return; // malformed frame
     const Hash256 id = Hash256::from_bytes(ByteView{d.payload().data(), 32});
     if (seen_[at].contains(id)) return;
-    accept(at, id, d.topic, d.body);
+    accept(at, d.from, id, d.topic, d.body);
 }
 
-void GossipOverlay::accept(NodeId at, const Hash256& id, const std::string& topic,
+void GossipOverlay::accept(NodeId at, NodeId from, const Hash256& id,
+                           const std::string& topic,
                            const std::shared_ptr<const Bytes>& framed) {
     seen_[at].insert(id);
 
@@ -69,20 +85,31 @@ void GossipOverlay::accept(NodeId at, const Hash256& id, const std::string& topi
     ++rec.delivered;
     rec.arrival.emplace(at, network_->scheduler().now());
 
-    handler_(at, topic, ByteView{*framed}.subspan(32)); // zero-copy payload view
-    relay(at, at, topic, framed);
+    handler_(at, from, topic, ByteView{*framed}.subspan(32)); // zero-copy payload view
+    relay(at, from, topic, framed);
 }
 
-void GossipOverlay::relay(NodeId at, NodeId /*skip*/, const std::string& topic,
+void GossipOverlay::relay(NodeId at, NodeId skip, const std::string& topic,
                           const std::shared_ptr<const Bytes>& framed) {
     const auto& peers = network_->neighbors(at);
     if (peers.empty()) return;
     if (params_.fanout == 0 || params_.fanout >= peers.size()) {
-        for (const NodeId p : peers) network_->send(at, p, topic, framed);
+        // Flood every neighbor except the one the frame arrived from: echoing
+        // it back is pure waste (the sender has it by construction).
+        for (const NodeId p : peers)
+            if (p != skip) network_->send(at, p, topic, framed);
         return;
     }
-    // Sample `fanout` distinct neighbors.
-    std::vector<NodeId> candidates = peers;
+    // Sample `fanout` distinct neighbors, never wasting a slot on the sender.
+    std::vector<NodeId> candidates;
+    candidates.reserve(peers.size());
+    for (const NodeId p : peers)
+        if (p != skip) candidates.push_back(p);
+    if (candidates.empty()) return;
+    if (params_.fanout >= candidates.size()) {
+        for (const NodeId p : candidates) network_->send(at, p, topic, framed);
+        return;
+    }
     network_->rng().shuffle(candidates);
     for (std::size_t i = 0; i < params_.fanout; ++i)
         network_->send(at, candidates[i], topic, framed);

@@ -1,7 +1,8 @@
 // Gossip broadcast (paper §2.3): peers relay new data to a random subset of
 // neighbors over multiple rounds, deduplicating by message id, until the whole
 // overlay has seen it. This is the dissemination primitive blocks and
-// transactions ride on; E18 measures its propagation behaviour.
+// transactions ride on; E18 measures its propagation behaviour. Relays never
+// echo a frame back to the peer it arrived from.
 #pragma once
 
 #include <functional>
@@ -35,10 +36,13 @@ struct PropagationRecord {
 /// invoked exactly once per (node, message).
 class GossipOverlay {
 public:
-    /// Handler(node, topic, payload) fires on first delivery at each node. The
+    /// Handler(node, from, topic, payload) fires on first delivery of a gossip
+    /// message at each node and on every direct message. `from` is the peer
+    /// the message arrived from (== node for locally injected broadcasts). The
     /// payload view aliases the shared message frame — copy it if it must
     /// outlive the callback.
-    using Handler = std::function<void(NodeId, const std::string&, ByteView)>;
+    using Handler =
+        std::function<void(NodeId, NodeId, const std::string&, ByteView)>;
 
     /// Precondition: `network` has no nodes yet.
     GossipOverlay(Network& network, std::size_t node_count, GossipParams params,
@@ -48,8 +52,18 @@ public:
     std::size_t node_count() const { return seen_.size(); }
 
     /// Inject a message at `origin`; it is delivered locally and relayed.
-    /// Returns the message id used for tracking.
+    /// Returns the message id used for tracking. The topic must not carry the
+    /// "d/" direct-message prefix.
     Hash256 broadcast(NodeId origin, const std::string& topic, const Bytes& payload);
+
+    /// Point-to-point message outside the gossip flow: no message id, no
+    /// dedup, no relaying. Delivered to the handler with the topic as given;
+    /// direct topics must start with "d/" to stay distinguishable from gossip
+    /// frames. Silently dropped when the two nodes are not currently linked
+    /// (the peer may have churned away). Sync protocols (orphan-parent fetch)
+    /// ride on this.
+    void send_direct(NodeId from, NodeId to, const std::string& topic,
+                     const Bytes& payload);
 
     /// Propagation telemetry for a message id (empty when unknown).
     const PropagationRecord* record(const Hash256& id) const;
@@ -62,10 +76,14 @@ public:
     std::optional<SimTime> time_to_quantile(const Hash256& id, double quantile) const;
 
 private:
+    static bool is_direct_topic(const std::string& topic) {
+        return topic.size() >= 2 && topic[0] == 'd' && topic[1] == '/';
+    }
+
     void on_delivery(NodeId at, const Delivery& d);
     void relay(NodeId at, NodeId skip, const std::string& topic,
                const std::shared_ptr<const Bytes>& framed);
-    void accept(NodeId at, const Hash256& id, const std::string& topic,
+    void accept(NodeId at, NodeId from, const Hash256& id, const std::string& topic,
                 const std::shared_ptr<const Bytes>& framed);
 
     Network* network_;

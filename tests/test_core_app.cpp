@@ -72,6 +72,17 @@ TEST(Experiment, PbftClusterCommits) {
     EXPECT_LT(*metrics.mean_confirmation_latency, 2.0);
 }
 
+TEST(Experiment, LossySpecStillConfirmsViaGossipRedundancy) {
+    // The ChainSpec fault knobs reach the simulated links: under 10% ambient
+    // loss the flooding overlay still converges and confirms the workload.
+    auto spec = ChainSpec::ethereum_like();
+    spec.node_count = 8;
+    spec.faults.loss = 0.1;
+    const auto metrics = run_experiment(spec, light_load(2.0, 300.0), 6);
+    EXPECT_GT(metrics.throughput_tps, 1.0);
+    EXPECT_GT(metrics.blocks, 5u);
+}
+
 TEST(Experiment, BitcoinLikeThroughputIsCappedNearSeven) {
     auto spec = ChainSpec::bitcoin_like();
     spec.node_count = 6; // keep the sim light

@@ -174,6 +174,58 @@ TEST(Nakamoto, HashrateSharesSkewBlockProduction) {
     EXPECT_LT(share, 0.85);
 }
 
+// --- Partition & heal (E22) --------------------------------------------------------
+
+TEST(Nakamoto, PartitionDivergesAndHealReconverges) {
+    auto params = fast_params();
+    params.block_interval = 20.0;
+    NakamotoNetwork net(params, 22);
+    net.start();
+    net.run_for(200); // establish a common prefix
+
+    // Cut the network into two mining halves.
+    net.network().partition("cut", {{0, 1, 2, 3}, {4, 5, 6, 7}});
+    net.run_for(400); // ~20 blocks mined across both halves
+
+    // The halves must have diverged: node 0's tip vs node 4's tip differ and
+    // neither side knows the other's blocks.
+    const Hash256 tip_a = net.tip_of(0);
+    const Hash256 tip_b = net.tip_of(4);
+    EXPECT_NE(tip_a, tip_b);
+    EXPECT_FALSE(net.chain_of(0).contains(tip_b));
+    EXPECT_FALSE(net.chain_of(4).contains(tip_a));
+    EXPECT_GT(net.traffic().messages_partitioned, 0u);
+
+    // Heal: the next cross-cut block announcement triggers the orphan-parent
+    // fetch walk-back, after which every peer adopts the heavier branch.
+    net.network().heal("cut");
+    net.run_for(600);
+    EXPECT_TRUE(net.converged());
+    EXPECT_GT(net.stats().reorgs, 0u); // the losing half reorganized
+}
+
+TEST(Nakamoto, PeerChurnRejoinCatchesUp) {
+    auto params = fast_params();
+    params.block_interval = 20.0;
+    // Node 7 contributes no hash power so its absence stalls nobody else and
+    // catching up is purely a matter of block sync.
+    params.hashrate_shares = {1, 1, 1, 1, 1, 1, 1, 0};
+    NakamotoNetwork net(params, 23);
+    net.start();
+    net.run_for(100);
+
+    net.network().leave(7);
+    const std::uint64_t height_at_leave = net.height_of(7);
+    net.run_for(400);
+    EXPECT_EQ(net.height_of(7), height_at_leave); // heard nothing while away
+
+    net.network().rejoin(7);
+    net.run_for(600);
+    // After rejoining, the first block announcement pulls the missing ancestors.
+    EXPECT_GT(net.height_of(7), height_at_leave);
+    EXPECT_EQ(net.tip_of(7), net.tip_of(0));
+}
+
 // --- 51% attack model (E6) ---------------------------------------------------------
 
 TEST(Attack, AnalyticMatchesWhitepaperValues) {

@@ -77,7 +77,7 @@ TEST_P(GossipSweep, DedupHoldsAtEveryFanout) {
     net::GossipParams params;
     params.fanout = fanout;
     net::GossipOverlay overlay(network, 40, params,
-                               [&](net::NodeId node, const std::string&,
+                               [&](net::NodeId node, net::NodeId, const std::string&,
                                    ByteView) { ++deliveries[node]; });
     network.build_unstructured_overlay(6);
 
