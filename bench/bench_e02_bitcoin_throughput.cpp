@@ -4,10 +4,12 @@
 // capacity (txs/block / interval) is invariant — "Bitcoin does not yield
 // increased performance despite the increase in power".
 #include "bench_util.hpp"
+#include "common/threadpool.hpp"
 #include "consensus/nakamoto.hpp"
 #include "core/dcs.hpp"
 #include "core/experiment.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -153,6 +155,11 @@ int main() {
         run.metric("sig_full_events", events);
         run.metric("sig_full_events_per_sec",
                    bench::rate_per_sec(static_cast<double>(events), wall));
+        // Host-side context for the wall-clock numbers: how many threads the
+        // validation engine used and which SHA-256 backend was dispatched.
+        run.metric("validation_threads",
+                   static_cast<std::uint64_t>(ThreadPool::global_workers() + 1));
+        run.note("sha256_backend", crypto::sha256_backend());
     }
 
     std::printf("\nExpected shape: confirmed tps tracks offered load until ~6.7 "

@@ -2,6 +2,7 @@
 // raises the stale/branch rate (consistency cost); GHOST branch selection
 // recovers chain quality relative to naive longest-chain at short intervals.
 #include "bench_util.hpp"
+#include "common/threadpool.hpp"
 #include "consensus/nakamoto.hpp"
 
 using namespace dlt;
@@ -40,15 +41,32 @@ int main() {
 
     bench::Table table({"interval-s", "rule", "stale-rate", "height", "reorgs",
                         "blocks/hour"});
+    // The eight configurations are independent simulations, so the sweep runs
+    // on the global pool; seeds are assigned by position and results land in
+    // an indexed slot, so the printed table is identical at any thread count.
+    struct Config {
+        double interval;
+        BranchRule rule;
+        std::uint64_t seed;
+    };
+    std::vector<Config> configs;
     std::uint64_t seed = 500;
-    for (const double interval : {600.0, 60.0, 15.0, 5.0}) {
-        for (const BranchRule rule : {BranchRule::kLongestChain, BranchRule::kGhost}) {
-            const RunResult r = run(interval, rule, seed++);
-            table.row({bench::fmt(interval, 0),
-                       rule == BranchRule::kGhost ? "ghost" : "longest",
-                       bench::fmt(r.stale_rate, 3), bench::fmt_int(r.height),
-                       bench::fmt_int(r.reorgs), bench::fmt(3600.0 / interval, 0)});
-        }
+    for (const double interval : {600.0, 60.0, 15.0, 5.0})
+        for (const BranchRule rule : {BranchRule::kLongestChain, BranchRule::kGhost})
+            configs.push_back({interval, rule, seed++});
+
+    std::vector<RunResult> results(configs.size());
+    parallel_for(ThreadPool::global(), 0, configs.size(), [&](std::size_t i) {
+        results[i] = run(configs[i].interval, configs[i].rule, configs[i].seed);
+    });
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const RunResult& r = results[i];
+        table.row({bench::fmt(configs[i].interval, 0),
+                   configs[i].rule == BranchRule::kGhost ? "ghost" : "longest",
+                   bench::fmt(r.stale_rate, 3), bench::fmt_int(r.height),
+                   bench::fmt_int(r.reorgs),
+                   bench::fmt(3600.0 / configs[i].interval, 0)});
     }
     table.print();
 

@@ -3,6 +3,7 @@
 // conjecture — "a blockchain system can only simultaneously provide two out of
 // the three properties" — shows up as no row scoring strong on all three.
 #include "bench_util.hpp"
+#include "common/threadpool.hpp"
 #include "core/chainspec.hpp"
 #include "core/dcs.hpp"
 #include "core/experiment.hpp"
@@ -37,19 +38,27 @@ int main() {
         configs.push_back({ChainSpec::poet_chain(), 50.0, 2000.0});
     }
 
-    int seed = 800;
-    for (const auto& config : configs) {
+    // Independent simulations: fan the sweep out over the pool. Seeds are
+    // fixed by position (800 + index) and rows print in config order, so the
+    // table is byte-identical at any thread count.
+    std::vector<ExperimentMetrics> all_metrics(configs.size());
+    parallel_for(dlt::ThreadPool::global(), 0, configs.size(), [&](std::size_t i) {
         Workload load;
-        load.tx_rate = config.tx_rate;
-        load.duration = config.duration;
-        const auto metrics = run_experiment(config.spec, load, seed++);
-        const auto score = score_dcs(config.spec, metrics);
+        load.tx_rate = configs[i].tx_rate;
+        load.duration = configs[i].duration;
+        all_metrics[i] = run_experiment(configs[i].spec, load,
+                                        800 + static_cast<int>(i));
+    });
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto& metrics = all_metrics[i];
+        const auto score = score_dcs(configs[i].spec, metrics);
         std::string cls;
         if (score.decentralization >= 0.65) cls += 'D';
         if (score.consistency >= 0.65) cls += 'C';
         if (score.scalability >= 0.65) cls += 'S';
         if (cls.empty()) cls = "-";
-        table.row({config.spec.name, bench::fmt(metrics.throughput_tps, 1),
+        table.row({configs[i].spec.name, bench::fmt(metrics.throughput_tps, 1),
                    bench::fmt(metrics.stale_rate, 3),
                    bench::fmt(score.decentralization),
                    bench::fmt(score.consistency), bench::fmt(score.scalability),

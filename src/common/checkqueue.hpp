@@ -1,0 +1,152 @@
+// Bitcoin-CCheckQueue-style work queue: a batch of independent boolean checks
+// (per-input signature verifications, script checks, ...) is fanned out to the
+// thread pool's workers while the master thread keeps adding work, then joined
+// to a single conjunction. Because logical AND is order-independent and every
+// check is a pure function, the result is bit-identical to running the checks
+// serially — parallelism changes wall-clock only, never outcomes.
+//
+// Protocol: add() one or more batches, then complete() exactly once to join
+// and fetch the verdict; the queue resets and can be reused for the next
+// block. Checks themselves must not touch the queue that is running them —
+// re-entrant add()/complete() from inside a check throws std::logic_error.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace dlt {
+
+template <typename Check>
+class CheckQueue {
+public:
+    /// `grain` is the number of checks a worker claims per critical section —
+    /// large enough to amortize locking, small enough to balance tail latency.
+    explicit CheckQueue(ThreadPool& pool = ThreadPool::global(),
+                        std::size_t grain = 16)
+        : pool_(pool), grain_(grain == 0 ? 1 : grain) {}
+
+    /// Waits for in-flight helpers before destruction, so tearing a queue (or
+    /// the pool) down while a batch is mid-flight is safe: remaining checks
+    /// are drained or skipped, never use-after-freed.
+    ~CheckQueue() {
+        std::unique_lock lock(m_);
+        next_ = checks_.size(); // nothing further is claimed
+        cv_.wait(lock, [this] { return executing_ == 0 && helpers_ == 0; });
+    }
+
+    CheckQueue(const CheckQueue&) = delete;
+    CheckQueue& operator=(const CheckQueue&) = delete;
+
+    /// Append a batch. Workers may begin verifying immediately, overlapping
+    /// with the master thread gathering the next batch.
+    void add(std::vector<Check> checks) {
+        if (checks.empty()) return;
+        if (detail::checkqueue_tls() == this)
+            throw std::logic_error("re-entrant CheckQueue::add from a check");
+        std::size_t spawn = 0;
+        {
+            std::lock_guard lock(m_);
+            for (auto& c : checks) checks_.push_back(std::move(c));
+            const std::size_t pending = checks_.size() - next_;
+            // From a pool worker, spawn nothing: a helper queued behind
+            // long-running tasks would leave complete() waiting on work no
+            // thread is free to start. The batch then runs serially in
+            // complete() — same result, just no nested parallelism.
+            const std::size_t wanted =
+                ThreadPool::on_worker_thread()
+                    ? 0
+                    : std::min(pool_.worker_count(), (pending + grain_ - 1) / grain_);
+            spawn = wanted > helpers_ ? wanted - helpers_ : 0;
+            helpers_ += spawn;
+        }
+        // Submit outside the lock: with a serial pool submit() runs inline.
+        for (std::size_t i = 0; i < spawn; ++i)
+            pool_.submit([this] {
+                std::unique_lock lock(m_);
+                run_chunks(lock);
+                --helpers_;
+                cv_.notify_all();
+            });
+    }
+
+    /// Join: the caller drains remaining checks alongside the helpers, waits
+    /// for stragglers, and returns the conjunction of every check since the
+    /// last complete(). An empty batch is vacuously true. Resets for reuse.
+    bool complete() {
+        if (detail::checkqueue_tls() == this)
+            throw std::logic_error("re-entrant CheckQueue::complete from a check");
+        std::unique_lock lock(m_);
+        run_chunks(lock);
+        cv_.wait(lock, [this] {
+            return executing_ == 0 && helpers_ == 0 && next_ >= checks_.size();
+        });
+        const bool result = ok_.load(std::memory_order_relaxed);
+        checks_.clear();
+        next_ = 0;
+        ok_.store(true, std::memory_order_relaxed);
+        return result;
+    }
+
+private:
+    /// Claim and execute chunks until no work is left. Called with `lock`
+    /// held; returns with it held. Claimed checks are moved out of the shared
+    /// vector under the lock so execution never touches shared storage.
+    void run_chunks(std::unique_lock<std::mutex>& lock) {
+        const void* const prev = detail::checkqueue_tls();
+        detail::checkqueue_tls() = this;
+        while (next_ < checks_.size()) {
+            const std::size_t lo = next_;
+            const std::size_t hi = std::min(lo + grain_, checks_.size());
+            next_ = hi;
+            std::vector<Check> chunk;
+            chunk.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i)
+                chunk.push_back(std::move(checks_[i]));
+            ++executing_;
+            lock.unlock();
+
+            bool chunk_ok = true;
+            try {
+                for (auto& check : chunk) {
+                    // The conjunction is already false: skip the remaining
+                    // work (the result cannot change — Bitcoin's fAllOk gate).
+                    if (!ok_.load(std::memory_order_relaxed)) break;
+                    if (!check()) {
+                        chunk_ok = false;
+                        break;
+                    }
+                }
+            } catch (...) {
+                // Checks are contractually non-throwing (signature checks
+                // catch their own CryptoError); a throw that does escape
+                // counts as a failed check rather than poisoning the queue.
+                chunk_ok = false;
+            }
+            if (!chunk_ok) ok_.store(false, std::memory_order_relaxed);
+
+            lock.lock();
+            --executing_;
+        }
+        detail::checkqueue_tls() = prev;
+        cv_.notify_all();
+    }
+
+    ThreadPool& pool_;
+    const std::size_t grain_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<Check> checks_;  // all checks of the current batch
+    std::size_t next_ = 0;       // first unclaimed index
+    std::size_t executing_ = 0;  // chunks currently running
+    std::size_t helpers_ = 0;    // pool tasks scheduled and not yet finished
+    std::atomic<bool> ok_{true};
+};
+
+} // namespace dlt

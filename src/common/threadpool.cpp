@@ -1,0 +1,166 @@
+#include "common/threadpool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace dlt {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(m_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    // Workers only exit once the queue is empty, so joining guarantees every
+    // submitted task has run — CheckQueue helper accounting relies on this.
+    for (auto& w : workers_) w.join();
+}
+
+namespace {
+thread_local bool t_on_worker = false;
+} // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+    t_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(m_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(m_);
+        if (!workers_.empty() && !stopping_) {
+            queue_.push_back(std::move(task));
+            cv_.notify_one();
+            return;
+        }
+    }
+    task(); // serial pool (or shutting down): run inline
+}
+
+namespace {
+
+std::size_t default_global_workers() {
+    if (const char* env = std::getenv("DLT_THREADS")) {
+        const long n = std::atol(env);
+        return n > 1 ? static_cast<std::size_t>(n - 1) : 0;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 1 ? hc - 1 : 0;
+}
+
+std::mutex g_global_mutex;
+
+std::unique_ptr<ThreadPool>& global_slot() {
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+} // namespace
+
+ThreadPool& ThreadPool::global() {
+    std::lock_guard lock(g_global_mutex);
+    auto& slot = global_slot();
+    if (!slot) slot = std::make_unique<ThreadPool>(default_global_workers());
+    return *slot;
+}
+
+void ThreadPool::set_global_workers(std::size_t workers) {
+    std::lock_guard lock(g_global_mutex);
+    auto& slot = global_slot();
+    slot.reset(); // drain and join the old pool before replacing it
+    slot = std::make_unique<ThreadPool>(workers);
+}
+
+std::size_t ThreadPool::global_workers() { return global().worker_count(); }
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    const std::size_t count = end - begin;
+    const std::size_t chunks = (count + grain - 1) / grain;
+    if (pool.worker_count() == 0 || chunks <= 1 || ThreadPool::on_worker_thread()) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+    }
+
+    struct Shared {
+        std::atomic<std::size_t> next;
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t active_helpers = 0;
+        std::exception_ptr error;
+    } shared{std::atomic<std::size_t>(begin), {}, {}, 0, nullptr};
+
+    auto run_chunks = [&] {
+        for (;;) {
+            const std::size_t lo = shared.next.fetch_add(grain);
+            if (lo >= end) return;
+            const std::size_t hi = std::min(lo + grain, end);
+            for (std::size_t i = lo; i < hi; ++i) fn(i);
+        }
+    };
+
+    const std::size_t helpers = std::min(pool.worker_count(), chunks - 1);
+    {
+        std::lock_guard lock(shared.m);
+        shared.active_helpers = helpers;
+    }
+    for (std::size_t h = 0; h < helpers; ++h) {
+        pool.submit([&shared, &run_chunks] {
+            try {
+                run_chunks();
+            } catch (...) {
+                std::lock_guard lock(shared.m);
+                if (!shared.error) shared.error = std::current_exception();
+            }
+            std::lock_guard lock(shared.m);
+            --shared.active_helpers;
+            shared.cv.notify_all();
+        });
+    }
+
+    std::exception_ptr caller_error;
+    try {
+        run_chunks();
+    } catch (...) {
+        caller_error = std::current_exception();
+        shared.next.store(end); // stop helpers from claiming further chunks
+    }
+
+    std::unique_lock lock(shared.m);
+    shared.cv.wait(lock, [&] { return shared.active_helpers == 0; });
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (shared.error) std::rethrow_exception(shared.error);
+}
+
+namespace detail {
+
+const void*& checkqueue_tls() {
+    static thread_local const void* active = nullptr;
+    return active;
+}
+
+} // namespace detail
+
+} // namespace dlt

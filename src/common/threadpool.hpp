@@ -1,0 +1,87 @@
+// Reusable fixed-size thread pool plus a blocking parallel_for. This is the
+// only place the codebase creates threads: validation/hashing work is fanned
+// out through the process-wide pool (see checkqueue.hpp), while the
+// discrete-event Scheduler and everything driven by it stays single-threaded
+// so virtual-time experiment outputs are bit-identical at any thread count
+// (DESIGN.md "Threading model").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlt {
+
+/// Fixed set of worker threads draining a FIFO task queue. With zero workers
+/// the pool degrades to inline execution: submit() runs the task on the
+/// calling thread, which keeps every call site oblivious to whether
+/// parallelism is enabled.
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t worker_count() const { return workers_.size(); }
+
+    /// Enqueue a task. Runs inline when the pool has no workers or is shutting
+    /// down. Tasks must not throw (they run on detached-from-caller threads);
+    /// wrap anything throwing at the call site.
+    void submit(std::function<void()> task);
+
+    /// The process-wide pool used by validation, hashing, and the bench
+    /// harness. Sized on first use from the DLT_THREADS environment variable
+    /// (total thread count including the caller: "1" or "0" means serial),
+    /// falling back to hardware_concurrency() - 1 workers. Configure at
+    /// startup — see set_global_workers().
+    static ThreadPool& global();
+
+    /// Replace the global pool with one of exactly `workers` worker threads
+    /// (0 = serial). Drains the old pool first. Not safe to call while other
+    /// threads are using global(); intended for main()/test setup.
+    static void set_global_workers(std::size_t workers);
+
+    /// Worker count of the global pool (0 when serial).
+    static std::size_t global_workers();
+
+    /// True when the calling thread is a pool worker (any pool). Nested
+    /// fan-out from inside a worker degrades to a serial loop instead of
+    /// submitting helpers: a queued helper behind long-running tasks would
+    /// leave the nested join waiting on work nobody can start.
+    static bool on_worker_thread();
+
+private:
+    void worker_loop();
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+/// Invoke fn(i) for every i in [begin, end), partitioning the range into
+/// chunks of `grain` spread over the pool's workers plus the calling thread.
+/// Blocks until every index has been processed. Iterations must be
+/// independent; the first exception thrown by `fn` is rethrown on the caller
+/// after all in-flight chunks finish. With no workers (or a range of at most
+/// one chunk) this is a plain serial loop, so results never depend on the
+/// thread count — only wall-clock does.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+namespace detail {
+/// Thread-local marker identifying the CheckQueue (if any) whose checks the
+/// current thread is executing; used to reject re-entrant use. Lives here so
+/// the template in checkqueue.hpp shares one slot across instantiations.
+const void*& checkqueue_tls();
+} // namespace detail
+
+} // namespace dlt

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "ledger/validation.hpp"
 
 namespace dlt::consensus {
 
@@ -17,6 +18,7 @@ OrderingService::OrderingService(OrderingParams params, std::uint64_t seed)
     network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(3));
     ledgers_.resize(params_.peer_count);
     reorder_.resize(params_.peer_count);
+    next_seq_.assign(params_.peer_count, 1);
     for (std::uint32_t i = 0; i < params_.peer_count; ++i) {
         const net::NodeId id = network_->add_node(
             [this, i](const net::Delivery& d) { on_deliver(i, d); });
@@ -111,14 +113,24 @@ void OrderingService::on_deliver(std::uint32_t peer, const net::Delivery& d) {
             }
         }
 
-        // Append strictly in sequence order; buffer early arrivals.
+        // Append strictly in sequence order; buffer early arrivals. When
+        // signature verification is on, each batch is checked (one parallel
+        // CheckQueue batch; the sigcache makes peers 2..N nearly free) as it
+        // is consumed — a failing batch is skipped identically at every peer,
+        // so ledgers stay in lockstep.
         reorder_[peer].emplace(block.sequence, std::move(block));
         auto& buffer = reorder_[peer];
         auto& ledger = ledgers_[peer];
-        while (!buffer.empty() &&
-               buffer.begin()->first == ledger.size() + 1) {
-            ledger.push_back(std::move(buffer.begin()->second));
+        while (!buffer.empty() && buffer.begin()->first == next_seq_[peer]) {
+            OrderedBlock next = std::move(buffer.begin()->second);
             buffer.erase(buffer.begin());
+            ++next_seq_[peer];
+            if (params_.verify_signatures &&
+                !ledger::verify_batch_signatures(next.txs)) {
+                if (peer == 0) ++rejected_batches_;
+                continue;
+            }
+            ledger.push_back(std::move(next));
         }
     } catch (const Error&) {
     }

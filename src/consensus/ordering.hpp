@@ -34,6 +34,11 @@ struct OrderingParams {
     SimDuration batch_interval = 0.5;  // cut a partial batch after this long
     net::LinkParams link{};
     std::string chain_tag = "ordering";
+    /// Verify every delivered batch's transaction signatures (as one parallel
+    /// CheckQueue batch on the global pool) and discard batches that fail.
+    /// Off by default: E04/E11's workloads submit unsigned transactions, and
+    /// ordering throughput experiments isolate sequencing cost.
+    bool verify_signatures = false;
 };
 
 /// One delivered block at a committing peer.
@@ -63,6 +68,10 @@ public:
 
     std::uint64_t total_ordered() const { return total_ordered_; }
 
+    /// Batches a peer discarded for failing signature verification (counted
+    /// once, at peer 0). Always 0 unless params.verify_signatures is set.
+    std::uint64_t rejected_batches() const { return rejected_batches_; }
+
     /// Mean submit->deliver latency at peer 0.
     std::optional<double> mean_delivery_latency() const;
 
@@ -88,7 +97,12 @@ private:
     /// k (independent latency samples), but committing peers append strictly in
     /// sequence order, like a real ordered-delivery channel.
     std::vector<std::map<std::uint64_t, OrderedBlock>> reorder_;
+    /// Next sequence each peer will consume (appended or, when signature
+    /// verification rejects the batch, skipped — ledger.size()+1 no longer
+    /// tracks the expected sequence once batches can be discarded).
+    std::vector<std::uint64_t> next_seq_;
     std::uint64_t total_ordered_ = 0;
+    std::uint64_t rejected_batches_ = 0;
     std::unordered_map<std::uint64_t, std::vector<SimTime>> batch_submit_times_;
     std::vector<double> latencies_;
 };

@@ -1,5 +1,10 @@
 // SHA-256 (FIPS 180-4), implemented from scratch: streaming context plus one-shot
 // helpers, including Bitcoin's double-SHA256 and BIP-340-style tagged hashes.
+// The compression function is runtime-dispatched: on x86-64 CPUs with the SHA
+// extensions (SHA-NI) a hardware-accelerated transform is selected at first
+// use, with the portable scalar implementation as the fallback (and available
+// for cross-checking — see sha256_force_scalar()). Both produce identical
+// digests; dispatch changes wall-clock only.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +12,32 @@
 #include "common/bytes.hpp"
 
 namespace dlt::crypto {
+
+namespace detail {
+
+/// Compress `nblocks` consecutive 64-byte message blocks into `state`.
+using Sha256Transform = void (*)(std::uint32_t state[8], const std::uint8_t* blocks,
+                                 std::size_t nblocks);
+
+/// Portable scalar transform (always available).
+void sha256_transform_scalar(std::uint32_t state[8], const std::uint8_t* blocks,
+                             std::size_t nblocks);
+
+/// SHA-NI transform, or nullptr when the CPU or build lacks support.
+Sha256Transform sha256_transform_shani();
+
+/// The transform active right now (SHA-NI when supported unless forced scalar).
+Sha256Transform sha256_active_transform();
+
+} // namespace detail
+
+/// Name of the active compression backend: "sha-ni" or "scalar".
+const char* sha256_backend();
+
+/// Force the scalar backend on (true) or restore auto-dispatch (false). Used
+/// by benches and the SIMD-vs-scalar property tests; call from one thread
+/// before hashing work is in flight.
+void sha256_force_scalar(bool force);
 
 class Sha256 {
 public:
@@ -19,8 +50,6 @@ public:
     Hash256 finalize();
 
 private:
-    void compress(const std::uint8_t* block);
-
     std::uint32_t state_[8];
     std::uint8_t buffer_[64];
     std::uint64_t total_len_ = 0;
@@ -30,8 +59,18 @@ private:
 /// One-shot SHA-256.
 Hash256 sha256(ByteView data);
 
-/// Bitcoin-style double SHA-256: sha256(sha256(data)).
+/// Bitcoin-style double SHA-256: sha256(sha256(data)). Reuses a single
+/// context and takes the sha256d_64 fast path for 64-byte inputs.
 Hash256 sha256d(ByteView data);
+
+/// Single SHA-256 of exactly 64 bytes: two compression calls, no streaming
+/// buffer copies. This is the Merkle inner-node shape (two concatenated
+/// 32-byte digests) — see hash_pair().
+Hash256 sha256_64(const std::uint8_t* data64);
+
+/// Double SHA-256 of exactly 64 bytes: a single three-compression chain with
+/// no intermediate Hash256 copy (Bitcoin's merkle/txid inner shape).
+Hash256 sha256d_64(const std::uint8_t* data64);
 
 /// Tagged hash: sha256(sha256(tag) || sha256(tag) || data). Domain-separates
 /// different uses of the hash function (block ids, tx ids, commitments, ...).

@@ -1,0 +1,148 @@
+// SHA-256 compression using the x86 SHA New Instructions (SHA-NI): the
+// message schedule and round function run in hardware via sha256msg1/msg2 and
+// sha256rnds2. Selected at runtime (crypto/sha256.cpp dispatch) when the CPU
+// reports SHA + SSE4.1 support; every other build path compiles this file to
+// a stub that reports "unavailable". Digests are bit-identical to the scalar
+// transform — test_crypto cross-checks the two on randomized inputs.
+#include "crypto/sha256.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DLT_SHANI_BUILD 1
+#include <immintrin.h>
+#else
+#define DLT_SHANI_BUILD 0
+#endif
+
+namespace dlt::crypto::detail {
+
+#if DLT_SHANI_BUILD
+
+namespace {
+
+// Four rounds: add the round constants to the schedule words in MSG_, run two
+// sha256rnds2 (each consumes two rounds' worth from the low lanes).
+#define DLT_SHA_QROUND(S0, S1, MSG_, K_HI, K_LO)                              \
+    do {                                                                      \
+        __m128i wk_ = _mm_add_epi32(                                          \
+            MSG_, _mm_set_epi64x(static_cast<long long>(K_HI),                \
+                                 static_cast<long long>(K_LO)));              \
+        S1 = _mm_sha256rnds2_epu32(S1, S0, wk_);                              \
+        wk_ = _mm_shuffle_epi32(wk_, 0x0E);                                   \
+        S0 = _mm_sha256rnds2_epu32(S0, S1, wk_);                              \
+    } while (0)
+
+// Message-schedule expansion: MA += alignr(MD, MC, 4); MA = msg2(MA, MD).
+#define DLT_SHA_EXPAND(MA, MC, MD)                                            \
+    do {                                                                      \
+        const __m128i tmp_ = _mm_alignr_epi8(MD, MC, 4);                      \
+        MA = _mm_add_epi32(MA, tmp_);                                         \
+        MA = _mm_sha256msg2_epu32(MA, MD);                                    \
+    } while (0)
+
+__attribute__((target("sha,sse4.1")))
+void transform_shani(std::uint32_t state[8], const std::uint8_t* blocks,
+                     std::size_t nblocks) {
+    // Big-endian load shuffle for the 16 message words.
+    const __m128i kByteSwap =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+    // Repack {a..h} into the ABEF/CDGH register layout sha256rnds2 expects.
+    __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+    __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);       // CDAB
+    state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+    for (std::size_t blk = 0; blk < nblocks; ++blk, blocks += 64) {
+        const __m128i abef_save = state0;
+        const __m128i cdgh_save = state1;
+
+        __m128i msg0 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 0)), kByteSwap);
+        __m128i msg1 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)), kByteSwap);
+        __m128i msg2 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)), kByteSwap);
+        __m128i msg3 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)), kByteSwap);
+
+        // Rounds 0-15: the raw message words.
+        DLT_SHA_QROUND(state0, state1, msg0, 0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL);
+        DLT_SHA_QROUND(state0, state1, msg1, 0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        DLT_SHA_QROUND(state0, state1, msg2, 0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        DLT_SHA_QROUND(state0, state1, msg3, 0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL);
+        DLT_SHA_EXPAND(msg0, msg2, msg3);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 16-47: schedule expansion interleaved with the rounds.
+        DLT_SHA_QROUND(state0, state1, msg0, 0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL);
+        DLT_SHA_EXPAND(msg1, msg3, msg0);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        DLT_SHA_QROUND(state0, state1, msg1, 0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL);
+        DLT_SHA_EXPAND(msg2, msg0, msg1);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        DLT_SHA_QROUND(state0, state1, msg2, 0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL);
+        DLT_SHA_EXPAND(msg3, msg1, msg2);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        DLT_SHA_QROUND(state0, state1, msg3, 0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL);
+        DLT_SHA_EXPAND(msg0, msg2, msg3);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+        DLT_SHA_QROUND(state0, state1, msg0, 0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL);
+        DLT_SHA_EXPAND(msg1, msg3, msg0);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        DLT_SHA_QROUND(state0, state1, msg1, 0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL);
+        DLT_SHA_EXPAND(msg2, msg0, msg1);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        DLT_SHA_QROUND(state0, state1, msg2, 0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL);
+        DLT_SHA_EXPAND(msg3, msg1, msg2);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        DLT_SHA_QROUND(state0, state1, msg3, 0x106AA070F40E3585ULL, 0xD6990624D192E819ULL);
+        DLT_SHA_EXPAND(msg0, msg2, msg3);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 48-63: the remaining expansions. W60-63 still needs msg3's
+        // sigma0 feed from W48-51, so one last sha256msg1 rides along here.
+        DLT_SHA_QROUND(state0, state1, msg0, 0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL);
+        DLT_SHA_EXPAND(msg1, msg3, msg0);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        DLT_SHA_QROUND(state0, state1, msg1, 0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL);
+        DLT_SHA_EXPAND(msg2, msg0, msg1);
+        DLT_SHA_QROUND(state0, state1, msg2, 0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL);
+        DLT_SHA_EXPAND(msg3, msg1, msg2);
+        DLT_SHA_QROUND(state0, state1, msg3, 0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL);
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    // Unpack ABEF/CDGH back to {a..h}.
+    tmp = _mm_shuffle_epi32(state0, 0x1B);    // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0);          // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8);             // HGFE
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#undef DLT_SHA_QROUND
+#undef DLT_SHA_EXPAND
+
+} // namespace
+
+Sha256Transform sha256_transform_shani() {
+    if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1"))
+        return &transform_shani;
+    return nullptr;
+}
+
+#else
+
+Sha256Transform sha256_transform_shani() { return nullptr; }
+
+#endif
+
+} // namespace dlt::crypto::detail

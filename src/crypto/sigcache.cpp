@@ -1,5 +1,7 @@
 #include "crypto/sigcache.hpp"
 
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -9,11 +11,7 @@
 
 namespace dlt::crypto {
 
-SigCache::SigCache(std::size_t capacity) : capacity_(capacity) {
-    if (capacity_ == 0) capacity_ = 1;
-    map_.reserve(capacity_);
-    fifo_.reserve(capacity_);
-}
+SigCache::SigCache(std::size_t capacity) { set_capacity(capacity); }
 
 Hash256 SigCache::entry_key(ByteView pubkey, const Hash256& msg_hash, ByteView sig) {
     Bytes preimage;
@@ -25,43 +23,81 @@ Hash256 SigCache::entry_key(ByteView pubkey, const Hash256& msg_hash, ByteView s
 }
 
 std::optional<bool> SigCache::lookup(const Hash256& key) {
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
-        ++stats_.misses;
+    Stripe& stripe = stripes_[stripe_index(key)];
+    std::lock_guard lock(stripe.m);
+    const auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
 }
 
 void SigCache::insert(const Hash256& key, bool valid) {
-    if (map_.size() >= capacity_ && map_.find(key) == map_.end()) {
-        // Evict the oldest insertion to make room.
-        map_.erase(fifo_[head_]);
-        fifo_[head_] = key; // reuse the ring slot for the newcomer
-        head_ = (head_ + 1) % fifo_.size();
-        map_.emplace(key, valid);
-        ++stats_.evictions;
-        ++stats_.insertions;
+    Stripe& stripe = stripes_[stripe_index(key)];
+    std::lock_guard lock(stripe.m);
+    if (stripe.map.size() >= stripe_capacity_ &&
+        stripe.map.find(key) == stripe.map.end()) {
+        // Evict the stripe's oldest insertion to make room.
+        stripe.map.erase(stripe.fifo[stripe.head]);
+        stripe.fifo[stripe.head] = key; // reuse the ring slot for the newcomer
+        stripe.head = (stripe.head + 1) % stripe.fifo.size();
+        stripe.map.emplace(key, valid);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        insertions_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
-    if (map_.emplace(key, valid).second) {
-        fifo_.push_back(key);
-        ++stats_.insertions;
+    if (stripe.map.emplace(key, valid).second) {
+        stripe.fifo.push_back(key);
+        insertions_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
+std::size_t SigCache::size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+        std::lock_guard lock(stripe.m);
+        total += stripe.map.size();
+    }
+    return total;
+}
+
 void SigCache::clear() {
-    map_.clear();
-    fifo_.clear();
-    head_ = 0;
+    for (Stripe& stripe : stripes_) {
+        std::lock_guard lock(stripe.m);
+        stripe.map.clear();
+        stripe.fifo.clear();
+        stripe.head = 0;
+    }
 }
 
 void SigCache::set_capacity(std::size_t capacity) {
     capacity_ = capacity == 0 ? 1 : capacity;
+    stripe_capacity_ = capacity_ / kStripes;
+    if (stripe_capacity_ == 0) stripe_capacity_ = 1;
     clear();
-    map_.reserve(capacity_);
-    fifo_.reserve(capacity_);
+    for (Stripe& stripe : stripes_) {
+        std::lock_guard lock(stripe.m);
+        stripe.map.reserve(stripe_capacity_);
+        stripe.fifo.reserve(stripe_capacity_);
+    }
+}
+
+SigCacheStats SigCache::stats() const {
+    SigCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void SigCache::reset_stats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    insertions_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
 }
 
 SigCache& SigCache::global() {
@@ -73,15 +109,26 @@ namespace {
 
 // Decompressing a SEC1 key costs a field square root, and the simulator reuses
 // a handful of signer keys across thousands of signatures — memoize the decode.
-// Decoding is pure, so this is invisible apart from the saved work.
-const secp256k1::Point& decode_pubkey_memoized(ByteView pubkey33) {
-    static std::unordered_map<std::string, secp256k1::Point> memo;
+// Decoding is pure, so this is invisible apart from the saved work. Entries
+// are shared_ptr so a caller's point stays alive across the rare full clear;
+// reads take the shared lock and run concurrently.
+std::shared_ptr<const secp256k1::Point> decode_pubkey_memoized(ByteView pubkey33) {
+    static std::shared_mutex memo_mutex;
+    static std::unordered_map<std::string, std::shared_ptr<const secp256k1::Point>> memo;
     constexpr std::size_t kMaxEntries = 1 << 12;
+
     std::string key(reinterpret_cast<const char*>(pubkey33.data()), pubkey33.size());
-    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    {
+        std::shared_lock lock(memo_mutex);
+        if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    }
+    // Decode outside any lock: several threads may race to decode the same
+    // key, but decoding is pure and the first emplace wins.
+    auto point = std::make_shared<const secp256k1::Point>(
+        secp256k1::decode_compressed(pubkey33));
+    std::unique_lock lock(memo_mutex);
     if (memo.size() >= kMaxEntries) memo.clear(); // rare; refills immediately
-    const secp256k1::Point point = secp256k1::decode_compressed(pubkey33);
-    return memo.emplace(std::move(key), point).first->second;
+    return memo.emplace(std::move(key), std::move(point)).first->second;
 }
 
 } // namespace
@@ -94,8 +141,8 @@ bool verify_signature_cached(ByteView pubkey33, const Hash256& msg_hash,
 
     bool valid = false;
     try {
-        const secp256k1::Point& pubkey = decode_pubkey_memoized(pubkey33);
-        valid = secp256k1::verify(pubkey, msg_hash,
+        const auto pubkey = decode_pubkey_memoized(pubkey33);
+        valid = secp256k1::verify(*pubkey, msg_hash,
                                   secp256k1::Signature::decode(sig64));
     } catch (const CryptoError&) {
         valid = false; // malformed key or signature: definitively invalid

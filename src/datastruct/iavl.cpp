@@ -1,9 +1,11 @@
 #include "datastruct/iavl.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/assert.hpp"
 #include "common/serialize.hpp"
+#include "common/threadpool.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dlt::datastruct {
@@ -17,11 +19,12 @@ struct IavlTree::Node {
     NodePtr right;
 
     mutable std::optional<Hash256> cached_hash;
+    mutable std::once_flag hash_once; // root_hash() warms subtrees in parallel
 
     bool is_leaf() const { return height == 0; }
 
     const Hash256& hash() const {
-        if (!cached_hash) {
+        std::call_once(hash_once, [this] {
             Writer w;
             w.u32(static_cast<std::uint32_t>(height));
             w.u64(size);
@@ -35,7 +38,7 @@ struct IavlTree::Node {
                 w.fixed(right->hash());
             }
             cached_hash = crypto::tagged_hash("dlt/iavl", w.data());
-        }
+        });
         return *cached_hash;
     }
 };
@@ -205,6 +208,32 @@ bool IavlTree::remove(ByteView key) {
 
 Hash256 IavlTree::root_hash() const {
     if (!root_) return Hash256{};
+    // Same shape as the MPT: warm disjoint subtrees' hash caches on the pool
+    // (Node::hash is call_once-guarded), then recurse serially over a tree
+    // whose lower levels are already cached. Purely a wall-clock optimization.
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.worker_count() > 0) {
+        const std::size_t target = (pool.worker_count() + 1) * 4;
+        std::vector<const Node*> frontier{root_.get()};
+        bool expanded = true;
+        while (frontier.size() < target && expanded) {
+            expanded = false;
+            std::vector<const Node*> next;
+            next.reserve(frontier.size() * 2);
+            for (const Node* n : frontier) {
+                if (n->is_leaf()) {
+                    next.push_back(n);
+                } else {
+                    next.push_back(n->left.get());
+                    next.push_back(n->right.get());
+                    expanded = true;
+                }
+            }
+            frontier = std::move(next);
+        }
+        parallel_for(pool, 0, frontier.size(),
+                     [&frontier](std::size_t i) { frontier[i]->hash(); });
+    }
     return root_->hash();
 }
 

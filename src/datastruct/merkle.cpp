@@ -1,6 +1,7 @@
 #include "datastruct/merkle.hpp"
 
 #include "common/assert.hpp"
+#include "common/threadpool.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dlt::datastruct {
@@ -46,14 +47,27 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
         return;
     }
     levels_.push_back(std::move(leaves));
+    // Each level's pair hashes are independent, so wide levels fan out over
+    // the global pool with indexed writes into a preallocated vector — the
+    // result is position-for-position identical to the serial loop. Narrow
+    // levels (and the whole tree on a serial pool) stay on this thread; the
+    // cutoff keeps small per-block trees from paying the handoff cost.
+    constexpr std::size_t kParallelPairs = 512;
+    ThreadPool& pool = ThreadPool::global();
     while (levels_.back().size() > 1) {
         const auto& prev = levels_.back();
-        std::vector<Hash256> next;
-        next.reserve((prev.size() + 1) / 2);
-        for (std::size_t i = 0; i < prev.size(); i += 2) {
+        const std::size_t pairs = (prev.size() + 1) / 2;
+        std::vector<Hash256> next(pairs);
+        const auto hash_pair_at = [&prev, &next](std::size_t p) {
+            const std::size_t i = 2 * p;
             const Hash256& left = prev[i];
             const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-            next.push_back(hash_pair(left, right));
+            next[p] = hash_pair(left, right);
+        };
+        if (pairs >= kParallelPairs && pool.worker_count() > 0) {
+            parallel_for(pool, 0, pairs, hash_pair_at, /*grain=*/64);
+        } else {
+            for (std::size_t p = 0; p < pairs; ++p) hash_pair_at(p);
         }
         levels_.push_back(std::move(next));
     }

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "common/threadpool.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dlt::datastruct {
@@ -367,6 +368,42 @@ bool MerklePatriciaTrie::erase(ByteView key) {
 
 Hash256 MerklePatriciaTrie::root_hash() const {
     if (!root_) return Hash256{};
+    // Warm the hash caches of independent subtrees in parallel before the
+    // serial bottom-up recursion: descend a few levels to build a frontier of
+    // disjoint subtrees, hash each on the pool (Node::hash is call_once, so
+    // racing threads compute a node at most once), then the final recursion
+    // finds everything below the frontier already cached. Result is identical
+    // by construction — the hash of each node is a pure function of the tree.
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.worker_count() > 0) {
+        const std::size_t target = (pool.worker_count() + 1) * 4;
+        std::vector<const Node*> frontier{root_.get()};
+        bool expanded = true;
+        while (frontier.size() < target && expanded) {
+            expanded = false;
+            std::vector<const Node*> next;
+            next.reserve(frontier.size() * 4);
+            for (const Node* n : frontier) {
+                switch (n->kind) {
+                    case Node::Kind::kLeaf:
+                        next.push_back(n);
+                        break;
+                    case Node::Kind::kExtension:
+                        next.push_back(n->child.get());
+                        expanded = true;
+                        break;
+                    case Node::Kind::kBranch:
+                        for (const auto& c : n->children)
+                            if (c) next.push_back(c.get());
+                        expanded = true;
+                        break;
+                }
+            }
+            frontier = std::move(next);
+        }
+        parallel_for(pool, 0, frontier.size(),
+                     [&frontier](std::size_t i) { frontier[i]->hash(); });
+    }
     return root_->hash();
 }
 

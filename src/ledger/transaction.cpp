@@ -1,5 +1,6 @@
 #include "ledger/transaction.hpp"
 
+#include "common/checkqueue.hpp"
 #include "common/error.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sigcache.hpp"
@@ -110,24 +111,46 @@ void Transaction::sign_with(const crypto::PrivateKey& key) {
     for (auto& in : inputs) in.signature = signature;
 }
 
-bool Transaction::verify_signatures() const {
+bool Transaction::collect_signature_checks(
+    std::vector<crypto::SigCheckJob>& out) const {
     if (is_coinbase()) return true;
+    // The sighash is computed (and cached) here, on the calling thread, so the
+    // jobs handed to workers are pure functions of immutable views — the
+    // mutable cache is never touched off-thread.
+    const Hash256 digest = sighash();
+    if (uses_accounts()) {
+        if (sender_pubkey.empty() || account_signature.empty()) return false;
+        out.push_back(crypto::SigCheckJob{sender_pubkey, digest, account_signature});
+        return true;
+    }
+    if (inputs.empty()) return false;
+    for (const auto& in : inputs) {
+        if (in.pubkey.empty() || in.signature.empty()) return false;
+        out.push_back(crypto::SigCheckJob{in.pubkey, digest, in.signature});
+    }
+    return true;
+}
+
+bool Transaction::verify_signatures() const {
     // Routed through the process-wide sigcache: in the simulator every node
     // validates the same gossiped transaction, and only the first pays for the
     // point decompression + ECDSA verification. Malformed keys/signatures
     // verify as false inside verify_signature_cached (no throw).
-    const Hash256 digest = sighash();
-    if (uses_accounts()) {
-        if (sender_pubkey.empty() || account_signature.empty()) return false;
-        return crypto::verify_signature_cached(sender_pubkey, digest,
-                                               account_signature);
+    std::vector<crypto::SigCheckJob> jobs;
+    if (!collect_signature_checks(jobs)) return false;
+    if (jobs.empty()) return true; // coinbase
+
+    // Parallelism pays only when there are several expensive checks; the
+    // conjunction is order-independent, so the result matches the serial loop.
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.worker_count() == 0 || jobs.size() < 4) {
+        for (const auto& job : jobs)
+            if (!job()) return false;
+        return true;
     }
-    for (const auto& in : inputs) {
-        if (in.pubkey.empty() || in.signature.empty()) return false;
-        if (!crypto::verify_signature_cached(in.pubkey, digest, in.signature))
-            return false;
-    }
-    return !inputs.empty();
+    CheckQueue<crypto::SigCheckJob> queue(pool, /*grain=*/4);
+    queue.add(std::move(jobs));
+    return queue.complete();
 }
 
 void Transaction::encode(Writer& w) const {

@@ -10,6 +10,7 @@
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/sigcache.hpp"
 #include "ledger/amount.hpp"
 
 namespace dlt::ledger {
@@ -108,7 +109,19 @@ struct Transaction {
 
     /// Verify all signatures against the embedded public keys. Does not check
     /// that pubkeys match spent outputs — that needs the UTXO set (validation.hpp).
+    /// Fans per-input checks out to the global thread pool when it has workers
+    /// and the transaction carries enough signatures to amortize the handoff.
     bool verify_signatures() const;
+
+    /// Gather this transaction's signature checks as deferred jobs instead of
+    /// running them, so a block validator can batch many transactions into one
+    /// CheckQueue. Computes (and caches) the sighash on the calling thread —
+    /// the returned jobs are pure and safe to run on any worker, but their
+    /// ByteViews point into this transaction, which must stay alive and
+    /// unmodified until the jobs finish. Returns false if the transaction is
+    /// structurally unsigned (missing key/signature, or a non-coinbase with no
+    /// inputs) — `out` is meaningless in that case. Coinbases append nothing.
+    bool collect_signature_checks(std::vector<crypto::SigCheckJob>& out) const;
 
     friend bool operator==(const Transaction& a, const Transaction& b);
 

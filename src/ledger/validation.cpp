@@ -1,6 +1,8 @@
 #include "ledger/validation.hpp"
 
+#include "common/checkqueue.hpp"
 #include "common/error.hpp"
+#include "crypto/sigcache.hpp"
 
 namespace dlt::ledger {
 
@@ -16,14 +18,53 @@ void check_block_structure(const Block& block, const ValidationRules& rules) {
         if (block.txs.empty() || !block.txs.front().is_coinbase())
             throw ValidationError("first transaction must be coinbase");
     }
+
+    const bool check_sigs = rules.sig_mode == SigCheckMode::kFull;
+    // One queue for the whole block: workers verify earlier transactions'
+    // signatures while this thread is still gathering jobs from later ones
+    // (Bitcoin's CCheckQueue shape). Structural defects (missing signature)
+    // still throw at their position; EC outcomes join at complete().
+    const bool parallel = check_sigs && ThreadPool::global().worker_count() > 0;
+    CheckQueue<crypto::SigCheckJob> queue;
+
     for (std::size_t i = 0; i < block.txs.size(); ++i) {
         const auto& tx = block.txs[i];
         if (tx.is_coinbase() && i != 0)
             throw ValidationError("coinbase beyond first position");
-        if (rules.sig_mode == SigCheckMode::kFull && !tx.is_coinbase() &&
-            !tx.verify_signatures())
+        if (!check_sigs || tx.is_coinbase()) continue;
+        if (parallel) {
+            std::vector<crypto::SigCheckJob> jobs;
+            if (!tx.collect_signature_checks(jobs))
+                throw ValidationError("bad transaction signature");
+            queue.add(std::move(jobs));
+        } else if (!tx.verify_signatures()) {
             throw ValidationError("bad transaction signature");
+        }
     }
+    if (parallel && !queue.complete())
+        throw ValidationError("bad transaction signature");
+}
+
+bool verify_batch_signatures(const std::vector<Transaction>& txs) {
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.worker_count() == 0) {
+        for (const auto& tx : txs)
+            if (!tx.verify_signatures()) return false;
+        return true;
+    }
+    CheckQueue<crypto::SigCheckJob> queue(pool);
+    bool structurally_ok = true;
+    for (const auto& tx : txs) {
+        std::vector<crypto::SigCheckJob> jobs;
+        if (!tx.collect_signature_checks(jobs)) {
+            structurally_ok = false;
+            break; // the batch already fails; stop gathering
+        }
+        queue.add(std::move(jobs));
+    }
+    // Always join, even on structural failure, so in-flight checks drain.
+    const bool sigs_ok = queue.complete();
+    return structurally_ok && sigs_ok;
 }
 
 UtxoUndo connect_block(const Block& block, UtxoSet& utxo,

@@ -26,7 +26,19 @@ struct ValidationRules {
 
 /// Structural checks that need no chain context: size, Merkle root, coinbase
 /// placement, signatures (per `rules.sig_mode`). Throws ValidationError.
+/// With kFull and a non-serial global thread pool, all signature checks in
+/// the block are verified as one CheckQueue batch: the coordinating thread
+/// gathers per-input jobs (overlapping with the workers already verifying)
+/// and joins at the end. The accept/reject outcome is identical to the serial
+/// loop; only which defect is *reported first* can differ on a block with
+/// several independent defects.
 void check_block_structure(const Block& block, const ValidationRules& rules);
+
+/// Verify the signatures of every transaction as one parallel batch — the
+/// conjunction of tx.verify_signatures() over `txs`, computed on the global
+/// pool when it has workers. Used by ordering services that pre-verify client
+/// batches before sequencing them.
+bool verify_batch_signatures(const std::vector<Transaction>& txs);
 
 /// Full contextual check against the parent-chain UTXO set: applies every
 /// transaction, enforces the subsidy ceiling (subsidy + fees), and returns the

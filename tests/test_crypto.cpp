@@ -69,6 +69,73 @@ TEST(Sha256, TaggedHashSeparatesDomains) {
     EXPECT_NE(tagged_hash("a", msg), sha256(msg));
 }
 
+// --- SHA-256 backend dispatch (SHA-NI vs scalar) --------------------------------
+
+/// Force the scalar backend for one scope, restoring auto-dispatch even when an
+/// assertion fails mid-test.
+struct ScopedScalarSha {
+    ScopedScalarSha() { sha256_force_scalar(true); }
+    ~ScopedScalarSha() { sha256_force_scalar(false); }
+};
+
+TEST(Sha256Backend, ScalarAndDispatchedAgreeOnAllLengths) {
+    // On CPUs without SHA-NI both runs use the scalar transform and the test
+    // is a tautology; with it, every boundary length cross-checks the
+    // hand-written intrinsics against the portable implementation.
+    Rng rng(7);
+    for (const std::size_t len :
+         {0ul, 1ul, 31ul, 55ul, 56ul, 63ul, 64ul, 65ul, 127ul, 128ul, 129ul, 1000ul}) {
+        Bytes data(len);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+        Hash256 scalar_digest;
+        {
+            ScopedScalarSha forced;
+            scalar_digest = sha256(data);
+        }
+        EXPECT_EQ(sha256(data), scalar_digest) << "len=" << len;
+    }
+}
+
+TEST(Sha256Backend, DoubleShaAgreesAcrossBackends) {
+    Rng rng(8);
+    Bytes data(200);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    Hash256 scalar_digest;
+    {
+        ScopedScalarSha forced;
+        scalar_digest = sha256d(data);
+    }
+    EXPECT_EQ(sha256d(data), scalar_digest);
+}
+
+TEST(Sha256Backend, FastPathsMatchComposedDefinitions) {
+    Rng rng(9);
+    std::uint8_t block[64];
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
+    const ByteView view{block, 64};
+
+    // sha256_64 / sha256d_64 are specialized shapes of the generic functions.
+    EXPECT_EQ(sha256_64(block), sha256(view));
+    EXPECT_EQ(sha256d_64(block), sha256(sha256(view).view()));
+    EXPECT_EQ(sha256d_64(block), sha256d(view));
+
+    // hash_pair(l, r) is sha256(l || r) — the Merkle inner-node rule.
+    Hash256 left, right;
+    for (std::size_t i = 0; i < 32; ++i) {
+        left.data[i] = block[i];
+        right.data[i] = block[32 + i];
+    }
+    EXPECT_EQ(hash_pair(left, right), sha256_64(block));
+
+    // The fast paths also agree across backends.
+    Hash256 scalar_digest;
+    {
+        ScopedScalarSha forced;
+        scalar_digest = sha256d_64(block);
+    }
+    EXPECT_EQ(sha256d_64(block), scalar_digest);
+}
+
 // --- RIPEMD-160 (official vectors) ----------------------------------------------
 
 TEST(Ripemd160, Empty) {
@@ -481,26 +548,45 @@ TEST(SigCache, DuplicateInsertIsIgnored) {
     EXPECT_EQ(cache.stats().insertions, 1u);
 }
 
-TEST(SigCache, EvictsOldestInsertionFirst) {
-    SigCache cache(3);
-    for (unsigned i = 0; i < 3; ++i) cache.insert(cache_key_for(i), true);
+// Keys that all land in stripe 0, so the per-stripe FIFO order is observable
+// (eviction is independent per stripe since the cache was lock-striped).
+Hash256 stripe0_key_for(unsigned i) {
+    for (unsigned nonce = 0;; ++nonce) {
+        const Hash256 h = sha256(
+            to_bytes("sigcache-stripe-" + std::to_string(i) + "-" + std::to_string(nonce)));
+        if (SigCache::stripe_index(h) == 0) return h;
+    }
+}
+
+TEST(SigCache, EvictsOldestInsertionFirstWithinStripe) {
+    // Capacity 3 * kStripes gives each stripe room for exactly 3 entries.
+    SigCache cache(3 * SigCache::kStripes);
+    ASSERT_EQ(cache.stripe_capacity(), 3u);
+    for (unsigned i = 0; i < 3; ++i) cache.insert(stripe0_key_for(i), true);
     EXPECT_EQ(cache.size(), 3u);
     EXPECT_EQ(cache.stats().evictions, 0u);
 
-    // A fourth insertion evicts key 0 (the oldest), keeping size at capacity.
-    cache.insert(cache_key_for(3), true);
+    // A fourth same-stripe insertion evicts key 0 (the stripe's oldest).
+    cache.insert(stripe0_key_for(3), true);
     EXPECT_EQ(cache.size(), 3u);
     EXPECT_EQ(cache.stats().evictions, 1u);
-    EXPECT_FALSE(cache.lookup(cache_key_for(0)).has_value());
-    EXPECT_TRUE(cache.lookup(cache_key_for(1)).has_value());
-    EXPECT_TRUE(cache.lookup(cache_key_for(2)).has_value());
-    EXPECT_TRUE(cache.lookup(cache_key_for(3)).has_value());
+    EXPECT_FALSE(cache.lookup(stripe0_key_for(0)).has_value());
+    EXPECT_TRUE(cache.lookup(stripe0_key_for(1)).has_value());
+    EXPECT_TRUE(cache.lookup(stripe0_key_for(2)).has_value());
+    EXPECT_TRUE(cache.lookup(stripe0_key_for(3)).has_value());
 
     // The next eviction takes key 1: FIFO order survives the ring wrap.
-    cache.insert(cache_key_for(4), true);
+    cache.insert(stripe0_key_for(4), true);
     EXPECT_EQ(cache.stats().evictions, 2u);
-    EXPECT_FALSE(cache.lookup(cache_key_for(1)).has_value());
-    EXPECT_TRUE(cache.lookup(cache_key_for(4)).has_value());
+    EXPECT_FALSE(cache.lookup(stripe0_key_for(1)).has_value());
+    EXPECT_TRUE(cache.lookup(stripe0_key_for(4)).has_value());
+
+    // A key in a different stripe doesn't disturb stripe 0's occupancy.
+    Hash256 other = cache_key_for(99);
+    other.data[0] = 0x01; // stripe 1
+    cache.insert(other, true);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.size(), 4u);
 }
 
 TEST(SigCache, CachedVerifyMatchesDirectVerify) {
