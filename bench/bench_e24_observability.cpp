@@ -1,0 +1,214 @@
+// E24 — observability overhead: the metrics/tracing layer must be cheap
+// enough to leave on. Measures (1) the micro-cost of the registry primitives
+// (counter inc, histogram record), (2) end-to-end overhead of full tracing +
+// lifecycle tracking on E2's signed-validation path (the most host-intensive
+// simulation workload), and (3) that simulation outcomes are identical with
+// observability on and off — metrics are pure observers.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "consensus/nakamoto.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sigcache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/txlifecycle.hpp"
+
+using namespace dlt;
+
+namespace {
+
+struct SignedRunResult {
+    Hash256 tip;
+    std::uint64_t height = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t submitted = 0;
+    double wall_s = 0;
+};
+
+// E2's full-ECDSA section: 8 peers, 30 s blocks, SigCheckMode::kFull, signed
+// record transactions at 2 tps for 600 virtual seconds. Identical seeds every
+// call, so any two runs must produce identical chains.
+SignedRunResult run_signed_workload(const std::vector<crypto::PrivateKey>& signers) {
+    bench::Timer timer;
+    consensus::NakamotoParams params;
+    params.node_count = 8;
+    params.block_interval = 30.0;
+    params.validation.sig_mode = ledger::SigCheckMode::kFull;
+    consensus::NakamotoNetwork net(params, 99);
+    net.start();
+
+    Rng rng(101);
+    const double duration = 600.0;
+    const double tx_rate = 2.0;
+    std::uint64_t sequence = 0;
+    double next = rng.exponential(tx_rate);
+    while (next < duration) {
+        net.run_for(next - net.now());
+        ledger::Transaction tx;
+        tx.kind = ledger::TxKind::kRecord;
+        tx.nonce = sequence;
+        tx.data = Bytes(170, 0xE2);
+        tx.declared_fee = 100;
+        tx.sign_with(signers[sequence % signers.size()]);
+        ++sequence;
+        net.submit_transaction(tx, static_cast<net::NodeId>(rng.uniform(8)));
+        next += rng.exponential(tx_rate);
+    }
+    net.run_for(duration - net.now() + 120.0);
+
+    SignedRunResult r;
+    r.tip = net.tip_of(0);
+    r.height = net.height_of(0);
+    r.submitted = sequence;
+    r.confirmed = net.confirmed_tx_count();
+    r.wall_s = timer.elapsed_s();
+    return r;
+}
+
+} // namespace
+
+int main() {
+    bench::Run run("E24");
+    bench::title("E24: observability overhead",
+                 "Claim: registry counters cost nanoseconds, full tracing + "
+                 "lifecycle tracking stays under 3% on the signed-validation "
+                 "path, and outputs are identical with observability on or off.");
+
+    auto& registry = obs::MetricsRegistry::global();
+
+    std::printf("Primitive micro-costs (hot loop, single thread):\n");
+    {
+        constexpr std::uint64_t kIncs = 50'000'000;
+        auto& counter = registry.counter("e24_bench_counter", "micro-bench target");
+        bench::Timer t;
+        for (std::uint64_t i = 0; i < kIncs; ++i) counter.inc();
+        const double ns_inc = t.elapsed_s() * 1e9 / static_cast<double>(kIncs);
+
+        constexpr std::uint64_t kRecords = 10'000'000;
+        auto& histogram =
+            registry.histogram("e24_bench_histogram", "micro-bench target");
+        bench::Timer th;
+        for (std::uint64_t i = 0; i < kRecords; ++i)
+            histogram.record(static_cast<double>(i & 0xFFFF) * 1e-6);
+        const double ns_rec = t.elapsed_s() > 0
+                                  ? th.elapsed_s() * 1e9 / static_cast<double>(kRecords)
+                                  : 0.0;
+
+        bench::Table table({"operation", "iterations", "ns/op"});
+        table.row({"Counter::inc", bench::fmt_int(kIncs), bench::fmt(ns_inc, 2)});
+        table.row({"Histogram::record", bench::fmt_int(kRecords),
+                   bench::fmt(ns_rec, 2)});
+        table.print();
+        run.metric("ns_per_counter_inc", ns_inc);
+        run.metric("ns_per_histogram_record", ns_rec);
+    }
+
+    std::printf("\nEnd-to-end overhead on the E2 signed-validation workload:\n");
+    {
+        std::vector<crypto::PrivateKey> signers;
+        for (int i = 0; i < 16; ++i)
+            signers.push_back(
+                crypto::PrivateKey::from_seed("e02/signer/" + std::to_string(i)));
+
+        // Warm-up run: populates the pubkey-decode memo and fills instruction
+        // caches, so the measured pair compares tracing cost, not cold-start.
+        obs::Tracer::global().set_enabled(false);
+        crypto::SigCache::global().clear();
+        (void)run_signed_workload(signers);
+
+        // Baseline: counters on (they always are), tracer off.
+        crypto::SigCache::global().clear();
+        const SignedRunResult off = run_signed_workload(signers);
+
+        // Full observability: tracer buffering every block/reorg/tx event.
+        crypto::SigCache::global().clear();
+        obs::Tracer::global().clear();
+        obs::Tracer::global().set_enabled(true);
+        const SignedRunResult on = run_signed_workload(signers);
+        obs::Tracer::global().set_enabled(false);
+
+        const double overhead_pct =
+            off.wall_s > 0 ? (on.wall_s - off.wall_s) / off.wall_s * 100.0 : 0.0;
+        const bool identical = off.tip == on.tip && off.height == on.height &&
+                               off.confirmed == on.confirmed;
+
+        bench::Table table(
+            {"mode", "wall-s", "height", "confirmed", "trace-events"});
+        table.row({"obs off", bench::fmt(off.wall_s), bench::fmt_int(off.height),
+                   bench::fmt_int(off.confirmed), "0"});
+        table.row({"obs on", bench::fmt(on.wall_s), bench::fmt_int(on.height),
+                   bench::fmt_int(on.confirmed),
+                   bench::fmt_int(obs::Tracer::global().size())});
+        table.print();
+        std::printf("overhead: %+.2f%%  outcomes identical: %s\n", overhead_pct,
+                    identical ? "yes" : "NO — determinism violation");
+
+        run.metric("signed_wall_s_obs_off", off.wall_s);
+        run.metric("signed_wall_s_obs_on", on.wall_s);
+        run.metric("overhead_pct", overhead_pct);
+        run.metric("outcomes_identical",
+                   static_cast<std::uint64_t>(identical ? 1 : 0));
+        run.metric("trace_events", obs::Tracer::global().size());
+    }
+
+    std::printf("\nTransaction lifecycle distribution (from the traced run):\n");
+    {
+        // Re-run once more with a lifecycle readout: submit -> k-deep-final
+        // latency quantiles through a registry histogram.
+        std::vector<crypto::PrivateKey> signers;
+        for (int i = 0; i < 16; ++i)
+            signers.push_back(
+                crypto::PrivateKey::from_seed("e02/signer/" + std::to_string(i)));
+        crypto::SigCache::global().clear();
+
+        consensus::NakamotoParams params;
+        params.node_count = 8;
+        params.block_interval = 30.0;
+        params.validation.sig_mode = ledger::SigCheckMode::kFull;
+        consensus::NakamotoNetwork net(params, 99);
+        net.start();
+        Rng rng(101);
+        std::uint64_t sequence = 0;
+        double next = rng.exponential(2.0);
+        while (next < 600.0) {
+            net.run_for(next - net.now());
+            ledger::Transaction tx;
+            tx.kind = ledger::TxKind::kRecord;
+            tx.nonce = sequence;
+            tx.data = Bytes(170, 0xE2);
+            tx.declared_fee = 100;
+            tx.sign_with(signers[sequence % signers.size()]);
+            ++sequence;
+            net.submit_transaction(tx, static_cast<net::NodeId>(rng.uniform(8)));
+            next += rng.exponential(2.0);
+        }
+        net.run_for(600.0 - net.now() + 600.0); // long tail so txs go k-deep
+
+        auto& latency = registry.histogram(
+            "confirmation_latency_seconds",
+            "Submit to k-deep-final latency (virtual seconds)",
+            {0.1, 2.0, 24});
+        net.lifecycle().record_latencies(obs::TxStage::kSubmitted,
+                                         obs::TxStage::kFinal, latency);
+
+        bench::Table table({"tracked", "finalized", "p50-s", "p90-s", "p99-s"});
+        table.row({bench::fmt_int(net.lifecycle().tracked()),
+                   bench::fmt_int(net.lifecycle().finalized()),
+                   bench::fmt(latency.quantile(0.5), 0),
+                   bench::fmt(latency.quantile(0.9), 0),
+                   bench::fmt(latency.quantile(0.99), 0)});
+        table.print();
+
+        run.metric("lifecycle_tracked", net.lifecycle().tracked());
+        run.metric("lifecycle_finalized", net.lifecycle().finalized());
+        run.metric("final_latency_p50_s", latency.quantile(0.5));
+        run.metric("final_latency_p99_s", latency.quantile(0.99));
+    }
+
+    std::printf("\nExpected shape: counter inc in single-digit nanoseconds, "
+                "overhead within noise of 0%% (hard gate: < 3%%), identical "
+                "outcomes, and a k-deep latency distribution centered a few "
+                "block intervals past submission.\n");
+    return 0;
+}

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
+
 namespace bench {
 
 inline void title(const std::string& id, const std::string& claim) {
@@ -84,9 +86,16 @@ inline double rate_per_sec(double count, double seconds) {
 /// object to BENCH_<id>.json in the working directory on destruction (or an
 /// explicit write_json()). Every bench binary constructs one of these so each
 /// run — local or CI — leaves a machine-readable perf record behind.
+///
+/// Serialization delegates to obs::JsonObjectWriter (the observability layer's
+/// shared JSON emitter), so escaping and "%.6g" number formatting are the same
+/// ones the metrics snapshot and Chrome-trace exporters use — the historical
+/// BENCH_<id>.json schema, now produced by one formatter instead of two.
 class Run {
 public:
-    explicit Run(std::string id) : id_(std::move(id)) {}
+    explicit Run(std::string id) : id_(std::move(id)) {
+        json_.field_string("id", id_);
+    }
 
     Run(const Run&) = delete;
     Run& operator=(const Run&) = delete;
@@ -97,15 +106,15 @@ public:
 
     /// Record a numeric metric (insertion order is preserved in the output).
     void metric(const std::string& name, double value) {
-        set(name, json_number(value));
+        json_.field_number(name, value);
     }
     void metric(const std::string& name, std::uint64_t value) {
-        set(name, std::to_string(value));
+        json_.field_uint(name, value);
     }
 
     /// Record a string annotation.
     void note(const std::string& name, const std::string& value) {
-        set(name, "\"" + escape(value) + "\"");
+        json_.field_string(name, value);
     }
 
     double elapsed_s() const { return timer_.elapsed_s(); }
@@ -114,52 +123,16 @@ public:
     /// always included; callers add section-level timings as plain metrics.
     void write_json() {
         written_ = true;
-        set("wall_seconds", json_number(timer_.elapsed_s()));
+        json_.field_number("wall_seconds", timer_.elapsed_s());
         const std::string path = "BENCH_" + id_ + ".json";
-        std::FILE* f = std::fopen(path.c_str(), "w");
-        if (f == nullptr) return; // read-only working dir: skip the artifact
-        std::fprintf(f, "{\n  \"id\": \"%s\"", escape(id_).c_str());
-        for (const auto& [name, value] : fields_)
-            std::fprintf(f, ",\n  \"%s\": %s", escape(name).c_str(), value.c_str());
-        std::fprintf(f, "\n}\n");
-        std::fclose(f);
-        std::printf("\n[bench] wrote %s\n", path.c_str());
+        // Read-only working dir: silently skip the artifact, as before.
+        if (json_.write_file(path)) std::printf("\n[bench] wrote %s\n", path.c_str());
     }
 
 private:
-    static std::string json_number(double v) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", v);
-        return buf;
-    }
-
-    static std::string escape(const std::string& s) {
-        std::string out;
-        out.reserve(s.size());
-        for (const char c : s) {
-            if (c == '"' || c == '\\') out.push_back('\\');
-            if (c == '\n') {
-                out += "\\n";
-                continue;
-            }
-            out.push_back(c);
-        }
-        return out;
-    }
-
-    void set(const std::string& name, std::string value) {
-        for (auto& [existing, v] : fields_) {
-            if (existing == name) {
-                v = std::move(value);
-                return;
-            }
-        }
-        fields_.emplace_back(name, std::move(value));
-    }
-
     std::string id_;
     Timer timer_;
-    std::vector<std::pair<std::string, std::string>> fields_;
+    dlt::obs::JsonObjectWriter json_;
     bool written_ = false;
 };
 

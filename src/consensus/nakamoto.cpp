@@ -16,9 +16,19 @@ using ledger::Transaction;
 using net::NodeId;
 
 NakamotoNetwork::NakamotoNetwork(NakamotoParams params, std::uint64_t seed)
-    : params_(std::move(params)), rng_(seed) {
+    : params_(std::move(params)),
+      rng_(seed),
+      lifecycle_(params_.finality_depth, &obs::Tracer::global()) {
     DLT_EXPECTS(params_.node_count >= 2);
     DLT_EXPECTS(params_.block_interval > 0);
+
+    auto& registry = obs::MetricsRegistry::global();
+    blocks_mined_ = &registry.counter("consensus_blocks_mined_total",
+                                      "Blocks mined across all peers");
+    reorgs_ = &registry.counter("consensus_reorgs_total",
+                                "Reorganizations across all peers");
+    invalid_blocks_ = &registry.counter("consensus_invalid_blocks_total",
+                                        "Blocks rejected during connect");
 
     genesis_ = ledger::make_genesis(params_.chain_tag, ledger::easy_bits(1));
 
@@ -59,14 +69,25 @@ void NakamotoNetwork::run_for(SimDuration duration) {
 }
 
 void NakamotoNetwork::submit_transaction(const Transaction& tx, NodeId origin) {
+    lifecycle_.on_submitted(tx.txid(), scheduler_.now(), origin);
     gossip_->broadcast(origin, "tx", encode_to_bytes(tx));
 }
 
 void NakamotoNetwork::on_gossip(NodeId node, NodeId from, const std::string& topic,
                                 ByteView payload) {
+    // Stamp log lines emitted while handling this delivery with the virtual
+    // time and acting node, so interleaved multi-node logs stay attributable.
+    const ScopedLogTime log_time(scheduler_.now());
+    const ScopedLogNode log_node(node);
     if (topic == "tx") {
         try {
-            peers_[node].mempool.add(decode_from_bytes<Transaction>(payload));
+            const auto tx = decode_from_bytes<Transaction>(payload);
+            // Lifecycle stamps are no-ops for untracked ids; the txid is
+            // computed by mempool admission anyway (cached), so this is cheap.
+            const Hash256 txid = tx.txid();
+            if (node != from) lifecycle_.on_first_seen(txid, node, scheduler_.now());
+            if (peers_[node].mempool.add(tx))
+                lifecycle_.on_mempool_accepted(txid, node, scheduler_.now());
         } catch (const Error&) {
             // Undecodable gossip is dropped silently, as a real peer would.
         }
@@ -139,6 +160,8 @@ void NakamotoNetwork::try_insert_and_update(NodeId node, const Block& block) {
             const auto target = ledger::compact_to_target(current.header.bits);
             peer.chain->insert(current, ledger::work_from_target(target),
                                scheduler_.now());
+            if (node == 0 && events_.on_block_inserted)
+                events_.on_block_inserted(current, scheduler_.now());
         }
         const auto it = peer.orphans.find(hash);
         if (it != peer.orphans.end()) {
@@ -196,7 +219,10 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
     Peer& peer = peers_[node];
     if (new_tip == peer.active_tip) return;
     const auto path = peer.chain->reorg_path(peer.active_tip, new_tip);
-    if (!path.disconnect.empty()) ++stats_.reorgs;
+    if (!path.disconnect.empty()) {
+        ++stats_.reorgs;
+        reorgs_->inc();
+    }
 
     // Disconnect the old branch (tip first), returning its txs to the mempool.
     for (const auto& hash : path.disconnect) {
@@ -219,6 +245,7 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
                                                           params_.validation));
         } catch (const ValidationError&) {
             ++stats_.invalid_blocks;
+            invalid_blocks_->inc();
             peer.invalid.insert(hash);
             // Roll back whatever we connected from this branch (newest first),
             // then restore the old branch so state matches active_tip again.
@@ -241,6 +268,34 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
     }
 
     peer.active_tip = reached;
+
+    // Peer 0 is the observed replica: feed the lifecycle tracker and the
+    // chain-event observers only after the reorg fully succeeded (a failed
+    // connect rolls everything back above, so nothing is emitted for it).
+    if (node == 0) {
+        const SimTime at = scheduler_.now();
+        for (const auto& hash : path.disconnect) {
+            const auto* entry = peer.chain->find(hash);
+            lifecycle_.on_block_disconnected(entry->height, entry->block.txids());
+        }
+        for (const auto& hash : connected) {
+            const auto* entry = peer.chain->find(hash);
+            lifecycle_.on_block_connected(entry->height, entry->block.txids(), at);
+        }
+        const std::uint64_t tip_height = peer.chain->find(reached)->height;
+        lifecycle_.on_tip_height(tip_height, at);
+        auto& tracer = obs::Tracer::global();
+        if (tracer.enabled() && !path.disconnect.empty()) {
+            tracer.instant("chain.reorg", "consensus", at, node,
+                           {{"depth", obs::trace_arg(static_cast<std::uint64_t>(
+                                 path.disconnect.size()))},
+                            {"connected", obs::trace_arg(static_cast<std::uint64_t>(
+                                 connected.size()))}});
+        }
+        if (events_.on_reorg) events_.on_reorg(path.disconnect, connected, at);
+        if (events_.on_tip_changed) events_.on_tip_changed(reached, tip_height, at);
+    }
+
     schedule_mining(node); // re-point mining at the new tip
 }
 
@@ -316,6 +371,14 @@ void NakamotoNetwork::schedule_mining(NodeId node) {
         peers_[node].mining_event.reset();
         const Block block = assemble_block(node);
         ++stats_.blocks_mined;
+        blocks_mined_->inc();
+        auto& tracer = obs::Tracer::global();
+        if (tracer.enabled()) {
+            tracer.instant("block.mined", "consensus", scheduler_.now(), node,
+                           {{"height", obs::trace_arg(block.header.height)},
+                            {"txs", obs::trace_arg(static_cast<std::uint64_t>(
+                                 block.txs.size()))}});
+        }
         gossip_->broadcast(node, "block", encode_to_bytes(block));
         // Local delivery runs through the gossip handler, so the miner adopts its
         // own block exactly like any other peer; mining then restarts via reorg.

@@ -20,6 +20,8 @@
 #include "ledger/validation.hpp"
 #include "net/gossip.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/txlifecycle.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dlt::consensus {
@@ -48,13 +50,36 @@ struct NakamotoParams {
     /// claim). When disabled, difficulty stays at genesis bits.
     bool enable_retargeting = false;
     ledger::RetargetParams retarget{};
+
+    /// Confirmations needed before the lifecycle tracker stamps a transaction
+    /// k-deep-final (the k of §2.4's probabilistic finality).
+    std::uint64_t finality_depth = 6;
 };
 
-/// Aggregate results captured while the simulation runs.
+/// Aggregate results captured while the simulation runs. Mirrored into the
+/// global MetricsRegistry (consensus_blocks_mined_total, consensus_reorgs_total,
+/// consensus_invalid_blocks_total).
 struct NakamotoStats {
     std::uint64_t blocks_mined = 0;
     std::uint64_t reorgs = 0;
     std::uint64_t invalid_blocks = 0;
+};
+
+/// Pure-observer callbacks fired on peer-0 chain events (the observed
+/// replica). The analytics layer's ReorgMonitor feeds from these instead of
+/// re-walking the chain store per query. Callbacks must not mutate consensus
+/// state — the determinism contract of src/obs applies.
+struct ChainEvents {
+    /// A block entered peer 0's store (any branch), at virtual time `at`.
+    std::function<void(const ledger::Block&, SimTime at)> on_block_inserted;
+    /// Peer 0 reorged: `disconnected` (tip-first) left the active chain,
+    /// `connected` (oldest-first) joined it. Empty `disconnected` = extension.
+    std::function<void(const std::vector<Hash256>& disconnected,
+                       const std::vector<Hash256>& connected, SimTime at)>
+        on_reorg;
+    /// Peer 0's active tip after every successful update.
+    std::function<void(const Hash256& tip, std::uint64_t height, SimTime at)>
+        on_tip_changed;
 };
 
 class NakamotoNetwork {
@@ -119,6 +144,14 @@ public:
 
     const NakamotoStats& stats() const { return stats_; }
     const net::TrafficStats& traffic() const { return network_->stats(); }
+
+    /// Transaction lifecycle telemetry (submit → first-seen → mempool →
+    /// inclusion → k-deep-final), observed from peer 0's chain.
+    const obs::TxLifecycleTracker& lifecycle() const { return lifecycle_; }
+    obs::TxLifecycleTracker& lifecycle() { return lifecycle_; }
+
+    /// Observer hooks for peer-0 chain events (see ChainEvents).
+    ChainEvents& events() { return events_; }
     /// Underlying simulated network (fault injection: apply a FaultPlan,
     /// partition/heal, churn).
     net::Network& network() { return *network_; }
@@ -168,6 +201,11 @@ private:
     std::vector<Peer> peers_;
     ledger::Block genesis_;
     NakamotoStats stats_;
+    obs::TxLifecycleTracker lifecycle_;
+    ChainEvents events_;
+    obs::Counter* blocks_mined_ = nullptr;   // consensus_blocks_mined_total
+    obs::Counter* reorgs_ = nullptr;         // consensus_reorgs_total
+    obs::Counter* invalid_blocks_ = nullptr; // consensus_invalid_blocks_total
 };
 
 } // namespace dlt::consensus

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 // Implementation notes / simplifications (documented in DESIGN.md):
 //  - Point-to-point channels are authenticated by construction in the simulator,
@@ -42,6 +43,13 @@ Hash256 request_digest(const Bytes& request) {
 PbftCluster::PbftCluster(PbftConfig config, std::uint64_t seed)
     : config_(config), n_(3 * config.f + 1), rng_(seed) {
     DLT_EXPECTS(config.f >= 1);
+    auto& registry = obs::MetricsRegistry::global();
+    batches_committed_ = &registry.counter(
+        "pbft_batches_committed_total", "Batches executed across all replicas");
+    requests_executed_ = &registry.counter(
+        "pbft_requests_executed_total", "Requests executed across all replicas");
+    view_changes_ = &registry.counter("pbft_view_changes_total",
+                                      "View transitions across all replicas");
     network_ = std::make_unique<net::Network>(scheduler_, rng_.fork(1));
     replicas_.resize(n_);
     for (std::uint32_t i = 0; i < n_; ++i) {
@@ -302,6 +310,19 @@ void PbftCluster::execute_ready(std::uint32_t replica) {
         batch.view = slot.view;
         batch.requests = slot.requests;
         batch.committed_at = scheduler_.now();
+        batches_committed_->inc();
+        requests_executed_->inc(slot.requests.size());
+        if (replica == 0) {
+            auto& tracer = obs::Tracer::global();
+            if (tracer.enabled()) {
+                tracer.instant(
+                    "pbft.execute", "consensus", scheduler_.now(), replica,
+                    {{"seq", obs::trace_arg(batch.sequence)},
+                     {"view", obs::trace_arg(static_cast<std::uint64_t>(batch.view))},
+                     {"requests", obs::trace_arg(static_cast<std::uint64_t>(
+                          slot.requests.size()))}});
+            }
+        }
         r.log.push_back(std::move(batch));
 
         if (replica == 0) {
@@ -402,6 +423,7 @@ void PbftCluster::enter_view(std::uint32_t replica, std::uint32_t view) {
     Replica& r = replicas_[replica];
     if (view <= r.view) return;
     r.view = view;
+    view_changes_->inc();
 
     // Abandon uncommitted slots: their requests are still in pending (removal
     // happens only on commit) so the new primary re-proposes them.

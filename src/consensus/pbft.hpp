@@ -130,6 +130,9 @@ private:
 
     PbftConfig config_;
     std::uint32_t n_;
+    obs::Counter* batches_committed_ = nullptr; // pbft_batches_committed_total
+    obs::Counter* requests_executed_ = nullptr; // pbft_requests_executed_total
+    obs::Counter* view_changes_ = nullptr;      // pbft_view_changes_total
     sim::Scheduler scheduler_;
     Rng rng_;
     std::unique_ptr<net::Network> network_;

@@ -11,7 +11,19 @@
 
 namespace dlt::crypto {
 
-SigCache::SigCache(std::size_t capacity) { set_capacity(capacity); }
+SigCache::SigCache(std::size_t capacity, obs::MetricsRegistry* registry) {
+    if (registry != nullptr) {
+        hits_ = &registry->counter("sigcache_hits_total",
+                                   "Signature-cache lookup hits");
+        misses_ = &registry->counter("sigcache_misses_total",
+                                     "Signature-cache lookup misses");
+        insertions_ = &registry->counter("sigcache_insertions_total",
+                                         "Signature-cache entries inserted");
+        evictions_ = &registry->counter("sigcache_evictions_total",
+                                        "Signature-cache FIFO evictions");
+    }
+    set_capacity(capacity);
+}
 
 Hash256 SigCache::entry_key(ByteView pubkey, const Hash256& msg_hash, ByteView sig) {
     Bytes preimage;
@@ -27,10 +39,10 @@ std::optional<bool> SigCache::lookup(const Hash256& key) {
     std::lock_guard lock(stripe.m);
     const auto it = stripe.map.find(key);
     if (it == stripe.map.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_->inc();
         return std::nullopt;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_->inc();
     return it->second;
 }
 
@@ -44,13 +56,13 @@ void SigCache::insert(const Hash256& key, bool valid) {
         stripe.fifo[stripe.head] = key; // reuse the ring slot for the newcomer
         stripe.head = (stripe.head + 1) % stripe.fifo.size();
         stripe.map.emplace(key, valid);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        insertions_.fetch_add(1, std::memory_order_relaxed);
+        evictions_->inc();
+        insertions_->inc();
         return;
     }
     if (stripe.map.emplace(key, valid).second) {
         stripe.fifo.push_back(key);
-        insertions_.fetch_add(1, std::memory_order_relaxed);
+        insertions_->inc();
     }
 }
 
@@ -86,22 +98,22 @@ void SigCache::set_capacity(std::size_t capacity) {
 
 SigCacheStats SigCache::stats() const {
     SigCacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.insertions = insertions_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.hits = hits_->value();
+    s.misses = misses_->value();
+    s.insertions = insertions_->value();
+    s.evictions = evictions_->value();
     return s;
 }
 
 void SigCache::reset_stats() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    insertions_.store(0, std::memory_order_relaxed);
-    evictions_.store(0, std::memory_order_relaxed);
+    hits_->reset();
+    misses_->reset();
+    insertions_->reset();
+    evictions_->reset();
 }
 
 SigCache& SigCache::global() {
-    static SigCache cache;
+    static SigCache cache(kDefaultCapacity, &obs::MetricsRegistry::global());
     return cache;
 }
 

@@ -15,7 +15,6 @@
 // never take a lock.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -23,6 +22,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlt::crypto {
 
@@ -44,7 +44,12 @@ public:
     static constexpr std::size_t kDefaultCapacity = 1 << 16;
     static constexpr std::size_t kStripes = 16;
 
-    explicit SigCache(std::size_t capacity = kDefaultCapacity);
+    /// When `registry` is given, the hit/miss/insert/evict tallies are the
+    /// registry's sigcache_* counters (shared process-wide handles); otherwise
+    /// the instance owns its counters. The global() cache registers; test
+    /// instances default to private counters so their stats stay isolated.
+    explicit SigCache(std::size_t capacity = kDefaultCapacity,
+                      obs::MetricsRegistry* registry = nullptr);
 
     /// Salted digest binding the full verification question. Using a hash as
     /// the key bounds entry size regardless of input sizes.
@@ -88,10 +93,15 @@ private:
     std::size_t capacity_;
     std::size_t stripe_capacity_;
     Stripe stripes_[kStripes];
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> insertions_{0};
-    std::atomic<std::uint64_t> evictions_{0};
+    /// Instance-owned fallback counters (used when no registry was given).
+    struct OwnCounters {
+        obs::Counter hits, misses, insertions, evictions;
+    };
+    OwnCounters own_;
+    obs::Counter* hits_ = &own_.hits;
+    obs::Counter* misses_ = &own_.misses;
+    obs::Counter* insertions_ = &own_.insertions;
+    obs::Counter* evictions_ = &own_.evictions;
 };
 
 /// Verify `sig64` (64-byte r||s) by `pubkey33` (compressed SEC1) over

@@ -25,6 +25,13 @@ std::shared_ptr<const Bytes> frame_message(const Hash256& id, const Bytes& paylo
 GossipOverlay::GossipOverlay(Network& network, std::size_t node_count,
                              GossipParams params, Handler handler)
     : network_(&network), params_(params), handler_(std::move(handler)) {
+    auto& registry = obs::MetricsRegistry::global();
+    broadcasts_ = &registry.counter("gossip_broadcasts_total",
+                                    "Messages injected into the overlay");
+    accepts_ = &registry.counter("gossip_accepts_total",
+                                 "First-time deliveries across all nodes");
+    dedup_hits_ = &registry.counter("gossip_dedup_hits_total",
+                                    "Frames discarded as already seen");
     DLT_EXPECTS(network.node_count() == 0);
     DLT_EXPECTS(node_count >= 2);
     DLT_EXPECTS(handler_ != nullptr);
@@ -51,6 +58,7 @@ Hash256 GossipOverlay::broadcast(NodeId origin, const std::string& topic,
     const Hash256 id = crypto::tagged_hash("dlt/gossip-id", w.data());
 
     records_[id].origin_time = network_->scheduler().now();
+    broadcasts_->inc();
     accept(origin, origin, id, topic, frame_message(id, payload));
     return id;
 }
@@ -72,7 +80,10 @@ void GossipOverlay::on_delivery(NodeId at, const Delivery& d) {
     }
     if (d.payload().size() < 32) return; // malformed frame
     const Hash256 id = Hash256::from_bytes(ByteView{d.payload().data(), 32});
-    if (seen_[at].contains(id)) return;
+    if (seen_[at].contains(id)) {
+        dedup_hits_->inc();
+        return;
+    }
     accept(at, d.from, id, d.topic, d.body);
 }
 
@@ -81,6 +92,7 @@ void GossipOverlay::accept(NodeId at, NodeId from, const Hash256& id,
                            const std::shared_ptr<const Bytes>& framed) {
     seen_[at].insert(id);
 
+    accepts_->inc();
     auto& rec = records_[id];
     ++rec.delivered;
     rec.arrival.emplace(at, network_->scheduler().now());

@@ -89,6 +89,9 @@ private:
     Network* network_;
     GossipParams params_;
     Handler handler_;
+    obs::Counter* broadcasts_ = nullptr;  // gossip_broadcasts_total
+    obs::Counter* accepts_ = nullptr;     // gossip_accepts_total
+    obs::Counter* dedup_hits_ = nullptr;  // gossip_dedup_hits_total
     std::vector<std::unordered_set<Hash256>> seen_; // per node
     std::unordered_map<Hash256, PropagationRecord> records_;
 };

@@ -19,6 +19,31 @@ double combine_probability(double a, double b) {
 
 } // namespace
 
+Network::Network(sim::Scheduler& scheduler, Rng rng)
+    : scheduler_(&scheduler), rng_(std::move(rng)) {
+    auto& messages = obs::MetricsRegistry::global().counter_family(
+        "net_messages_total", "Network messages by outcome", {"kind"});
+    mirror_.sent = &messages.with({"sent"});
+    mirror_.dropped = &messages.with({"dropped"});
+    mirror_.lost = &messages.with({"lost"});
+    mirror_.duplicated = &messages.with({"duplicated"});
+    mirror_.partitioned = &messages.with({"partitioned"});
+    mirror_.from_crashed = &messages.with({"from_crashed"});
+    mirror_.bytes = &obs::MetricsRegistry::global().counter(
+        "net_bytes_sent_total", "Payload bytes sent on the wire");
+}
+
+const TrafficStats& Network::stats() const {
+    stats_view_.messages_sent = counters_.messages_sent.value();
+    stats_view_.bytes_sent = counters_.bytes_sent.value();
+    stats_view_.messages_dropped = counters_.messages_dropped.value();
+    stats_view_.messages_lost = counters_.messages_lost.value();
+    stats_view_.messages_duplicated = counters_.messages_duplicated.value();
+    stats_view_.messages_partitioned = counters_.messages_partitioned.value();
+    stats_view_.messages_from_crashed = counters_.messages_from_crashed.value();
+    return stats_view_;
+}
+
 SimDuration LinkParams::sample_delay(std::size_t message_bytes, Rng& rng) const {
     const double jitter = latency_jitter > 0
                               ? (rng.uniform01() * 2.0 - 1.0) * latency_jitter
@@ -116,28 +141,34 @@ void Network::send(NodeId from, NodeId to, std::string topic,
 
     // Fail-stop: a crashed node originates nothing (not even counted as sent).
     if (nodes_[from].crashed) {
-        ++stats_.messages_from_crashed;
+        counters_.messages_from_crashed.inc();
+        mirror_.from_crashed->inc();
         return;
     }
 
-    ++stats_.messages_sent;
-    stats_.bytes_sent += payload->size();
+    counters_.messages_sent.inc();
+    mirror_.sent->inc();
+    counters_.bytes_sent.inc(payload->size());
+    mirror_.bytes->inc(payload->size());
 
     if (partitioned(from, to)) {
-        ++stats_.messages_partitioned;
+        counters_.messages_partitioned.inc();
+        mirror_.partitioned->inc();
         return;
     }
 
     const double loss = combine_probability(link->loss, global_faults_.loss);
     if (loss > 0 && rng_.chance(loss)) {
-        ++stats_.messages_lost;
+        counters_.messages_lost.inc();
+        mirror_.lost->inc();
         return;
     }
 
     const double duplicate =
         combine_probability(link->duplicate, global_faults_.duplicate);
     if (duplicate > 0 && rng_.chance(duplicate)) {
-        ++stats_.messages_duplicated;
+        counters_.messages_duplicated.inc();
+        mirror_.duplicated->inc();
         schedule_delivery(from, to, topic, payload, *link);
     }
     schedule_delivery(from, to, std::move(topic), std::move(payload), *link);
@@ -152,16 +183,19 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::string topic,
             // Fail-stop: nothing from a crashed node is observed after the
             // crash instant, including traffic it sent while still alive.
             if (nodes_[from].crashed) {
-                ++stats_.messages_from_crashed;
+                counters_.messages_from_crashed.inc();
+                mirror_.from_crashed->inc();
                 return;
             }
             if (partitioned(from, to)) {
-                ++stats_.messages_partitioned;
+                counters_.messages_partitioned.inc();
+                mirror_.partitioned->inc();
                 return;
             }
             NodeState& target = nodes_[to];
             if (target.crashed || target.departed) {
-                ++stats_.messages_dropped;
+                counters_.messages_dropped.inc();
+                mirror_.dropped->inc();
                 return;
             }
             target.handler(Delivery{from, topic, payload});

@@ -20,6 +20,7 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dlt::net {
@@ -66,7 +67,11 @@ struct Delivery {
     const Bytes& payload() const { return *body; }
 };
 
-/// Aggregate traffic counters (per network).
+/// Aggregate traffic counters (per network). Since the observability layer
+/// landed this is a *view*: the authoritative tallies are obs::Counter
+/// handles (per-network, mirrored into the global MetricsRegistry under
+/// net_messages_total{kind=...}); Network::stats() materializes this struct
+/// from them, so existing callers and recorded schemas are unchanged.
 struct TrafficStats {
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
@@ -75,6 +80,18 @@ struct TrafficStats {
     std::uint64_t messages_duplicated = 0;   // extra copies injected
     std::uint64_t messages_partitioned = 0;  // cut by an active partition
     std::uint64_t messages_from_crashed = 0; // fail-stop: silenced sender traffic
+};
+
+/// The obs handles behind TrafficStats: one per-network counter per kind plus
+/// the shared process-wide registry children every Network reports into.
+struct TrafficCounters {
+    obs::Counter messages_sent;
+    obs::Counter bytes_sent;
+    obs::Counter messages_dropped;
+    obs::Counter messages_lost;
+    obs::Counter messages_duplicated;
+    obs::Counter messages_partitioned;
+    obs::Counter messages_from_crashed;
 };
 
 /// A deterministic schedule of network faults: named partitions cut and healed
@@ -115,8 +132,7 @@ private:
 
 class Network {
 public:
-    Network(sim::Scheduler& scheduler, Rng rng)
-        : scheduler_(&scheduler), rng_(std::move(rng)) {}
+    Network(sim::Scheduler& scheduler, Rng rng);
 
     /// Add a node; its handler is invoked for each delivered message.
     NodeId add_node(std::function<void(const Delivery&)> handler);
@@ -179,7 +195,11 @@ public:
     /// sim-times; all must be >= now).
     void apply(const FaultPlan& plan);
 
-    const TrafficStats& stats() const { return stats_; }
+    /// Materialize the TrafficStats view from the live obs counters. The
+    /// returned reference stays valid (and is refreshed on every call).
+    const TrafficStats& stats() const;
+    /// Direct access to the per-network counter handles.
+    const TrafficCounters& counters() const { return counters_; }
     sim::Scheduler& scheduler() { return *scheduler_; }
     Rng& rng() { return rng_; }
 
@@ -225,7 +245,19 @@ private:
     std::unordered_map<std::string, std::unordered_map<NodeId, std::uint32_t>>
         partitions_;
     FaultParams global_faults_;
-    TrafficStats stats_;
+    TrafficCounters counters_;
+    mutable TrafficStats stats_view_; // materialized by stats()
+    /// Shared children of the global-registry families this network mirrors
+    /// its tallies into (net_messages_total{kind=...}, net_bytes_sent_total).
+    struct RegistryMirror {
+        obs::Counter* sent = nullptr;
+        obs::Counter* dropped = nullptr;
+        obs::Counter* lost = nullptr;
+        obs::Counter* duplicated = nullptr;
+        obs::Counter* partitioned = nullptr;
+        obs::Counter* from_crashed = nullptr;
+        obs::Counter* bytes = nullptr;
+    } mirror_;
 };
 
 } // namespace dlt::net

@@ -1,0 +1,70 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dlt::obs {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+void JsonObjectWriter::set(const std::string& name, std::string value) {
+    for (auto& [existing, v] : fields_) {
+        if (existing == name) {
+            v = std::move(value);
+            return;
+        }
+    }
+    fields_.emplace_back(name, std::move(value));
+}
+
+std::string JsonObjectWriter::str() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : fields_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  \"" + json_escape(name) + "\": " + value;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool JsonObjectWriter::write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace dlt::obs

@@ -1,0 +1,62 @@
+// Shared serialization for the observability layer: JSON escaping/number
+// formatting and an ordered flat-object writer. This is the one JSON emitter
+// in the codebase — the metrics snapshot exporter, the Chrome-trace writer,
+// and bench/bench_util.hpp's BENCH_<id>.json reports all format through it, so
+// escaping and number formatting cannot drift between producers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlt::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trippable-enough representation ("%.6g", matching the
+/// historical BENCH_<id>.json schema). NaN/inf are not valid JSON: emitted as 0.
+std::string json_number(double v);
+
+/// Flat JSON object with insertion-ordered fields, pretty-printed one field
+/// per line with two-space indent (the BENCH_<id>.json shape). Values are
+/// stored pre-encoded; setting an existing key overwrites in place.
+class JsonObjectWriter {
+public:
+    void field_string(const std::string& name, const std::string& value) {
+        // Sequential appends: GCC 12's -Wrestrict mis-fires on chained
+        // operator+ over a temporary string.
+        std::string quoted;
+        quoted.reserve(value.size() + 2);
+        quoted += '"';
+        quoted += json_escape(value);
+        quoted += '"';
+        set(name, std::move(quoted));
+    }
+    void field_number(const std::string& name, double value) {
+        set(name, json_number(value));
+    }
+    void field_uint(const std::string& name, std::uint64_t value) {
+        set(name, std::to_string(value));
+    }
+    /// `value` must already be valid JSON (nested object, array, bool, ...).
+    void field_raw(const std::string& name, std::string value) {
+        set(name, std::move(value));
+    }
+
+    bool empty() const { return fields_.empty(); }
+
+    /// Render the object ("{\n  \"k\": v,\n ...\n}\n").
+    std::string str() const;
+
+    /// Write str() to `path`; false when the file cannot be opened.
+    bool write_file(const std::string& path) const;
+
+private:
+    void set(const std::string& name, std::string value);
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+} // namespace dlt::obs

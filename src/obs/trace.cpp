@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace dlt::obs {
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::push(TraceEvent event) {
+    std::lock_guard lock(m_);
+    if (events_.size() >= capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::string category, SimTime at,
+                     std::uint32_t tid,
+                     std::vector<std::pair<std::string, std::string>> args) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.phase = 'i';
+    e.ts_us = at * 1e6;
+    e.tid = tid;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void Tracer::complete(std::string name, std::string category, SimTime begin,
+                      SimDuration duration, std::uint32_t tid,
+                      std::vector<std::pair<std::string, std::string>> args) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.phase = 'X';
+    e.ts_us = begin * 1e6;
+    e.dur_us = duration * 1e6;
+    e.tid = tid;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void Tracer::counter(std::string name, SimTime at, double value) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = "counter";
+    e.phase = 'C';
+    e.ts_us = at * 1e6;
+    e.args.emplace_back("value", json_number(value));
+    push(std::move(e));
+}
+
+std::size_t Tracer::size() const {
+    std::lock_guard lock(m_);
+    return events_.size();
+}
+
+void Tracer::clear() {
+    std::lock_guard lock(m_);
+    events_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+    std::lock_guard lock(m_);
+    return events_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+    std::lock_guard lock(m_);
+    std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const auto& e : events_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
+               json_escape(e.category) + "\", \"ph\": \"" + e.phase +
+               "\", \"ts\": " + json_number(e.ts_us);
+        if (e.phase == 'X') out += ", \"dur\": " + json_number(e.dur_us);
+        out += ", \"pid\": 0, \"tid\": " + std::to_string(e.tid);
+        if (!e.args.empty()) {
+            out += ", \"args\": {";
+            bool first_arg = true;
+            for (const auto& [key, value] : e.args) {
+                if (!first_arg) out += ", ";
+                first_arg = false;
+                out += '"';
+                out += json_escape(key);
+                out += "\": ";
+                out += value;
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = chrome_trace_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+std::string trace_arg(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    out += json_escape(s);
+    out += '"';
+    return out;
+}
+std::string trace_arg(double v) { return json_number(v); }
+std::string trace_arg(std::uint64_t v) { return std::to_string(v); }
+
+} // namespace dlt::obs

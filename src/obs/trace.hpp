@@ -1,0 +1,91 @@
+// Structured event tracer, sim-time aware. Subsystems emit named events with
+// *virtual* timestamps (SimTime seconds from the discrete-event scheduler);
+// the buffer serializes to Chrome trace_event JSON, so a whole experiment run
+// — mining, gossip arrival, reorgs, tx lifecycle transitions — can be opened
+// in chrome://tracing or https://ui.perfetto.dev with one node per track.
+//
+// Tracing is an observer: emitting events never feeds back into the
+// simulation, and the global tracer is OFF by default so hot paths pay only a
+// relaxed atomic load when disabled. The buffer is bounded; events past the
+// cap are counted in dropped() instead of growing without limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dlt::obs {
+
+/// One Chrome trace_event. `ts`/`dur` are microseconds of *virtual* time; the
+/// track is (pid, tid) — we use pid 0 for the simulation and tid = node id.
+/// `args` values are pre-encoded JSON (use TraceArg helpers below).
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    char phase = 'i'; // 'i' instant, 'X' complete (with dur), 'C' counter
+    double ts_us = 0;
+    double dur_us = 0;
+    std::uint32_t tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+    /// The process-wide tracer experiments toggle; disabled by default.
+    static Tracer& global();
+
+    void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Instant event at sim-time `at` on node `tid`.
+    void instant(std::string name, std::string category, SimTime at,
+                 std::uint32_t tid = 0,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Complete event (a span) covering [begin, begin+duration] of sim-time.
+    void complete(std::string name, std::string category, SimTime begin,
+                  SimDuration duration, std::uint32_t tid = 0,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Counter track (renders as a stacked chart in the viewer).
+    void counter(std::string name, SimTime at, double value);
+
+    std::size_t size() const;
+    std::uint64_t dropped() const {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+    void clear();
+
+    /// Copy of the buffered events (tests, post-processing).
+    std::vector<TraceEvent> events() const;
+
+    /// Serialize to Chrome trace_event JSON ({"traceEvents": [...]}).
+    std::string chrome_trace_json() const;
+    /// Write chrome_trace_json() to `path`; false when the file cannot open.
+    bool write_chrome_trace(const std::string& path) const;
+
+private:
+    void push(TraceEvent event);
+
+    std::atomic<bool> enabled_{false};
+    std::size_t capacity_;
+    mutable std::mutex m_;
+    std::vector<TraceEvent> events_;
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Pre-encode a trace arg value as JSON.
+std::string trace_arg(const std::string& s);
+std::string trace_arg(double v);
+std::string trace_arg(std::uint64_t v);
+
+} // namespace dlt::obs

@@ -1,0 +1,130 @@
+#include "obs/txlifecycle.hpp"
+
+namespace dlt::obs {
+
+const std::optional<SimTime>& TxRecord::stage(TxStage s) const {
+    switch (s) {
+        case TxStage::kSubmitted: return submitted;
+        case TxStage::kFirstSeen: return first_seen;
+        case TxStage::kMempool: return mempool;
+        case TxStage::kIncluded: return included;
+        case TxStage::kFinal: return final_at;
+    }
+    return submitted; // unreachable
+}
+
+void TxLifecycleTracker::trace_transition(const char* name, const Hash256& txid,
+                                          std::uint32_t tid, SimTime at) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    tracer_->instant(name, "tx", at, tid,
+                     {{"txid", trace_arg(txid.hex().substr(0, 16))}});
+}
+
+void TxLifecycleTracker::on_submitted(const Hash256& txid, SimTime at,
+                                      std::uint32_t origin) {
+    auto [it, inserted] = records_.try_emplace(txid);
+    if (inserted) order_.push_back(txid);
+    if (!it->second.submitted) {
+        it->second.submitted = at;
+        trace_transition("tx.submit", txid, origin, at);
+    }
+}
+
+void TxLifecycleTracker::on_first_seen(const Hash256& txid, std::uint32_t node,
+                                       SimTime at) {
+    const auto it = records_.find(txid);
+    if (it == records_.end()) return; // not a tracked (submitted) tx
+    if (!it->second.first_seen) {
+        it->second.first_seen = at;
+        trace_transition("tx.first_seen", txid, node, at);
+    }
+}
+
+void TxLifecycleTracker::on_mempool_accepted(const Hash256& txid, std::uint32_t node,
+                                             SimTime at) {
+    const auto it = records_.find(txid);
+    if (it == records_.end()) return;
+    if (!it->second.mempool) {
+        it->second.mempool = at;
+        trace_transition("tx.mempool", txid, node, at);
+    }
+}
+
+void TxLifecycleTracker::on_block_connected(std::uint64_t height,
+                                            const std::vector<Hash256>& txids,
+                                            SimTime at) {
+    std::vector<Hash256>* pending = nullptr;
+    for (const auto& txid : txids) {
+        const auto it = records_.find(txid);
+        if (it == records_.end()) continue;
+        TxRecord& rec = it->second;
+        if (rec.final_at) continue; // finality is never revoked
+        rec.included = at;
+        rec.inclusion_height = height;
+        if (pending == nullptr) pending = &pending_finality_[height];
+        pending->push_back(txid);
+        trace_transition("tx.included", txid, 0, at);
+    }
+}
+
+void TxLifecycleTracker::on_block_disconnected(std::uint64_t height,
+                                               const std::vector<Hash256>& txids) {
+    for (const auto& txid : txids) {
+        const auto it = records_.find(txid);
+        if (it == records_.end()) continue;
+        TxRecord& rec = it->second;
+        if (rec.final_at) continue;
+        if (rec.inclusion_height == height) {
+            rec.included.reset();
+            rec.inclusion_height = 0;
+        }
+    }
+    pending_finality_.erase(height);
+}
+
+void TxLifecycleTracker::on_tip_height(std::uint64_t height, SimTime at) {
+    if (height + 1 < finality_depth_) return;
+    const std::uint64_t deep = height + 1 - finality_depth_; // k confirmations
+    // Heights are finalized in order, so scan the small pending set.
+    std::vector<std::uint64_t> done;
+    for (auto& [h, txids] : pending_finality_) {
+        if (h > deep) continue;
+        for (const auto& txid : txids) {
+            const auto it = records_.find(txid);
+            if (it == records_.end()) continue;
+            TxRecord& rec = it->second;
+            // Only finalize a tx still included at this height (a reorg may
+            // have moved it since).
+            if (rec.final_at || !rec.included || rec.inclusion_height != h) continue;
+            rec.final_at = at;
+            ++finalized_;
+            trace_transition("tx.final", txid, 0, at);
+        }
+        done.push_back(h);
+    }
+    for (const auto h : done) pending_finality_.erase(h);
+}
+
+const TxRecord* TxLifecycleTracker::find(const Hash256& txid) const {
+    const auto it = records_.find(txid);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> TxLifecycleTracker::latencies(TxStage from, TxStage to) const {
+    std::vector<double> out;
+    for (const auto& txid : order_) {
+        const auto it = records_.find(txid);
+        if (it == records_.end()) continue;
+        const auto& a = it->second.stage(from);
+        const auto& b = it->second.stage(to);
+        if (a && b) out.push_back(*b - *a);
+    }
+    return out;
+}
+
+void TxLifecycleTracker::record_latencies(TxStage from, TxStage to,
+                                          Histogram& sink) const {
+    for (const double v : latencies(from, to)) sink.record(v);
+}
+
+} // namespace dlt::obs

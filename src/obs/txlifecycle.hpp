@@ -1,0 +1,93 @@
+// Transaction lifecycle tracker: stamps the virtual times of each stage a
+// transaction passes through — submit → gossip-first-seen → mempool-accept →
+// block-inclusion → k-deep-finality — so experiments report end-to-end
+// confirmation-latency *distributions* instead of ad-hoc means.
+//
+// The tracker is a pure observer fed from consensus/network callbacks; it is
+// reorg-aware (a disconnected block un-stamps inclusion; finality is only
+// stamped once a tx sits >= `finality_depth` blocks under the tip and is never
+// revoked, mirroring the k-confirmations rule of §2.4). When a Tracer is
+// attached, every transition also lands in the Chrome trace as an instant
+// event on the observing node's track.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dlt::obs {
+
+enum class TxStage { kSubmitted, kFirstSeen, kMempool, kIncluded, kFinal };
+
+/// Per-transaction stage timestamps (virtual seconds). A missing stage means
+/// the transition has not (yet) happened.
+struct TxRecord {
+    std::optional<SimTime> submitted;
+    std::optional<SimTime> first_seen; // first gossip delivery at a non-origin peer
+    std::optional<SimTime> mempool;    // first mempool accept anywhere
+    std::optional<SimTime> included;   // block inclusion on the observed chain
+    std::optional<SimTime> final_at;   // k-deep on the observed chain
+    std::uint64_t inclusion_height = 0;
+
+    const std::optional<SimTime>& stage(TxStage s) const;
+};
+
+class TxLifecycleTracker {
+public:
+    /// `finality_depth` = confirmations required for kFinal (k in "k-deep").
+    explicit TxLifecycleTracker(std::uint64_t finality_depth = 6,
+                                Tracer* tracer = nullptr)
+        : finality_depth_(finality_depth == 0 ? 1 : finality_depth),
+          tracer_(tracer) {}
+
+    // --- Feed (called by the instrumented stack) ---------------------------------
+
+    void on_submitted(const Hash256& txid, SimTime at, std::uint32_t origin = 0);
+    void on_first_seen(const Hash256& txid, std::uint32_t node, SimTime at);
+    void on_mempool_accepted(const Hash256& txid, std::uint32_t node, SimTime at);
+    /// A block on the observed (peer-0 canonical) chain connected; `txids` are
+    /// its transactions (coinbase included is fine — untracked ids are ignored).
+    void on_block_connected(std::uint64_t height, const std::vector<Hash256>& txids,
+                            SimTime at);
+    /// The same block disconnected in a reorg: inclusion stamps are revoked.
+    void on_block_disconnected(std::uint64_t height,
+                               const std::vector<Hash256>& txids);
+    /// Observed chain tip moved; finalizes every tx whose inclusion height is
+    /// >= finality_depth blocks deep.
+    void on_tip_height(std::uint64_t height, SimTime at);
+
+    // --- Queries -----------------------------------------------------------------
+
+    const TxRecord* find(const Hash256& txid) const;
+    std::size_t tracked() const { return records_.size(); }
+    std::uint64_t finalized() const { return finalized_; }
+    std::uint64_t finality_depth() const { return finality_depth_; }
+
+    /// Latencies (virtual seconds) of every tx that completed `from -> to`,
+    /// in txid-insertion order (deterministic).
+    std::vector<double> latencies(TxStage from, TxStage to) const;
+
+    /// Record the `from -> to` latencies into a histogram (e.g. a registry
+    /// histogram named confirmation_latency_seconds).
+    void record_latencies(TxStage from, TxStage to, Histogram& sink) const;
+
+private:
+    void trace_transition(const char* name, const Hash256& txid, std::uint32_t tid,
+                          SimTime at);
+
+    std::uint64_t finality_depth_;
+    Tracer* tracer_;
+    std::unordered_map<Hash256, TxRecord> records_;
+    std::vector<Hash256> order_; // insertion order for deterministic iteration
+    /// Blocks included but not yet k-deep: height -> txids awaiting finality.
+    std::unordered_map<std::uint64_t, std::vector<Hash256>> pending_finality_;
+    std::uint64_t finalized_ = 0;
+};
+
+} // namespace dlt::obs

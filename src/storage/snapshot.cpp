@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
 #include "storage/file.hpp"
 #include "storage/recordio.hpp"
 
@@ -54,7 +55,16 @@ std::filesystem::path SnapshotManager::save(const Snapshot& snapshot) const {
 
     const std::filesystem::path path =
         dir_ / ("snapshot-" + std::to_string(snapshot.height) + ".snap");
-    write_file_atomic(path, frame);
+    {
+        auto& registry = obs::MetricsRegistry::global();
+        obs::ScopedTimer timer(registry.histogram(
+            "snapshot_write_seconds", "Wall-clock latency of snapshot writes"));
+        write_file_atomic(path, frame);
+        registry.counter("snapshot_writes_total", "Snapshots written").inc();
+        registry
+            .counter("snapshot_bytes_written_total", "Snapshot bytes written")
+            .inc(frame.size());
+    }
     return path;
 }
 

@@ -1,12 +1,30 @@
 #include "storage/wal.hpp"
 
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "storage/recordio.hpp"
 
 namespace dlt::storage {
 
 namespace {
 constexpr std::uint32_t kWalMagic = 0x57414C31; // "WAL1"
+
+struct WalMetrics {
+    obs::Histogram& sync_seconds;
+    obs::Counter& appends;
+    obs::Counter& bytes_appended;
+
+    static WalMetrics& get() {
+        auto& registry = obs::MetricsRegistry::global();
+        static WalMetrics m{
+            registry.histogram("wal_sync_seconds",
+                               "Wall-clock latency of WAL fsync calls"),
+            registry.counter("wal_appends_total", "Records appended to the WAL"),
+            registry.counter("wal_bytes_appended_total",
+                             "Framed bytes appended to the WAL")};
+        return m;
+    }
+};
 } // namespace
 
 Wal::Wal(const std::filesystem::path& path, WalOptions options)
@@ -47,13 +65,22 @@ std::uint64_t Wal::append(std::uint8_t type, ByteView payload) {
     w.u8(type);
     w.bytes(payload);
     const Bytes frame = frame_record(kWalMagic, w.data());
+    WalMetrics& metrics = WalMetrics::get();
     file_->append(frame); // CrashError propagates with the frame torn
-    if (fsync_mode_ == FsyncMode::kAlways) file_->sync();
+    metrics.appends.inc();
+    metrics.bytes_appended.inc(frame.size());
+    if (fsync_mode_ == FsyncMode::kAlways) {
+        obs::ScopedTimer timer(metrics.sync_seconds);
+        file_->sync();
+    }
     ++next_seq_;
     return seq;
 }
 
-void Wal::sync() { file_->sync(); }
+void Wal::sync() {
+    obs::ScopedTimer timer(WalMetrics::get().sync_seconds);
+    file_->sync();
+}
 
 void Wal::reset() {
     file_->truncate(0);
