@@ -4,23 +4,19 @@
 //
 // Observability: set DLT_TRACE=<path> to record a Chrome trace of the run
 // (open in chrome://tracing or ui.perfetto.dev) and DLT_METRICS=<path> to
-// snapshot the metrics registry as JSON. Both notices go to stderr so stdout
-// stays byte-identical with observability on or off (the determinism contract
-// CI checks by diffing this binary's output).
-#include <cstdlib>
-
+// snapshot the metrics registry as JSON (bench::ObsEnv wires both uniformly
+// across bench binaries). Both notices go to stderr so stdout stays
+// byte-identical with observability on or off (the determinism contract CI
+// checks by diffing this binary's output).
 #include "bench_util.hpp"
 #include "consensus/nakamoto.hpp"
-#include "obs/trace.hpp"
 
 using namespace dlt;
 using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E01");
-    const char* trace_path = std::getenv("DLT_TRACE");
-    const char* metrics_path = std::getenv("DLT_METRICS");
-    if (trace_path != nullptr) obs::Tracer::global().set_enabled(true);
+    bench::ObsEnv obs_env;
     bench::title("E1: Nakamoto convergence (Fig. 1, §2.3-2.4)",
                  "Claim: gossiping peers with longest-chain selection converge to "
                  "one blockchain despite concurrent mining.");
@@ -68,18 +64,5 @@ int main() {
     std::printf("\nExpected shape: majority tip and prefix agreement at every "
                 "size; stale counts small relative to mined blocks.\n");
 
-    if (trace_path != nullptr) {
-        if (obs::Tracer::global().write_chrome_trace(trace_path))
-            std::fprintf(stderr, "[obs] wrote trace %s (%zu events)\n", trace_path,
-                         obs::Tracer::global().size());
-        else
-            std::fprintf(stderr, "[obs] could not write trace %s\n", trace_path);
-    }
-    if (metrics_path != nullptr) {
-        if (obs::MetricsRegistry::global().write_json(metrics_path))
-            std::fprintf(stderr, "[obs] wrote metrics %s\n", metrics_path);
-        else
-            std::fprintf(stderr, "[obs] could not write metrics %s\n", metrics_path);
-    }
     return 0;
 }

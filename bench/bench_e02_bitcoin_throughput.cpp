@@ -16,6 +16,7 @@ using namespace dlt::core;
 
 int main() {
     bench::Run run("E02");
+    bench::ObsEnv obs_env; // uniform DLT_TRACE / DLT_METRICS wiring
     bench::title("E2: Bitcoin throughput ceiling (§2.7)",
                  "Claim: ~7 tps no matter the offered load; hash power growth is "
                  "absorbed by difficulty retargeting.");

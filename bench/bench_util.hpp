@@ -6,11 +6,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bench {
 
@@ -46,6 +49,55 @@ public:
 private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/// Uniform DLT_TRACE / DLT_METRICS wiring for bench binaries. Construct one at
+/// the top of main(): DLT_TRACE=<path> enables the global Tracer immediately
+/// (so the whole run is captured) and writes a Chrome trace on destruction;
+/// DLT_METRICS=<path> snapshots the metrics registry as JSON. Both notices go
+/// to stderr so stdout stays byte-identical with observability on or off (the
+/// determinism contract CI checks by diffing bench output). Declare it *after*
+/// the bench::Run so artifacts land before the BENCH_<id>.json notice.
+class ObsEnv {
+public:
+    ObsEnv()
+        : trace_path_(std::getenv("DLT_TRACE")),
+          metrics_path_(std::getenv("DLT_METRICS")) {
+        if (trace_path_ != nullptr) dlt::obs::Tracer::global().set_enabled(true);
+    }
+
+    ObsEnv(const ObsEnv&) = delete;
+    ObsEnv& operator=(const ObsEnv&) = delete;
+
+    ~ObsEnv() { write_artifacts(); }
+
+    bool tracing() const { return trace_path_ != nullptr; }
+
+    /// Flush the trace/metrics artifacts now (idempotent).
+    void write_artifacts() {
+        if (written_) return;
+        written_ = true;
+        if (trace_path_ != nullptr) {
+            if (dlt::obs::Tracer::global().write_chrome_trace(trace_path_))
+                std::fprintf(stderr, "[obs] wrote trace %s (%zu events)\n",
+                             trace_path_, dlt::obs::Tracer::global().size());
+            else
+                std::fprintf(stderr, "[obs] could not write trace %s\n",
+                             trace_path_);
+        }
+        if (metrics_path_ != nullptr) {
+            if (dlt::obs::MetricsRegistry::global().write_json(metrics_path_))
+                std::fprintf(stderr, "[obs] wrote metrics %s\n", metrics_path_);
+            else
+                std::fprintf(stderr, "[obs] could not write metrics %s\n",
+                             metrics_path_);
+        }
+    }
+
+private:
+    const char* trace_path_;
+    const char* metrics_path_;
+    bool written_ = false;
 };
 
 inline std::string fmt(double v, int precision = 2) {

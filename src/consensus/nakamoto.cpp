@@ -52,12 +52,22 @@ NakamotoNetwork::NakamotoNetwork(NakamotoParams params, std::uint64_t seed)
         Peer& peer = peers_[i];
         peer.chain = std::make_unique<ledger::ChainStore>(genesis_);
         peer.active_tip = genesis_.hash();
+        peer.mempool = ledger::Mempool(params_.mempool);
         peer.miner = crypto::PrivateKey::from_seed(params_.chain_tag + "/miner/" +
                                                    std::to_string(i))
                          .address();
         peer.hashrate_share = shares[i] / total;
         peer.rng = rng_.fork(0x100 + i);
     }
+
+    // Peer 0 is the observed replica: its mempool drops become explicit
+    // lifecycle terminal events (reasons share the enumeration order).
+    peers_[0].mempool.set_drop_observer(
+        [this](const Hash256& txid, ledger::MempoolDropReason reason, SimTime at) {
+            lifecycle_.on_dropped(
+                txid, 0, at,
+                static_cast<obs::TxDropReason>(static_cast<std::uint8_t>(reason)));
+        });
 }
 
 void NakamotoNetwork::start() {
@@ -81,12 +91,15 @@ void NakamotoNetwork::on_gossip(NodeId node, NodeId from, const std::string& top
     const ScopedLogNode log_node(node);
     if (topic == "tx") {
         try {
-            const auto tx = decode_from_bytes<Transaction>(payload);
+            auto tx = decode_from_bytes<Transaction>(payload);
             // Lifecycle stamps are no-ops for untracked ids; the txid is
             // computed by mempool admission anyway (cached), so this is cheap.
             const Hash256 txid = tx.txid();
             if (node != from) lifecycle_.on_first_seen(txid, node, scheduler_.now());
-            if (peers_[node].mempool.add(tx))
+            const ledger::AdmissionResult verdict =
+                peers_[node].mempool.admit(std::move(tx), scheduler_.now());
+            if (verdict == ledger::AdmissionResult::kAccepted ||
+                verdict == ledger::AdmissionResult::kRbfReplaced)
                 lifecycle_.on_mempool_accepted(txid, node, scheduler_.now());
         } catch (const Error&) {
             // Undecodable gossip is dropped silently, as a real peer would.
@@ -160,8 +173,9 @@ void NakamotoNetwork::try_insert_and_update(NodeId node, const Block& block) {
             const auto target = ledger::compact_to_target(current.header.bits);
             peer.chain->insert(current, ledger::work_from_target(target),
                                scheduler_.now());
-            if (node == 0 && events_.on_block_inserted)
-                events_.on_block_inserted(current, scheduler_.now());
+            if (ChainEvents* ev = find_events(node);
+                ev != nullptr && ev->on_block_inserted)
+                ev->on_block_inserted(current, scheduler_.now());
         }
         const auto it = peer.orphans.find(hash);
         if (it != peer.orphans.end()) {
@@ -230,7 +244,7 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
         DLT_INVARIANT(undo_it != peer.undo.end());
         peer.utxo.undo_block(undo_it->second);
         peer.undo.erase(undo_it);
-        peer.mempool.add_back(peer.chain->find(hash)->block.txs);
+        peer.mempool.add_back(peer.chain->find(hash)->block.txs, scheduler_.now());
     }
     Hash256 reached = path.disconnect.empty()
                           ? peer.active_tip
@@ -269,9 +283,10 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
 
     peer.active_tip = reached;
 
-    // Peer 0 is the observed replica: feed the lifecycle tracker and the
-    // chain-event observers only after the reorg fully succeeded (a failed
-    // connect rolls everything back above, so nothing is emitted for it).
+    // Observers fire only after the reorg fully succeeded (a failed connect
+    // rolls everything back above, so nothing is emitted for it). Peer 0 is
+    // the lifecycle-observed replica; chain events go to whichever nodes
+    // registered an observer set.
     if (node == 0) {
         const SimTime at = scheduler_.now();
         for (const auto& hash : path.disconnect) {
@@ -292,8 +307,12 @@ void NakamotoNetwork::reorg_to(NodeId node, const Hash256& new_tip) {
                             {"connected", obs::trace_arg(static_cast<std::uint64_t>(
                                  connected.size()))}});
         }
-        if (events_.on_reorg) events_.on_reorg(path.disconnect, connected, at);
-        if (events_.on_tip_changed) events_.on_tip_changed(reached, tip_height, at);
+    }
+    if (ChainEvents* ev = find_events(node); ev != nullptr) {
+        const SimTime at = scheduler_.now();
+        const std::uint64_t tip_height = peer.chain->find(reached)->height;
+        if (ev->on_reorg) ev->on_reorg(path.disconnect, connected, at);
+        if (ev->on_tip_changed) ev->on_tip_changed(reached, tip_height, at);
     }
 
     schedule_mining(node); // re-point mining at the new tip
@@ -399,19 +418,23 @@ ledger::Block NakamotoNetwork::assemble_block(NodeId node) {
     block.header.nonce = peer.rng.next(); // simulated proof (see DESIGN.md)
     block.header.proposer = peer.miner;
 
-    // Select mempool transactions that remain valid in order.
+    // Feerate-ordered template straight off the mempool's maintained index
+    // (no per-block re-sort); only transactions that remain valid in order
+    // are copied into the block.
+    peer.mempool.expire(scheduler_.now());
     const std::size_t budget = params_.max_block_bytes > 512
                                    ? params_.max_block_bytes - 512
                                    : params_.max_block_bytes;
-    const auto candidates = peer.mempool.select(budget, params_.max_block_txs);
+    const auto candidates =
+        peer.mempool.build_template(budget, params_.max_block_txs);
     ledger::UtxoSet scratch = peer.utxo;
     ledger::UtxoUndo scratch_undo;
     ledger::Amount fees = 0;
     std::vector<Transaction> chosen;
-    for (const auto& tx : candidates) {
+    for (const auto& entry : candidates) {
         try {
-            fees += scratch.check_and_apply(tx, scratch_undo);
-            chosen.push_back(tx);
+            fees += scratch.check_and_apply(*entry.tx, scratch_undo);
+            chosen.push_back(*entry.tx);
         } catch (const ValidationError&) {
             // Stale mempool entry (already spent on this branch); skip it.
         }
@@ -492,6 +515,15 @@ std::optional<std::uint64_t> NakamotoNetwork::confirmations_of(
 
 const ledger::ChainStore& NakamotoNetwork::chain_of(NodeId node) const {
     return *peers_.at(node).chain;
+}
+
+const ledger::Mempool& NakamotoNetwork::mempool_of(NodeId node) const {
+    return peers_.at(node).mempool;
+}
+
+ChainEvents* NakamotoNetwork::find_events(NodeId node) {
+    const auto it = observers_.find(node);
+    return it == observers_.end() ? nullptr : &it->second;
 }
 
 const ledger::UtxoSet& NakamotoNetwork::utxo_of(NodeId node) const {

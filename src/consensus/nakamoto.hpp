@@ -41,6 +41,9 @@ struct NakamotoParams {
     net::GossipParams gossip{};
     net::LinkParams link{};
     std::size_t overlay_degree = 4;
+    /// Per-peer mempool policy (bounds, relay floor, expiry, RBF bump). The
+    /// default reproduces the historical greedy pool exactly.
+    ledger::MempoolConfig mempool{};
     /// Relative hash power per node; empty means uniform. Normalized internally.
     std::vector<double> hashrate_shares;
     std::string chain_tag = "nakamoto";
@@ -65,19 +68,21 @@ struct NakamotoStats {
     std::uint64_t invalid_blocks = 0;
 };
 
-/// Pure-observer callbacks fired on peer-0 chain events (the observed
-/// replica). The analytics layer's ReorgMonitor feeds from these instead of
-/// re-walking the chain store per query. Callbacks must not mutate consensus
-/// state — the determinism contract of src/obs applies.
+/// Pure-observer callbacks fired on one peer's chain events. Historically
+/// peer-0-only; any peer can now be observed via events(node). The analytics
+/// layer's ReorgMonitor feeds from these instead of re-walking the chain
+/// store per query. Callbacks must not mutate consensus state — the
+/// determinism contract of src/obs applies.
 struct ChainEvents {
-    /// A block entered peer 0's store (any branch), at virtual time `at`.
+    /// A block entered the observed peer's store (any branch), at virtual time `at`.
     std::function<void(const ledger::Block&, SimTime at)> on_block_inserted;
-    /// Peer 0 reorged: `disconnected` (tip-first) left the active chain,
-    /// `connected` (oldest-first) joined it. Empty `disconnected` = extension.
+    /// The observed peer reorged: `disconnected` (tip-first) left the active
+    /// chain, `connected` (oldest-first) joined it. Empty `disconnected` =
+    /// extension.
     std::function<void(const std::vector<Hash256>& disconnected,
                        const std::vector<Hash256>& connected, SimTime at)>
         on_reorg;
-    /// Peer 0's active tip after every successful update.
+    /// The observed peer's active tip after every successful update.
     std::function<void(const Hash256& tip, std::uint64_t height, SimTime at)>
         on_tip_changed;
 };
@@ -150,12 +155,17 @@ public:
     const obs::TxLifecycleTracker& lifecycle() const { return lifecycle_; }
     obs::TxLifecycleTracker& lifecycle() { return lifecycle_; }
 
-    /// Observer hooks for peer-0 chain events (see ChainEvents).
-    ChainEvents& events() { return events_; }
+    /// Observer hooks for one peer's chain events (see ChainEvents). Any node
+    /// may be observed; an observer set is materialized on first access.
+    /// Defaults to peer 0, the historically observed replica.
+    ChainEvents& events(net::NodeId node = 0) { return observers_[node]; }
     /// Underlying simulated network (fault injection: apply a FaultPlan,
     /// partition/heal, churn).
     net::Network& network() { return *network_; }
     const ledger::ChainStore& chain_of(net::NodeId node) const;
+    /// One peer's mempool (admission stats, fee-rate floor, resident size) —
+    /// how fee-bidding wallets in the workload engine read the market.
+    const ledger::Mempool& mempool_of(net::NodeId node) const;
     const ledger::UtxoSet& utxo_of(net::NodeId node) const;
     const crypto::Address& miner_address(net::NodeId node) const;
     sim::Scheduler& scheduler() { return scheduler_; }
@@ -191,6 +201,8 @@ private:
     void reorg_to(net::NodeId node, const Hash256& new_tip);
     void schedule_mining(net::NodeId node);
     ledger::Block assemble_block(net::NodeId node);
+    /// Observer set for `node`, or nullptr when none was registered.
+    ChainEvents* find_events(net::NodeId node);
 
     NakamotoParams params_;
     double network_hashrate_ = 1.0;
@@ -202,7 +214,8 @@ private:
     ledger::Block genesis_;
     NakamotoStats stats_;
     obs::TxLifecycleTracker lifecycle_;
-    ChainEvents events_;
+    /// Per-node chain-event observers, materialized on first events() access.
+    std::unordered_map<net::NodeId, ChainEvents> observers_;
     obs::Counter* blocks_mined_ = nullptr;   // consensus_blocks_mined_total
     obs::Counter* reorgs_ = nullptr;         // consensus_reorgs_total
     obs::Counter* invalid_blocks_ = nullptr; // consensus_invalid_blocks_total

@@ -2,6 +2,15 @@
 
 namespace dlt::obs {
 
+const char* tx_drop_reason_name(TxDropReason r) {
+    switch (r) {
+        case TxDropReason::kEvicted: return "evicted";
+        case TxDropReason::kExpired: return "expired";
+        case TxDropReason::kReplaced: return "replaced";
+    }
+    return "unknown";
+}
+
 const std::optional<SimTime>& TxRecord::stage(TxStage s) const {
     switch (s) {
         case TxStage::kSubmitted: return submitted;
@@ -9,6 +18,7 @@ const std::optional<SimTime>& TxRecord::stage(TxStage s) const {
         case TxStage::kMempool: return mempool;
         case TxStage::kIncluded: return included;
         case TxStage::kFinal: return final_at;
+        case TxStage::kDropped: return dropped;
     }
     return submitted; // unreachable
 }
@@ -48,6 +58,22 @@ void TxLifecycleTracker::on_mempool_accepted(const Hash256& txid, std::uint32_t 
         it->second.mempool = at;
         trace_transition("tx.mempool", txid, node, at);
     }
+    // A re-accept (reorg add_back, fresh re-relay) revives a dropped tx.
+    if (it->second.dropped) {
+        it->second.dropped.reset();
+        it->second.drop_reason.reset();
+    }
+}
+
+void TxLifecycleTracker::on_dropped(const Hash256& txid, std::uint32_t node,
+                                    SimTime at, TxDropReason reason) {
+    const auto it = records_.find(txid);
+    if (it == records_.end()) return;
+    TxRecord& rec = it->second;
+    if (rec.included || rec.final_at) return; // confirmed txs cannot drop
+    rec.dropped = at;
+    rec.drop_reason = reason;
+    trace_transition("tx.dropped", txid, node, at);
 }
 
 void TxLifecycleTracker::on_block_connected(std::uint64_t height,
@@ -103,6 +129,13 @@ void TxLifecycleTracker::on_tip_height(std::uint64_t height, SimTime at) {
         done.push_back(h);
     }
     for (const auto h : done) pending_finality_.erase(h);
+}
+
+std::uint64_t TxLifecycleTracker::dropped_count() const {
+    std::uint64_t n = 0;
+    for (const auto& [txid, rec] : records_)
+        if (rec.dropped && !rec.included && !rec.final_at) ++n;
+    return n;
 }
 
 const TxRecord* TxLifecycleTracker::find(const Hash256& txid) const {

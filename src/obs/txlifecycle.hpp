@@ -23,7 +23,12 @@
 
 namespace dlt::obs {
 
-enum class TxStage { kSubmitted, kFirstSeen, kMempool, kIncluded, kFinal };
+enum class TxStage { kSubmitted, kFirstSeen, kMempool, kIncluded, kFinal, kDropped };
+
+/// Why an observed mempool shed a transaction unconfirmed. Mirrors
+/// ledger::MempoolDropReason without an obs -> ledger dependency.
+enum class TxDropReason : std::uint8_t { kEvicted, kExpired, kReplaced };
+const char* tx_drop_reason_name(TxDropReason r);
 
 /// Per-transaction stage timestamps (virtual seconds). A missing stage means
 /// the transition has not (yet) happened.
@@ -33,6 +38,8 @@ struct TxRecord {
     std::optional<SimTime> mempool;    // first mempool accept anywhere
     std::optional<SimTime> included;   // block inclusion on the observed chain
     std::optional<SimTime> final_at;   // k-deep on the observed chain
+    std::optional<SimTime> dropped;    // shed by the observed mempool, unconfirmed
+    std::optional<TxDropReason> drop_reason;
     std::uint64_t inclusion_height = 0;
 
     const std::optional<SimTime>& stage(TxStage s) const;
@@ -51,6 +58,12 @@ public:
     void on_submitted(const Hash256& txid, SimTime at, std::uint32_t origin = 0);
     void on_first_seen(const Hash256& txid, std::uint32_t node, SimTime at);
     void on_mempool_accepted(const Hash256& txid, std::uint32_t node, SimTime at);
+    /// The observed mempool shed this tx unconfirmed (evicted / expired /
+    /// RBF-replaced) — an explicit terminal stamp so shed transactions stop
+    /// reading as infinite confirmation latency. Ignored once included; a
+    /// later re-accept (reorg add_back, re-relay) clears the stamp.
+    void on_dropped(const Hash256& txid, std::uint32_t node, SimTime at,
+                    TxDropReason reason);
     /// A block on the observed (peer-0 canonical) chain connected; `txids` are
     /// its transactions (coinbase included is fine — untracked ids are ignored).
     void on_block_connected(std::uint64_t height, const std::vector<Hash256>& txids,
@@ -67,6 +80,8 @@ public:
     const TxRecord* find(const Hash256& txid) const;
     std::size_t tracked() const { return records_.size(); }
     std::uint64_t finalized() const { return finalized_; }
+    /// Transactions whose latest stamp is a terminal drop (never included).
+    std::uint64_t dropped_count() const;
     std::uint64_t finality_depth() const { return finality_depth_; }
 
     /// Latencies (virtual seconds) of every tx that completed `from -> to`,

@@ -1,0 +1,639 @@
+// Tests for the fee-market mempool engine (admission codes, RBF, byte-budget
+// eviction, expiry, index-vs-oracle consistency) and the population-scale
+// workload driver (Zipf sampling, rate shaping, determinism, hot-account
+// contention), plus the multi-observer ChainEvents extension they feed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "consensus/nakamoto.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/transaction.hpp"
+#include "obs/txlifecycle.hpp"
+
+namespace {
+
+using namespace dlt;
+using namespace dlt::ledger;
+
+// --- Builders ---------------------------------------------------------------------
+
+/// UTXO-family tx spending a salt-derived outpoint (distinct salts never
+/// conflict; equal salts conflict on the shared prevout).
+Transaction utxo_tx(std::uint64_t salt, Amount fee, std::size_t payload = 0) {
+    Transaction tx = make_transfer(
+        {OutPoint{crypto::sha256(to_bytes("op" + std::to_string(salt))), 0}},
+        {TxOutput{kCoin, crypto::PrivateKey::from_seed("r").address()}});
+    tx.data.resize(payload); // pad to steer serialized size
+    tx.declared_fee = fee;
+    return tx;
+}
+
+/// Account-family record tx: conflicts with any pending tx of the same
+/// (sender, nonce).
+Transaction account_tx(const std::string& sender, std::uint64_t nonce, Amount fee) {
+    Transaction tx;
+    tx.kind = TxKind::kRecord;
+    tx.sender_pubkey = to_bytes(sender);
+    tx.nonce = nonce;
+    tx.data = to_bytes("payload");
+    tx.declared_fee = fee;
+    return tx;
+}
+
+double rate_of(const Transaction& tx) {
+    return static_cast<double>(tx.declared_fee) /
+           static_cast<double>(tx.serialized_size());
+}
+
+// --- Typed admission codes --------------------------------------------------------
+
+TEST(MempoolAdmission, TypedCodes) {
+    MempoolConfig config;
+    config.max_count = 2;
+    config.min_fee_rate = 1.0;
+    Mempool pool(config);
+
+    const Transaction cheap = utxo_tx(1, 0);
+    EXPECT_EQ(pool.admit(cheap), AdmissionResult::kFeeTooLow);
+
+    const Transaction a = utxo_tx(2, 5'000);
+    const Transaction b = utxo_tx(3, 6'000);
+    EXPECT_EQ(pool.admit(a), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.admit(a), AdmissionResult::kAlreadyInQueue);
+    EXPECT_EQ(pool.admit(b), AdmissionResult::kAccepted);
+
+    // Full of better: a low-feerate newcomer is shed, pool untouched.
+    const Transaction c = utxo_tx(4, 500);
+    EXPECT_EQ(pool.admit(c), AdmissionResult::kQueueFull);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_TRUE(pool.contains(a.txid()));
+
+    // A strictly better newcomer evicts the worst.
+    const Transaction d = utxo_tx(5, 50'000);
+    EXPECT_EQ(pool.admit(d), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_FALSE(pool.contains(a.txid()));
+
+    const auto& stats = pool.stats();
+    EXPECT_EQ(stats.result(AdmissionResult::kAccepted), 3u);
+    EXPECT_EQ(stats.result(AdmissionResult::kAlreadyInQueue), 1u);
+    EXPECT_EQ(stats.result(AdmissionResult::kQueueFull), 1u);
+    EXPECT_EQ(stats.result(AdmissionResult::kFeeTooLow), 1u);
+    EXPECT_EQ(stats.drops(MempoolDropReason::kEvicted), 1u);
+}
+
+TEST(MempoolAdmission, AdmissionResultNamesAreStable) {
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kAccepted), "ACCEPTED");
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kQueueFull), "QUEUE_FULL");
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kExpired), "EXPIRED");
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kAlreadyInQueue),
+                 "ALREADY_IN_QUEUE");
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kFeeTooLow),
+                 "FEE_TOO_LOW");
+    EXPECT_STREQ(admission_result_name(AdmissionResult::kRbfReplaced),
+                 "RBF_REPLACED");
+}
+
+// --- Replace-by-fee ---------------------------------------------------------------
+
+TEST(MempoolRbf, OutpointConflictRequiresBump) {
+    MempoolConfig config;
+    config.rbf_min_bump = 1.5;
+    Mempool pool(config);
+
+    Transaction original = utxo_tx(7, 1'000);
+    ASSERT_EQ(pool.admit(original), AdmissionResult::kAccepted);
+
+    // Same prevout, marginally higher fee: below the 1.5x bump -> refused.
+    Transaction weak = utxo_tx(7, 1'200);
+    weak.nonce = 1; // distinct txid, same conflict
+    EXPECT_EQ(pool.admit(weak), AdmissionResult::kFeeTooLow);
+    EXPECT_TRUE(pool.contains(original.txid()));
+
+    // Sufficient bump replaces the incumbent.
+    Transaction strong = utxo_tx(7, 2'000);
+    strong.nonce = 2;
+    ASSERT_GE(rate_of(strong), rate_of(original) * 1.5);
+    EXPECT_EQ(pool.admit(strong), AdmissionResult::kRbfReplaced);
+    EXPECT_FALSE(pool.contains(original.txid()));
+    EXPECT_TRUE(pool.contains(strong.txid()));
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.stats().drops(MempoolDropReason::kReplaced), 1u);
+}
+
+TEST(MempoolRbf, AccountNonceConflict) {
+    Mempool pool; // default bump 1.1
+    const Transaction first = account_tx("carol", 5, 100);
+    ASSERT_EQ(pool.admit(first), AdmissionResult::kAccepted);
+
+    // Same (sender, nonce), same fee: not a sufficient bump.
+    Transaction same_fee = account_tx("carol", 5, 100);
+    same_fee.data = to_bytes("other-payload");
+    EXPECT_EQ(pool.admit(same_fee), AdmissionResult::kFeeTooLow);
+
+    Transaction bumped = account_tx("carol", 5, 500);
+    bumped.data = to_bytes("priority");
+    EXPECT_EQ(pool.admit(bumped), AdmissionResult::kRbfReplaced);
+    EXPECT_EQ(pool.size(), 1u);
+
+    // A different nonce from the same sender is not a conflict.
+    EXPECT_EQ(pool.admit(account_tx("carol", 6, 100)), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(MempoolRbf, ReplacementFreesCapacityBeforeEviction) {
+    MempoolConfig config;
+    config.max_count = 2;
+    config.rbf_min_bump = 1.0;
+    Mempool pool(config);
+    const Transaction a = utxo_tx(1, 1'000);
+    const Transaction b = utxo_tx(2, 90'000);
+    ASSERT_EQ(pool.admit(a), AdmissionResult::kAccepted);
+    ASSERT_EQ(pool.admit(b), AdmissionResult::kAccepted);
+
+    // Replacing `a` at a full pool must not evict `b`: the conflict's slot is
+    // the capacity the newcomer uses.
+    Transaction bump = utxo_tx(1, 2'000);
+    bump.nonce = 9;
+    EXPECT_EQ(pool.admit(bump), AdmissionResult::kRbfReplaced);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_TRUE(pool.contains(b.txid()));
+    EXPECT_EQ(pool.stats().drops(MempoolDropReason::kEvicted), 0u);
+}
+
+// --- Byte budget -----------------------------------------------------------------
+
+TEST(MempoolBytes, EvictionAtExactByteBudget) {
+    // Three equal-size txs exactly fill the byte budget; a fourth must evict.
+    const Transaction t1 = utxo_tx(1, 1'000, 32);
+    const Transaction t2 = utxo_tx(2, 2'000, 32);
+    const Transaction t3 = utxo_tx(3, 3'000, 32);
+    ASSERT_EQ(t1.serialized_size(), t2.serialized_size());
+    ASSERT_EQ(t2.serialized_size(), t3.serialized_size());
+    const std::size_t unit = t1.serialized_size();
+
+    MempoolConfig config;
+    config.max_bytes = unit * 3; // exact fit, zero slack
+    Mempool pool(config);
+    EXPECT_EQ(pool.admit(t1), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.admit(t2), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.admit(t3), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.bytes(), unit * 3);
+
+    // Worse than the worst resident: shed, not swapped.
+    EXPECT_EQ(pool.admit(utxo_tx(4, 500, 32)), AdmissionResult::kQueueFull);
+    EXPECT_EQ(pool.bytes(), unit * 3);
+
+    // Better: the lowest-feerate entry (t1) makes room.
+    EXPECT_EQ(pool.admit(utxo_tx(5, 9'000, 32)), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.bytes(), unit * 3);
+    EXPECT_FALSE(pool.contains(t1.txid()));
+
+    // An oversize newcomer may need several victims; all must be beatable.
+    const Transaction wide = utxo_tx(6, 50'000, 32 + unit); // two units wide
+    EXPECT_EQ(pool.admit(wide), AdmissionResult::kAccepted);
+    EXPECT_LE(pool.bytes(), unit * 3);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(MempoolBytes, FeeRateFloorTracksPressure) {
+    MempoolConfig config;
+    config.max_count = 2;
+    config.min_fee_rate = 0.25;
+    Mempool pool(config);
+    EXPECT_DOUBLE_EQ(pool.fee_rate_floor(), 0.25); // relay floor while roomy
+    const Transaction a = utxo_tx(1, 1'000);
+    const Transaction b = utxo_tx(2, 4'000);
+    pool.add(a);
+    pool.add(b);
+    // Full: floor becomes the worst resident feerate.
+    EXPECT_DOUBLE_EQ(pool.fee_rate_floor(), rate_of(a));
+    EXPECT_DOUBLE_EQ(pool.best_fee_rate().value(), rate_of(b));
+}
+
+// --- Expiry -----------------------------------------------------------------------
+
+TEST(MempoolExpiry, ExpiresAndRefusesStaleRerelay) {
+    MempoolConfig config;
+    config.expiry = 10.0;
+    Mempool pool(config);
+
+    std::vector<std::pair<Hash256, MempoolDropReason>> drops;
+    pool.set_drop_observer([&](const Hash256& id, MempoolDropReason why, SimTime) {
+        drops.emplace_back(id, why);
+    });
+
+    const Transaction tx = utxo_tx(1, 1'000);
+    ASSERT_EQ(pool.admit(tx, /*now=*/0.0), AdmissionResult::kAccepted);
+    EXPECT_EQ(pool.expire(9.9), 0u);
+    EXPECT_EQ(pool.expire(10.0), 1u);
+    EXPECT_TRUE(pool.empty());
+    ASSERT_EQ(drops.size(), 1u);
+    EXPECT_EQ(drops[0].first, tx.txid());
+    EXPECT_EQ(drops[0].second, MempoolDropReason::kExpired);
+
+    // A stale re-relay of the expired tx is refused with the typed code.
+    EXPECT_EQ(pool.admit(tx, 10.5), AdmissionResult::kExpired);
+    EXPECT_EQ(pool.stats().result(AdmissionResult::kExpired), 1u);
+}
+
+TEST(MempoolExpiry, ReorgAddBackRestartsResidencyClock) {
+    MempoolConfig config;
+    config.expiry = 60.0;
+    Mempool pool(config);
+
+    const Transaction tx = utxo_tx(1, 1'000);
+    ASSERT_EQ(pool.admit(tx, 0.0), AdmissionResult::kAccepted);
+
+    // Confirmed at t=10, reorged back at t=50: a fresh residency period
+    // starts at 50 — the stale t=0 ring slot must not expire it at t=60.
+    pool.remove_confirmed({tx.txid()});
+    EXPECT_TRUE(pool.empty());
+    pool.add_back({tx}, 50.0);
+    EXPECT_TRUE(pool.contains(tx.txid()));
+
+    EXPECT_EQ(pool.expire(70.0), 0u); // old slot is stale, new one is young
+    EXPECT_TRUE(pool.contains(tx.txid()));
+    EXPECT_EQ(pool.expire(110.0), 1u); // 50 + 60
+    EXPECT_TRUE(pool.empty());
+}
+
+// --- Template vs oracle -----------------------------------------------------------
+
+/// Reference template: deep-copy every entry, sort from scratch with the
+/// published ordering (feerate desc, newest-first within ties), greedy-skip.
+std::vector<Hash256> oracle_template(const std::vector<Transaction>& entries,
+                                     const std::vector<std::uint64_t>& seqs,
+                                     std::size_t max_bytes,
+                                     std::size_t max_count) {
+    std::vector<std::size_t> idx(entries.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        const double ra = rate_of(entries[a]);
+        const double rb = rate_of(entries[b]);
+        if (ra != rb) return ra > rb;
+        return seqs[a] > seqs[b];
+    });
+    std::vector<Hash256> out;
+    std::size_t used = 0;
+    for (const std::size_t i : idx) {
+        if (out.size() >= max_count) break;
+        const std::size_t size = entries[i].serialized_size();
+        if (used + size > max_bytes) continue;
+        out.push_back(entries[i].txid());
+        used += size;
+    }
+    return out;
+}
+
+TEST(MempoolTemplate, ByteIdenticalWithResortOracle) {
+    Rng rng(42);
+    Mempool pool;
+    std::vector<Transaction> resident;
+    std::vector<std::uint64_t> seqs;
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        // Discrete fee menu: heavy ties, variable sizes.
+        const Amount fee = 100 * (1 + static_cast<Amount>(rng.uniform(8)));
+        Transaction tx = utxo_tx(1'000 + i, fee, rng.uniform(64));
+        if (pool.admit(tx) == AdmissionResult::kAccepted) {
+            resident.push_back(tx);
+            seqs.push_back(i);
+        }
+    }
+    for (const std::size_t budget : {800u, 4'000u, 20'000u, 1'000'000u}) {
+        for (const std::size_t count : {3u, 50u, 10'000u}) {
+            const auto tmpl = pool.build_template(budget, count);
+            std::vector<Hash256> got;
+            for (const auto& e : tmpl) got.push_back(e.tx->txid());
+            EXPECT_EQ(got, oracle_template(resident, seqs, budget, count))
+                << "budget=" << budget << " count=" << count;
+        }
+    }
+}
+
+TEST(MempoolTemplate, DeterministicAcrossThreadCounts) {
+    // The pool is part of the simulation's deterministic core: its template
+    // must not depend on the global worker count (DLT_THREADS).
+    const auto run = [](std::size_t workers) {
+        ThreadPool::set_global_workers(workers);
+        Mempool pool;
+        Rng rng(7);
+        for (std::uint64_t i = 0; i < 300; ++i)
+            pool.add(utxo_tx(i, 50 + static_cast<Amount>(rng.uniform(500)),
+                             rng.uniform(48)));
+        std::vector<Hash256> ids;
+        for (const auto& e : pool.build_template(30'000, 200))
+            ids.push_back(e.tx->txid());
+        return ids;
+    };
+    const auto single = run(1);
+    const auto pooled = run(4);
+    ThreadPool::set_global_workers(0);
+    EXPECT_EQ(single, pooled);
+}
+
+// --- Saturation hammer vs brute-force reference -----------------------------------
+
+/// Straight reimplementation of the published default admission policy with
+/// naive containers (the seed pool's semantics): count-bound only, evict the
+/// lowest feerate (oldest within ties), refuse when the newcomer does not
+/// strictly beat the worst.
+class ReferencePool {
+public:
+    explicit ReferencePool(std::size_t cap) : cap_(cap) {}
+
+    bool add(const Transaction& tx, std::uint64_t seq) {
+        const Hash256 id = tx.txid();
+        for (const auto& e : entries_)
+            if (e.id == id) return false;
+        const double rate = rate_of(tx);
+        if (entries_.size() >= cap_) {
+            const auto worst = std::min_element(
+                entries_.begin(), entries_.end(), [](const E& a, const E& b) {
+                    if (a.rate != b.rate) return a.rate < b.rate;
+                    return a.seq < b.seq;
+                });
+            if (worst->rate >= rate) return false;
+            entries_.erase(worst);
+        }
+        entries_.push_back(E{id, rate, seq, tx.serialized_size()});
+        return true;
+    }
+
+    void remove(const Hash256& id) {
+        entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                      [&](const E& e) { return e.id == id; }),
+                       entries_.end());
+    }
+
+    std::vector<Hash256> select(std::size_t max_bytes, std::size_t max_count) const {
+        auto sorted = entries_;
+        std::sort(sorted.begin(), sorted.end(), [](const E& a, const E& b) {
+            if (a.rate != b.rate) return a.rate > b.rate;
+            return a.seq > b.seq;
+        });
+        std::vector<Hash256> out;
+        std::size_t used = 0;
+        for (const auto& e : sorted) {
+            if (out.size() >= max_count) break;
+            if (used + e.size > max_bytes) continue;
+            out.push_back(e.id);
+            used += e.size;
+        }
+        return out;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+private:
+    struct E {
+        Hash256 id;
+        double rate;
+        std::uint64_t seq;
+        std::size_t size;
+    };
+    std::size_t cap_;
+    std::vector<E> entries_;
+};
+
+TEST(MempoolHammer, IndexStaysConsistentWithBruteForce) {
+    constexpr std::size_t kCap = 400;
+    Mempool pool(kCap);
+    ReferencePool reference(kCap);
+    Rng rng(1234);
+
+    std::vector<Transaction> universe;
+    for (std::uint64_t i = 0; i < 1'500; ++i) {
+        // 12 discrete fee levels: dense ties at every rate.
+        const Amount fee = 60 * (1 + static_cast<Amount>(rng.uniform(12)));
+        universe.push_back(utxo_tx(50'000 + i, fee, rng.uniform(32)));
+    }
+
+    std::uint64_t seq = 0;
+    for (std::size_t round = 0; round < 30; ++round) {
+        // Admission wave.
+        for (std::size_t i = 0; i < 50; ++i) {
+            const auto& tx = universe[rng.index(universe.size())];
+            const bool got = pool.add(tx);
+            const bool want = reference.add(tx, seq);
+            ASSERT_EQ(got, want) << "round " << round;
+            if (got) ++seq;
+        }
+        ASSERT_EQ(pool.size(), reference.size());
+
+        // Mine: both confirm the same template prefix.
+        const auto tmpl = pool.build_template(6'000, 25);
+        std::vector<Hash256> ids;
+        for (const auto& e : tmpl) ids.push_back(e.tx->txid());
+        ASSERT_EQ(ids, reference.select(6'000, 25)) << "round " << round;
+        pool.remove_confirmed(ids);
+        for (const auto& id : ids) reference.remove(id);
+        ASSERT_EQ(pool.size(), reference.size());
+        ASSERT_EQ(pool.select(100'000).size(),
+                  reference.select(100'000, SIZE_MAX).size());
+    }
+}
+
+// --- Lifecycle drop stamps --------------------------------------------------------
+
+TEST(TxLifecycleDrops, DropIsTerminalUnlessReaccepted) {
+    obs::TxLifecycleTracker tracker(2);
+    const Hash256 id = crypto::sha256(to_bytes("tx-1"));
+    tracker.on_submitted(id, 1.0);
+    tracker.on_mempool_accepted(id, 0, 1.5);
+    tracker.on_dropped(id, 0, 9.0, obs::TxDropReason::kEvicted);
+
+    const auto* rec = tracker.find(id);
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(rec->dropped.has_value());
+    EXPECT_DOUBLE_EQ(*rec->dropped, 9.0);
+    EXPECT_EQ(rec->drop_reason, obs::TxDropReason::kEvicted);
+    EXPECT_EQ(tracker.dropped_count(), 1u);
+
+    // The drop-to-submit latency is measurable (no more infinite latency).
+    const auto lat = tracker.latencies(obs::TxStage::kSubmitted,
+                                       obs::TxStage::kDropped);
+    ASSERT_EQ(lat.size(), 1u);
+    EXPECT_DOUBLE_EQ(lat[0], 8.0);
+
+    // Re-accept (reorg add_back / re-relay) clears the terminal stamp...
+    tracker.on_mempool_accepted(id, 0, 12.0);
+    EXPECT_EQ(tracker.dropped_count(), 0u);
+    EXPECT_FALSE(tracker.find(id)->dropped.has_value());
+
+    // ...and inclusion wins over a later stray drop report.
+    tracker.on_block_connected(3, {id}, 20.0);
+    tracker.on_dropped(id, 0, 21.0, obs::TxDropReason::kExpired);
+    EXPECT_EQ(tracker.dropped_count(), 0u);
+    EXPECT_FALSE(tracker.find(id)->dropped.has_value());
+}
+
+// --- Zipf sampler -----------------------------------------------------------------
+
+TEST(ZipfSampler, BoundsAndSkew) {
+    app::ZipfSampler zipf(1'000'000, 1.1);
+    Rng rng(99);
+    std::uint64_t rank1 = 0;
+    std::uint64_t tail = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t k = zipf.sample(rng);
+        ASSERT_GE(k, 1u);
+        ASSERT_LE(k, 1'000'000u);
+        if (k == 1) ++rank1;
+        if (k > 1'000) ++tail;
+    }
+    // Rank 1 of a million-element Zipf(1.1) carries a few percent of the mass;
+    // the tail past rank 1000 carries a large minority.
+    EXPECT_GT(rank1, 500u);
+    EXPECT_GT(tail, 5'000u);
+    EXPECT_LT(tail, 45'000u);
+}
+
+TEST(ZipfSampler, HigherExponentConcentrates) {
+    Rng rng_a(5);
+    Rng rng_b(5);
+    app::ZipfSampler mild(100'000, 0.8);
+    app::ZipfSampler steep(100'000, 1.6);
+    std::uint64_t mild_top = 0;
+    std::uint64_t steep_top = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        if (mild.sample(rng_a) <= 10) ++mild_top;
+        if (steep.sample(rng_b) <= 10) ++steep_top;
+    }
+    EXPECT_GT(steep_top, mild_top * 2);
+}
+
+// --- Workload engine --------------------------------------------------------------
+
+consensus::NakamotoParams small_net_params() {
+    consensus::NakamotoParams params;
+    params.node_count = 3;
+    params.block_interval = 5.0;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.mempool.max_count = 2'000;
+    params.chain_tag = "wl-test";
+    return params;
+}
+
+app::WorkloadParams small_workload() {
+    app::WorkloadParams wl;
+    wl.population = 50'000;
+    wl.base_tps = 200.0;
+    wl.submit_nodes = 3;
+    wl.payload_bytes = 32;
+    return wl;
+}
+
+TEST(WorkloadEngine, RateShapingDiurnalAndBurst) {
+    consensus::NakamotoNetwork net(small_net_params(), 1);
+    app::WorkloadParams wl = small_workload();
+    wl.diurnal_amplitude = 0.5;
+    wl.diurnal_period = 100.0;
+    wl.burst_every = 50.0;
+    wl.burst_duration = 10.0;
+    wl.burst_multiplier = 3.0;
+    app::WorkloadEngine engine(net, wl, 2);
+
+    // Burst phase (t in [0, 10)): base * diurnal * 3.
+    EXPECT_NEAR(engine.rate_at(25.0), 200.0 * 1.5, 1e-6); // sin peak, no burst
+    EXPECT_GT(engine.rate_at(5.0), 3.0 * 200.0 * 0.9);
+    EXPECT_NEAR(engine.rate_at(75.0), 200.0 * 0.5, 1e-6); // sin trough
+}
+
+TEST(WorkloadEngine, DeterministicAcrossRuns) {
+    const auto run = [] {
+        consensus::NakamotoNetwork net(small_net_params(), 11);
+        app::WorkloadEngine engine(net, small_workload(), 22);
+        net.start();
+        engine.start();
+        net.run_for(10.0);
+        std::vector<std::pair<Hash256, double>> out;
+        for (const auto& s : engine.submissions())
+            out.emplace_back(s.txid, s.fee_rate);
+        return out;
+    };
+    const auto first = run();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, run());
+}
+
+TEST(WorkloadEngine, SubmitsNearOfferedRateAndReachesChain) {
+    consensus::NakamotoNetwork net(small_net_params(), 31);
+    app::WorkloadEngine engine(net, small_workload(), 32);
+    net.start();
+    engine.start();
+    net.run_for(20.0);
+    engine.stop();
+    net.run_for(30.0); // drain
+
+    // 200 tps for 20 s -> ~4000 submissions (Poisson, wide tolerance).
+    const auto& stats = engine.stats();
+    EXPECT_GT(stats.submitted, 3'400u);
+    EXPECT_LT(stats.submitted, 4'600u);
+    EXPECT_GT(stats.distinct_agents, 100u);
+    EXPECT_GT(net.confirmed_tx_count(), 0u);
+    // Zipf identity: far fewer distinct agents than submissions.
+    EXPECT_LT(stats.distinct_agents, stats.submitted);
+}
+
+TEST(WorkloadEngine, HotAccountsForceConflictResolution) {
+    consensus::NakamotoParams params = small_net_params();
+    consensus::NakamotoNetwork net(params, 41);
+    app::WorkloadParams wl = small_workload();
+    wl.hot_accounts = 4;
+    wl.hot_fraction = 0.5;
+    app::WorkloadEngine engine(net, wl, 42);
+    net.start();
+    engine.start();
+    net.run_for(15.0);
+
+    EXPECT_GT(engine.stats().hot_submissions, 0u);
+    // Contended (sender, nonce) slots must produce RBF replacements and/or
+    // insufficient-bump rejections at the pools.
+    std::uint64_t replaced = 0;
+    std::uint64_t too_low = 0;
+    for (net::NodeId n = 0; n < net.node_count(); ++n) {
+        replaced += net.mempool_of(n).stats().result(AdmissionResult::kRbfReplaced);
+        too_low += net.mempool_of(n).stats().result(AdmissionResult::kFeeTooLow);
+    }
+    EXPECT_GT(replaced + too_low, 0u);
+}
+
+// --- Multi-observer ChainEvents ---------------------------------------------------
+
+TEST(ChainEventsObservers, AnyNodeCanBeObserved) {
+    consensus::NakamotoParams params = small_net_params();
+    consensus::NakamotoNetwork net(params, 51);
+
+    std::uint64_t tips0 = 0;
+    std::uint64_t tips2 = 0;
+    std::uint64_t inserted2 = 0;
+    net.events().on_tip_changed = [&](const Hash256&, std::uint64_t, SimTime) {
+        ++tips0;
+    };
+    net.events(2).on_tip_changed = [&](const Hash256&, std::uint64_t, SimTime) {
+        ++tips2;
+    };
+    net.events(2).on_block_inserted = [&](const ledger::Block&, SimTime) {
+        ++inserted2;
+    };
+
+    net.start();
+    net.run_for(120.0);
+
+    EXPECT_GT(tips0, 0u);
+    EXPECT_GT(tips2, 0u);
+    EXPECT_GT(inserted2, 0u);
+    // Both replicas converged over the run, so observed tip counts are close.
+    EXPECT_NEAR(static_cast<double>(tips0), static_cast<double>(tips2),
+                static_cast<double>(std::max(tips0, tips2)));
+}
+
+} // namespace
