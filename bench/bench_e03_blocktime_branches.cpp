@@ -35,6 +35,7 @@ RunResult run(double interval, BranchRule rule, std::uint64_t seed) {
 
 int main() {
     bench::Run bench_run("E03");
+    bench::ObsEnv obs_env;
     bench::title("E3: block interval vs branches, GHOST (§2.7)",
                  "Claim: Ethereum's 10-40 s blocks raise throughput but increase "
                  "branch occurrence; GHOST mitigates the consistency loss.");

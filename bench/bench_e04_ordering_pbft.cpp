@@ -12,6 +12,7 @@ using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E04");
+    bench::ObsEnv obs_env;
     bench::title("E4: ordering service + PBFT throughput (§2.7)",
                  "Claim: leader-based ordering reaches >10K tps in-sim, versus "
                  "single-digit tps for PoW; PBFT adds Byzantine tolerance at "

@@ -18,6 +18,7 @@ using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E05");
+    bench::ObsEnv obs_env;
     bench::title("E5: PoS vs PoW computational effort (§2.4, §5.4)",
                  "Claim: PoS replaces the hash race with one lottery evaluation "
                  "per peer, cutting energy/computation by orders of magnitude.");

@@ -11,6 +11,7 @@ using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E06");
+    bench::ObsEnv obs_env;
     bench::title("E6: 51% attack success probability (§2.4)",
                  "Claim: rewriting history needs a majority of hash power; below "
                  "it, success decays exponentially in confirmation depth.");

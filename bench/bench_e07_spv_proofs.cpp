@@ -70,6 +70,7 @@ BENCHMARK(BM_FullBlockValidation)->Range(64, 16384)->Complexity(benchmark::oN);
 
 int main(int argc, char** argv) {
     bench::Run bench_run("E07");
+    bench::ObsEnv obs_env;
     bench::title("E7: SPV Merkle proofs (Fig. 2, §2.2)",
                  "Claim: proof size/verify cost is O(log n) in block size; full "
                  "validation is O(n).");

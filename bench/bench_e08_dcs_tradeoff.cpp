@@ -13,6 +13,7 @@ using namespace dlt::core;
 
 int main() {
     bench::Run bench_run("E08");
+    bench::ObsEnv obs_env;
     bench::title("E8: the DCS trade-off (§2.7)",
                  "Claim: Bitcoin and Ethereum are DC systems, Hyperledger is CS; "
                  "no tuning achieves all three at once.");

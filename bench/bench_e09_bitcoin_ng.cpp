@@ -12,6 +12,7 @@ using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E09");
+    bench::ObsEnv obs_env;
     bench::title("E9: Bitcoin-NG vs Nakamoto (§2.4)",
                  "Claim: decoupling leader election from serialization lifts "
                  "throughput to bandwidth limits at unchanged PoW cadence.");

@@ -46,6 +46,7 @@ double run(std::size_t shards, double cross_fraction, std::uint64_t seed,
 
 int main() {
     bench::Run bench_run("E10");
+    bench::ObsEnv obs_env;
     bench::title("E10: sharding throughput (§5.4)",
                  "Claim: parallel shards multiply throughput; cross-shard "
                  "two-phase traffic erodes the speedup.");

@@ -10,6 +10,7 @@ using namespace dlt::scaling;
 
 int main() {
     bench::Run bench_run("E11");
+    bench::ObsEnv obs_env;
     bench::title("E11: off-chain payment channels (§5.2/§5.4)",
                  "Claim: many payments per on-chain settlement; latency decouples "
                  "from the block interval.");

@@ -21,6 +21,7 @@ crypto::Address fresh(const std::string& tag) {
 
 int main() {
     bench::Run bench_run("E12");
+    bench::ObsEnv obs_env;
     bench::title("E12: mixing vs traceability (§5.3)",
                  "Claim: every coin is traceable on a transparent chain; mixers "
                  "inflate the anonymity set per round, paying confirmation "

@@ -126,6 +126,7 @@ BENCHMARK(BM_IavlLookup);
 
 int main(int argc, char** argv) {
     bench::Run bench_run("E13");
+    bench::ObsEnv obs_env;
     bench::title("E13: account-state structures (§5.4)",
                  "Claim: the choice of authenticated structure (MPT vs IAVL+) "
                  "governs validation speed and proof size; both pay a hashing "

@@ -14,6 +14,7 @@ using namespace dlt::scaling;
 
 int main() {
     bench::Run bench_run("E14");
+    bench::ObsEnv obs_env;
     bench::title("E14: new-peer bootstrap (§5.4)",
                  "Claim: checkpoint sync downloads a fraction of the full chain "
                  "and fully validates only the recent suffix.");

@@ -21,6 +21,7 @@ crypto::Address org(const std::string& name) {
 
 int main() {
     bench::Run bench_run("E15");
+    bench::ObsEnv obs_env;
     bench::title("E15: multi-channel privacy domains (§5.3)",
                  "Claim: privacy domains isolate data per member set while the "
                  "shared anchor chain keeps everyone consistent.");

@@ -81,6 +81,7 @@ BENCHMARK(BM_TokenTransfer);
 
 int main(int argc, char** argv) {
     bench::Run bench_run("E16");
+    bench::ObsEnv obs_env;
     bench::title("E16: contract gas economics (§2.5, §3.2)",
                  "Claim: deploys and mutating calls cost gas paid to the miner; "
                  "constant calls are free; cost scales with executed work.");

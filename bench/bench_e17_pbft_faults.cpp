@@ -50,6 +50,7 @@ Result run(std::uint32_t f, const std::vector<std::pair<std::uint32_t, PbftFault
 
 int main() {
     bench::Run bench_run("E17");
+    bench::ObsEnv obs_env;
     bench::title("E17: PBFT under faults (§2.4)",
                  "Claim: 3f+1 replicas commit identical logs with up to f "
                  "Byzantine members; beyond f the cluster stalls but never "

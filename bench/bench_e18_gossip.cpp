@@ -58,6 +58,7 @@ RunResult run(std::size_t nodes, std::size_t fanout, std::uint64_t seed) {
 
 int main() {
     bench::Run bench_run("E18");
+    bench::ObsEnv obs_env;
     bench::title("E18: gossip propagation (§2.3)",
                  "Claim: multi-round gossip reaches the whole unstructured "
                  "overlay in O(log n) time; fanout trades bandwidth for speed.");

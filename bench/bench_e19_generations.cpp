@@ -13,6 +13,7 @@ using namespace dlt::core;
 
 int main() {
     bench::Run bench_run("E19");
+    bench::ObsEnv obs_env;
     bench::title("E19: application generations (§3, §5.1)",
                  "Claim: each generation imposes distinct requirements and lands "
                  "on a different point of the DCS spectrum.");

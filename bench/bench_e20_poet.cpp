@@ -12,6 +12,7 @@ using namespace dlt::consensus;
 
 int main() {
     bench::Run bench_run("E20");
+    bench::ObsEnv obs_env;
     bench::title("E20: Proof-of-Elapsed-Time (§5.4)",
                  "Claim: SGX-style wait timers give fair, computation-free leader "
                  "election; certificates are verifiable.");

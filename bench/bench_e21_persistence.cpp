@@ -74,6 +74,7 @@ struct TempDir {
 
 int main() {
     bench::Run run("E21");
+    bench::ObsEnv obs_env;
     bench::title("E21: persistency layer (§3.1 dependable, §5.4 bootstrap)",
                  "Claim: WAL-journaled storage sustains high durable write rates, "
                  "recovery replays the journal (snapshots shorten it), and the "

@@ -94,6 +94,7 @@ PbftResult run_pbft_partition(std::uint64_t seed) {
 
 int main() {
     bench::Run bench_run("E22");
+    bench::ObsEnv obs_env;
     bench::title("E22: partition & heal (§2.2)",
                  "Claim: a partitioned PoW network forks and pays for the cut "
                  "in orphaned blocks and reconvergence time proportional to the "

@@ -45,6 +45,7 @@ ledger::Block make_signed_block(std::size_t count,
 
 int main() {
     bench::Run run("E23");
+    bench::ObsEnv obs_env;
     bench::title("E23: parallel validation engine",
                  "Block signature checks fan out over a CheckQueue; SHA-256 "
                  "dispatches to SHA-NI when the CPU has it; wide Merkle levels "

@@ -70,6 +70,10 @@ SignedRunResult run_signed_workload(const std::vector<crypto::PrivateKey>& signe
 
 int main() {
     bench::Run run("E24");
+    // This bench measures the tracer itself and flips set_enabled() per
+    // section, overriding ObsEnv's initial enable; a requested DLT_TRACE
+    // artifact therefore holds only the "obs on" section's events.
+    bench::ObsEnv obs_env;
     bench::title("E24: observability overhead",
                  "Claim: registry counters cost nanoseconds, full tracing + "
                  "lifecycle tracking stays under 3% on the signed-validation "

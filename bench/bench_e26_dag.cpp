@@ -1,0 +1,176 @@
+// E26 — fourth-generation DAG ledger vs chains (§2.6): when the record
+// interval shrinks toward the network delay, a chain pays for concurrency
+// with stale blocks and reorg thrash, while a DAG merges the parallel records
+// into one total order and keeps their payload. Sweeps the interval across
+// the branching regime (interval / delay from 5x down to 0.5x) and measures
+// confirmed-payload throughput for Nakamoto longest-chain, Nakamoto GHOST,
+// and the GHOSTDAG ledger under the same million-user-style demand stream
+// (app::WorkloadEngine via TxHost).
+//
+// DLT_E26_QUICK=1 shrinks the sweep for CI smoke runs.
+// DLT_TRACE / DLT_TRACE_STREAM / DLT_METRICS work as in every bench.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "bench_util.hpp"
+#include "consensus/dag/network.hpp"
+#include "consensus/nakamoto.hpp"
+
+using namespace dlt;
+
+namespace {
+
+struct RowResult {
+    double tps = 0;          // confirmed non-coinbase tx/s of virtual time
+    double branch_metric = 0; // stale rate (chains) / red fraction (DAG)
+    std::uint64_t submitted = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t reorgs = 0; // reorgs (chains) / relinearizations (DAG)
+    std::string digest;       // DAG only: sha256 of the linear order
+};
+
+struct SweepConfig {
+    std::size_t nodes = 12;
+    double duration = 600.0; // virtual seconds of demand
+    double drain = 120.0;    // extra time for confirmation to settle
+    double offered_tps = 100.0;
+    std::size_t max_block_txs = 50; // capacity-bound so throughput is visible
+};
+
+app::WorkloadParams demand(const SweepConfig& sweep) {
+    app::WorkloadParams wl;
+    wl.population = 10'000;
+    wl.base_tps = sweep.offered_tps;
+    wl.payload_bytes = 96;
+    wl.submit_nodes = static_cast<std::uint32_t>(sweep.nodes);
+    return wl;
+}
+
+RowResult run_chain(const SweepConfig& sweep, double interval,
+                    consensus::BranchRule rule, std::uint64_t seed) {
+    consensus::NakamotoParams params;
+    params.node_count = sweep.nodes;
+    params.block_interval = interval;
+    params.branch_rule = rule;
+    params.max_block_txs = sweep.max_block_txs;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.link.latency_mean = 2.0;
+    params.link.latency_jitter = 1.0;
+    consensus::NakamotoNetwork net(params, seed);
+    net.start();
+
+    app::WorkloadEngine workload(net, demand(sweep), seed ^ 0xE26);
+    workload.start();
+    net.run_for(sweep.duration);
+    workload.stop();
+    net.run_for(sweep.drain);
+
+    RowResult r;
+    r.submitted = workload.stats().submitted;
+    r.confirmed = net.confirmed_tx_count();
+    r.tps = r.confirmed / sweep.duration;
+    r.branch_metric = net.stale_rate();
+    r.reorgs = net.stats().reorgs;
+    return r;
+}
+
+RowResult run_dag(const SweepConfig& sweep, double interval, std::uint64_t seed) {
+    consensus::dag::DagParams params;
+    params.node_count = sweep.nodes;
+    params.record_interval = interval;
+    params.max_block_txs = sweep.max_block_txs;
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    params.link.latency_mean = 2.0;
+    params.link.latency_jitter = 1.0;
+    consensus::dag::DagNetwork net(params, seed);
+    net.start();
+
+    app::TxHostFor<consensus::dag::DagNetwork> host(net);
+    app::WorkloadEngine workload(host, demand(sweep), seed ^ 0xE26);
+    workload.start();
+    net.run_for(sweep.duration);
+    workload.stop();
+    net.run_for(sweep.drain);
+
+    RowResult r;
+    r.submitted = workload.stats().submitted;
+    r.confirmed = net.confirmed_tx_count();
+    r.tps = r.confirmed / sweep.duration;
+    r.branch_metric = 1.0 - net.blue_ratio(); // red fraction
+    r.reorgs = net.stats().relinearizations;
+    r.digest = net.order_digest().hex();
+    return r;
+}
+
+} // namespace
+
+int main() {
+    bench::Run run("E26");
+    bench::ObsEnv obs_env;
+    const bool quick = std::getenv("DLT_E26_QUICK") != nullptr;
+    bench::title("E26: DAG ledger vs chains across the branching regime (§2.6)",
+                 "Claim: as the record interval drops below the network delay, "
+                 "chains lose throughput to stale branches while a GHOSTDAG "
+                 "ledger merges parallel records and keeps scaling.");
+
+    SweepConfig sweep;
+    std::vector<double> intervals{10.0, 5.0, 2.0, 1.0};
+    if (quick) {
+        sweep.nodes = 8;
+        sweep.duration = 240.0;
+        sweep.drain = 60.0;
+        intervals = {5.0, 1.0};
+    }
+
+    bench::Table table({"interval-s", "system", "tps", "submitted", "confirmed",
+                        "branch", "reorgs"});
+    std::uint64_t seed = 2600;
+    std::string high_branch_digest;
+    for (const double interval : intervals) {
+        const RowResult longest = run_chain(
+            sweep, interval, consensus::BranchRule::kLongestChain, seed++);
+        const RowResult ghost =
+            run_chain(sweep, interval, consensus::BranchRule::kGhost, seed++);
+        const RowResult dag = run_dag(sweep, interval, seed++);
+
+        const std::string tag = bench::fmt(interval, 0);
+        table.row({tag, "nakamoto-longest", bench::fmt(longest.tps, 2),
+                   bench::fmt_int(longest.submitted),
+                   bench::fmt_int(longest.confirmed),
+                   bench::fmt(longest.branch_metric, 3),
+                   bench::fmt_int(longest.reorgs)});
+        table.row({tag, "nakamoto-ghost", bench::fmt(ghost.tps, 2),
+                   bench::fmt_int(ghost.submitted),
+                   bench::fmt_int(ghost.confirmed),
+                   bench::fmt(ghost.branch_metric, 3),
+                   bench::fmt_int(ghost.reorgs)});
+        table.row({tag, "ghostdag", bench::fmt(dag.tps, 2),
+                   bench::fmt_int(dag.submitted), bench::fmt_int(dag.confirmed),
+                   bench::fmt(dag.branch_metric, 3),
+                   bench::fmt_int(dag.reorgs)});
+
+        const std::string suffix = "_i" + bench::fmt(interval, 0);
+        run.metric("nakamoto_longest_tps" + suffix, longest.tps);
+        run.metric("nakamoto_ghost_tps" + suffix, ghost.tps);
+        run.metric("dag_tps" + suffix, dag.tps);
+        run.metric("nakamoto_stale_rate" + suffix, longest.branch_metric);
+        run.metric("dag_red_fraction" + suffix, dag.branch_metric);
+        run.metric("dag_relinearizations" + suffix, dag.reorgs);
+        high_branch_digest = dag.digest; // last interval = highest branch rate
+    }
+    table.print();
+
+    // The determinism probe CI compares across DLT_THREADS settings: the
+    // GHOSTDAG order at the highest branch rate, as a sha256 digest.
+    run.note("dag_order_digest", high_branch_digest);
+    std::printf("\ndag order digest (interval %.0fs): %s\n", intervals.back(),
+                high_branch_digest.c_str());
+
+    std::printf("\nExpected shape: at 10 s intervals (5x the 2 s delay) all "
+                "three systems confirm comparable payload; at 1 s the chains "
+                "lose most produced blocks to branches while the DAG merges "
+                "them — higher tps, zero discarded records.\n");
+    return 0;
+}

@@ -54,7 +54,9 @@ private:
 /// Uniform DLT_TRACE / DLT_METRICS wiring for bench binaries. Construct one at
 /// the top of main(): DLT_TRACE=<path> enables the global Tracer immediately
 /// (so the whole run is captured) and writes a Chrome trace on destruction;
-/// DLT_METRICS=<path> snapshots the metrics registry as JSON. Both notices go
+/// DLT_TRACE_STREAM=<path> does the same but streams chunks to disk as the run
+/// goes (unbounded runs, no dropped tail — takes precedence over DLT_TRACE);
+/// DLT_METRICS=<path> snapshots the metrics registry as JSON. All notices go
 /// to stderr so stdout stays byte-identical with observability on or off (the
 /// determinism contract CI checks by diffing bench output). Declare it *after*
 /// the bench::Run so artifacts land before the BENCH_<id>.json notice.
@@ -62,8 +64,19 @@ class ObsEnv {
 public:
     ObsEnv()
         : trace_path_(std::getenv("DLT_TRACE")),
+          stream_path_(std::getenv("DLT_TRACE_STREAM")),
           metrics_path_(std::getenv("DLT_METRICS")) {
-        if (trace_path_ != nullptr) dlt::obs::Tracer::global().set_enabled(true);
+        if (stream_path_ != nullptr) {
+            if (dlt::obs::Tracer::global().open_stream(stream_path_)) {
+                dlt::obs::Tracer::global().set_enabled(true);
+            } else {
+                std::fprintf(stderr, "[obs] could not open trace stream %s\n",
+                             stream_path_);
+                stream_path_ = nullptr;
+            }
+        } else if (trace_path_ != nullptr) {
+            dlt::obs::Tracer::global().set_enabled(true);
+        }
     }
 
     ObsEnv(const ObsEnv&) = delete;
@@ -71,13 +84,25 @@ public:
 
     ~ObsEnv() { write_artifacts(); }
 
-    bool tracing() const { return trace_path_ != nullptr; }
+    bool tracing() const {
+        return trace_path_ != nullptr || stream_path_ != nullptr;
+    }
 
     /// Flush the trace/metrics artifacts now (idempotent).
     void write_artifacts() {
         if (written_) return;
         written_ = true;
-        if (trace_path_ != nullptr) {
+        if (stream_path_ != nullptr) {
+            const auto emitted = dlt::obs::Tracer::global().emitted();
+            if (dlt::obs::Tracer::global().close_stream())
+                std::fprintf(stderr,
+                             "[obs] streamed trace %s (%llu events)\n",
+                             stream_path_,
+                             static_cast<unsigned long long>(emitted));
+            else
+                std::fprintf(stderr, "[obs] could not finish trace stream %s\n",
+                             stream_path_);
+        } else if (trace_path_ != nullptr) {
             if (dlt::obs::Tracer::global().write_chrome_trace(trace_path_))
                 std::fprintf(stderr, "[obs] wrote trace %s (%zu events)\n",
                              trace_path_, dlt::obs::Tracer::global().size());
@@ -96,6 +121,7 @@ public:
 
 private:
     const char* trace_path_;
+    const char* stream_path_;
     const char* metrics_path_;
     bool written_ = false;
 };

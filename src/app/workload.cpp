@@ -85,12 +85,26 @@ const char* fee_strategy_name(FeeStrategy s) {
     return "unknown";
 }
 
-WorkloadEngine::WorkloadEngine(consensus::NakamotoNetwork& net,
-                               WorkloadParams params, std::uint64_t seed)
-    : net_(net),
+WorkloadEngine::WorkloadEngine(TxHost& host, WorkloadParams params,
+                               std::uint64_t seed)
+    : net_(host),
       params_(params),
       rng_(seed),
       zipf_(params.population, params.zipf_exponent) {
+    init();
+}
+
+WorkloadEngine::WorkloadEngine(consensus::NakamotoNetwork& net,
+                               WorkloadParams params, std::uint64_t seed)
+    : owned_host_(std::make_unique<TxHostFor<consensus::NakamotoNetwork>>(net)),
+      net_(*owned_host_),
+      params_(params),
+      rng_(seed),
+      zipf_(params.population, params.zipf_exponent) {
+    init();
+}
+
+void WorkloadEngine::init() {
     DLT_EXPECTS(params_.base_tps > 0);
     DLT_EXPECTS(params_.fee_levels >= 1);
     DLT_EXPECTS(params_.max_fee_rate >= params_.min_fee_rate);

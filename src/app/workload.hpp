@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,40 @@
 #include "sim/scheduler.hpp"
 
 namespace dlt::app {
+
+/// The minimal surface the workload engine needs from a transaction host:
+/// virtual time, a fee market to observe, and a submission entry point. Any
+/// consensus family with the NakamotoNetwork-style surface satisfies it via
+/// TxHostFor — the engine itself stays consensus-agnostic, so the same
+/// million-user demand stream drives chains and the DAG ledger alike (E26's
+/// apples-to-apples requirement).
+class TxHost {
+public:
+    virtual ~TxHost() = default;
+    virtual sim::Scheduler& scheduler() = 0;
+    virtual const ledger::Mempool& mempool_of(net::NodeId node) const = 0;
+    virtual void submit_transaction(const ledger::Transaction& tx,
+                                    net::NodeId origin) = 0;
+};
+
+/// Adapter binding TxHost to any network exposing scheduler() / mempool_of()
+/// / submit_transaction() — NakamotoNetwork, consensus::dag::DagNetwork, ...
+template <typename Net>
+class TxHostFor final : public TxHost {
+public:
+    explicit TxHostFor(Net& net) : net_(net) {}
+    sim::Scheduler& scheduler() override { return net_.scheduler(); }
+    const ledger::Mempool& mempool_of(net::NodeId node) const override {
+        return net_.mempool_of(node);
+    }
+    void submit_transaction(const ledger::Transaction& tx,
+                            net::NodeId origin) override {
+        net_.submit_transaction(tx, origin);
+    }
+
+private:
+    Net& net_;
+};
 
 /// Zipf-distributed ranks in [1, n] by rejection-inversion sampling; O(1)
 /// state and O(1) expected work per draw for any population size.
@@ -130,6 +165,9 @@ struct Submission {
 
 class WorkloadEngine {
 public:
+    /// Drive any transaction host (non-owning; `host` must outlive the engine).
+    WorkloadEngine(TxHost& host, WorkloadParams params, std::uint64_t seed);
+    /// Convenience overload for the historical Nakamoto-only surface.
     WorkloadEngine(consensus::NakamotoNetwork& net, WorkloadParams params,
                    std::uint64_t seed);
 
@@ -149,13 +187,16 @@ public:
     const WorkloadParams& params() const { return params_; }
 
 private:
+    void init(); // shared ctor validation + peak-rate derivation
     void schedule_next();
     void emit_one();
     /// Quantize a desired feerate onto the discrete fee menu.
     double quantize(double fee_rate) const;
     double bid(const AgentProfile& profile, std::uint32_t node);
 
-    consensus::NakamotoNetwork& net_;
+    /// Owns the adapter when constructed from a concrete network type.
+    std::unique_ptr<TxHost> owned_host_;
+    TxHost& net_;
     WorkloadParams params_;
     Rng rng_;
     ZipfSampler zipf_;

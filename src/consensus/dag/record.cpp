@@ -1,0 +1,49 @@
+#include "consensus/dag/record.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace dlt::consensus::dag {
+
+void set_parents(ledger::BlockHeader& header,
+                 const std::vector<Hash256>& parents) {
+    DLT_EXPECTS(!parents.empty());
+    DLT_EXPECTS(parents.size() <= kMaxParentsAbsolute);
+    header.prev_hash = parents.front();
+    if (parents.size() == 1) {
+        // Single parent = plain chain block: byte-identical to one that never
+        // went through the DAG codec.
+        header.annex.clear();
+    } else {
+        Writer w;
+        w.varint(parents.size() - 1);
+        for (std::size_t i = 1; i < parents.size(); ++i) w.fixed(parents[i]);
+        header.annex = std::move(w).take();
+    }
+    header.invalidate_hash_cache();
+}
+
+std::vector<Hash256> parents_of(const ledger::BlockHeader& header) {
+    std::vector<Hash256> parents{header.prev_hash};
+    if (header.annex.empty()) return parents;
+    Reader r(header.annex);
+    const std::uint64_t extra = r.varint_count(32);
+    if (extra + 1 > kMaxParentsAbsolute)
+        throw DecodeError("record exceeds absolute parent cap");
+    parents.reserve(1 + static_cast<std::size_t>(extra));
+    for (std::uint64_t i = 0; i < extra; ++i) parents.push_back(r.fixed<32>());
+    r.expect_done();
+    return parents;
+}
+
+bool parents_well_formed(const std::vector<Hash256>& parents,
+                         std::size_t max_parents) {
+    if (parents.empty() || parents.size() > max_parents) return false;
+    for (std::size_t i = 0; i < parents.size(); ++i)
+        for (std::size_t j = i + 1; j < parents.size(); ++j)
+            if (parents[i] == parents[j]) return false;
+    return true;
+}
+
+} // namespace dlt::consensus::dag

@@ -1,0 +1,43 @@
+// DAG record format: a block that references *several* tailing tips instead of
+// one parent (the dledger `approverNames` idiom — each new record approves k
+// tailing records). The record reuses ledger::Block wholesale so the existing
+// serialization, Merkle commitment, gossip framing, and signature validation
+// all apply unchanged:
+//
+//   header.prev_hash   = parents[0], the proposer's selected parent (the
+//                        highest-blue-score tip it chose — kept first so
+//                        single-chain tooling sees a sensible "previous hash")
+//   header.annex       = varint count + the remaining parent hashes
+//
+// The annex is part of the serialized header, so the block id commits to the
+// full parent list. A record with an empty annex is an ordinary single-parent
+// block — chains are the k=1 special case of the DAG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/block.hpp"
+
+namespace dlt::consensus::dag {
+
+/// Hard cap on parents per record (sanity bound for decode; policy typically
+/// uses a smaller k from DagParams).
+inline constexpr std::size_t kMaxParentsAbsolute = 16;
+
+/// Write `parents` into the header: parents[0] becomes prev_hash, the rest are
+/// serialized into the annex. Requires 1 <= parents.size() <= kMaxParentsAbsolute
+/// and invalidates the header hash cache.
+void set_parents(ledger::BlockHeader& header, const std::vector<Hash256>& parents);
+
+/// Full parent list of a record (prev_hash first, then the annex extras).
+/// Throws DecodeError on a malformed annex.
+std::vector<Hash256> parents_of(const ledger::BlockHeader& header);
+
+/// Structural sanity of the parent list: 1..max_parents entries, all distinct.
+/// Returns false (rather than throwing) so callers can mark-and-ignore.
+bool parents_well_formed(const std::vector<Hash256>& parents,
+                         std::size_t max_parents);
+
+} // namespace dlt::consensus::dag

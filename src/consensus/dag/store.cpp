@@ -1,0 +1,324 @@
+#include "consensus/dag/store.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <tuple>
+
+#include "common/assert.hpp"
+#include "consensus/dag/record.hpp"
+
+namespace dlt::consensus::dag {
+
+namespace {
+
+/// Candidate-processing and mergeset order: ascending blue score (a
+/// topological order — blue score strictly increases along every child edge),
+/// hash as the deterministic tiebreak.
+struct ScoreHashLess {
+    bool operator()(const std::pair<std::uint64_t, Hash256>& a,
+                    const std::pair<std::uint64_t, Hash256>& b) const {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second < b.second;
+    }
+};
+
+} // namespace
+
+DagStore::DagStore(const ledger::Block& genesis, Config cfg)
+    : cfg_(cfg), genesis_hash_(genesis.hash()) {
+    Entry e;
+    e.block = genesis;
+    e.height = 0;
+    e.gd.blue_score = 0;
+    e.ordered_mergeset = {genesis_hash_};
+    // Genesis is trivially final; marking it confirmed lets every approval
+    // walk prune there. Not counted in confirmed_ (which tracks records
+    // confirmed *by approvals*).
+    e.confirmed = true;
+    entries_.emplace(genesis_hash_, std::move(e));
+    tips_.push_back(genesis_hash_);
+}
+
+const DagStore::Entry* DagStore::find(const Hash256& hash) const {
+    auto it = entries_.find(hash);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const DagStore::Entry& DagStore::entry(const Hash256& hash) const {
+    auto it = entries_.find(hash);
+    DLT_EXPECTS(it != entries_.end());
+    return it->second;
+}
+
+DagStore::Entry& DagStore::mutable_entry(const Hash256& hash) {
+    auto it = entries_.find(hash);
+    DLT_EXPECTS(it != entries_.end());
+    return it->second;
+}
+
+std::uint64_t DagStore::blue_score_of(const Hash256& hash) const {
+    return entry(hash).gd.blue_score;
+}
+
+bool DagStore::is_ancestor(const Hash256& a, const Hash256& b) const {
+    if (a == b) return false;
+    auto ia = entries_.find(a);
+    auto ib = entries_.find(b);
+    DLT_EXPECTS(ia != entries_.end() && ib != entries_.end());
+    const std::uint64_t floor = ia->second.height;
+    if (floor >= ib->second.height) return false;
+    // Upward BFS from b; ancestors sit at strictly lower heights, so any
+    // node at height <= height(a) other than a itself cannot lead to a.
+    std::deque<const Entry*> queue{&ib->second};
+    std::unordered_set<Hash256> seen{b};
+    while (!queue.empty()) {
+        const Entry* cur = queue.front();
+        queue.pop_front();
+        for (const Hash256& p : cur->parents) {
+            if (p == a) return true;
+            if (!seen.insert(p).second) continue;
+            const Entry& pe = entry(p);
+            if (pe.height > floor) queue.push_back(&pe);
+        }
+    }
+    return false;
+}
+
+std::uint32_t DagStore::blue_anticone_size(const Hash256& x,
+                                           const GhostdagData& top) const {
+    const GhostdagData* chain = &top;
+    while (true) {
+        auto it = chain->blues_anticone_sizes.find(x);
+        if (it != chain->blues_anticone_sizes.end()) return it->second;
+        // A blue is recorded by the chain block that merged it, so the walk
+        // must find x before running off the bottom of the chain.
+        DLT_EXPECTS(chain->selected_parent != Hash256{});
+        chain = &entry(chain->selected_parent).gd;
+    }
+}
+
+bool DagStore::check_blue_candidate(
+    const Hash256& c, const GhostdagData& data, std::uint32_t& c_anticone,
+    std::unordered_map<Hash256, std::uint32_t>& updates) const {
+    // A blue mergeset holds at most k+1 records (selected parent + k in its
+    // anticone).
+    if (data.mergeset_blues.size() == cfg_.ghostdag_k + std::size_t{1})
+        return false;
+    c_anticone = 0;
+    updates.clear();
+    const GhostdagData* chain = &data;
+    while (true) {
+        for (const Hash256& x : chain->mergeset_blues) {
+            if (is_ancestor(x, c)) continue; // x ∈ past(c): outside anticone
+            // x is blue and in anticone(c): counts against c's own bound and
+            // grows x's blue anticone by one.
+            if (++c_anticone > cfg_.ghostdag_k) return false;
+            const std::uint32_t x_size = blue_anticone_size(x, data);
+            if (x_size == cfg_.ghostdag_k) return false;
+            updates[x] = x_size + 1;
+        }
+        const Hash256& next = chain->selected_parent;
+        if (next == Hash256{}) break;            // bottomed out at genesis
+        if (is_ancestor(next, c) || next == c) break; // rest of chain ⊆ past(c)
+        chain = &entry(next).gd;
+    }
+    return true;
+}
+
+std::vector<Hash256> DagStore::compute_mergeset(
+    const std::vector<Hash256>& parents, const Hash256& sp) const {
+    std::vector<std::pair<std::uint64_t, Hash256>> found;
+    std::deque<Hash256> queue;
+    std::unordered_set<Hash256> seen{sp};
+    for (const Hash256& p : parents)
+        if (seen.insert(p).second) queue.push_back(p);
+    while (!queue.empty()) {
+        const Hash256 h = queue.front();
+        queue.pop_front();
+        const Entry& e = entry(h);
+        if (is_ancestor(h, sp)) continue; // already covered by sp's past
+        found.emplace_back(e.gd.blue_score, h);
+        for (const Hash256& p : e.parents)
+            if (seen.insert(p).second) queue.push_back(p);
+    }
+    std::sort(found.begin(), found.end(), ScoreHashLess{});
+    std::vector<Hash256> out;
+    out.reserve(found.size());
+    for (const auto& [score, h] : found) out.push_back(h);
+    return out;
+}
+
+GhostdagData DagStore::ghostdag_of_parents(
+    const std::vector<Hash256>& parents) const {
+    DLT_EXPECTS(!parents.empty());
+    GhostdagData gd;
+    // Selected parent: highest blue score, lower hash on ties.
+    gd.selected_parent = parents.front();
+    for (const Hash256& p : parents) {
+        const std::uint64_t s = blue_score_of(p);
+        const std::uint64_t best = blue_score_of(gd.selected_parent);
+        if (s > best || (s == best && p < gd.selected_parent))
+            gd.selected_parent = p;
+    }
+    gd.mergeset_blues.push_back(gd.selected_parent);
+    gd.blues_anticone_sizes[gd.selected_parent] = 0;
+
+    std::uint32_t c_anticone = 0;
+    std::unordered_map<Hash256, std::uint32_t> updates;
+    for (const Hash256& c : compute_mergeset(parents, gd.selected_parent)) {
+        if (check_blue_candidate(c, gd, c_anticone, updates)) {
+            gd.mergeset_blues.push_back(c);
+            gd.blues_anticone_sizes[c] = c_anticone;
+            for (const auto& [x, size] : updates)
+                gd.blues_anticone_sizes[x] = size;
+        } else {
+            gd.mergeset_reds.push_back(c);
+        }
+    }
+    gd.blue_score =
+        entry(gd.selected_parent).gd.blue_score + gd.mergeset_blues.size();
+    return gd;
+}
+
+std::vector<Hash256> DagStore::topo_order_merged(
+    const GhostdagData& gd, const std::optional<Hash256>& self,
+    const std::vector<Hash256>& self_parents) const {
+    // merged set = mergeset minus the selected parent, plus self (if any).
+    std::unordered_set<Hash256> reds(gd.mergeset_reds.begin(),
+                                     gd.mergeset_reds.end());
+    std::vector<Hash256> members;
+    for (std::size_t i = 1; i < gd.mergeset_blues.size(); ++i)
+        members.push_back(gd.mergeset_blues[i]);
+    members.insert(members.end(), gd.mergeset_reds.begin(),
+                   gd.mergeset_reds.end());
+    if (self) members.push_back(*self);
+
+    std::unordered_set<Hash256> member_set(members.begin(), members.end());
+    auto parents_in_set = [&](const Hash256& h) {
+        const std::vector<Hash256>& ps =
+            (self && h == *self) ? self_parents : entry(h).parents;
+        std::vector<Hash256> in;
+        for (const Hash256& p : ps)
+            if (member_set.count(p)) in.push_back(p);
+        return in;
+    };
+
+    // Kahn's algorithm; the ready set is ordered (blues first, then ascending
+    // blue score, then hash) so the output is deterministic and blues of the
+    // same generation precede reds. Any ancestry between two members runs
+    // through members only (intermediates in past(sp) would drag the whole
+    // path into past(sp)), so direct parent edges within the set suffice.
+    std::unordered_map<Hash256, std::size_t> in_deg;
+    std::unordered_map<Hash256, std::vector<Hash256>> adj;
+    for (const Hash256& v : members) {
+        auto in = parents_in_set(v);
+        in_deg[v] = in.size();
+        for (const Hash256& p : in) adj[p].push_back(v);
+    }
+    auto score_of = [&](const Hash256& h) {
+        return (self && h == *self) ? gd.blue_score : entry(h).gd.blue_score;
+    };
+    using Key = std::tuple<bool, std::uint64_t, Hash256>; // (is_red, score, hash)
+    auto key_of = [&](const Hash256& h) {
+        return Key{reds.count(h) != 0, score_of(h), h};
+    };
+    std::set<Key> ready;
+    for (const Hash256& v : members)
+        if (in_deg[v] == 0) ready.insert(key_of(v));
+    std::vector<Hash256> out;
+    out.reserve(members.size());
+    while (!ready.empty()) {
+        const Hash256 v = std::get<2>(*ready.begin());
+        ready.erase(ready.begin());
+        out.push_back(v);
+        for (const Hash256& c : adj[v])
+            if (--in_deg[c] == 0) ready.insert(key_of(c));
+    }
+    DLT_ENSURES(out.size() == members.size());
+    return out;
+}
+
+const DagStore::Entry& DagStore::insert(const ledger::Block& block, double at) {
+    const Hash256 hash = block.hash();
+    DLT_EXPECTS(!contains(hash));
+    Entry e;
+    e.block = block;
+    e.parents = parents_of(block.header);
+    for (const Hash256& p : e.parents) {
+        const Entry& pe = entry(p); // parents must already be present
+        e.height = std::max(e.height, pe.height + 1);
+    }
+    e.gd = ghostdag_of_parents(e.parents);
+    e.ordered_mergeset = topo_order_merged(e.gd, hash, e.parents);
+
+    Entry& stored = entries_.emplace(hash, std::move(e)).first->second;
+    for (const Hash256& p : stored.parents) {
+        mutable_entry(p).children.push_back(hash);
+        auto it = std::find(tips_.begin(), tips_.end(), p);
+        if (it != tips_.end()) tips_.erase(it);
+    }
+    tips_.push_back(hash);
+
+    propagate_approval(stored, at);
+    return stored;
+}
+
+void DagStore::propagate_approval(const Entry& fresh, double at) {
+    // Every record in past(fresh) gains one approver (fresh) — the dledger
+    // weight — and fresh's proposer joins its approver-proposer set (the
+    // entropy). Confirmed records prune the walk: confirmation is
+    // ancestor-monotone (an ancestor's future cone and proposer set are
+    // supersets of its descendant's), so everything below one is confirmed.
+    std::deque<Hash256> queue;
+    std::unordered_set<Hash256> seen;
+    for (const Hash256& p : fresh.parents)
+        if (seen.insert(p).second) queue.push_back(p);
+    const crypto::Address& approver = fresh.block.header.proposer;
+    while (!queue.empty()) {
+        const Hash256 h = queue.front();
+        queue.pop_front();
+        Entry& e = mutable_entry(h);
+        if (e.confirmed) continue;
+        ++e.weight;
+        e.approver_proposers.insert(approver);
+        e.entropy = static_cast<std::uint32_t>(e.approver_proposers.size());
+        if (e.weight >= cfg_.confirm_weight && e.entropy >= cfg_.confirm_entropy) {
+            e.confirmed = true;
+            e.confirmed_at = at;
+            ++confirmed_;
+            std::unordered_set<crypto::Address>().swap(e.approver_proposers);
+            if (on_confirm_) on_confirm_(h, e, at);
+        }
+        for (const Hash256& p : e.parents)
+            if (seen.insert(p).second) queue.push_back(p);
+    }
+}
+
+DagStore::LinearOrder DagStore::linear_order() const {
+    LinearOrder lo;
+    const GhostdagData vgd = ghostdag_of_parents(tips_);
+    // Selected-parent chain of the virtual, genesis first.
+    std::vector<Hash256> chain;
+    for (Hash256 cur = vgd.selected_parent;; cur = entry(cur).gd.selected_parent) {
+        chain.push_back(cur);
+        if (cur == genesis_hash_) break;
+    }
+    std::reverse(chain.begin(), chain.end());
+    lo.order.reserve(entries_.size());
+    for (const Hash256& h : chain) {
+        const Entry& e = entry(h);
+        lo.order.insert(lo.order.end(), e.ordered_mergeset.begin(),
+                        e.ordered_mergeset.end());
+        // merged(H)'s blues = mergeset blues minus sp (counted at its own
+        // step) plus H itself; genesis contributes itself.
+        lo.blue_count += h == genesis_hash_ ? 1 : e.gd.mergeset_blues.size();
+    }
+    const std::vector<Hash256> vrest = topo_order_merged(vgd, std::nullopt, {});
+    lo.order.insert(lo.order.end(), vrest.begin(), vrest.end());
+    lo.blue_count += vgd.mergeset_blues.size() - 1; // minus sp, no self
+    DLT_ENSURES(lo.order.size() == entries_.size());
+    return lo;
+}
+
+} // namespace dlt::consensus::dag

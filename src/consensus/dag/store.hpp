@@ -1,0 +1,177 @@
+// DagStore: the block-DAG index plus the two ordering/confirmation brains of
+// the fourth-generation ledger (paper §2.6 "consensus based on DAGs"):
+//
+//  1. GHOSTDAG/PHANTOM coloring. Every inserted record gets a selected parent
+//     (highest blue score among its parents), a mergeset (its past minus the
+//     selected parent's past), and a blue/red coloring of that mergeset under
+//     the k-cluster rule: a candidate is blue only while every blue keeps at
+//     most k blues in its anticone. Honest records mined within one network
+//     delay of each other stay mutually blue; a withheld chain turns red.
+//     Blue scores then induce a total order over the whole DAG — the chain of
+//     selected parents is walked from genesis and each chain block appends its
+//     topologically-sorted mergeset (blues before reds) — so the sequential
+//     UTXO machine can execute a parallel DAG unmodified.
+//
+//  2. dledger-style confirmation counters. Each record tracks its *weight*
+//     (how many later records approve it, transitively — the size of its
+//     future cone) and *entropy* (how many distinct proposers those approvers
+//     span). A record is confirmed once both cross their thresholds; because
+//     every new record increments all unconfirmed ancestors, confirmation
+//     propagates ancestor-first and the per-record approver sets can be freed
+//     at confirmation time.
+//
+// Everything here is a pure function of DAG structure — no clocks, no
+// randomness — which is what makes the linearization byte-identical across
+// thread counts and reruns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/block.hpp"
+
+namespace dlt::consensus::dag {
+
+/// GHOSTDAG metadata of one record (kaspad's BlockGHOSTDAGData shape).
+struct GhostdagData {
+    Hash256 selected_parent;
+    /// Blues in the mergeset, selected parent first, then in acceptance order
+    /// (ascending blue score — a topological order, since blue score strictly
+    /// increases along every child edge).
+    std::vector<Hash256> mergeset_blues;
+    /// Reds in the mergeset, in the candidate-processing order they failed.
+    std::vector<Hash256> mergeset_reds;
+    /// Number of blue records in this record's past (genesis = 0).
+    std::uint64_t blue_score = 0;
+    /// Copy-on-write overlay of blue-anticone sizes: |anticone(X) ∩ blues| as
+    /// seen from this record, for X in its mergeset blues *and* for deeper
+    /// blues whose count grew here. Lookup walks the selected chain and the
+    /// first map containing X wins (newer overlays shadow older values).
+    std::unordered_map<Hash256, std::uint32_t> blues_anticone_sizes;
+};
+
+class DagStore {
+public:
+    struct Config {
+        /// PHANTOM's k: max blues tolerated in a blue record's anticone.
+        std::uint32_t ghostdag_k = 4;
+        /// Approvers (future-cone size) needed before a record confirms.
+        std::uint64_t confirm_weight = 8;
+        /// Distinct approver proposers needed before a record confirms.
+        std::uint32_t confirm_entropy = 3;
+    };
+
+    struct Entry {
+        ledger::Block block;
+        std::vector<Hash256> parents;
+        std::vector<Hash256> children;
+        /// Topological height: 1 + max parent height (genesis = 0). Strictly
+        /// greater than every parent's, which prunes ancestry walks.
+        std::uint64_t height = 0;
+        GhostdagData gd;
+        /// Cached topological order of merged(B) = (past(B) ∪ {B}) minus
+        /// (past(sp) ∪ {sp}) — what this record contributes to the linear
+        /// order beyond its selected parent's. Always ends with B itself.
+        std::vector<Hash256> ordered_mergeset;
+
+        // dledger confirmation counters.
+        std::uint64_t weight = 0;   // |future(B)| so far
+        std::uint32_t entropy = 0;  // distinct proposers in future(B)
+        bool confirmed = false;
+        double confirmed_at = 0;    // SimTime of confirmation
+        /// Approver proposer set; freed (cleared) once confirmed.
+        std::unordered_set<crypto::Address> approver_proposers;
+    };
+
+    /// Fired when a record's weight/entropy cross the thresholds. `at` is the
+    /// caller-provided insertion time of the approving record that tipped it.
+    using ConfirmObserver =
+        std::function<void(const Hash256& hash, const Entry& entry, double at)>;
+
+    DagStore(const ledger::Block& genesis, Config cfg);
+
+    bool contains(const Hash256& hash) const { return entries_.count(hash) != 0; }
+    const Entry* find(const Hash256& hash) const;
+    const Entry& entry(const Hash256& hash) const;
+    std::size_t size() const { return entries_.size(); }
+    const Hash256& genesis_hash() const { return genesis_hash_; }
+
+    /// Insert a record whose parents are all present (callers hold orphans
+    /// elsewhere). Runs GHOSTDAG coloring, caches the mergeset order, updates
+    /// the tailing-tip list, and bumps weight/entropy of every unconfirmed
+    /// ancestor (firing the confirm observer for records that cross the
+    /// thresholds). `at` is virtual arrival time, used only for confirmation
+    /// stamps. Returns the stored entry.
+    const Entry& insert(const ledger::Block& block, double at);
+
+    /// True iff `a` is a strict ancestor of `b` (a ∈ past(b)). Height-pruned
+    /// upward BFS.
+    bool is_ancestor(const Hash256& a, const Hash256& b) const;
+
+    /// Tailing records (no children yet), in first-seen order — the
+    /// deterministic base permutation for shuffle-based tip selection.
+    const std::vector<Hash256>& tips() const { return tips_; }
+
+    std::uint64_t blue_score_of(const Hash256& hash) const;
+
+    /// GHOSTDAG data for a hypothetical record with these parents (the
+    /// "virtual" when passed the current tips). Parents must exist.
+    GhostdagData ghostdag_of_parents(const std::vector<Hash256>& parents) const;
+
+    struct LinearOrder {
+        /// Every record in the store, genesis first, in GHOSTDAG total order.
+        std::vector<Hash256> order;
+        /// Records blue from the virtual's viewpoint (rest are red).
+        std::uint64_t blue_count = 0;
+    };
+
+    /// Total order over the whole DAG: virtual coloring over the current
+    /// tips, then the selected-parent chain walked from genesis, each chain
+    /// block appending its cached mergeset order, the virtual's own mergeset
+    /// last. Pure function of DAG contents.
+    LinearOrder linear_order() const;
+
+    std::uint64_t confirmed_count() const { return confirmed_; }
+    void set_confirm_observer(ConfirmObserver cb) { on_confirm_ = std::move(cb); }
+
+private:
+    Entry& mutable_entry(const Hash256& hash);
+    /// Blue-anticone size of `X` as seen from a record whose partial data is
+    /// `top` (chain-walk lookup through the copy-on-write overlays).
+    std::uint32_t blue_anticone_size(const Hash256& x,
+                                     const GhostdagData& top) const;
+    /// k-cluster test for mergeset candidate `c` against the partial coloring
+    /// `data`. On success returns the anticone-size overlay updates to apply.
+    bool check_blue_candidate(
+        const Hash256& c, const GhostdagData& data,
+        std::uint32_t& c_anticone,
+        std::unordered_map<Hash256, std::uint32_t>& updates) const;
+    /// Mergeset of a record with `parents` and selected parent `sp`:
+    /// past ∪ {parents} minus past(sp) ∪ {sp}, ascending (blue_score, hash) —
+    /// the candidate-processing order.
+    std::vector<Hash256> compute_mergeset(const std::vector<Hash256>& parents,
+                                          const Hash256& sp) const;
+    /// Topological order of gd's merged set. `self` (if set) is the record
+    /// being inserted: its hash is appended last, its parents supplied by the
+    /// caller; when unset (the virtual) only the mergeset minus sp is sorted.
+    std::vector<Hash256> topo_order_merged(
+        const GhostdagData& gd, const std::optional<Hash256>& self,
+        const std::vector<Hash256>& self_parents) const;
+    /// Bump weight/entropy of every unconfirmed ancestor of the new record.
+    void propagate_approval(const Entry& fresh, double at);
+
+    Config cfg_;
+    Hash256 genesis_hash_;
+    std::unordered_map<Hash256, Entry> entries_;
+    std::vector<Hash256> tips_; // first-seen order
+    std::uint64_t confirmed_ = 0;
+    ConfirmObserver on_confirm_;
+};
+
+} // namespace dlt::consensus::dag

@@ -1,0 +1,27 @@
+#include "consensus/dag/tipselect.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dlt::consensus::dag {
+
+std::vector<Hash256> select_parents(const std::vector<Hash256>& tips,
+                                    std::size_t k, Rng& rng,
+                                    const void* score_ctx, BlueScoreOf score) {
+    DLT_EXPECTS(!tips.empty());
+    DLT_EXPECTS(k > 0);
+    std::vector<Hash256> pool = tips;
+    rng.shuffle(pool);
+    if (pool.size() > k) pool.resize(k);
+    std::sort(pool.begin(), pool.end(),
+              [&](const Hash256& a, const Hash256& b) {
+                  const auto sa = score(score_ctx, a);
+                  const auto sb = score(score_ctx, b);
+                  if (sa != sb) return sa > sb;
+                  return a < b;
+              });
+    return pool;
+}
+
+} // namespace dlt::consensus::dag

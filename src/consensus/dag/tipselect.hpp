@@ -1,0 +1,33 @@
+// Tailing-tip selection, in the dledger idiom: a proposer keeps the current
+// "tailing record list" (DAG blocks with no children yet), shuffles it with
+// its own deterministic RNG stream, and approves the first k entries. The
+// shuffle spreads approvals across the whole tip frontier — every tip
+// eventually gathers approvers, which is what drives the weight/entropy
+// confirmation counters forward — while staying fully reproducible under the
+// simulation seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace dlt::consensus::dag {
+
+/// Blue-score lookup for ordering the chosen parents (the proposer puts the
+/// highest-blue-score parent first so prev_hash doubles as its selected
+/// parent). Signature avoids a store dependency for testability.
+using BlueScoreOf = std::uint64_t (*)(const void* ctx, const Hash256& tip);
+
+/// Pick up to `k` parents from `tips` by deterministic shuffle (dledger's
+/// tailing-list selection), then order the chosen set best-first by
+/// (blue score desc, hash asc) so element 0 is the proposer's selected
+/// parent. `tips` must be non-empty; the input order matters (it is the
+/// shuffle's starting permutation), so callers must maintain the tailing
+/// list deterministically.
+std::vector<Hash256> select_parents(const std::vector<Hash256>& tips,
+                                    std::size_t k, Rng& rng,
+                                    const void* score_ctx, BlueScoreOf score);
+
+} // namespace dlt::consensus::dag

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "consensus/events.hpp"
 #include "crypto/keys.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/difficulty.hpp"
@@ -68,24 +69,8 @@ struct NakamotoStats {
     std::uint64_t invalid_blocks = 0;
 };
 
-/// Pure-observer callbacks fired on one peer's chain events. Historically
-/// peer-0-only; any peer can now be observed via events(node). The analytics
-/// layer's ReorgMonitor feeds from these instead of re-walking the chain
-/// store per query. Callbacks must not mutate consensus state — the
-/// determinism contract of src/obs applies.
-struct ChainEvents {
-    /// A block entered the observed peer's store (any branch), at virtual time `at`.
-    std::function<void(const ledger::Block&, SimTime at)> on_block_inserted;
-    /// The observed peer reorged: `disconnected` (tip-first) left the active
-    /// chain, `connected` (oldest-first) joined it. Empty `disconnected` =
-    /// extension.
-    std::function<void(const std::vector<Hash256>& disconnected,
-                       const std::vector<Hash256>& connected, SimTime at)>
-        on_reorg;
-    /// The observed peer's active tip after every successful update.
-    std::function<void(const Hash256& tip, std::uint64_t height, SimTime at)>
-        on_tip_changed;
-};
+// ChainEvents (the per-peer observer hook set) lives in consensus/events.hpp,
+// shared with the DAG ledger.
 
 class NakamotoNetwork {
 public:

@@ -41,7 +41,12 @@ Hash256 request_digest(const Bytes& request) {
 } // namespace
 
 PbftCluster::PbftCluster(PbftConfig config, std::uint64_t seed)
-    : config_(config), n_(3 * config.f + 1), rng_(seed) {
+    : config_(config),
+      n_(3 * config.f + 1),
+      rng_(seed),
+      // Finality is the execute step (on_finalized); depth-based k-deep never
+      // applies to a total-order log.
+      lifecycle_(1, &obs::Tracer::global()) {
     DLT_EXPECTS(config.f >= 1);
     auto& registry = obs::MetricsRegistry::global();
     batches_committed_ = &registry.counter(
@@ -63,6 +68,7 @@ PbftCluster::PbftCluster(PbftConfig config, std::uint64_t seed)
 
 void PbftCluster::submit(Bytes request) {
     submit_times_.emplace(request_digest(request), scheduler_.now());
+    lifecycle_.on_submitted(request_digest(request), scheduler_.now(), 0);
     // Clients multicast to all replicas so a faulty primary cannot censor
     // without detection.
     for (std::uint32_t i = 0; i < n_; ++i) {
@@ -213,6 +219,10 @@ void PbftCluster::handle_pre_prepare(std::uint32_t replica, const Bytes& payload
     slot.digest = digest.bytes();
     slot.requests = std::move(requests);
     slot.pre_prepared = true;
+    if (replica == 0)
+        for (const auto& req : slot.requests)
+            lifecycle_.on_first_seen(request_digest(req), replica,
+                                     scheduler_.now());
 
     Writer w;
     w.u32(view);
@@ -288,6 +298,14 @@ void PbftCluster::try_advance(std::uint32_t replica, std::uint64_t sequence) {
 
     if (!slot.committed && slot.prepared && slot.commits.size() >= quorum) {
         slot.committed = true;
+        if (replica == 0) {
+            // Commit = inclusion in the total order at this sequence number.
+            std::vector<Hash256> digests;
+            digests.reserve(slot.requests.size());
+            for (const auto& req : slot.requests)
+                digests.push_back(request_digest(req));
+            lifecycle_.on_block_connected(sequence, digests, scheduler_.now());
+        }
         // Drop committed requests from the pending queue (they are spoken for).
         for (const auto& req : slot.requests) {
             const auto match = std::find_if(
@@ -330,6 +348,8 @@ void PbftCluster::execute_ready(std::uint32_t replica) {
                 const auto t = submit_times_.find(request_digest(req));
                 if (t != submit_times_.end())
                     commit_latencies_.push_back(scheduler_.now() - t->second);
+                // Execute = deterministic finality for the request.
+                lifecycle_.on_finalized(request_digest(req), scheduler_.now());
             }
         }
 

@@ -18,6 +18,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/txlifecycle.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dlt::consensus {
@@ -83,6 +84,13 @@ public:
     /// partition/heal the cluster).
     net::Network& network() { return *network_; }
 
+    /// Request lifecycle telemetry keyed by request digest, observed at
+    /// replica 0: submit → pre-prepare (first-seen) → commit (inclusion at the
+    /// batch sequence) → execute (deterministic finality). The mempool stage
+    /// has no PBFT analogue and stays unstamped.
+    const obs::TxLifecycleTracker& lifecycle() const { return lifecycle_; }
+    obs::TxLifecycleTracker& lifecycle() { return lifecycle_; }
+
 private:
     struct SlotState {
         Bytes digest;                       // digest of the proposed batch
@@ -139,6 +147,7 @@ private:
     std::vector<Replica> replicas_;
     std::unordered_map<Hash256, SimTime> submit_times_;
     std::vector<double> commit_latencies_;
+    obs::TxLifecycleTracker lifecycle_;
 };
 
 } // namespace dlt::consensus

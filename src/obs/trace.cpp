@@ -6,6 +6,33 @@
 
 namespace dlt::obs {
 
+namespace {
+
+/// One event as a Chrome trace_event JSON object (no trailing separator).
+void append_event_json(std::string& out, const TraceEvent& e) {
+    out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
+           json_escape(e.category) + "\", \"ph\": \"" + e.phase +
+           "\", \"ts\": " + json_number(e.ts_us);
+    if (e.phase == 'X') out += ", \"dur\": " + json_number(e.dur_us);
+    out += ", \"pid\": 0, \"tid\": " + std::to_string(e.tid);
+    if (!e.args.empty()) {
+        out += ", \"args\": {";
+        bool first_arg = true;
+        for (const auto& [key, value] : e.args) {
+            if (!first_arg) out += ", ";
+            first_arg = false;
+            out += '"';
+            out += json_escape(key);
+            out += "\": ";
+            out += value;
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
 Tracer& Tracer::global() {
     static Tracer tracer;
     return tracer;
@@ -13,11 +40,65 @@ Tracer& Tracer::global() {
 
 void Tracer::push(TraceEvent event) {
     std::lock_guard lock(m_);
+    if (stream_ != nullptr) {
+        // Streaming suspends the capacity cap: full chunks go to disk instead
+        // of being dropped.
+        events_.push_back(std::move(event));
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+        if (events_.size() >= chunk_events_) flush_chunk_locked();
+        return;
+    }
     if (events_.size() >= capacity_) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     events_.push_back(std::move(event));
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Tracer::flush_chunk_locked() {
+    if (stream_ == nullptr || events_.empty()) return true;
+    std::string out;
+    for (const auto& e : events_) {
+        out += stream_first_ ? "\n" : ",\n";
+        stream_first_ = false;
+        append_event_json(out, e);
+    }
+    events_.clear();
+    return std::fwrite(out.data(), 1, out.size(), stream_) == out.size();
+}
+
+bool Tracer::open_stream(const std::string& path, std::size_t chunk_events) {
+    std::lock_guard lock(m_);
+    if (stream_ != nullptr) return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string header = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+        std::fclose(f);
+        return false;
+    }
+    stream_ = f;
+    chunk_events_ = chunk_events == 0 ? 1 : chunk_events;
+    stream_first_ = true;
+    return true;
+}
+
+bool Tracer::close_stream() {
+    std::lock_guard lock(m_);
+    if (stream_ == nullptr) return true;
+    bool ok = flush_chunk_locked();
+    const std::string footer = "\n]}\n";
+    ok = std::fwrite(footer.data(), 1, footer.size(), stream_) == footer.size() &&
+         ok;
+    ok = std::fclose(stream_) == 0 && ok;
+    stream_ = nullptr;
+    return ok;
+}
+
+bool Tracer::streaming() const {
+    std::lock_guard lock(m_);
+    return stream_ != nullptr;
 }
 
 void Tracer::instant(std::string name, std::string category, SimTime at,
@@ -83,25 +164,7 @@ std::string Tracer::chrome_trace_json() const {
     for (const auto& e : events_) {
         out += first ? "\n" : ",\n";
         first = false;
-        out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
-               json_escape(e.category) + "\", \"ph\": \"" + e.phase +
-               "\", \"ts\": " + json_number(e.ts_us);
-        if (e.phase == 'X') out += ", \"dur\": " + json_number(e.dur_us);
-        out += ", \"pid\": 0, \"tid\": " + std::to_string(e.tid);
-        if (!e.args.empty()) {
-            out += ", \"args\": {";
-            bool first_arg = true;
-            for (const auto& [key, value] : e.args) {
-                if (!first_arg) out += ", ";
-                first_arg = false;
-                out += '"';
-                out += json_escape(key);
-                out += "\": ";
-                out += value;
-            }
-            out += "}";
-        }
-        out += "}";
+        append_event_json(out, e);
     }
     out += "\n]}\n";
     return out;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -39,6 +40,9 @@ public:
     static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
     explicit Tracer(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+    ~Tracer() { close_stream(); }
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
 
     /// The process-wide tracer experiments toggle; disabled by default.
     static Tracer& global();
@@ -63,7 +67,31 @@ public:
     std::uint64_t dropped() const {
         return dropped_.load(std::memory_order_relaxed);
     }
+    /// Total events accepted (buffered or already streamed to disk). With
+    /// streaming on, emitted() keeps counting while size() stays bounded by
+    /// the chunk size.
+    std::uint64_t emitted() const {
+        return emitted_.load(std::memory_order_relaxed);
+    }
     void clear();
+
+    // --- Streaming mode ---------------------------------------------------------
+    //
+    // Long experiments (E25's million-user runs, E26's DAG sweeps) emit far
+    // more events than the bounded buffer holds; instead of dropping the
+    // tail, streaming writes the same Chrome JSON incrementally: events
+    // accumulate up to `chunk_events`, each full chunk is appended to the
+    // file, and close_stream() finishes the JSON document. While a stream is
+    // open the capacity cap (and dropped() growth) is suspended — nothing is
+    // lost, it is on disk.
+
+    /// Start streaming to `path` (truncates). False if the file cannot open
+    /// or a stream is already open.
+    bool open_stream(const std::string& path, std::size_t chunk_events = 8192);
+    /// Flush pending events and complete the JSON document. Safe to call with
+    /// no open stream (no-op). Returns false on write failure.
+    bool close_stream();
+    bool streaming() const;
 
     /// Copy of the buffered events (tests, post-processing).
     std::vector<TraceEvent> events() const;
@@ -75,12 +103,18 @@ public:
 
 private:
     void push(TraceEvent event);
+    /// Serialize the buffered events to the stream and clear them (m_ held).
+    bool flush_chunk_locked();
 
     std::atomic<bool> enabled_{false};
     std::size_t capacity_;
     mutable std::mutex m_;
     std::vector<TraceEvent> events_;
     std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> emitted_{0};
+    std::FILE* stream_ = nullptr;
+    std::size_t chunk_events_ = 0;
+    bool stream_first_ = true; // no event written to the stream yet
 };
 
 /// Pre-encode a trace arg value as JSON.

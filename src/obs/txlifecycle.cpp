@@ -131,6 +131,16 @@ void TxLifecycleTracker::on_tip_height(std::uint64_t height, SimTime at) {
     for (const auto h : done) pending_finality_.erase(h);
 }
 
+void TxLifecycleTracker::on_finalized(const Hash256& txid, SimTime at) {
+    const auto it = records_.find(txid);
+    if (it == records_.end()) return;
+    TxRecord& rec = it->second;
+    if (rec.final_at || !rec.included) return;
+    rec.final_at = at;
+    ++finalized_;
+    trace_transition("tx.final", txid, 0, at);
+}
+
 std::uint64_t TxLifecycleTracker::dropped_count() const {
     std::uint64_t n = 0;
     for (const auto& [txid, rec] : records_)

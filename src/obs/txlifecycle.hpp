@@ -74,6 +74,11 @@ public:
     /// Observed chain tip moved; finalizes every tx whose inclusion height is
     /// >= finality_depth blocks deep.
     void on_tip_height(std::uint64_t height, SimTime at);
+    /// Direct finality stamp for consensus families whose finality is not
+    /// depth-based: PBFT's execute step (deterministic finality at commit) and
+    /// the DAG ledger's confirmation-weight threshold. Requires a prior
+    /// inclusion stamp; like k-deep finality, it is never revoked.
+    void on_finalized(const Hash256& txid, SimTime at);
 
     // --- Queries -----------------------------------------------------------------
 

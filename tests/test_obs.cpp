@@ -12,8 +12,13 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "app/analytics.hpp"
 #include "consensus/nakamoto.hpp"
+#include "consensus/pbft.hpp"
+#include "crypto/sha256.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -325,6 +330,52 @@ TEST(ObsTracer, ChromeTraceJsonIsWellFormed) {
     EXPECT_DOUBLE_EQ(events[1].dur_us, 0.25 * 1e6);
 }
 
+// --- Streaming mode ----------------------------------------------------------
+
+TEST(ObsTracerStreaming, ChunksMatchBufferedOutputByteForByte) {
+    const std::string path = testing::TempDir() + "obs_stream_test.json";
+
+    // Stream through a tracer whose buffer capacity is smaller than the event
+    // count: streaming suspends the cap, so nothing may drop.
+    Tracer streamer(/*capacity=*/3);
+    ASSERT_TRUE(streamer.open_stream(path, /*chunk_events=*/2));
+    EXPECT_TRUE(streamer.streaming());
+    EXPECT_FALSE(streamer.open_stream(path)); // one stream at a time
+    streamer.set_enabled(true);
+
+    Tracer buffered;
+    buffered.set_enabled(true);
+    for (int i = 0; i < 7; ++i) {
+        streamer.instant("e", "cat", i, static_cast<std::uint32_t>(i),
+                         {{"i", trace_arg(static_cast<std::uint64_t>(i))}});
+        buffered.instant("e", "cat", i, static_cast<std::uint32_t>(i),
+                         {{"i", trace_arg(static_cast<std::uint64_t>(i))}});
+    }
+
+    EXPECT_EQ(streamer.emitted(), 7u);
+    EXPECT_EQ(streamer.dropped(), 0u);  // cap suspended while streaming
+    EXPECT_LE(streamer.size(), 2u);     // memory bounded by the chunk size
+    ASSERT_TRUE(streamer.close_stream());
+    EXPECT_FALSE(streamer.streaming());
+    EXPECT_TRUE(streamer.close_stream()); // idempotent
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream contents;
+    contents << in.rdbuf();
+    EXPECT_TRUE(json_structure_ok(contents.str())) << contents.str();
+    // The incremental writer and the one-shot serializer are the same code
+    // path; the artifacts must be byte-identical.
+    EXPECT_EQ(contents.str(), buffered.chrome_trace_json());
+
+    // With the stream closed the bounded-buffer contract is back in force.
+    streamer.clear();
+    for (int i = 0; i < 5; ++i) streamer.instant("e", "cat", i, 0);
+    EXPECT_EQ(streamer.size(), 3u);
+    EXPECT_EQ(streamer.dropped(), 2u);
+    std::remove(path.c_str());
+}
+
 // --- Tx lifecycle ------------------------------------------------------------
 
 TEST(ObsTxLifecycle, StagesProgressToFinality) {
@@ -430,6 +481,57 @@ TEST(ObsReorgMonitor, MatchesFullWalkOnReorgHeavyChain) {
 }
 
 // --- Determinism contract ----------------------------------------------------
+
+// --- PBFT request lifecycle ---------------------------------------------------
+
+TEST(ObsPbftLifecycle, RequestsProgressSubmitToExecute) {
+    consensus::PbftConfig config;
+    config.f = 1; // n = 4
+    config.batch_size = 4;
+    consensus::PbftCluster cluster(config, /*seed=*/4242);
+
+    std::vector<Bytes> requests;
+    for (int i = 0; i < 6; ++i)
+        requests.push_back(to_bytes("pbft-req-" + std::to_string(i)));
+    for (const Bytes& req : requests) cluster.submit(req);
+    cluster.run_for(30.0);
+
+    ASSERT_EQ(cluster.executed_requests(0), requests.size());
+    const auto& lifecycle = cluster.lifecycle();
+    EXPECT_EQ(lifecycle.tracked(), requests.size());
+    EXPECT_EQ(lifecycle.finalized(), requests.size());
+
+    for (const Bytes& req : requests) {
+        const auto* rec =
+            lifecycle.find(crypto::tagged_hash("dlt/pbft-req", req));
+        ASSERT_NE(rec, nullptr);
+        // submit → pre-prepare (first seen) → commit (included at the batch
+        // sequence) → execute (final); the mempool stage has no PBFT analogue.
+        ASSERT_TRUE(rec->submitted.has_value());
+        ASSERT_TRUE(rec->first_seen.has_value());
+        ASSERT_TRUE(rec->included.has_value());
+        ASSERT_TRUE(rec->final_at.has_value());
+        EXPECT_FALSE(rec->mempool.has_value());
+        EXPECT_LE(*rec->submitted, *rec->first_seen);
+        EXPECT_LE(*rec->first_seen, *rec->included);
+        EXPECT_LE(*rec->included, *rec->final_at);
+        EXPECT_GE(rec->inclusion_height, 1u); // PBFT sequence number
+    }
+
+    // Execution happens at or after commit, so every submit→final latency is
+    // bounded below by that request's submit→included (commit) latency.
+    const auto submit_to_final =
+        lifecycle.latencies(TxStage::kSubmitted, TxStage::kFinal);
+    const auto submit_to_commit =
+        lifecycle.latencies(TxStage::kSubmitted, TxStage::kIncluded);
+    ASSERT_EQ(submit_to_final.size(), requests.size());
+    ASSERT_EQ(submit_to_commit.size(), requests.size());
+    for (std::size_t i = 0; i < submit_to_final.size(); ++i) {
+        EXPECT_GT(submit_to_final[i], 0.0);
+        EXPECT_GE(submit_to_final[i], submit_to_commit[i]);
+    }
+    EXPECT_TRUE(cluster.mean_commit_latency().has_value());
+}
 
 TEST(ObsDeterminism, IdenticalOutcomesWithTracingOnAndOff) {
     // Metrics and traces are pure observers: the same seeded run must reach a
