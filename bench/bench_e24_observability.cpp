@@ -99,13 +99,41 @@ int main() {
                                   ? th.elapsed_s() * 1e9 / static_cast<double>(kRecords)
                                   : 0.0;
 
+        // Hot family lookup: the shared_mutex + string-keyed map path vs the
+        // dense-index fast lane (both resolve the same 16 children, round-robin
+        // like a per-node counter on the message path).
+        constexpr std::uint64_t kLookups = 10'000'000;
+        constexpr std::size_t kChildren = 16;
+        auto& family = registry.counter_family(
+            "e24_bench_family", "micro-bench target", {"node_id"});
+        obs::LabelValues labels[kChildren];
+        for (std::size_t i = 0; i < kChildren; ++i)
+            labels[i] = {std::to_string(i)};
+        bench::Timer tw;
+        for (std::uint64_t i = 0; i < kLookups; ++i)
+            family.with(labels[i % kChildren]).inc();
+        const double ns_with = tw.elapsed_s() * 1e9 / static_cast<double>(kLookups);
+        bench::Timer ti;
+        for (std::uint64_t i = 0; i < kLookups; ++i)
+            family.with_index(i % kChildren).inc();
+        const double ns_with_index =
+            ti.elapsed_s() * 1e9 / static_cast<double>(kLookups);
+
         bench::Table table({"operation", "iterations", "ns/op"});
         table.row({"Counter::inc", bench::fmt_int(kIncs), bench::fmt(ns_inc, 2)});
         table.row({"Histogram::record", bench::fmt_int(kRecords),
                    bench::fmt(ns_rec, 2)});
+        table.row({"Family::with (map)", bench::fmt_int(kLookups),
+                   bench::fmt(ns_with, 2)});
+        table.row({"Family::with_index (dense)", bench::fmt_int(kLookups),
+                   bench::fmt(ns_with_index, 2)});
         table.print();
         run.metric("ns_per_counter_inc", ns_inc);
         run.metric("ns_per_histogram_record", ns_rec);
+        run.metric("ns_per_family_with", ns_with);
+        run.metric("ns_per_family_with_index", ns_with_index);
+        run.metric("family_dense_speedup",
+                   ns_with_index > 0 ? ns_with / ns_with_index : 0.0);
     }
 
     std::printf("\nEnd-to-end overhead on the E2 signed-validation workload:\n");

@@ -50,6 +50,9 @@ DagNetwork::DagNetwork(DagParams params, std::uint64_t seed)
     skipped_txs_ = &registry.counter(
         "dag_skipped_txs_total",
         "Txs skipped in execution as duplicates or conflict losers");
+    sync_retries_ = &registry.counter(
+        "dag_sync_retries_total",
+        "Orphan-parent fetches re-sent after a lost request/reply");
     confirmed_records_ = &registry.counter(
         "dag_confirmed_records_total",
         "Records past the weight/entropy thresholds at peer 0");
@@ -156,7 +159,20 @@ void DagNetwork::on_gossip(NodeId node, NodeId from, const std::string& topic,
     }
     if (topic == "d/notfound") {
         if (payload.size() != 32) return;
-        peers_[node].sync_requested.erase(Hash256::from_bytes(payload));
+        const Hash256 want = Hash256::from_bytes(payload);
+        Peer& peer = peers_[node];
+        const auto it = peer.sync_requested.find(want);
+        if (it == peer.sync_requested.end()) return;
+        if (peer.waiting_on.count(want) != 0) {
+            // Orphans still need this record: rotate to the peer after the one
+            // that answered "not found" instead of abandoning the fetch.
+            ++it->second;
+            ++stats_.sync_retries;
+            sync_retries_->inc();
+            send_sync_request(node, want, next_sync_peer(node, from), it->second);
+        } else {
+            peer.sync_requested.erase(it);
+        }
         return;
     }
 }
@@ -205,8 +221,36 @@ void DagNetwork::handle_record(NodeId node, const Block& block, NodeId from) {
 void DagNetwork::request_record(NodeId node, const Hash256& hash, NodeId from) {
     Peer& peer = peers_[node];
     if (from == node) return; // locally produced: nobody to ask
-    if (!peer.sync_requested.insert(hash).second) return;
-    gossip_->send_direct(node, from, "d/getblock", hash.bytes());
+    if (!peer.sync_requested.emplace(hash, 0).second) return;
+    send_sync_request(node, hash, from, 0);
+}
+
+void DagNetwork::send_sync_request(NodeId node, const Hash256& hash, NodeId target,
+                                   std::uint64_t generation) {
+    gossip_->send_direct(node, target, "d/getblock", hash.bytes());
+    // Arm the retry: if the request or its reply is lost on a faulty link
+    // (partition, crash window), the entry would otherwise pin the hash in
+    // sync_requested forever and the waiting orphans could never resolve.
+    // The generation check makes the timer a no-op once any other path (a
+    // d/notfound rotation or the record landing) has superseded this attempt.
+    scheduler_.schedule_after(
+        params_.sync_retry_interval, [this, node, hash, target, generation] {
+            Peer& peer = peers_[node];
+            const auto it = peer.sync_requested.find(hash);
+            if (it == peer.sync_requested.end() || it->second != generation)
+                return;
+            ++it->second;
+            ++stats_.sync_retries;
+            sync_retries_->inc();
+            send_sync_request(node, hash, next_sync_peer(node, target),
+                              it->second);
+        });
+}
+
+NodeId DagNetwork::next_sync_peer(NodeId node, NodeId current) const {
+    NodeId next = static_cast<NodeId>((current + 1) % peers_.size());
+    if (next == node) next = static_cast<NodeId>((next + 1) % peers_.size());
+    return next;
 }
 
 void DagNetwork::insert_and_update(NodeId node, const Block& block) {
@@ -391,9 +435,21 @@ void DagNetwork::schedule_production(NodeId node) {
         }
         // Local delivery runs through the gossip handler, so the producer
         // adopts its own record exactly like any other peer.
-        gossip_->broadcast(node, "block", encode_to_bytes(record));
+        if (produced_hook_ && !produced_hook_(node, record)) {
+            // Withheld: adopt privately; new production keeps approving the
+            // secret records until publish_record() releases them.
+            insert_and_update(node, record);
+        } else {
+            gossip_->broadcast(node, "block", encode_to_bytes(record));
+        }
         schedule_production(node);
     });
+}
+
+void DagNetwork::publish_record(NodeId node, const Hash256& hash) {
+    const auto* entry = peers_.at(node).store->find(hash);
+    DLT_EXPECTS(entry != nullptr);
+    gossip_->broadcast(node, "block", encode_to_bytes(entry->block));
 }
 
 ledger::Block DagNetwork::assemble_record(NodeId node) {

@@ -57,6 +57,12 @@ struct DagParams {
     net::LinkParams link{};
     std::size_t overlay_degree = 4;
     ledger::MempoolConfig mempool{};
+    /// Seconds before an unanswered orphan-parent fetch is retried toward the
+    /// next peer (round-robin). Without retries a single dropped d/getblock or
+    /// d/block during a partition/crash window pins the hash in the
+    /// requested-set forever and the orphan never resolves — flushed out by
+    /// E27's eclipse and crash-during-reorg cells.
+    double sync_retry_interval = 15.0;
     std::string chain_tag = "dag";
 };
 
@@ -69,6 +75,8 @@ struct DagStats {
     std::uint64_t relinearizations = 0;
     /// Transactions skipped during execution as duplicates or conflict losers.
     std::uint64_t skipped_txs = 0;
+    /// Orphan-parent fetches re-sent after a lost request/reply (faulty links).
+    std::uint64_t sync_retries = 0;
 };
 
 class DagNetwork {
@@ -82,6 +90,24 @@ public:
 
     /// Inject a signed transaction at `origin`; it gossips to all peers.
     void submit_transaction(const ledger::Transaction& tx, net::NodeId origin = 0);
+
+    /// Produced-record interposition hook (the DAG analogue of the Nakamoto
+    /// mined-block hook). Returning true keeps the honest broadcast path;
+    /// returning false withholds the record — it is inserted into the
+    /// producer's own DAG only, so its later release via publish_record()
+    /// forces a suffix re-linearization at every peer (the withhold/release
+    /// attack GHOSTDAG is designed to bound). Pass nullptr to clear.
+    using ProducedRecordHook = std::function<bool(net::NodeId, const ledger::Block&)>;
+    void set_produced_record_hook(ProducedRecordHook hook) {
+        produced_hook_ = std::move(hook);
+    }
+
+    /// Broadcast a record already stored in `node`'s DAG (the release half of
+    /// a withhold/release strategy).
+    void publish_record(net::NodeId node, const Hash256& hash);
+
+    /// Gossip overlay (attack drivers install relay filters through this).
+    net::GossipOverlay& gossip() { return *gossip_; }
 
     // --- Inspection -------------------------------------------------------------
 
@@ -152,7 +178,10 @@ private:
         std::unordered_map<Hash256, ledger::Block> orphans; // by record hash
         std::unordered_map<Hash256, std::vector<Hash256>> waiting_on; // parent → orphans
         std::unordered_set<Hash256> invalid;
-        std::unordered_set<Hash256> sync_requested; // parent fetches in flight
+        /// Parent fetches in flight, hash → attempt generation. The generation
+        /// invalidates stale retry timers: any resend (timeout or d/notfound)
+        /// bumps it, so only the latest outstanding attempt may retry.
+        std::unordered_map<Hash256, std::uint64_t> sync_requested;
         Rng rng;
     };
 
@@ -161,6 +190,12 @@ private:
     void handle_record(net::NodeId node, const ledger::Block& block,
                        net::NodeId from);
     void request_record(net::NodeId node, const Hash256& hash, net::NodeId from);
+    /// Send one d/getblock attempt and arm its retry timer; `generation` must
+    /// match the peer's sync_requested entry for the retry to fire.
+    void send_sync_request(net::NodeId node, const Hash256& hash, net::NodeId target,
+                           std::uint64_t generation);
+    /// Next fetch target after `current`, round-robin, skipping `node` itself.
+    net::NodeId next_sync_peer(net::NodeId node, net::NodeId current) const;
     /// Insert `block` plus any orphans it unblocks, then re-linearize and
     /// diff-execute.
     void insert_and_update(net::NodeId node, const ledger::Block& block);
@@ -172,6 +207,7 @@ private:
     ChainEvents* find_events(net::NodeId node);
 
     DagParams params_;
+    ProducedRecordHook produced_hook_;
     sim::Scheduler scheduler_;
     Rng rng_;
     std::unique_ptr<net::Network> network_;
@@ -189,6 +225,7 @@ private:
     obs::Counter* invalid_records_ = nullptr;      // dag_invalid_records_total
     obs::Counter* relinearizations_ = nullptr;     // dag_relinearizations_total
     obs::Counter* skipped_txs_ = nullptr;          // dag_skipped_txs_total
+    obs::Counter* sync_retries_ = nullptr;         // dag_sync_retries_total
     obs::Counter* confirmed_records_ = nullptr;    // dag_confirmed_records_total
     obs::Gauge* tips_gauge_ = nullptr;             // dag_tips (peer 0)
     obs::Histogram* reorder_depth_ = nullptr;      // dag_reorder_depth

@@ -398,11 +398,24 @@ void NakamotoNetwork::schedule_mining(NodeId node) {
                             {"txs", obs::trace_arg(static_cast<std::uint64_t>(
                                  block.txs.size()))}});
         }
-        gossip_->broadcast(node, "block", encode_to_bytes(block));
+        if (mined_hook_ && !mined_hook_(node, block)) {
+            // Withheld: the miner adopts the block privately (it has the most
+            // work locally, so mining continues on the secret fork) and no
+            // frame ever enters the overlay. publish_block() releases it.
+            try_insert_and_update(node, block);
+        } else {
+            gossip_->broadcast(node, "block", encode_to_bytes(block));
+        }
         // Local delivery runs through the gossip handler, so the miner adopts its
         // own block exactly like any other peer; mining then restarts via reorg.
         schedule_mining(node);
     });
+}
+
+void NakamotoNetwork::publish_block(NodeId node, const Hash256& hash) {
+    const auto* entry = peers_.at(node).chain->find(hash);
+    DLT_EXPECTS(entry != nullptr);
+    gossip_->broadcast(node, "block", encode_to_bytes(entry->block));
 }
 
 ledger::Block NakamotoNetwork::assemble_block(NodeId node) {

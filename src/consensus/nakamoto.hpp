@@ -86,6 +86,25 @@ public:
     /// Inject a signed transaction at `origin`; it gossips to all peers.
     void submit_transaction(const ledger::Transaction& tx, net::NodeId origin = 0);
 
+    /// Mined-block interposition hook for attack strategies. Invoked after a
+    /// node assembles a block, before it is broadcast. Returning true keeps
+    /// the honest path (broadcast + local adoption via gossip). Returning
+    /// false *withholds* the block: it is inserted into the miner's own chain
+    /// only (the miner keeps extending its private fork), and the strategy
+    /// decides when — if ever — to release it via publish_block(). Pass
+    /// nullptr to restore honest behaviour for every node.
+    using MinedBlockHook = std::function<bool(net::NodeId, const ledger::Block&)>;
+    void set_mined_block_hook(MinedBlockHook hook) { mined_hook_ = std::move(hook); }
+
+    /// Broadcast a block already stored in `node`'s chain (the release half of
+    /// a withhold/release strategy). No-op semantics match normal gossip:
+    /// peers that already have the block deduplicate it.
+    void publish_block(net::NodeId node, const Hash256& hash);
+
+    /// Gossip overlay (attack drivers install relay filters / send direct
+    /// block pushes through this).
+    net::GossipOverlay& gossip() { return *gossip_; }
+
     /// Scale total network hash power (1.0 = one block per block_interval at
     /// genesis difficulty). With retargeting enabled, the interval recovers
     /// after the next adjustment; without it, blocks stay proportionally
@@ -190,6 +209,7 @@ private:
     ChainEvents* find_events(net::NodeId node);
 
     NakamotoParams params_;
+    MinedBlockHook mined_hook_;
     double network_hashrate_ = 1.0;
     sim::Scheduler scheduler_;
     Rng rng_;

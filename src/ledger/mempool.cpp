@@ -144,17 +144,42 @@ AdmissionResult Mempool::admit_impl(Transaction&& tx, SimTime now) {
     // Capacity check before any mutation: plan the evictions needed once the
     // conflicts are gone, walking the feerate index worst-first. Bailing out
     // here must leave the pool untouched — shedding the *newcomer* must not
-    // also shed the residents it failed to displace.
+    // also shed the residents it failed to displace. Resident entries the
+    // newcomer *spends* (its in-pool ancestors) are never eviction victims:
+    // displacing a parent to make room for its child would leave the child an
+    // orphan the moment it entered — the exact-byte-budget reorg `add_back`
+    // bug, where a disconnected block's descendant evicted its just-re-added
+    // ancestor. The ancestor set is computed lazily, only when the pool is
+    // actually at capacity.
     std::vector<Hash256> evictions;
     {
         std::size_t count_after = pool_.size() - conflicts.size() + 1;
         std::size_t bytes_after = total_bytes_ - conflict_bytes + size;
+        std::optional<std::unordered_set<Hash256>> ancestors;
+        const auto is_ancestor = [&](const Hash256& txid) {
+            if (!ancestors) {
+                ancestors.emplace();
+                std::vector<const Transaction*> frontier{&tx};
+                while (!frontier.empty()) {
+                    const Transaction* cur = frontier.back();
+                    frontier.pop_back();
+                    for (const auto& in : cur->inputs) {
+                        const auto pit = pool_.find(in.prevout.txid);
+                        if (pit != pool_.end() &&
+                            ancestors->insert(in.prevout.txid).second)
+                            frontier.push_back(&pit->second.tx);
+                    }
+                }
+            }
+            return ancestors->contains(txid);
+        };
         auto worst = by_fee_rate_.rbegin();
         while (count_after > config_.max_count || bytes_after > config_.max_bytes) {
             while (worst != by_fee_rate_.rend() &&
-                   std::find(conflicts.begin(), conflicts.end(), worst->txid) !=
-                       conflicts.end())
-                ++worst; // already leaving as an RBF casualty
+                   (std::find(conflicts.begin(), conflicts.end(), worst->txid) !=
+                        conflicts.end() || // already leaving as an RBF casualty
+                    is_ancestor(worst->txid)))
+                ++worst;
             if (worst == by_fee_rate_.rend() || worst->fee_rate >= fee_rate) {
                 count_admission(AdmissionResult::kQueueFull);
                 return AdmissionResult::kQueueFull;
@@ -327,8 +352,27 @@ void Mempool::remove_confirmed(const std::vector<Hash256>& txids) {
 }
 
 void Mempool::add_back(const std::vector<Transaction>& txs, SimTime now) {
-    for (const auto& tx : txs)
-        if (!tx.is_coinbase()) admit(tx, now);
+    // Block order guarantees ancestors precede descendants. A tx whose
+    // ancestor failed re-admission (pool saturated, fee floor) must not be
+    // re-admitted either: its parent exists in neither the new chain nor the
+    // pool, so it would sit as an unminable orphan. Each failure therefore
+    // poisons its in-batch descendants.
+    std::unordered_set<Hash256> failed;
+    for (const auto& tx : txs) {
+        if (tx.is_coinbase()) continue;
+        const bool orphaned =
+            std::any_of(tx.inputs.begin(), tx.inputs.end(), [&](const auto& in) {
+                return failed.contains(in.prevout.txid);
+            });
+        if (orphaned) {
+            failed.insert(tx.txid());
+            continue;
+        }
+        const AdmissionResult r = admit(tx, now);
+        if (r != AdmissionResult::kAccepted && r != AdmissionResult::kRbfReplaced &&
+            r != AdmissionResult::kAlreadyInQueue)
+            failed.insert(tx.txid());
+    }
 }
 
 } // namespace dlt::ledger

@@ -105,18 +105,21 @@ void GossipOverlay::relay(NodeId at, NodeId skip, const std::string& topic,
                           const std::shared_ptr<const Bytes>& framed) {
     const auto& peers = network_->neighbors(at);
     if (peers.empty()) return;
+    const auto allowed = [&](NodeId p) {
+        return p != skip && (!relay_filter_ || relay_filter_(at, p, topic));
+    };
     if (params_.fanout == 0 || params_.fanout >= peers.size()) {
         // Flood every neighbor except the one the frame arrived from: echoing
         // it back is pure waste (the sender has it by construction).
         for (const NodeId p : peers)
-            if (p != skip) network_->send(at, p, topic, framed);
+            if (allowed(p)) network_->send(at, p, topic, framed);
         return;
     }
     // Sample `fanout` distinct neighbors, never wasting a slot on the sender.
     std::vector<NodeId> candidates;
     candidates.reserve(peers.size());
     for (const NodeId p : peers)
-        if (p != skip) candidates.push_back(p);
+        if (allowed(p)) candidates.push_back(p);
     if (candidates.empty()) return;
     if (params_.fanout >= candidates.size()) {
         for (const NodeId p : candidates) network_->send(at, p, topic, framed);

@@ -65,6 +65,17 @@ public:
     void send_direct(NodeId from, NodeId to, const std::string& topic,
                      const Bytes& payload);
 
+    /// Relay filter: invoked per (relaying node, candidate neighbor, topic)
+    /// before a gossip frame is forwarded; returning false suppresses that
+    /// hop. Models adversarial routing (an eclipse attacker refusing to
+    /// bridge traffic to its victim) without touching link state — direct
+    /// "d/" messages are never filtered, so sync protocols still work.
+    /// Pass nullptr to clear. Filtered hops count as never sent (no traffic,
+    /// no delivery).
+    using RelayFilter =
+        std::function<bool(NodeId at, NodeId to, const std::string& topic)>;
+    void set_relay_filter(RelayFilter filter) { relay_filter_ = std::move(filter); }
+
     /// Propagation telemetry for a message id (empty when unknown).
     const PropagationRecord* record(const Hash256& id) const;
 
@@ -89,6 +100,7 @@ private:
     Network* network_;
     GossipParams params_;
     Handler handler_;
+    RelayFilter relay_filter_;
     obs::Counter* broadcasts_ = nullptr;  // gossip_broadcasts_total
     obs::Counter* accepts_ = nullptr;     // gossip_accepts_total
     obs::Counter* dedup_hits_ = nullptr;  // gossip_dedup_hits_total

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <limits>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -47,6 +48,12 @@ public:
     bool crashed() const { return crashed_; }
     std::uint64_t total_written() const { return written_; }
 
+    /// Cumulative stream offsets at which a write completed intact — one per
+    /// record append (WAL, block, undo), i.e. every record boundary in the
+    /// combined write stream. The crash matrix aims byte budgets at exactly
+    /// these offsets instead of sampling blindly.
+    const std::vector<std::uint64_t>& write_boundaries() const { return boundaries_; }
+
     /// Called by AppendFile before writing `want` bytes: returns how many may
     /// actually be written. Sets the crashed flag when the budget is exceeded;
     /// the caller writes the admitted prefix and then raises CrashError.
@@ -54,11 +61,13 @@ public:
         if (crashed_) return 0;
         if (!armed_) {
             written_ += want;
+            boundaries_.push_back(written_);
             return want;
         }
         if (want <= budget_) {
             budget_ -= want;
             written_ += want;
+            boundaries_.push_back(written_);
             return want;
         }
         const std::uint64_t allowed = budget_;
@@ -73,6 +82,7 @@ private:
     bool crashed_ = false;
     std::uint64_t budget_ = 0;
     std::uint64_t written_ = 0;
+    std::vector<std::uint64_t> boundaries_;
 };
 
 /// Append-only file handle (creates the file when absent). All writes funnel

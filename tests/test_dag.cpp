@@ -388,6 +388,67 @@ TEST(DagNetwork, LinearizationIdenticalAcrossThreadCounts) {
     EXPECT_EQ(single, wide);
 }
 
+TEST(DagNetwork, LostParentFetchRetriesUntilResolved) {
+    // Regression (flushed out by E27's eclipse/crash cells): an orphan-parent
+    // fetch used to be sent exactly once — if the d/getblock or its reply was
+    // lost, or the asked peer answered d/notfound, the hash stayed pinned in
+    // the requested-set and every later request for it early-returned, so the
+    // orphan (and everything descending from it) could never resolve and the
+    // network never reconverged. Engineer the stall deterministically: node 0
+    // builds a private chain of records, then only the *newest* is published.
+    // Peers that first see it through a relay ask the relaying peer for the
+    // missing ancestors — which that peer does not hold either — and without
+    // retry rotation the d/notfound answer would strand the fetch forever
+    // (nothing ever re-broadcasts the ancestors).
+    DagParams params = fast_params();
+    params.sync_retry_interval = 5.0;
+    DagNetwork net(params, 2608);
+    net.start();
+
+    std::vector<Hash256> withheld;
+    net.set_produced_record_hook(
+        [&withheld](net::NodeId node, const ledger::Block& record) {
+            if (node != 0) return true;
+            withheld.push_back(record.hash());
+            return false;
+        });
+    while (withheld.size() < 4) net.run_for(5.0);
+    net.set_produced_record_hook(nullptr);
+
+    net.publish_record(0, withheld.back());
+    net.run_for(300.0);
+
+    EXPECT_TRUE(net.converged());
+    EXPECT_GT(net.stats().sync_retries, 0u);
+    // The once-withheld ancestors reached every peer through the retries.
+    for (net::NodeId node = 1; node < 6; ++node)
+        for (const Hash256& hash : withheld)
+            EXPECT_NE(net.store_of(node).find(hash), nullptr);
+}
+
+TEST(DagNetwork, ReconvergesAfterPartitionAndCrash) {
+    // The fault-composition flavor of the same regression: cut a minority
+    // partition, crash one of its members, heal and recover. In-flight
+    // fetches at the cut/crash instants are lost on the dead links; the retry
+    // path must still drain every orphan once the topology heals.
+    DagParams params = fast_params();
+    params.sync_retry_interval = 5.0;
+    DagNetwork net(params, 2609);
+    net::FaultPlan plan;
+    plan.cut(60.0, "dagtest/split", {{0, 1}, {2, 3, 4, 5}});
+    plan.crash(100.0, 1);
+    plan.heal(120.0, "dagtest/split");
+    plan.recover(140.0, 1);
+    net.network().apply(plan);
+    net.start();
+    net.run_for(600.0);
+
+    EXPECT_TRUE(net.converged());
+    const Hash256 digest = net.order_digest(0);
+    for (net::NodeId node = 1; node < 6; ++node)
+        EXPECT_EQ(net.order_digest(node), digest);
+}
+
 TEST(DagNetwork, LifecycleReachesWeightFinality) {
     DagNetwork net(fast_params(), 2606);
     net.start();

@@ -265,6 +265,66 @@ TEST(MempoolExpiry, ReorgAddBackRestartsResidencyClock) {
     EXPECT_TRUE(pool.empty());
 }
 
+TEST(MempoolEviction, AddBackNeverEvictsAncestorForItsOwnDescendant) {
+    // Regression (E27 crash-during-reorg composition): a disconnected block's
+    // transactions are re-added ancestors-first. With the pool at its exact
+    // byte budget, admitting the high-feerate descendant used to evict the
+    // worst-by-feerate resident — which could be the just-re-added ancestor
+    // it spends, leaving the descendant an unminable orphan the moment it
+    // entered. In-pool ancestors of the newcomer must never be eviction
+    // victims; the eviction walk takes the next-worst unrelated resident.
+    Transaction parent = utxo_tx(1, 30); // worst feerate in the pool
+    Transaction child = make_transfer(
+        {OutPoint{parent.txid(), 0}},
+        {TxOutput{kCoin, crypto::PrivateKey::from_seed("r2").address()}});
+    child.declared_fee = 50'000; // best feerate: descendant outbids everyone
+    const Transaction filler_a = utxo_tx(2, 1'000);
+    const Transaction filler_b = utxo_tx(3, 2'000);
+
+    MempoolConfig config;
+    config.min_fee_rate = 0.0;
+    config.expiry = 0.0;
+    // Exact byte budget: the two fillers plus the parent fit, and the child
+    // is one byte over — its admission must evict exactly one resident.
+    config.max_bytes = parent.serialized_size() + child.serialized_size() +
+                       filler_a.serialized_size() + filler_b.serialized_size() -
+                       1;
+    Mempool pool(config);
+    ASSERT_EQ(pool.admit(filler_a), AdmissionResult::kAccepted);
+    ASSERT_EQ(pool.admit(filler_b), AdmissionResult::kAccepted);
+
+    // The reorg hands back the disconnected block's txs in block order.
+    pool.add_back({parent, child}, 1.0);
+
+    EXPECT_TRUE(pool.contains(child.txid()));
+    EXPECT_TRUE(pool.contains(parent.txid())); // not sacrificed to its child
+    EXPECT_FALSE(pool.contains(filler_a.txid())); // next-worst paid instead
+    EXPECT_TRUE(pool.contains(filler_b.txid()));
+}
+
+TEST(MempoolEviction, AddBackPoisonsDescendantsOfFailedAncestors) {
+    // The companion guarantee: when the ancestor itself cannot re-enter (the
+    // pool is saturated with better feerates), its in-batch descendants are
+    // not admitted as orphans either.
+    Transaction parent = utxo_tx(1, 10); // below everything resident
+    Transaction child = make_transfer(
+        {OutPoint{parent.txid(), 0}},
+        {TxOutput{kCoin, crypto::PrivateKey::from_seed("r2").address()}});
+    child.declared_fee = 50'000;
+
+    MempoolConfig config;
+    config.min_fee_rate = 0.0;
+    config.max_count = 2;
+    Mempool pool(config);
+    ASSERT_EQ(pool.admit(utxo_tx(2, 10'000)), AdmissionResult::kAccepted);
+    ASSERT_EQ(pool.admit(utxo_tx(3, 20'000)), AdmissionResult::kAccepted);
+
+    pool.add_back({parent, child}, 1.0);
+    EXPECT_FALSE(pool.contains(parent.txid())); // shed: pool full of better
+    EXPECT_FALSE(pool.contains(child.txid()));  // poisoned, not an orphan
+    EXPECT_EQ(pool.size(), 2u);
+}
+
 // --- Template vs oracle -----------------------------------------------------------
 
 /// Reference template: deep-copy every entry, sort from scratch with the

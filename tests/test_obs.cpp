@@ -211,6 +211,57 @@ TEST(ObsFamily, ConcurrentWithIsSafe) {
     EXPECT_EQ(family.size(), 17u);
 }
 
+TEST(ObsFamily, WithIndexSharesChildrenWithWith) {
+    CounterFamily family("node_msgs_total", "by node", {"node"});
+    Counter& dense = family.with_index(5);
+    dense.inc(4);
+    // Both lanes resolve to the same child, in either lookup order.
+    EXPECT_EQ(&family.with({"5"}), &dense);
+    EXPECT_EQ(&family.with_index(5), &dense);
+    Counter& sparse_first = family.with({"12"});
+    sparse_first.inc();
+    EXPECT_EQ(&family.with_index(12), &sparse_first);
+    // Exporters see exactly one child per index, not a dense/sparse pair.
+    EXPECT_EQ(family.size(), 2u);
+    EXPECT_EQ(family.with_index(5).value(), 4u);
+}
+
+TEST(ObsFamily, WithIndexRequiresSingleLabel) {
+    CounterFamily two("pair_total", "", {"a", "b"});
+    EXPECT_THROW(two.with_index(0), std::logic_error);
+    CounterFamily zero("bare_total", "", {});
+    EXPECT_THROW(zero.with_index(0), std::logic_error);
+}
+
+TEST(ObsFamily, WithIndexGrowsPastInitialSlab) {
+    CounterFamily family("shard_total", "", {"shard"});
+    // First touch far beyond the 64-slot initial slab, then everything below
+    // it: earlier slots must survive the RCU-style slab growth.
+    family.with_index(1000).inc(9);
+    for (std::size_t i = 0; i < 200; ++i) family.with_index(i).inc();
+    EXPECT_EQ(family.with_index(1000).value(), 9u);
+    for (std::size_t i = 0; i < 200; ++i)
+        EXPECT_EQ(family.with({std::to_string(i)}).value(), 1u) << i;
+    EXPECT_EQ(family.size(), 201u);
+}
+
+TEST(ObsFamily, ConcurrentWithIndexIsSafe) {
+    CounterFamily family("f", "", {"i"});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&family] {
+            // Mix both lanes and force slab growth mid-flight.
+            for (int i = 0; i < 1000; ++i) {
+                family.with_index(static_cast<std::size_t>(i % 17)).inc();
+                if (i % 100 == 0) family.with_index(64 + static_cast<std::size_t>(i)).inc();
+            }
+        });
+    for (auto& t : threads) t.join();
+    std::uint64_t dense_total = 0;
+    for (std::size_t i = 0; i < 17; ++i) dense_total += family.with_index(i).value();
+    EXPECT_EQ(dense_total, 8u * 1000u);
+}
+
 // --- Registry ----------------------------------------------------------------
 
 TEST(ObsRegistry, SameNameReturnsSameMetric) {

@@ -780,4 +780,30 @@ TEST(Gossip, FaultPlanRunsAreByteIdenticalUnderSameSeed) {
     EXPECT_NE(a, trace(4321));
 }
 
+TEST(Gossip, FaultPlanSameTimestampActionsRunInInsertionOrder) {
+    // Pinned semantics (src/net/README.md): FaultPlan actions scheduled at
+    // the same sim-time execute in plan *insertion order* — apply() schedules
+    // them one by one and the Scheduler is FIFO at equal timestamps
+    // (monotonic event ids break ties). E27's crash-during-reorg cells rely
+    // on this: a heal and a recover landing on the same instant must take
+    // effect in the order the plan author wrote them.
+    const auto end_state = [](bool crash_first) {
+        Scheduler sched;
+        Network net(sched, Rng(7));
+        for (int i = 0; i < 4; ++i) net.add_node([](const Delivery&) {});
+        FaultPlan plan;
+        if (crash_first)
+            plan.crash(1.0, 3).recover(1.0, 3);
+        else
+            plan.recover(1.0, 3).crash(1.0, 3);
+        // Same-instant partition churn on top: later same-time actions win.
+        plan.cut(1.0, "blip", {{0, 1}, {2, 3}}).heal(1.0, "blip");
+        net.apply(plan);
+        sched.run();
+        return net.is_crashed(3);
+    };
+    EXPECT_FALSE(end_state(true));  // crash then recover → alive
+    EXPECT_TRUE(end_state(false));  // recover then crash → down
+}
+
 } // namespace

@@ -85,6 +85,28 @@ std::vector<Block> build_chain(const Block& genesis, int n) {
     return blocks;
 }
 
+// A competing branch of `n` coinbase-only blocks forked off `parent` (which
+// sits at `parent_height`). Distinct miner seeds keep the hashes disjoint
+// from the main chain's blocks at the same heights.
+std::vector<Block> build_fork(const Block& parent, std::uint64_t parent_height, int n,
+                              const std::string& tag) {
+    std::vector<Block> blocks;
+    Hash256 prev = parent.hash();
+    for (int i = 1; i <= n; ++i) {
+        const std::uint64_t h = parent_height + static_cast<std::uint64_t>(i);
+        Block b;
+        b.header.prev_hash = prev;
+        b.header.height = h;
+        b.header.timestamp = 10.0 * static_cast<double>(h) + 5.0;
+        b.txs.push_back(make_coinbase(addr(tag + "-" + std::to_string(i)),
+                                      block_subsidy(h), h));
+        b.header.merkle_root = b.compute_merkle_root();
+        blocks.push_back(b);
+        prev = b.hash();
+    }
+    return blocks;
+}
+
 // --- CRC32C ------------------------------------------------------------------------
 
 TEST(Crc32c, KnownCheckValue) {
@@ -679,6 +701,123 @@ TEST(PersistentNode, CrashRecoveryMatrix) {
         EXPECT_EQ(node.tip(), ref_states.back().first) << "budget " << budget;
         EXPECT_EQ(scaling::serialize_utxo(node.utxo()), ref_states.back().second)
             << "budget " << budget;
+    }
+}
+
+// The stride matrix above samples the write stream; E27's crash-during-reorg
+// cells demand more: a node killed at *every* record boundary (undo, block,
+// WAL) inside a disconnect/connect reorg window — where the replacement chain
+// is a genuine fork, not a re-extension of the rolled-back blocks — must
+// recover to a reference state and finish the reorg. Each boundary is hit
+// twice: clean (budget lands exactly between records, so the next record is
+// refused whole) and torn (the boundary record loses its last byte).
+TEST(PersistentNode, CrashMatrixAtEveryWalBoundaryInReorgWindow) {
+    const Block genesis = test_genesis();
+    const auto main_chain = build_chain(genesis, 6);
+    // Fork off height 3: rollback depth 3, replacement branch of 4.
+    const auto fork = build_fork(main_chain[2], 3, 4, "fork-miner");
+
+    struct Op {
+        bool connect;
+        const Block* block; // null for disconnects
+    };
+    std::vector<Op> script;
+    for (const auto& b : main_chain) script.push_back({true, &b});
+    const std::size_t window_begin = script.size();
+    for (int i = 0; i < 3; ++i) script.push_back({false, nullptr});
+    for (const auto& b : fork) script.push_back({true, &b});
+
+    // Reference (never crashed, purely in memory): state after each op.
+    std::vector<std::pair<Hash256, Bytes>> ref_states;
+    {
+        UtxoSet state;
+        state.apply_block(genesis);
+        std::vector<std::pair<Hash256, UtxoUndo>> undo_stack;
+        Hash256 tip = genesis.hash();
+        ref_states.emplace_back(tip, scaling::serialize_utxo(state));
+        for (const auto& op : script) {
+            if (op.connect) {
+                undo_stack.emplace_back(op.block->hash(), state.apply_block(*op.block));
+                tip = op.block->hash();
+            } else {
+                state.undo_block(undo_stack.back().second);
+                undo_stack.pop_back();
+                tip = undo_stack.empty() ? genesis.hash() : undo_stack.back().first;
+            }
+            ref_states.emplace_back(tip, scaling::serialize_utxo(state));
+        }
+    }
+
+    // Dry run: learn the exact record-boundary offsets and where the reorg
+    // window starts in the write stream.
+    std::uint64_t window_start_bytes = 0;
+    std::vector<std::uint64_t> window_boundaries;
+    {
+        TempDir dir;
+        CrashInjector probe;
+        PersistentNodeOptions options;
+        options.injector = &probe;
+        PersistentNode node(dir.path, genesis, options);
+        for (std::size_t i = 0; i < script.size(); ++i) {
+            if (i == window_begin) window_start_bytes = probe.total_written();
+            if (script[i].connect)
+                node.connect_block(*script[i].block);
+            else
+                node.disconnect_tip();
+        }
+        ASSERT_EQ(node.tip(), ref_states.back().first);
+        for (const std::uint64_t b : probe.write_boundaries())
+            if (b > window_start_bytes) window_boundaries.push_back(b);
+    }
+    // 3 disconnects (one WAL record each) + 4 connects (undo + block + WAL).
+    ASSERT_EQ(window_boundaries.size(), 3u + 4u * 3u);
+
+    for (const std::uint64_t boundary : window_boundaries) {
+        for (const std::uint64_t budget : {boundary, boundary - 1}) {
+            TempDir dir;
+            CrashInjector injector;
+            injector.arm(budget);
+            PersistentNodeOptions options;
+            options.injector = &injector;
+            {
+                PersistentNode node(dir.path, genesis, options);
+                try {
+                    for (const auto& op : script) {
+                        if (op.connect)
+                            node.connect_block(*op.block);
+                        else
+                            node.disconnect_tip();
+                    }
+                } catch (const CrashError&) {
+                    // killed at (or one byte short of) the boundary
+                }
+            }
+
+            PersistentNode node(dir.path, genesis);
+            const Bytes recovered_utxo = scaling::serialize_utxo(node.utxo());
+            bool matched = false;
+            std::size_t resume_op = 0;
+            for (std::size_t i = 0; i < ref_states.size(); ++i) {
+                if (ref_states[i].first == node.tip() &&
+                    ref_states[i].second == recovered_utxo) {
+                    matched = true;
+                    resume_op = i;
+                    break;
+                }
+            }
+            ASSERT_TRUE(matched) << "budget " << budget
+                                 << ": recovered state matches no reference state";
+
+            for (std::size_t i = resume_op; i < script.size(); ++i) {
+                if (script[i].connect)
+                    node.connect_block(*script[i].block);
+                else
+                    node.disconnect_tip();
+            }
+            EXPECT_EQ(node.tip(), ref_states.back().first) << "budget " << budget;
+            EXPECT_EQ(scaling::serialize_utxo(node.utxo()), ref_states.back().second)
+                << "budget " << budget;
+        }
     }
 }
 
