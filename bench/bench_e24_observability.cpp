@@ -5,6 +5,7 @@
 // simulation workload), and (3) that simulation outcomes are identical with
 // observability on and off — metrics are pure observers.
 #include <cinttypes>
+#include <filesystem>
 
 #include "bench_util.hpp"
 #include "consensus/nakamoto.hpp"
@@ -13,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/txlifecycle.hpp"
+#include "storage/lsm_backend.hpp"
 
 using namespace dlt;
 
@@ -134,6 +136,77 @@ int main() {
         run.metric("ns_per_family_with_index", ns_with_index);
         run.metric("family_dense_speedup",
                    ns_with_index > 0 ? ns_with / ns_with_index : 0.0);
+    }
+
+    std::printf("\nState-engine (E28) instrumentation on the lookup hot path:\n");
+    {
+        // The LSM backend resolves its counters by name on every run probe —
+        // the same string-keyed slow lane measured above, now on a real hot
+        // path. Measure that resolve+inc cost, then drive a small engine
+        // through flushes/compactions/misses so the state_* keys are live.
+        constexpr std::uint64_t kResolves = 2'000'000;
+        bench::Timer tr;
+        for (std::uint64_t i = 0; i < kResolves; ++i)
+            registry.counter("state_run_probes_total", "Sorted-run lookups attempted")
+                .inc();
+        const double ns_resolve =
+            tr.elapsed_s() * 1e9 / static_cast<double>(kResolves);
+        registry
+            .counter("state_run_probes_total", "Sorted-run lookups attempted")
+            .reset();
+
+        const auto dir =
+            std::filesystem::temp_directory_path() / "dlt-bench-e24-state";
+        std::filesystem::remove_all(dir);
+        {
+            storage::LsmOptions options;
+            options.memtable_limit = 64;
+            options.compact_trigger = 3;
+            options.fsync = storage::FsyncMode::kNever;
+            storage::LsmBackend engine(dir, options);
+            Rng rng(0xE24);
+            std::vector<ledger::OutPoint> keys;
+            for (std::uint64_t tag = 1; tag <= 20; ++tag) {
+                for (int i = 0; i < 64; ++i) {
+                    ledger::OutPoint op;
+                    for (std::size_t b = 0; b < Hash256::size(); ++b)
+                        op.txid[b] = static_cast<std::uint8_t>(rng.uniform(256));
+                    op.index = static_cast<std::uint32_t>(rng.uniform(4));
+                    engine.put(op, ledger::TxOutput{100, crypto::Address{}});
+                    keys.push_back(op);
+                }
+                engine.commit_batch(tag, ByteView{});
+            }
+            for (const auto& op : keys) (void)engine.get(op);    // run hits
+            for (int i = 0; i < 512; ++i) {                      // bloom-filtered misses
+                ledger::OutPoint op;
+                for (std::size_t b = 0; b < Hash256::size(); ++b)
+                    op.txid[b] = static_cast<std::uint8_t>(rng.uniform(256));
+                (void)engine.get(op);
+            }
+        }
+        std::filesystem::remove_all(dir);
+
+        const std::uint64_t flushes =
+            registry.counter("state_runs_flushed_total", "").value();
+        const std::uint64_t compactions =
+            registry.counter("state_compactions_total", "").value();
+        const std::uint64_t probes =
+            registry.counter("state_run_probes_total", "").value();
+        const std::uint64_t bloom_skips =
+            registry.counter("state_bloom_skips_total", "").value();
+        bench::Table table({"metric", "value"});
+        table.row({"counter resolve+inc (ns/op)", bench::fmt(ns_resolve, 2)});
+        table.row({"state_runs_flushed_total", bench::fmt_int(flushes)});
+        table.row({"state_compactions_total", bench::fmt_int(compactions)});
+        table.row({"state_run_probes_total", bench::fmt_int(probes)});
+        table.row({"state_bloom_skips_total", bench::fmt_int(bloom_skips)});
+        table.print();
+        run.metric("ns_per_state_counter_resolve", ns_resolve);
+        run.metric("state_runs_flushed_total", flushes);
+        run.metric("state_compactions_total", compactions);
+        run.metric("state_run_probes_total", probes);
+        run.metric("state_bloom_skips_total", bloom_skips);
     }
 
     std::printf("\nEnd-to-end overhead on the E2 signed-validation workload:\n");

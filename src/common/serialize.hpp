@@ -50,12 +50,21 @@ public:
     Bytes take() && { return std::move(buf_); }
     std::size_t size() const { return buf_.size(); }
 
+    /// Grow the buffer's capacity for `upcoming` more bytes. Purely a
+    /// performance hint for bulk encoders (snapshot builds) that know their
+    /// output size up front; never changes the produced bytes.
+    void reserve(std::size_t upcoming) { buf_.reserve(buf_.size() + upcoming); }
+
 private:
     template <typename T>
     void write_le(T v) {
         static_assert(std::is_unsigned_v<T>);
+        // One ranged insert instead of per-byte push_back: the grow check
+        // runs once per value, not once per byte (hot in snapshot encodes).
+        std::uint8_t tmp[sizeof(T)];
         for (std::size_t i = 0; i < sizeof(T); ++i)
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+            tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
     }
 
     Bytes buf_;

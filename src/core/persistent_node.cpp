@@ -3,12 +3,33 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "crypto/uint256.hpp"
+#include "storage/lsm_backend.hpp"
 
 namespace dlt::core {
 
 namespace {
 constexpr std::uint8_t kWalConnect = 1;
 constexpr std::uint8_t kWalDisconnect = 2;
+
+// Recovery metadata the persistent state engine stores with every batch
+// commit: the tip (and its height) whose post-state the engine holds.
+Bytes encode_state_meta(const Hash256& tip, std::uint64_t height) {
+    Writer w;
+    w.fixed(tip);
+    w.u64(height);
+    return std::move(w).take();
+}
+
+std::optional<std::uint64_t> snapshot_height_of(const std::filesystem::path& path) {
+    const std::string name = path.filename().string();
+    if (!name.starts_with("snapshot-") || !name.ends_with(".snap"))
+        return std::nullopt;
+    try {
+        return std::stoull(name.substr(9, name.size() - 9 - 5));
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
 } // namespace
 
 PersistentNode::PersistentNode(std::filesystem::path dir, const ledger::Block& genesis,
@@ -37,20 +58,55 @@ PersistentNode::PersistentNode(std::filesystem::path dir, const ledger::Block& g
 
     // Rebuild the chain index from the durable block files (height order, so
     // parents precede children). Blocks whose parent never became durable are
-    // unreachable and skipped.
+    // unreachable and skipped — unless the store is pruned, in which case the
+    // blocks at the prune floor anchor detached subtrees.
     for (const auto& [hash, height] : store_->all_blocks()) {
         const auto block = store_->read_block(hash);
         try {
             chain_.insert(*block, crypto::U256::one());
         } catch (const ValidationError&) {
-            DLT_LOG(kWarn, "storage")
-                << "skipping orphan block " << hash.hex() << " at height " << height;
+            if (store_->pruned_below() > 0 && height == store_->pruned_below()) {
+                chain_.insert_detached_root(*block, crypto::U256(height + 1));
+            } else {
+                DLT_LOG(kWarn, "storage") << "skipping orphan block " << hash.hex()
+                                          << " at height " << height;
+            }
         }
     }
 
-    // Base state: newest valid snapshot, else genesis.
+    // Base state: the persistent engine's committed state, else the newest
+    // valid snapshot, else genesis.
     std::uint64_t base_seq = 0;
-    if (const auto snap = snapshots_.load_latest()) {
+    if (options_.state_engine == StateEngine::kPersistent) {
+        storage::LsmOptions lsm;
+        lsm.memtable_limit = options_.state_memtable_limit;
+        lsm.compact_trigger = options_.state_compact_trigger;
+        lsm.injector = options_.injector;
+        lsm.fsync = options_.fsync;
+        auto backend = std::make_unique<storage::LsmBackend>(dir_ / "state", lsm);
+        const Bytes meta = backend->committed_meta();
+        const std::uint64_t tag = backend->committed_tag();
+        utxo_ = ledger::UtxoSet(std::move(backend));
+        if (meta.empty()) {
+            // Fresh engine: seed the genesis coin supply under tag 0, so the
+            // very first restart already recovers from the engine.
+            utxo_.apply_block(genesis_);
+            utxo_.commit(0, ByteView(encode_state_meta(tip_, 0)));
+        } else {
+            Reader r{ByteView(meta)};
+            tip_ = r.fixed<32>();
+            height_ = r.u64();
+            r.expect_done();
+            if (!chain_.contains(tip_))
+                throw StorageError("state engine tip missing from the block index");
+            // The engine commits *after* the node-WAL record with the same
+            // tag, so its tag is always <= the last committed WAL seq and
+            // replay below is forward-only.
+            base_seq = tag;
+            recovery_.from_state_engine = true;
+            recovery_.state_tag = tag;
+        }
+    } else if (const auto snap = snapshots_.load_latest()) {
         if (!chain_.contains(snap->block_hash))
             throw StorageError("snapshot references a block missing from the store");
         utxo_ = scaling::deserialize_utxo(ByteView(snap->utxo_snapshot));
@@ -100,6 +156,11 @@ PersistentNode::PersistentNode(std::filesystem::path dir, const ledger::Block& g
         } else {
             throw StorageError("unknown WAL record type " + std::to_string(rec.type));
         }
+        // Fold the replayed transition into the persistent engine so the next
+        // open starts from here (blind-write batches make re-replay after a
+        // crash mid-commit idempotent).
+        if (options_.state_engine == StateEngine::kPersistent)
+            utxo_.commit(rec.seq, ByteView(encode_state_meta(tip_, height_)));
         ++recovery_.wal_records_replayed;
     }
 }
@@ -123,7 +184,11 @@ void PersistentNode::connect_block(const ledger::Block& block) {
         store_->append(block, undo);
         Writer w;
         w.fixed(hash);
-        wal_->append(kWalConnect, w.data());
+        const std::uint64_t seq = wal_->append(kWalConnect, w.data());
+        // State-engine commit comes last: its tag can never exceed the last
+        // durable WAL seq, so recovery only ever replays forward.
+        if (options_.state_engine == StateEngine::kPersistent)
+            utxo_.commit(seq, ByteView(encode_state_meta(hash, height_ + 1)));
     } catch (const storage::CrashError&) {
         crashed_ = true;
         throw;
@@ -140,13 +205,19 @@ void PersistentNode::disconnect_tip() {
     fail_if_crashed();
     if (tip_ == chain_.genesis_hash())
         throw StorageError("cannot disconnect the genesis block");
+    // The block at the prune floor still has its undo record, but rolling back
+    // onto a pruned parent would leave a tip with no durable block — refuse at
+    // the floor, not just below it.
+    if (height_ <= store_->pruned_below())
+        throw StorageError("cannot disconnect below the pruned height");
 
     const ledger::UtxoUndo undo = store_->read_undo(tip_);
     const Hash256 old_tip = tip_;
+    std::uint64_t seq = 0;
     try {
         Writer w;
         w.fixed(old_tip);
-        wal_->append(kWalDisconnect, w.data());
+        seq = wal_->append(kWalDisconnect, w.data());
     } catch (const storage::CrashError&) {
         crashed_ = true;
         throw;
@@ -155,6 +226,14 @@ void PersistentNode::disconnect_tip() {
     const auto* entry = chain_.find(old_tip);
     tip_ = entry->block.header.prev_hash;
     height_ -= 1;
+    if (options_.state_engine == StateEngine::kPersistent) {
+        try {
+            utxo_.commit(seq, ByteView(encode_state_meta(tip_, height_)));
+        } catch (const storage::CrashError&) {
+            crashed_ = true;
+            throw;
+        }
+    }
 }
 
 std::filesystem::path PersistentNode::snapshot() {
@@ -167,6 +246,24 @@ std::filesystem::path PersistentNode::snapshot() {
     // with seq <= the snapshot's wal_seq.
     wal_->reset();
     snapshots_.prune(options_.snapshots_to_keep);
+
+    // Every block below the *oldest* snapshot still on disk is now covered by
+    // a durable state image; with pruning enabled its block + undo records
+    // can go (load_latest's fall-back-to-older-snapshot path keeps working,
+    // since we prune only below the oldest survivor).
+    if (options_.prune_blocks) {
+        const auto kept = snapshots_.list();
+        if (!kept.empty()) {
+            if (const auto floor = snapshot_height_of(kept.front())) {
+                try {
+                    store_->prune_below(*floor);
+                } catch (const storage::CrashError&) {
+                    crashed_ = true;
+                    throw;
+                }
+            }
+        }
+    }
     return path;
 }
 

@@ -22,14 +22,32 @@
 
 namespace dlt::core {
 
+/// Which StateBackend the node's UtxoSet runs on.
+enum class StateEngine : std::uint8_t {
+    kInMemory,   // sharded in-memory maps; recovery = snapshot + WAL replay
+    kPersistent, // LSM engine on disk; recovery = engine state + WAL suffix
+};
+
 struct PersistentNodeOptions {
     std::size_t block_cache_capacity = 64;
     storage::FsyncMode fsync = storage::FsyncMode::kAlways;
-    /// Fault hook shared by the WAL and block store write paths; tests arm it
-    /// to kill the node after N bytes and prove recovery.
+    /// Fault hook shared by the WAL, block store, and state-engine write
+    /// paths; tests arm it to kill the node after N bytes and prove recovery.
     storage::CrashInjector* injector = nullptr;
     /// Snapshots to keep on disk when snapshot() prunes old ones.
     std::size_t snapshots_to_keep = 2;
+    /// State engine selection. With kPersistent the UTXO set lives in an
+    /// LSM backend under <dir>/state, batch-committed at every WAL record,
+    /// so recovery replays only the WAL suffix past the engine's committed
+    /// tag instead of re-applying from a whole-state snapshot.
+    StateEngine state_engine = StateEngine::kInMemory;
+    /// LSM tuning (kPersistent only).
+    std::size_t state_memtable_limit = 4096;
+    std::size_t state_compact_trigger = 6;
+    /// Prune block + undo files below the oldest kept snapshot at every
+    /// snapshot() call. Disconnects below the prune point become impossible;
+    /// restarts anchor the chain index at a detached root.
+    bool prune_blocks = false;
 };
 
 class PersistentNode {
@@ -40,6 +58,8 @@ public:
         std::uint64_t wal_records_replayed = 0;
         std::uint64_t wal_bytes_truncated = 0;   // torn tail repaired
         std::uint64_t store_bytes_truncated = 0; // torn block/undo tails
+        bool from_state_engine = false;          // base state came from the LSM
+        std::uint64_t state_tag = 0;             // engine's committed tag at open
     };
 
     /// Open (or create) the node's durable state under `dir`. `genesis` must
@@ -61,7 +81,9 @@ public:
 
     /// Write an atomic state snapshot at the current tip and reset the WAL
     /// (its records are now folded into the snapshot). Returns the snapshot
-    /// path. Old snapshots beyond `snapshots_to_keep` are pruned.
+    /// path. Old snapshots beyond `snapshots_to_keep` are pruned; with
+    /// options.prune_blocks the block + undo files are then pruned below the
+    /// oldest snapshot still on disk.
     std::filesystem::path snapshot();
 
     /// Bootstrap-compatible checkpoint of the current in-memory state.

@@ -43,6 +43,24 @@ bool ChainStore::insert(const Block& block, const crypto::U256& work,
     return true;
 }
 
+bool ChainStore::insert_detached_root(const Block& block,
+                                      const crypto::U256& cumulative_work,
+                                      double received_at) {
+    const Hash256 hash = block.hash();
+    if (entries_.contains(hash)) return false;
+
+    ChainEntry entry;
+    entry.block = block;
+    entry.hash = hash;
+    entry.height = block.header.height;
+    entry.cumulative_work = cumulative_work;
+    entry.received_at = received_at;
+    entries_.emplace(hash, std::move(entry));
+    // Deliberately not registered as a child of its (absent) parent.
+    children_.emplace(hash, std::vector<Hash256>{});
+    return true;
+}
+
 const std::vector<Hash256>& ChainStore::children(const Hash256& hash) const {
     static const std::vector<Hash256> kEmpty;
     const auto it = children_.find(hash);
@@ -105,10 +123,19 @@ Hash256 ChainStore::ancestor(const Hash256& from, std::uint64_t steps) const {
     DLT_EXPECTS(entry != nullptr);
     Hash256 cursor = from;
     while (steps > 0 && cursor != genesis_hash_) {
-        cursor = find(cursor)->block.header.prev_hash;
+        const Hash256& parent = find(cursor)->block.header.prev_hash;
+        if (!contains(parent)) break; // detached root of a pruned store
+        cursor = parent;
         --steps;
     }
     return cursor;
+}
+
+const ChainEntry* ChainStore::parent_of(const Hash256& hash) const {
+    const ChainEntry* parent = find(find(hash)->block.header.prev_hash);
+    if (parent == nullptr)
+        throw ValidationError("ancestry walk crossed a pruned chain boundary");
+    return parent;
 }
 
 Hash256 ChainStore::common_ancestor(const Hash256& a, const Hash256& b) const {
@@ -120,16 +147,16 @@ Hash256 ChainStore::common_ancestor(const Hash256& a, const Hash256& b) const {
     std::uint64_t ha = ea->height;
     std::uint64_t hb = eb->height;
     while (ha > hb) {
-        ca = find(ca)->block.header.prev_hash;
+        ca = parent_of(ca)->hash;
         --ha;
     }
     while (hb > ha) {
-        cb = find(cb)->block.header.prev_hash;
+        cb = parent_of(cb)->hash;
         --hb;
     }
     while (ca != cb) {
-        ca = find(ca)->block.header.prev_hash;
-        cb = find(cb)->block.header.prev_hash;
+        ca = parent_of(ca)->hash;
+        cb = parent_of(cb)->hash;
     }
     return ca;
 }
@@ -153,7 +180,10 @@ std::vector<Hash256> ChainStore::path_from_genesis(const Hash256& tip) const {
     std::vector<Hash256> path;
     for (Hash256 cursor = tip;; cursor = find(cursor)->block.header.prev_hash) {
         path.push_back(cursor);
-        if (cursor == genesis_hash_) break;
+        // A detached root (pruned store) ends the walk like genesis does.
+        if (cursor == genesis_hash_ ||
+            !contains(find(cursor)->block.header.prev_hash))
+            break;
     }
     std::reverse(path.begin(), path.end());
     return path;

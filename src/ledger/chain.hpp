@@ -40,6 +40,15 @@ public:
     /// throws ValidationError when the parent is unknown.
     bool insert(const Block& block, const crypto::U256& work, double received_at = 0);
 
+    /// Insert a block whose parent was pruned from durable storage (see
+    /// BlockStore::prune_below): the block anchors a detached subtree at its
+    /// header height, with `cumulative_work` taken as given. Ancestry walks
+    /// (ancestor, path_from_genesis) stop at such roots instead of reaching
+    /// genesis; walks that would need to cross the pruned boundary
+    /// (common_ancestor across subtrees) throw ValidationError.
+    bool insert_detached_root(const Block& block, const crypto::U256& cumulative_work,
+                              double received_at = 0);
+
     /// Children of a block (insertion order).
     const std::vector<Hash256>& children(const Hash256& hash) const;
 
@@ -82,6 +91,10 @@ public:
     std::size_t stale_count(const Hash256& tip) const;
 
 private:
+    /// Parent entry, throwing ValidationError when the walk would cross a
+    /// pruned boundary (detached root with no stored parent).
+    const ChainEntry* parent_of(const Hash256& hash) const;
+
     Hash256 genesis_hash_;
     std::unordered_map<Hash256, ChainEntry> entries_;
     std::unordered_map<Hash256, std::vector<Hash256>> children_;

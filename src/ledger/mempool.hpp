@@ -37,6 +37,7 @@
 
 #include "common/bytes.hpp"
 #include "common/time.hpp"
+#include "ledger/outpoint_hash.hpp"
 #include "ledger/transaction.hpp"
 
 namespace dlt::obs {
@@ -212,11 +213,6 @@ private:
         }
     };
 
-    struct OutPointHash {
-        std::size_t operator()(const OutPoint& op) const noexcept {
-            return hash_value(op.txid) ^ (op.index * 0x9E3779B9u);
-        }
-    };
     /// Account-family conflict key: one (sender, nonce) slot may be pending.
     struct AccountKey {
         Bytes sender;

@@ -1,0 +1,30 @@
+// Shared hash functor for OutPoint keys. Three copies of this used to live in
+// utxo.hpp, mempool.hpp, and privacy/taint.hpp, each with the weak
+// `hash_value(txid) ^ (index * 0x9E3779B9)` xor-fold: the low bits of the fold
+// barely depend on `index`, and xor lets correlated txids cancel. The shared
+// version finishes with a splitmix64-style avalanche so every output bit
+// depends on every input bit — the state backend shards by this hash, so skew
+// here becomes shard imbalance (see StateBackendTest.ShardDistributionPinned).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "ledger/transaction.hpp"
+
+namespace dlt::ledger {
+
+struct OutPointHash {
+    std::size_t operator()(const OutPoint& op) const noexcept {
+        std::uint64_t h = hash_value(op.txid);
+        h += 0x9E3779B97F4A7C15ull + op.index; // combine, don't cancel
+        h ^= h >> 30;
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 27;
+        h *= 0x94D049BB133111EBull;
+        h ^= h >> 31;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace dlt::ledger

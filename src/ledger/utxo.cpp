@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlt::ledger {
 
@@ -41,44 +42,64 @@ UtxoUndo UtxoUndo::decode(Reader& r) {
     return undo;
 }
 
+UtxoSet::UtxoSet() : backend_(std::make_unique<ShardedMemoryBackend>()) {}
+
+UtxoSet::UtxoSet(std::unique_ptr<StateBackend> backend)
+    : backend_(std::move(backend)) {
+    DLT_EXPECTS(backend_ != nullptr);
+    rebuild_index();
+}
+
+UtxoSet::UtxoSet(const UtxoSet& other)
+    : backend_(other.backend_->clone()),
+      by_addr_(other.by_addr_),
+      total_value_(other.total_value_) {}
+
+UtxoSet& UtxoSet::operator=(const UtxoSet& other) {
+    if (this == &other) return *this;
+    backend_ = other.backend_->clone();
+    by_addr_ = other.by_addr_;
+    total_value_ = other.total_value_;
+    return *this;
+}
+
+void UtxoSet::rebuild_index() {
+    by_addr_.clear();
+    total_value_ = 0;
+    backend_->for_each([this](const OutPoint& op, const TxOutput& out) {
+        index_add(op, out);
+        total_value_ += out.value;
+    });
+}
+
 void UtxoSet::encode(Writer& w) const {
-    auto entries = export_all();
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    w.varint(entries.size());
-    for (const auto& [op, out] : entries) {
-        op.encode(w);
-        out.encode(w);
-    }
+    obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
+        "state_snapshot_build_seconds",
+        "Wall-clock latency of canonical UTXO snapshot serialization"));
+    backend_->encode_sorted(w);
 }
 
 UtxoSet UtxoSet::decode(Reader& r) {
     const std::uint64_t count = r.varint_count(kEntryBytes);
     UtxoSet utxo;
-    utxo.entries_.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const auto op = OutPoint::decode(r);
         const auto out = TxOutput::decode(r);
         if (!money_range(out.value))
             throw DecodeError("utxo snapshot entry value out of range");
-        utxo.insert_raw(op, out);
+        if (!utxo.backend_->insert_if_absent(op, out))
+            throw DecodeError("duplicate outpoint in utxo snapshot");
+        utxo.index_add(op, out);
+        utxo.total_value_ += out.value;
     }
     return utxo;
 }
 
 std::optional<TxOutput> UtxoSet::lookup(const OutPoint& op) const {
-    const auto it = entries_.find(op);
-    if (it == entries_.end()) return std::nullopt;
-    return it->second;
+    return backend_->get(op);
 }
 
-bool UtxoSet::contains(const OutPoint& op) const { return entries_.contains(op); }
-
-Amount UtxoSet::total_value() const {
-    Amount total = 0;
-    for (const auto& [op, out] : entries_) total += out.value;
-    return total;
-}
+bool UtxoSet::contains(const OutPoint& op) const { return backend_->contains(op); }
 
 Amount UtxoSet::balance_of(const crypto::Address& addr) const {
     const auto it = by_addr_.find(addr);
@@ -92,10 +113,12 @@ std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::coins_of(
     if (it == by_addr_.end()) return coins;
     coins.reserve(it->second.coins.size());
     for (const auto& op : it->second.coins) {
-        const auto entry = entries_.find(op);
-        DLT_INVARIANT(entry != entries_.end()); // index mirrors entries_
-        coins.emplace_back(op, entry->second);
+        const auto entry = backend_->get(op);
+        DLT_INVARIANT(entry.has_value()); // index mirrors the backend
+        coins.emplace_back(op, *entry);
     }
+    std::sort(coins.begin(), coins.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     return coins;
 }
 
@@ -114,20 +137,21 @@ void UtxoSet::index_remove(const OutPoint& op, const TxOutput& out) {
 }
 
 void UtxoSet::insert_raw(const OutPoint& op, const TxOutput& out) {
-    const auto it = entries_.find(op);
-    if (it != entries_.end()) {
-        index_remove(op, it->second); // silent overwrite replaces the old owner
-        it->second = out;
-    } else {
-        entries_.emplace(op, out);
+    const auto previous = backend_->put(op, out);
+    if (previous) {
+        index_remove(op, *previous); // silent overwrite replaces the old owner
+        total_value_ -= previous->value;
     }
     index_add(op, out);
+    total_value_ += out.value;
 }
 
 std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::export_all() const {
     std::vector<std::pair<OutPoint, TxOutput>> all;
-    all.reserve(entries_.size());
-    for (const auto& [op, out] : entries_) all.emplace_back(op, out);
+    all.reserve(size());
+    backend_->for_each([&all](const OutPoint& op, const TxOutput& out) {
+        all.emplace_back(op, out);
+    });
     return all;
 }
 
@@ -164,19 +188,21 @@ Amount UtxoSet::check_transaction(const Transaction& tx) const {
 void UtxoSet::apply_transaction(const Transaction& tx, UtxoUndo& undo) {
     if (tx.kind == TxKind::kTransfer) {
         for (const auto& in : tx.inputs) {
-            const auto it = entries_.find(in.prevout);
-            DLT_INVARIANT(it != entries_.end()); // caller checked
-            undo.spent.emplace_back(in.prevout, it->second);
-            index_remove(in.prevout, it->second);
-            entries_.erase(it);
+            const auto removed = backend_->erase(in.prevout);
+            DLT_INVARIANT(removed.has_value()); // caller checked
+            undo.spent.emplace_back(in.prevout, *removed);
+            index_remove(in.prevout, *removed);
+            total_value_ -= removed->value;
         }
     }
     if (tx.kind == TxKind::kTransfer || tx.is_coinbase()) {
         const Hash256 id = tx.txid();
         for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
             const OutPoint op{id, i};
-            if (entries_.emplace(op, tx.outputs[i]).second)
+            if (backend_->insert_if_absent(op, tx.outputs[i])) {
                 index_add(op, tx.outputs[i]);
+                total_value_ += tx.outputs[i].value;
+            }
             undo.created.push_back(op);
         }
     }
@@ -202,14 +228,16 @@ UtxoUndo UtxoSet::apply_block(const Block& block) {
 void UtxoSet::undo_block(const UtxoUndo& undo) {
     // Remove created outputs (reverse order), then restore spent ones.
     for (auto it = undo.created.rbegin(); it != undo.created.rend(); ++it) {
-        const auto found = entries_.find(*it);
-        DLT_INVARIANT(found != entries_.end());
-        index_remove(*it, found->second);
-        entries_.erase(found);
+        const auto removed = backend_->erase(*it);
+        DLT_INVARIANT(removed.has_value());
+        index_remove(*it, *removed);
+        total_value_ -= removed->value;
     }
     for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
-        if (entries_.emplace(it->first, it->second).second)
+        if (backend_->insert_if_absent(it->first, it->second)) {
             index_add(it->first, it->second);
+            total_value_ += it->second.value;
+        }
 }
 
 } // namespace dlt::ledger

@@ -1,8 +1,13 @@
 // UTXO set: the spendable-coin state of Blockchain-1.0 chains, with apply/undo
 // support so branch reorganizations (longest-chain and GHOST switches) can roll
-// the state back and forward deterministically.
+// the state back and forward deterministically. Entry storage lives behind the
+// pluggable StateBackend (state_backend.hpp): the default is the sharded
+// in-memory engine; PersistentNode can substitute the LSM-flavored persistent
+// engine for state that outgrows RAM. The address index and the running total
+// value stay here, maintained in lockstep with every backend mutation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +15,8 @@
 
 #include "common/bytes.hpp"
 #include "ledger/block.hpp"
+#include "ledger/outpoint_hash.hpp"
+#include "ledger/state_backend.hpp"
 #include "ledger/transaction.hpp"
 
 namespace dlt::ledger {
@@ -31,20 +38,33 @@ struct UtxoUndo {
 
 class UtxoSet {
 public:
-    UtxoSet() = default;
+    /// Default engine: sharded in-memory backend.
+    UtxoSet();
+
+    /// Adopt an existing backend (e.g. a persistent engine reopened from
+    /// disk); rebuilds the address index and total from its contents.
+    explicit UtxoSet(std::unique_ptr<StateBackend> backend);
+
+    // Value semantics: copies deep-clone the backend (persistent engines
+    // materialize into an in-memory clone), so a copied set never shares
+    // files or state with the original.
+    UtxoSet(const UtxoSet& other);
+    UtxoSet& operator=(const UtxoSet& other);
+    UtxoSet(UtxoSet&&) = default;
+    UtxoSet& operator=(UtxoSet&&) = default;
 
     std::optional<TxOutput> lookup(const OutPoint& op) const;
     bool contains(const OutPoint& op) const;
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return static_cast<std::size_t>(backend_->size()); }
 
-    /// Total value across all unspent outputs.
-    Amount total_value() const;
+    /// Total value across all unspent outputs — O(1), maintained incrementally.
+    Amount total_value() const { return total_value_; }
 
     /// Spendable balance of one address — O(1) via the address index.
     Amount balance_of(const crypto::Address& addr) const;
 
-    /// All outpoints owned by an address (wallet coin selection). O(coins of
-    /// that address) via the address index, not O(set size).
+    /// All outpoints owned by an address (wallet coin selection), sorted by
+    /// outpoint so results are identical across backends and hash seeds.
     std::vector<std::pair<OutPoint, TxOutput>> coins_of(const crypto::Address& addr) const;
 
     /// Full contents (snapshot serialization, bootstrap checkpoints).
@@ -52,11 +72,14 @@ public:
 
     /// Canonical snapshot serialization: entries sorted by outpoint, so equal
     /// sets always produce byte-identical (and therefore digest-identical)
-    /// snapshots regardless of hash-map iteration order.
+    /// snapshots regardless of backend or hash-map iteration order. The
+    /// sharded backend builds the same bytes in parallel per shard.
     void encode(Writer& w) const;
 
     /// Rebuild a set from its snapshot serialization. Rejects truncated or
-    /// corrupt input with DecodeError before any large allocation.
+    /// corrupt input — including duplicate outpoints, which would silently
+    /// corrupt the total and address index — with DecodeError before any
+    /// large allocation.
     static UtxoSet decode(Reader& r);
 
     /// Insert an entry directly (snapshot restore); overwrites silently.
@@ -79,18 +102,19 @@ public:
     /// Revert a block using its undo record (exact inverse of apply_block).
     void undo_block(const UtxoUndo& undo);
 
+    /// Durability point: forward to the backend's batch commit (see
+    /// StateBackend::commit_batch). No-op on in-memory engines.
+    void commit(std::uint64_t tag, ByteView meta) { backend_->commit_batch(tag, meta); }
+
+    const StateBackend& backend() const { return *backend_; }
+
 private:
     void apply_transaction(const Transaction& tx, UtxoUndo& undo);
-
-    struct OutPointHash {
-        std::size_t operator()(const OutPoint& op) const noexcept {
-            return hash_value(op.txid) ^ (op.index * 0x9E3779B9u);
-        }
-    };
+    void rebuild_index();
 
     /// Per-address running balance + owned outpoints, kept in lockstep with
-    /// entries_ through every insertion and erasure (apply, undo, raw insert),
-    /// so reorgs keep the index exact.
+    /// the backend through every insertion and erasure (apply, undo, raw
+    /// insert), so reorgs keep the index exact.
     struct AddressEntry {
         Amount balance = 0;
         std::unordered_set<OutPoint, OutPointHash> coins;
@@ -99,8 +123,9 @@ private:
     void index_add(const OutPoint& op, const TxOutput& out);
     void index_remove(const OutPoint& op, const TxOutput& out);
 
-    std::unordered_map<OutPoint, TxOutput, OutPointHash> entries_;
+    std::unique_ptr<StateBackend> backend_;
     std::unordered_map<crypto::Address, AddressEntry> by_addr_;
+    Amount total_value_ = 0;
 };
 
 } // namespace dlt::ledger

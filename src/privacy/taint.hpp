@@ -11,15 +11,13 @@
 #include <vector>
 
 #include "ledger/block.hpp"
+#include "ledger/outpoint_hash.hpp"
 #include "ledger/transaction.hpp"
 
 namespace dlt::privacy {
 
-struct OutPointHash {
-    std::size_t operator()(const ledger::OutPoint& op) const noexcept {
-        return hash_value(op.txid) ^ (op.index * 0x9E3779B9u);
-    }
-};
+/// Shared strengthened hash (was a third copy of the weak xor-fold functor).
+using OutPointHash = ledger::OutPointHash;
 
 using OutPointSet = std::unordered_set<ledger::OutPoint, OutPointHash>;
 

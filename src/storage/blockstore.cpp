@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "storage/recordio.hpp"
 
 namespace dlt::storage {
@@ -10,14 +11,30 @@ namespace dlt::storage {
 namespace {
 constexpr std::uint32_t kBlockMagic = 0x424C4B31; // "BLK1"
 constexpr std::uint32_t kUndoMagic = 0x554E4431;  // "UND1"
+constexpr std::uint32_t kPruneMagic = 0x50524E31; // "PRN1"
 } // namespace
 
 BlockStore::BlockStore(const std::filesystem::path& dir, BlockStoreOptions options)
     : blocks_path_(dir / "blocks.dat"),
       undo_path_(dir / "undo.dat"),
       fsync_mode_(options.fsync),
+      injector_(options.injector),
       cache_(options.cache_capacity) {
     std::filesystem::create_directories(dir);
+
+    // Heal an interrupted prune: .rewrite temporaries never renamed are
+    // garbage, and the committed prune floor (if any) still applies.
+    for (const char* stray : {"blocks.dat.rewrite", "undo.dat.rewrite"}) {
+        std::error_code ec;
+        std::filesystem::remove(dir / stray, ec);
+    }
+    const Bytes prune_image = read_file(dir / "prune.meta");
+    if (!prune_image.empty()) {
+        const Bytes payload = read_record(ByteView(prune_image), 0, kPruneMagic);
+        Reader r{ByteView(payload)};
+        pruned_below_ = r.u64();
+        r.expect_done();
+    }
 
     // Index rebuild: scan the block file, decoding every intact record. A
     // record whose payload fails to decode (CRC collision or software bug)
@@ -144,6 +161,83 @@ std::vector<std::pair<Hash256, std::uint64_t>> BlockStore::all_blocks() const {
         return a.second != b.second ? a.second < b.second : a.first < b.first;
     });
     return out;
+}
+
+PruneResult BlockStore::prune_below(std::uint64_t height) {
+    PruneResult result;
+    if (height <= pruned_below_) return result;
+
+    const std::uint64_t old_bytes = blocks_out_->size() + undo_out_->size();
+    const std::filesystem::path dir = blocks_path_.parent_path();
+    const std::filesystem::path blocks_tmp = dir / "blocks.dat.rewrite";
+    const std::filesystem::path undo_tmp = dir / "undo.dat.rewrite";
+
+    // Rewrite surviving records in height order (the index-rebuild order), so
+    // the pruned files are a deterministic function of the kept set.
+    std::unordered_map<Hash256, Location> new_index;
+    std::unordered_map<Hash256, Location> new_undo_index;
+    {
+        AppendFile blocks_rw(blocks_tmp, injector_);
+        AppendFile undo_rw(undo_tmp, injector_);
+        for (const auto& [hash, block_height] : all_blocks()) {
+            if (block_height < height) {
+                ++result.blocks_pruned;
+                continue;
+            }
+            const Location& loc = index_.at(hash);
+            const Bytes payload = read_payload(*blocks_in_, loc, kBlockMagic, "block");
+            new_index[hash] = {blocks_rw.size(),
+                               static_cast<std::uint32_t>(payload.size()),
+                               block_height};
+            blocks_rw.append(frame_record(kBlockMagic, payload));
+
+            // Undo compaction: carry an undo record only for a kept block
+            // (orphan undos — crash artifacts — are dropped here too).
+            const auto undo_it = undo_index_.find(hash);
+            if (undo_it == undo_index_.end()) continue;
+            const Bytes undo_payload =
+                read_payload(*undo_in_, undo_it->second, kUndoMagic, "undo");
+            new_undo_index[hash] = {undo_rw.size(),
+                                    static_cast<std::uint32_t>(undo_payload.size()),
+                                    0};
+            undo_rw.append(frame_record(kUndoMagic, undo_payload));
+        }
+        blocks_rw.sync();
+        undo_rw.sync();
+        result.bytes_reclaimed = old_bytes - (blocks_rw.size() + undo_rw.size());
+    }
+
+    // Commit the prune floor before swapping files: if we crash between the
+    // meta write and the renames, the floor is merely conservative (blocks
+    // below it still exist and index fine).
+    Writer w;
+    w.u64(height);
+    write_file_atomic(dir / "prune.meta", frame_record(kPruneMagic, w.data()));
+
+    blocks_out_.reset();
+    undo_out_.reset();
+    blocks_in_.reset();
+    undo_in_.reset();
+    std::filesystem::rename(blocks_tmp, blocks_path_);
+    std::filesystem::rename(undo_tmp, undo_path_);
+    blocks_out_ = std::make_unique<AppendFile>(blocks_path_, injector_);
+    undo_out_ = std::make_unique<AppendFile>(undo_path_, injector_);
+    blocks_in_ = std::make_unique<RandomAccessFile>(blocks_path_);
+    undo_in_ = std::make_unique<RandomAccessFile>(undo_path_);
+
+    index_ = std::move(new_index);
+    undo_index_ = std::move(new_undo_index);
+    cache_.clear();
+    pruned_below_ = height;
+
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("block_files_pruned_total", "Blocks dropped by prune_below")
+        .inc(result.blocks_pruned);
+    registry
+        .counter("block_prune_bytes_reclaimed_total",
+                 "Bytes reclaimed from block + undo files by pruning")
+        .inc(result.bytes_reclaimed);
+    return result;
 }
 
 BlockStoreStats BlockStore::stats() const {

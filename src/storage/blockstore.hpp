@@ -33,6 +33,11 @@ struct BlockStoreStats {
     std::uint64_t cache_evictions = 0;
 };
 
+struct PruneResult {
+    std::uint64_t blocks_pruned = 0;
+    std::uint64_t bytes_reclaimed = 0; // across block + undo files
+};
+
 class BlockStore {
 public:
     /// Open (or create) `blocks.dat` + `undo.dat` inside `dir`, rebuilding the
@@ -64,6 +69,21 @@ public:
 
     BlockStoreStats stats() const;
 
+    /// Drop every block below `height` from the block file and compact the
+    /// undo file to the surviving blocks (undo data of pruned and orphaned
+    /// blocks is discarded). Call only once the pruned range is covered by a
+    /// durable snapshot: disconnecting below the prune point becomes
+    /// impossible (read_undo throws), and a restarted chain index anchors at
+    /// a detached root (ChainStore::insert_detached_root) instead of genesis.
+    /// Both files are rewritten to `.rewrite` temporaries, fsynced, the prune
+    /// floor is committed (prune.meta, atomic), then the temporaries are
+    /// renamed into place — a crash at any byte offset leaves either the old
+    /// files or the pruned ones, never a torn mix.
+    PruneResult prune_below(std::uint64_t height);
+
+    /// Height below which blocks have been pruned (0 = nothing pruned).
+    std::uint64_t pruned_below() const { return pruned_below_; }
+
 private:
     struct Location {
         std::uint64_t offset = 0; // frame start in the file
@@ -83,11 +103,14 @@ private:
     std::unique_ptr<RandomAccessFile> blocks_in_;
     std::unique_ptr<RandomAccessFile> undo_in_;
 
+    CrashInjector* injector_ = nullptr;
+
     std::unordered_map<Hash256, Location> index_;
     std::unordered_map<Hash256, Location> undo_index_;
     LruCache<Hash256, std::shared_ptr<const ledger::Block>> cache_;
     std::uint64_t truncated_bytes_ = 0;
     std::uint64_t indexed_on_open_ = 0;
+    std::uint64_t pruned_below_ = 0;
 };
 
 } // namespace dlt::storage
