@@ -1,0 +1,409 @@
+// E29 — real-transport deployment mode (ROADMAP item 1): the same consensus
+// stack that runs under the discrete-event Scheduler must hold up as an
+// N-process loopback cluster of dlt-node daemons speaking framed TCP. The
+// harness
+//
+//   1. generates one deterministic demand trace (app::WorkloadEngine against
+//      a recording TxHost — Zipf agents, Poisson arrivals, fee bidding),
+//   2. replays that trace wall-clock over each node's RPC port against a
+//      live ClusterDriver cluster (Nakamoto and PBFT engines), measuring
+//      confirmed tps and submit→inclusion latency percentiles from the
+//      daemons' own lifecycle stamps,
+//   3. runs the matching virtual-time simulation (NakamotoNetwork /
+//      PbftCluster) over the same demand shape as the prediction baseline,
+//   4. SIGKILLs one node mid-run, restarts it on its old data dir and ports,
+//      and requires it to rejoin: WAL/LSM recovery plus protocol catch-up
+//      until its tip digest agrees with the cluster.
+//
+// DLT_E29_QUICK=1 shrinks every dimension for CI smoke runs.
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "app/cluster.hpp"
+#include "app/workload.hpp"
+#include "bench_util.hpp"
+#include "common/serialize.hpp"
+#include "consensus/nakamoto.hpp"
+#include "consensus/pbft.hpp"
+#include "obs/txlifecycle.hpp"
+
+using namespace dlt;
+
+namespace {
+
+struct TempDir {
+    std::filesystem::path path;
+    explicit TempDir(const std::string& tag) {
+        path = std::filesystem::temp_directory_path() / ("dlt-bench-e29-" + tag);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+// --- Demand trace ------------------------------------------------------------
+
+/// TxHost that records what the workload engine would submit instead of
+/// feeding a network: the bench replays the identical (tx, node, time) stream
+/// against both the socket cluster (wall clock) and the simulation baselines.
+class TraceHost final : public app::TxHost {
+public:
+    struct Entry {
+        ledger::Transaction tx;
+        double at = 0; // virtual seconds from trace start
+        std::uint32_t node = 0;
+    };
+
+    sim::Scheduler& scheduler() override { return scheduler_; }
+    const ledger::Mempool& mempool_of(net::NodeId) const override {
+        return mempool_;
+    }
+    void submit_transaction(const ledger::Transaction& tx,
+                            net::NodeId origin) override {
+        entries.push_back(Entry{tx, scheduler_.now(), origin});
+    }
+
+    std::vector<Entry> entries;
+    sim::Scheduler scheduler_;
+
+private:
+    ledger::Mempool mempool_; // fee-floor oracle for market-follower agents
+};
+
+std::vector<TraceHost::Entry> make_trace(double tps, double duration,
+                                         std::uint32_t submit_nodes,
+                                         std::uint64_t seed) {
+    TraceHost host;
+    app::WorkloadParams params;
+    params.population = 10'000;
+    params.base_tps = tps;
+    params.submit_nodes = submit_nodes;
+    app::WorkloadEngine engine(host, params, seed);
+    engine.start();
+    host.scheduler().run_until(duration);
+    engine.stop();
+    return std::move(host.entries);
+}
+
+// --- Small stats helpers -----------------------------------------------------
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0;
+    std::sort(values.begin(), values.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+/// Crude counter extraction from the obs JSON snapshot ("name":value).
+double metric_from_json(const std::string& json, const std::string& name) {
+    const auto key = "\"" + name + "\":";
+    const auto pos = json.find(key);
+    if (pos == std::string::npos) return 0;
+    return std::strtod(json.c_str() + pos + key.size(), nullptr);
+}
+
+// --- Live-cluster cell -------------------------------------------------------
+
+struct ClusterCell {
+    double tps = 0;
+    double p50 = 0, p99 = 0;
+    std::uint64_t submitted = 0, accepted = 0, confirmed = 0;
+    bool digests_agree = false;
+    std::size_t clean_exits = 0;
+    double net_bytes_sent = 0, reconnects = 0;
+};
+
+/// Poll every node until one simultaneous status round shows identical tips.
+bool await_digest_agreement(app::ClusterDriver& cluster, double timeout_s) {
+    bench::Timer timer;
+    while (timer.elapsed_s() < timeout_s) {
+        std::vector<app::NodeStatus> statuses;
+        bool all = true;
+        for (std::size_t i = 0; i < cluster.node_count() && all; ++i) {
+            if (!cluster.alive(i)) continue;
+            const auto s = cluster.rpc(i).status();
+            if (!s) {
+                all = false;
+                break;
+            }
+            statuses.push_back(*s);
+        }
+        if (all && !statuses.empty()) {
+            bool agree = true;
+            for (const auto& s : statuses)
+                agree = agree && s.tip == statuses.front().tip;
+            if (agree) return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+}
+
+/// Replay `trace` against a live cluster at wall-clock pace; when
+/// `kill_rejoin` is set, SIGKILL the highest-id node a third of the way in
+/// and restart it at two thirds, requiring recovery + catch-up.
+ClusterCell run_cluster_cell(core::ReplicaEngine engine, std::size_t nodes,
+                             double block_interval,
+                             const std::vector<TraceHost::Entry>& trace,
+                             const std::filesystem::path& work_dir,
+                             bool kill_rejoin, double settle_timeout_s,
+                             int* rejoin_exit = nullptr) {
+    app::ClusterConfig config;
+    config.node_count = nodes;
+    config.engine = engine;
+    config.block_interval = block_interval;
+    config.work_dir = work_dir;
+    config.chain_tag = "e29";
+    app::ClusterDriver cluster(config);
+    cluster.start();
+
+    ClusterCell cell;
+    const double trace_end = trace.empty() ? 0 : trace.back().at;
+    const std::size_t victim = nodes - 1;
+    const double kill_at = trace_end / 3.0;
+    const double restart_at = 2.0 * trace_end / 3.0;
+    bool killed = false, restarted = !kill_rejoin;
+
+    bench::Timer clock;
+    for (const auto& entry : trace) {
+        while (clock.elapsed_s() < entry.at)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        if (kill_rejoin && !killed && clock.elapsed_s() >= kill_at) {
+            cluster.signal_node(victim, SIGKILL);
+            const int code = cluster.wait_node(victim);
+            if (rejoin_exit != nullptr) *rejoin_exit = code;
+            killed = true;
+        }
+        if (killed && !restarted && clock.elapsed_s() >= restart_at) {
+            cluster.restart_node(victim);
+            restarted = true;
+        }
+        std::size_t target = entry.node % nodes;
+        if (!cluster.alive(target)) target = (target + 1) % nodes;
+        ++cell.submitted;
+        if (cluster.rpc(target).submit(entry.tx)) ++cell.accepted;
+    }
+    if (killed && !restarted) {
+        cluster.restart_node(victim);
+        restarted = true;
+    }
+
+    // Drain: poll until the confirmed count stops moving (or timeout).
+    std::uint64_t last_confirmed = 0;
+    int stable_rounds = 0;
+    bench::Timer settle;
+    while (settle.elapsed_s() < settle_timeout_s && stable_rounds < 6) {
+        std::uint64_t confirmed = 0;
+        for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+            if (!cluster.alive(i)) continue;
+            if (const auto s = cluster.rpc(i).status())
+                confirmed = std::max(confirmed, s->confirmed_txs);
+        }
+        stable_rounds = confirmed == last_confirmed ? stable_rounds + 1 : 0;
+        last_confirmed = confirmed;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    cell.confirmed = last_confirmed;
+    const double window = clock.elapsed_s();
+    cell.tps = bench::rate_per_sec(static_cast<double>(cell.confirmed), window);
+
+    cell.digests_agree = await_digest_agreement(cluster, settle_timeout_s);
+
+    std::vector<double> latencies;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+        if (!cluster.alive(i)) continue;
+        const auto node_lat = cluster.rpc(i).latencies();
+        latencies.insert(latencies.end(), node_lat.begin(), node_lat.end());
+    }
+    cell.p50 = percentile(latencies, 0.50);
+    cell.p99 = percentile(latencies, 0.99);
+
+    if (cluster.alive(0)) {
+        const std::string metrics = cluster.rpc(0).metrics_json();
+        cell.net_bytes_sent = metric_from_json(metrics, "net_tcp_bytes_sent_total");
+        cell.reconnects = metric_from_json(metrics, "net_tcp_reconnects_total");
+    }
+
+    for (const int code : cluster.stop_all())
+        if (code == 0) ++cell.clean_exits;
+    return cell;
+}
+
+// --- Simulation baselines ----------------------------------------------------
+
+struct SimCell {
+    double tps = 0;
+    double p50 = 0, p99 = 0;
+    std::uint64_t confirmed = 0;
+};
+
+SimCell run_nakamoto_sim(std::size_t nodes, double block_interval, double tps,
+                         double duration, std::uint64_t seed) {
+    consensus::NakamotoParams params;
+    params.node_count = nodes;
+    params.block_interval = block_interval;
+    params.chain_tag = "e29-sim";
+    // Match the daemon's ReplicaConfig: unsigned record txs, skip sig checks.
+    params.validation.sig_mode = ledger::SigCheckMode::kSkip;
+    consensus::NakamotoNetwork net(params, seed);
+    net.start();
+    app::WorkloadParams wp;
+    wp.population = 10'000;
+    wp.base_tps = tps;
+    wp.submit_nodes = static_cast<std::uint32_t>(nodes);
+    app::WorkloadEngine engine(net, wp, seed);
+    engine.start();
+    net.run_for(duration);
+    engine.stop();
+    net.run_for(10.0 * block_interval); // drain in-flight confirmations
+
+    SimCell cell;
+    cell.confirmed = net.confirmed_tx_count();
+    cell.tps = bench::rate_per_sec(static_cast<double>(cell.confirmed), duration);
+    const auto lat = net.lifecycle().latencies(obs::TxStage::kSubmitted,
+                                               obs::TxStage::kIncluded);
+    cell.p50 = percentile(lat, 0.50);
+    cell.p99 = percentile(lat, 0.99);
+    return cell;
+}
+
+SimCell run_pbft_sim(const std::vector<TraceHost::Entry>& trace,
+                     double duration, std::uint64_t seed) {
+    consensus::PbftConfig config;
+    config.f = 1; // n = 4, the cluster size
+    consensus::PbftCluster cluster(config, seed);
+    for (const auto& entry : trace) {
+        if (entry.at > cluster.now())
+            cluster.run_for(entry.at - cluster.now());
+        cluster.submit(encode_to_bytes(entry.tx));
+    }
+    cluster.run_for(5.0); // drain
+
+    SimCell cell;
+    cell.confirmed = cluster.executed_requests(0);
+    cell.tps = bench::rate_per_sec(static_cast<double>(cell.confirmed), duration);
+    const auto lat = cluster.lifecycle().latencies(obs::TxStage::kSubmitted,
+                                                   obs::TxStage::kIncluded);
+    cell.p50 = percentile(lat, 0.50);
+    cell.p99 = percentile(lat, 0.99);
+    return cell;
+}
+
+} // namespace
+
+int main() {
+#ifdef DLT_NODE_BIN_PATH
+    // Baked-in build-tree location; an explicit DLT_NODE_BIN still wins.
+    ::setenv("DLT_NODE_BIN", DLT_NODE_BIN_PATH, /*overwrite=*/0);
+#endif
+    const bool quick = std::getenv("DLT_E29_QUICK") != nullptr;
+    bench::Run run("E29");
+    bench::ObsEnv obs_env;
+    bench::title("E29 - loopback cluster vs simulation",
+                 "The socket-backed deployment mode must confirm transactions "
+                 "at wall-clock rates comparable to the virtual-time "
+                 "prediction, agree on tip digests across processes, and "
+                 "survive kill + restart of a node through WAL recovery.");
+    run.note("mode", quick ? "quick" : "full");
+
+    const std::size_t nodes = 4;
+    const double interval = quick ? 0.3 : 0.4;
+    const double duration = quick ? 4.0 : 12.0;
+    const double offered_tps = quick ? 60.0 : 150.0;
+    const double settle = quick ? 6.0 : 10.0;
+    run.metric("nodes", static_cast<std::uint64_t>(nodes));
+    run.metric("offered_tps", offered_tps);
+    run.metric("trace_seconds", duration);
+
+    const auto trace =
+        make_trace(offered_tps, duration, static_cast<std::uint32_t>(nodes), 29);
+    std::printf("demand trace: %zu transactions over %.1fs (%.0f tx/s offered)\n\n",
+                trace.size(), duration, offered_tps);
+
+    TempDir dirs("work");
+    bench::Table table({"cell", "engine", "confirmed", "tps", "p50 s", "p99 s",
+                        "digests", "clean exits"});
+
+    // Cell 1: Nakamoto over sockets vs the NakamotoNetwork prediction.
+    const ClusterCell nk = run_cluster_cell(core::ReplicaEngine::kNakamoto,
+                                            nodes, interval, trace,
+                                            dirs.path / "nakamoto", false, settle);
+    const SimCell nk_sim = run_nakamoto_sim(nodes, interval, offered_tps,
+                                            duration, 29);
+    table.row({"cluster", "nakamoto", bench::fmt_int(nk.confirmed),
+               bench::fmt(nk.tps, 1), bench::fmt(nk.p50, 3), bench::fmt(nk.p99, 3),
+               nk.digests_agree ? "agree" : "DISAGREE",
+               bench::fmt_int(nk.clean_exits)});
+    table.row({"sim", "nakamoto", bench::fmt_int(nk_sim.confirmed),
+               bench::fmt(nk_sim.tps, 1), bench::fmt(nk_sim.p50, 3),
+               bench::fmt(nk_sim.p99, 3), "-", "-"});
+
+    // Cell 2: PBFT over sockets vs the PbftCluster prediction.
+    const ClusterCell pb = run_cluster_cell(core::ReplicaEngine::kPbft, nodes,
+                                            interval, trace,
+                                            dirs.path / "pbft", false, settle);
+    const SimCell pb_sim = run_pbft_sim(trace, duration, 29);
+    table.row({"cluster", "pbft", bench::fmt_int(pb.confirmed),
+               bench::fmt(pb.tps, 1), bench::fmt(pb.p50, 3), bench::fmt(pb.p99, 3),
+               pb.digests_agree ? "agree" : "DISAGREE",
+               bench::fmt_int(pb.clean_exits)});
+    table.row({"sim", "pbft", bench::fmt_int(pb_sim.confirmed),
+               bench::fmt(pb_sim.tps, 1), bench::fmt(pb_sim.p50, 3),
+               bench::fmt(pb_sim.p99, 3), "-", "-"});
+
+    // Cell 3: kill one node (SIGKILL), restart it on the same data dir and
+    // ports, and require LSM/WAL recovery plus catch-up to digest agreement.
+    int killed_exit = 0;
+    const ClusterCell kr = run_cluster_cell(core::ReplicaEngine::kNakamoto,
+                                            nodes, interval, trace,
+                                            dirs.path / "rejoin", true, settle,
+                                            &killed_exit);
+    table.row({"kill+rejoin", "nakamoto", bench::fmt_int(kr.confirmed),
+               bench::fmt(kr.tps, 1), bench::fmt(kr.p50, 3), bench::fmt(kr.p99, 3),
+               kr.digests_agree ? "agree" : "DISAGREE",
+               bench::fmt_int(kr.clean_exits)});
+    table.print();
+
+    std::printf("\nnode-0 transport: %.0f bytes sent, %.0f reconnects "
+                "(nakamoto cell); killed node exit %d (expected %d)\n",
+                nk.net_bytes_sent, nk.reconnects, killed_exit, -SIGKILL);
+
+    run.metric("nakamoto_wall_tps", nk.tps);
+    run.metric("nakamoto_wall_p50_s", nk.p50);
+    run.metric("nakamoto_wall_p99_s", nk.p99);
+    run.metric("nakamoto_confirmed", nk.confirmed);
+    run.metric("nakamoto_submitted", nk.submitted);
+    run.metric("nakamoto_accepted", nk.accepted);
+    run.metric("nakamoto_digests_agree", static_cast<std::uint64_t>(nk.digests_agree));
+    run.metric("nakamoto_clean_exits", static_cast<std::uint64_t>(nk.clean_exits));
+    run.metric("nakamoto_net_bytes_sent", nk.net_bytes_sent);
+    run.metric("nakamoto_sim_tps", nk_sim.tps);
+    run.metric("nakamoto_sim_p50_s", nk_sim.p50);
+    run.metric("nakamoto_sim_p99_s", nk_sim.p99);
+    run.metric("pbft_wall_tps", pb.tps);
+    run.metric("pbft_wall_p50_s", pb.p50);
+    run.metric("pbft_wall_p99_s", pb.p99);
+    run.metric("pbft_confirmed", pb.confirmed);
+    run.metric("pbft_digests_agree", static_cast<std::uint64_t>(pb.digests_agree));
+    run.metric("pbft_clean_exits", static_cast<std::uint64_t>(pb.clean_exits));
+    run.metric("pbft_sim_tps", pb_sim.tps);
+    run.metric("pbft_sim_p50_s", pb_sim.p50);
+    run.metric("pbft_sim_p99_s", pb_sim.p99);
+    run.metric("rejoin_killed_exit", static_cast<double>(killed_exit));
+    run.metric("rejoin_digests_agree", static_cast<std::uint64_t>(kr.digests_agree));
+    run.metric("rejoin_clean_exits", static_cast<std::uint64_t>(kr.clean_exits));
+    run.metric("rejoin_confirmed", kr.confirmed);
+    const bool rejoin_ok = kr.digests_agree && killed_exit == -SIGKILL &&
+                           kr.clean_exits == nodes;
+    run.metric("rejoin_success", static_cast<std::uint64_t>(rejoin_ok));
+
+    run.write_json();
+    obs_env.write_artifacts();
+    return 0;
+}

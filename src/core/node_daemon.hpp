@@ -1,0 +1,94 @@
+// NodeDaemon: one PersistentNode-backed Replica per OS process, the unit the
+// dlt-node binary (examples/dlt_node.cpp) runs and app::ClusterDriver spawns
+// N of to form a loopback cluster (experiment E29).
+//
+// Composition per process:
+//   TcpTransport  — consensus traffic with the other daemons
+//   Replica       — engine logic (Nakamoto or PBFT) + durable chain state
+//   RPC listener  — a second TCP port for clients (the cluster driver):
+//                   frame-codec requests answered synchronously. The RPC
+//                   thread never touches replica state directly; every
+//                   request is posted into the transport loop and awaited,
+//                   preserving the single-threaded protocol contract.
+//
+// RPC methods (topic → body → reply body):
+//   submit    Transaction                u8 accepted
+//   status    (empty)                    u64 height, tip hash, u64 confirmed
+//                                        txs, u64 mempool size, u32 connected
+//                                        peers, f64 transport clock
+//   latencies (empty)                    varint n, then n × f64 seconds
+//   metrics   (empty)                    str (obs registry JSON snapshot)
+//   shutdown  (empty)                    u8 1, then the daemon exits cleanly
+//
+// Graceful shutdown (SIGTERM/SIGINT or the shutdown RPC, satellite 3 of E29):
+// stop timers, close every socket, join the loops, exit 0. Chain state needs
+// no flush on the way down — every connect was WAL-committed when it
+// happened, and with StateEngine::kPersistent the LSM tag advanced with it,
+// so a clean reopen replays zero WAL records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "core/replica.hpp"
+#include "net/transport/tcp_transport.hpp"
+
+namespace dlt::core {
+
+struct NodeDaemonConfig {
+    ReplicaConfig replica;
+    net::transport::TcpTransportConfig transport;
+    std::string rpc_host = "127.0.0.1";
+    std::uint16_t rpc_port = 0; // 0 lets the kernel pick; see rpc_port()
+};
+
+class NodeDaemon {
+public:
+    /// Binds both listen sockets and recovers the replica's durable state;
+    /// throws dlt::Error when either port is taken or the data dir is bad.
+    explicit NodeDaemon(NodeDaemonConfig config);
+    ~NodeDaemon();
+
+    NodeDaemon(const NodeDaemon&) = delete;
+    NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+    /// Start the transport loop, the replica's timers, and the RPC thread.
+    void start();
+
+    /// Block until stop() is called (signal handler or shutdown RPC).
+    void wait();
+
+    /// Request shutdown from any thread; async-signal-usable trigger is
+    /// request_stop() below. Idempotent.
+    void stop();
+
+    /// Async-signal-safe stop flag; wait() polls it. Signal handlers call
+    /// this (and only this).
+    void request_stop() { stop_requested_.store(true); }
+
+    std::uint16_t rpc_port() const { return rpc_port_; }
+    std::uint16_t listen_port() const { return transport_->listen_port(); }
+    Replica& replica() { return *replica_; }
+
+private:
+    void rpc_loop();
+    void serve_rpc_client(int fd);
+    /// Run `fn` on the transport loop and wait for it (RPC thread only).
+    template <typename Fn>
+    auto on_loop(Fn&& fn);
+
+    NodeDaemonConfig config_;
+    std::unique_ptr<net::transport::TcpTransport> transport_;
+    std::unique_ptr<Replica> replica_;
+
+    int rpc_listen_fd_ = -1;
+    std::uint16_t rpc_port_ = 0;
+    std::thread rpc_thread_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace dlt::core

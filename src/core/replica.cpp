@@ -1,0 +1,509 @@
+#include "core/replica.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/keys.hpp"
+#include "ledger/amount.hpp"
+
+namespace dlt::core {
+
+using ledger::Block;
+using ledger::Transaction;
+using net::transport::PeerId;
+
+namespace {
+
+PersistentNodeOptions node_options(const ReplicaConfig& config) {
+    PersistentNodeOptions options;
+    options.state_engine = config.state_engine;
+    options.fsync = config.fsync;
+    return options;
+}
+
+// Wire helpers: every protocol payload is a Writer/Reader composition of the
+// ledger types' own codecs.
+Bytes encode_seq_block(std::uint64_t seq, const Block& block) {
+    Writer w;
+    w.u64(seq);
+    block.encode(w);
+    return std::move(w).take();
+}
+
+std::pair<std::uint64_t, Block> decode_seq_block(ByteView payload) {
+    Reader r(payload);
+    const std::uint64_t seq = r.u64();
+    Block block = Block::decode(r);
+    r.expect_done();
+    return {seq, std::move(block)};
+}
+
+Bytes encode_seq_hash(std::uint64_t seq, const Hash256& hash) {
+    Writer w;
+    w.u64(seq);
+    w.fixed(hash);
+    return std::move(w).take();
+}
+
+std::pair<std::uint64_t, Hash256> decode_seq_hash(ByteView payload) {
+    Reader r(payload);
+    const std::uint64_t seq = r.u64();
+    const Hash256 hash = r.fixed<32>();
+    r.expect_done();
+    return {seq, hash};
+}
+
+Bytes encode_hash(const Hash256& hash) {
+    Writer w;
+    w.fixed(hash);
+    return std::move(w).take();
+}
+
+} // namespace
+
+Replica::Replica(net::transport::Transport& transport, ReplicaConfig config)
+    : transport_(transport),
+      config_(std::move(config)),
+      rng_(config_.seed + 0x9e3779b97f4a7c15ull * (transport.local_id() + 1)),
+      node_(config_.data_dir,
+            ledger::make_genesis(config_.chain_tag, config_.genesis_bits),
+            node_options(config_)),
+      mempool_(config_.mempool),
+      miner_(crypto::PrivateKey::from_seed(config_.chain_tag + "/miner/" +
+                                           std::to_string(transport.local_id()))
+                 .address()),
+      chain_(ledger::make_genesis(config_.chain_tag, config_.genesis_bits)) {
+    DLT_EXPECTS(config_.node_count >= 1);
+    rules_.max_block_bytes = config_.max_block_bytes;
+    rules_.max_txs_per_block = config_.max_block_txs;
+    rules_.sig_mode = config_.sig_mode;
+
+    // Seed the in-memory branch index with the recovered canonical chain so
+    // fork choice and reorg paths work immediately after a restart.
+    for (const Hash256& hash : node_.chain().path_from_genesis(node_.tip())) {
+        if (hash == chain_.genesis_hash()) continue;
+        chain_.insert(node_.chain().find(hash)->block, crypto::U256::one());
+    }
+    confirmed_txs_ = 0;
+    for (const Hash256& hash : chain_.path_from_genesis(node_.tip()))
+        for (const Transaction& tx : chain_.find(hash)->block.txs)
+            if (!tx.is_coinbase()) {
+                ++confirmed_txs_;
+                seen_txs_.insert(tx.txid());
+            }
+
+    transport_.set_handler(
+        [this](PeerId from, const std::string& topic, ByteView payload) {
+            try {
+                on_message(from, topic, payload);
+            } catch (const DecodeError&) {
+                // Malformed payload from a peer: drop it, never crash.
+            }
+        });
+}
+
+void Replica::start() {
+    if (running_) return;
+    running_ = true;
+    if (config_.engine == ReplicaEngine::kNakamoto) {
+        nk_schedule_mining();
+    } else if (pbft_primary()) {
+        propose_timer_ = transport_.schedule_after(config_.block_interval,
+                                                   [this] { pbft_propose(); });
+    }
+    arm_sync_timer();
+}
+
+void Replica::stop() {
+    if (!running_) return;
+    running_ = false;
+    if (mining_timer_) transport_.cancel_timer(*mining_timer_);
+    if (propose_timer_) transport_.cancel_timer(*propose_timer_);
+    if (sync_timer_) transport_.cancel_timer(*sync_timer_);
+    mining_timer_.reset();
+    propose_timer_.reset();
+    sync_timer_.reset();
+}
+
+void Replica::arm_sync_timer() {
+    sync_timer_ = transport_.schedule_after(config_.sync_interval, [this] {
+        if (!running_) return;
+        if (config_.engine == ReplicaEngine::kNakamoto)
+            nk_sync_probe();
+        else
+            pbft_sync_probe();
+        arm_sync_timer();
+    });
+}
+
+PeerId Replica::random_peer() {
+    const auto peers = transport_.peer_ids();
+    DLT_EXPECTS(!peers.empty());
+    return peers[rng_.index(peers.size())];
+}
+
+bool Replica::submit_transaction(const Transaction& tx) {
+    const Hash256 txid = tx.txid();
+    if (seen_txs_.contains(txid)) return false;
+    if (!mempool_.add(tx, transport_.now())) return false;
+    seen_txs_.insert(txid);
+    submitted_at_.emplace(txid, transport_.now());
+    transport_.broadcast("tx", ByteView(encode_to_bytes(tx)));
+    return true;
+}
+
+ledger::Block Replica::assemble_block() {
+    Block block;
+    block.header.prev_hash = node_.tip();
+    block.header.height = node_.height() + 1;
+    block.header.timestamp = transport_.now();
+    block.header.bits = config_.genesis_bits;
+    block.header.nonce = rng_.next(); // simulated proof, as in the simulator
+    block.header.proposer = miner_;
+
+    const std::size_t budget = config_.max_block_bytes > 512
+                                   ? config_.max_block_bytes - 512
+                                   : config_.max_block_bytes;
+    const auto candidates = mempool_.build_template(budget, config_.max_block_txs);
+    ledger::UtxoSet scratch = node_.utxo();
+    ledger::UtxoUndo scratch_undo;
+    ledger::Amount fees = 0;
+    std::vector<Transaction> chosen;
+    for (const auto& entry : candidates) {
+        try {
+            fees += scratch.check_and_apply(*entry.tx, scratch_undo);
+            chosen.push_back(*entry.tx);
+        } catch (const ValidationError&) {
+            // Stale mempool entry on this branch; skip it.
+        }
+    }
+    const ledger::Amount reward = ledger::block_subsidy(block.header.height) + fees;
+    block.txs.push_back(ledger::make_coinbase(miner_, reward, block.header.height));
+    for (auto& tx : chosen) block.txs.push_back(std::move(tx));
+    block.header.merkle_root = block.compute_merkle_root();
+    return block;
+}
+
+void Replica::connected(const Block& block) {
+    std::vector<Hash256> ids;
+    ids.reserve(block.txs.size());
+    const double t = transport_.now();
+    for (const Transaction& tx : block.txs) {
+        if (tx.is_coinbase()) continue;
+        const Hash256 txid = tx.txid();
+        ids.push_back(txid);
+        seen_txs_.insert(txid); // a later relay must not re-admit it
+        ++confirmed_txs_;
+        if (const auto it = submitted_at_.find(txid); it != submitted_at_.end()) {
+            latencies_.push_back(t - it->second);
+            submitted_at_.erase(it);
+        }
+    }
+    mempool_.remove_confirmed(ids);
+}
+
+void Replica::disconnected(const Block& block) {
+    std::vector<Transaction> back;
+    for (const Transaction& tx : block.txs)
+        if (!tx.is_coinbase()) {
+            --confirmed_txs_;
+            back.push_back(tx);
+        }
+    mempool_.add_back(back, transport_.now());
+}
+
+void Replica::on_message(PeerId from, const std::string& topic, ByteView payload) {
+    if (topic == "tx") {
+        if (!running_) return;
+        Transaction tx = decode_from_bytes<Transaction>(payload);
+        if (!seen_txs_.insert(tx.txid()).second) return; // relay dedup
+        if (mempool_.add(tx, transport_.now()))
+            transport_.broadcast_except(from, "tx", payload);
+        return;
+    }
+
+    if (config_.engine == ReplicaEngine::kNakamoto) {
+        if (topic == "blk") {
+            if (!running_) return;
+            nk_handle_block(decode_from_bytes<Block>(payload), from,
+                            /*relay=*/true);
+        } else if (topic == "getblk") {
+            Reader r(payload);
+            const Hash256 hash = r.fixed<32>();
+            r.expect_done();
+            if (const auto* entry = chain_.find(hash))
+                transport_.send(from, "blk", ByteView(encode_to_bytes(entry->block)));
+        } else if (topic == "gettip") {
+            if (node_.height() > 0)
+                transport_.send(from, "blk",
+                                ByteView(encode_to_bytes(
+                                    chain_.find(node_.tip())->block)));
+        }
+        return;
+    }
+
+    // PBFT (stable primary = replica 0; see header for the scope cut).
+    if (topic == "pp") {
+        if (!running_ || from != 0 || pbft_primary()) return;
+        auto [seq, block] = decode_seq_block(payload);
+        max_seen_seq_ = std::max(max_seen_seq_, seq);
+        if (seq <= node_.height()) return; // already committed
+        PbftRound& round = rounds_[seq];
+        if (!round.block) {
+            round.block = std::move(block);
+            round.block_hash = round.block->hash();
+        }
+        pbft_check_round(seq);
+    } else if (topic == "prep" || topic == "cmt") {
+        if (!running_) return;
+        const auto [seq, hash] = decode_seq_hash(payload);
+        max_seen_seq_ = std::max(max_seen_seq_, seq);
+        if (seq <= node_.height()) return;
+        PbftRound& round = rounds_[seq];
+        // Honest-cluster simplification: votes are tallied per sequence
+        // number; a mismatching digest can only delay quorum, not split it.
+        if (topic == "prep")
+            round.prepares.insert(from);
+        else
+            round.commits.insert(from);
+        pbft_check_round(seq);
+    } else if (topic == "getseq") {
+        Reader r(payload);
+        const std::uint64_t seq = r.u64();
+        r.expect_done();
+        if (seq >= 1 && seq <= node_.height()) {
+            const Hash256 hash =
+                node_.chain().ancestor(node_.tip(), node_.height() - seq);
+            transport_.send(
+                from, "seq",
+                ByteView(encode_seq_block(seq, node_.chain().find(hash)->block)));
+        }
+    } else if (topic == "seq") {
+        if (!running_) return;
+        auto [seq, block] = decode_seq_block(payload);
+        max_seen_seq_ = std::max(max_seen_seq_, seq);
+        // Catch-up: a committed block straight from a peer's canonical chain.
+        if (seq != node_.height() + 1 || block.header.prev_hash != node_.tip())
+            return;
+        try {
+            ledger::check_block_structure(block, rules_);
+            node_.connect_block(block);
+        } catch (const Error&) {
+            return;
+        }
+        connected(block);
+        while (!rounds_.empty() && rounds_.begin()->first <= node_.height())
+            rounds_.erase(rounds_.begin());
+        pbft_execute_ready();
+    }
+}
+
+// --- Nakamoto ---------------------------------------------------------------
+
+void Replica::nk_handle_block(const Block& block, PeerId from, bool relay) {
+    const Hash256 hash = block.hash();
+    requested_.erase(hash);
+    if (chain_.contains(hash) || invalid_.contains(hash)) return;
+    try {
+        ledger::check_block_structure(block, rules_);
+    } catch (const ValidationError&) {
+        invalid_.insert(hash);
+        return;
+    }
+    if (!chain_.contains(block.header.prev_hash)) {
+        auto& waiting = orphans_[block.header.prev_hash];
+        if (std::none_of(waiting.begin(), waiting.end(),
+                         [&](const Block& b) { return b.hash() == hash; }))
+            waiting.push_back(block);
+        nk_request_block(block.header.prev_hash, from);
+        return;
+    }
+    nk_try_insert(block);
+    if (relay)
+        transport_.broadcast_except(from, "blk", ByteView(encode_to_bytes(block)));
+    nk_update_active_tip();
+}
+
+void Replica::nk_try_insert(const Block& block) {
+    // Insert the block, then any orphans that became connectable through it.
+    std::vector<Block> queue{block};
+    while (!queue.empty()) {
+        Block b = std::move(queue.back());
+        queue.pop_back();
+        const Hash256 h = b.hash();
+        if (!chain_.contains(h))
+            chain_.insert(b, crypto::U256::one(), transport_.now());
+        if (const auto it = orphans_.find(h); it != orphans_.end()) {
+            for (auto& child : it->second) queue.push_back(std::move(child));
+            orphans_.erase(it);
+        }
+    }
+}
+
+Hash256 Replica::nk_select_tip() const {
+    if (invalid_.empty()) return chain_.best_tip_by_work();
+    // Best-work leaf whose ancestry avoids every invalid block. The current
+    // durable tip is always a valid fallback.
+    Hash256 winner = node_.tip();
+    crypto::U256 winner_work = chain_.find(winner)->cumulative_work;
+    for (const Hash256& leaf : chain_.leaves()) {
+        bool tainted = false;
+        for (Hash256 walk = leaf; walk != chain_.genesis_hash();
+             walk = chain_.find(walk)->block.header.prev_hash) {
+            if (invalid_.contains(walk)) {
+                tainted = true;
+                break;
+            }
+        }
+        if (tainted) continue;
+        const auto* entry = chain_.find(leaf);
+        if (entry->cumulative_work > winner_work ||
+            (entry->cumulative_work == winner_work && leaf < winner)) {
+            winner = leaf;
+            winner_work = entry->cumulative_work;
+        }
+    }
+    return winner;
+}
+
+void Replica::nk_mark_invalid(const Hash256& hash) {
+    std::vector<Hash256> queue{hash};
+    while (!queue.empty()) {
+        const Hash256 h = queue.back();
+        queue.pop_back();
+        if (!invalid_.insert(h).second) continue;
+        for (const Hash256& child : chain_.children(h)) queue.push_back(child);
+    }
+}
+
+void Replica::nk_update_active_tip() {
+    while (true) {
+        const Hash256 best = nk_select_tip();
+        if (best == node_.tip()) return;
+        const auto path = chain_.reorg_path(node_.tip(), best);
+        bool failed = false;
+        for (const Hash256& h : path.disconnect) {
+            const auto* entry = chain_.find(h);
+            node_.disconnect_tip();
+            disconnected(entry->block);
+        }
+        for (const Hash256& h : path.connect) {
+            const auto* entry = chain_.find(h);
+            try {
+                node_.connect_block(entry->block);
+            } catch (const Error&) {
+                nk_mark_invalid(h); // contextually invalid: taint the subtree
+                failed = true;
+                break;
+            }
+            connected(entry->block);
+        }
+        if (!failed) return;
+    }
+}
+
+void Replica::nk_request_block(const Hash256& hash, PeerId from) {
+    if (chain_.contains(hash) || !requested_.insert(hash).second) return;
+    if (!transport_.send(from, "getblk", ByteView(encode_hash(hash))) &&
+        !transport_.peer_ids().empty())
+        transport_.send(random_peer(), "getblk", ByteView(encode_hash(hash)));
+}
+
+void Replica::nk_schedule_mining() {
+    const double rate = 1.0 / (config_.block_interval * config_.node_count);
+    const double delay = rng_.exponential(rate);
+    mining_timer_ = transport_.schedule_after(delay, [this] {
+        mining_timer_.reset();
+        if (!running_) return;
+        const Block block = assemble_block();
+        nk_handle_block(block, transport_.local_id(), /*relay=*/false);
+        transport_.broadcast("blk", ByteView(encode_to_bytes(block)));
+        nk_schedule_mining();
+    });
+}
+
+void Replica::nk_sync_probe() {
+    if (transport_.peer_ids().empty()) return;
+    // Re-issue fetches that went unanswered (lost frame, peer was down).
+    requested_.clear();
+    std::vector<Hash256> missing;
+    for (const auto& [parent, blocks] : orphans_) missing.push_back(parent);
+    for (const Hash256& parent : missing) nk_request_block(parent, random_peer());
+    // Bootstrap / divergence repair: learn a random peer's tip.
+    transport_.send(random_peer(), "gettip", ByteView());
+}
+
+// --- PBFT -------------------------------------------------------------------
+
+void Replica::pbft_propose() {
+    propose_timer_.reset();
+    if (!running_) return;
+    const std::uint64_t seq = node_.height() + 1;
+    if (!mempool_.empty() && !rounds_.contains(seq)) {
+        PbftRound& round = rounds_[seq];
+        round.block = assemble_block();
+        round.block_hash = round.block->hash();
+        transport_.broadcast("pp", ByteView(encode_seq_block(seq, *round.block)));
+        pbft_check_round(seq);
+    }
+    propose_timer_ = transport_.schedule_after(config_.block_interval,
+                                               [this] { pbft_propose(); });
+}
+
+void Replica::pbft_check_round(std::uint64_t seq) {
+    const auto it = rounds_.find(seq);
+    if (it == rounds_.end()) return;
+    PbftRound& round = it->second;
+    if (!round.block) return;
+    if (!round.sent_prepare) {
+        round.sent_prepare = true;
+        round.prepares.insert(transport_.local_id());
+        transport_.broadcast("prep",
+                             ByteView(encode_seq_hash(seq, round.block_hash)));
+    }
+    if (!round.sent_commit && round.prepares.size() >= pbft_quorum()) {
+        round.sent_commit = true;
+        round.commits.insert(transport_.local_id());
+        transport_.broadcast("cmt",
+                             ByteView(encode_seq_hash(seq, round.block_hash)));
+    }
+    if (round.commits.size() >= pbft_quorum()) pbft_execute_ready();
+}
+
+void Replica::pbft_execute_ready() {
+    while (true) {
+        const std::uint64_t seq = node_.height() + 1;
+        const auto it = rounds_.find(seq);
+        if (it == rounds_.end()) return;
+        PbftRound& round = it->second;
+        if (!round.block || round.commits.size() < pbft_quorum()) return;
+        if (round.block->header.prev_hash != node_.tip()) {
+            rounds_.erase(it); // diverged round (stale after catch-up)
+            continue;
+        }
+        try {
+            ledger::check_block_structure(*round.block, rules_);
+            node_.connect_block(*round.block);
+        } catch (const Error&) {
+            rounds_.erase(it);
+            return;
+        }
+        connected(*round.block);
+        rounds_.erase(it);
+        while (!rounds_.empty() && rounds_.begin()->first <= node_.height())
+            rounds_.erase(rounds_.begin());
+    }
+}
+
+void Replica::pbft_sync_probe() {
+    if (transport_.peer_ids().empty()) return;
+    // Ask a random peer for the next committed sequence; it answers only when
+    // it has one. Covers bootstrap, missed commits, and post-restart rejoin.
+    Writer w;
+    w.u64(node_.height() + 1);
+    transport_.send(random_peer(), "getseq", ByteView(w.data()));
+}
+
+} // namespace dlt::core

@@ -1,0 +1,107 @@
+#include "net/transport/frame.hpp"
+
+#include "common/error.hpp"
+#include "storage/crc32.hpp"
+
+namespace dlt::net::transport {
+
+void Hello::encode(Writer& w) const {
+    w.u32(magic);
+    w.u16(version);
+    w.u32(node_id);
+}
+
+Hello Hello::decode(Reader& r) {
+    Hello h;
+    h.magic = r.u32();
+    if (h.magic != kProtocolMagic)
+        throw DecodeError("transport hello: bad protocol magic");
+    h.version = r.u16();
+    if (h.version != kProtocolVersion)
+        throw DecodeError("transport hello: unsupported protocol version " +
+                          std::to_string(h.version));
+    h.node_id = r.u32();
+    return h;
+}
+
+Bytes encode_frame(FrameKind kind, ByteView payload) {
+    Writer w;
+    w.reserve(payload.size() + 9);
+    w.u32(static_cast<std::uint32_t>(payload.size() + 1)); // + kind byte
+    // CRC over kind + payload: checksum the kind byte first, then continue
+    // over the payload (crc32c's seed parameter chains the two pieces).
+    const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
+    std::uint32_t crc = storage::crc32c(ByteView(&kind_byte, 1));
+    crc = storage::crc32c(payload, crc);
+    w.u32(crc);
+    w.u8(kind_byte);
+    w.bytes(payload);
+    return std::move(w).take();
+}
+
+Bytes encode_hello_frame(std::uint32_t node_id) {
+    Hello h;
+    h.node_id = node_id;
+    return encode_frame(FrameKind::kHello, ByteView(encode_to_bytes(h)));
+}
+
+Bytes encode_message_frame(const std::string& topic, ByteView body) {
+    Writer w;
+    w.reserve(topic.size() + body.size() + 9);
+    w.str(topic);
+    w.bytes(body);
+    return encode_frame(FrameKind::kMessage, ByteView(w.data()));
+}
+
+WireMessage decode_message_payload(ByteView payload) {
+    Reader r(payload);
+    WireMessage m;
+    m.topic = r.str();
+    m.body = r.bytes(r.remaining());
+    return m;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 8) return std::nullopt;
+
+    const auto* base = buf_.data() + pos_;
+    const std::uint32_t length = static_cast<std::uint32_t>(base[0]) |
+                                 (static_cast<std::uint32_t>(base[1]) << 8) |
+                                 (static_cast<std::uint32_t>(base[2]) << 16) |
+                                 (static_cast<std::uint32_t>(base[3]) << 24);
+    // Validate the length *before* waiting for the body: a corrupt prefix
+    // must not make the decoder buffer gigabytes hoping for completion.
+    if (length < 1 || length > limits_.max_frame_bytes)
+        throw DecodeError("transport frame: length " + std::to_string(length) +
+                          " outside [1, " +
+                          std::to_string(limits_.max_frame_bytes) + "]");
+    if (avail < 8 + static_cast<std::size_t>(length)) return std::nullopt;
+
+    const std::uint32_t want_crc = static_cast<std::uint32_t>(base[4]) |
+                                   (static_cast<std::uint32_t>(base[5]) << 8) |
+                                   (static_cast<std::uint32_t>(base[6]) << 16) |
+                                   (static_cast<std::uint32_t>(base[7]) << 24);
+    const ByteView body(base + 8, length);
+    if (storage::crc32c(body) != want_crc)
+        throw DecodeError("transport frame: CRC mismatch");
+
+    const std::uint8_t kind_byte = body[0];
+    if (kind_byte > static_cast<std::uint8_t>(FrameKind::kMessage))
+        throw DecodeError("transport frame: unknown kind " +
+                          std::to_string(kind_byte));
+
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(kind_byte);
+    frame.payload.assign(body.begin() + 1, body.end());
+    pos_ += 8 + length;
+    // Compact once the consumed prefix dominates, keeping feed() amortized
+    // O(1) instead of memmoving the tail after every frame.
+    if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    return frame;
+}
+
+} // namespace dlt::net::transport

@@ -1,0 +1,107 @@
+// Wire framing for the socket-backed transport (ROADMAP item 1, the
+// deployment mode behind E29). Every frame on a TCP connection is
+//
+//   u32 length   (LE)  — byte length of kind + payload; bounded by
+//                        FrameLimits::max_frame_bytes so a corrupt or hostile
+//                        length prefix cannot drive a huge allocation
+//   u32 crc32c   (LE)  — CRC-32C over kind + payload (the storage layer's
+//                        record checksum, reused unchanged)
+//   u8  kind           — kHello | kMessage
+//   payload            — kind-specific body, existing wire codec (serialize.hpp)
+//
+// kHello carries {magic, version, node id}: the first frame each side of a
+// fresh connection sends, identifying the peer before any message flows.
+// kMessage carries {topic string, body bytes} — the exact (topic, payload)
+// surface the simulated net::Network delivers, so protocol code is oblivious
+// to which transport framed it.
+//
+// FrameDecoder is an incremental parser: feed() it arbitrary byte chunks as
+// they arrive from a socket and next() pops complete frames. Partial reads
+// resume exactly where they stopped; a bad CRC, an oversized length, or a
+// malformed payload throws DecodeError and the connection should be dropped
+// (tests/test_transport.cpp fuzzes all three paths).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+
+namespace dlt::net::transport {
+
+/// First bytes of every HELLO payload ("DLTP"); a connection whose first
+/// frame carries anything else is not speaking this protocol.
+inline constexpr std::uint32_t kProtocolMagic = 0x444C'5450u;
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+enum class FrameKind : std::uint8_t {
+    kHello = 0,   // handshake: magic + version + node id
+    kMessage = 1, // topic + body
+};
+
+struct FrameLimits {
+    /// Upper bound on kind + payload bytes. Frames above this are rejected
+    /// before any allocation (a 1 MB block plus topic overhead fits with
+    /// plenty of headroom; raise it for bigger-block experiments).
+    std::size_t max_frame_bytes = 8u << 20;
+};
+
+struct Hello {
+    std::uint32_t magic = kProtocolMagic;
+    std::uint16_t version = kProtocolVersion;
+    std::uint32_t node_id = 0;
+
+    void encode(Writer& w) const;
+    /// Throws DecodeError on short input, wrong magic, or version mismatch.
+    static Hello decode(Reader& r);
+};
+
+struct Frame {
+    FrameKind kind = FrameKind::kMessage;
+    Bytes payload;
+};
+
+/// A decoded kMessage payload.
+struct WireMessage {
+    std::string topic;
+    Bytes body;
+};
+
+/// Encode a complete on-the-wire frame (length prefix + CRC included).
+Bytes encode_frame(FrameKind kind, ByteView payload);
+
+/// Convenience: a kHello frame for `node_id`.
+Bytes encode_hello_frame(std::uint32_t node_id);
+
+/// Convenience: a kMessage frame carrying (topic, body).
+Bytes encode_message_frame(const std::string& topic, ByteView body);
+
+/// Parse a kMessage payload. Throws DecodeError on malformed input.
+WireMessage decode_message_payload(ByteView payload);
+
+/// Incremental frame parser over a byte stream.
+class FrameDecoder {
+public:
+    explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+    /// Append newly received bytes.
+    void feed(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+    /// Pop the next complete frame, or nullopt when more bytes are needed.
+    /// Throws DecodeError on an oversized length prefix, a CRC mismatch, or
+    /// an unknown frame kind — the stream is unrecoverable after that.
+    std::optional<Frame> next();
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+private:
+    FrameLimits limits_;
+    Bytes buf_;
+    std::size_t pos_ = 0; // consumed prefix of buf_ (compacted lazily)
+};
+
+} // namespace dlt::net::transport

@@ -1,0 +1,582 @@
+// The real-transport deployment mode (E29): wire framing fuzzed through
+// truncation and corruption, the socket transport's delivery / reconnect /
+// backpressure behaviour, sim-vs-socket delivery equivalence, replicas
+// converging over the sim backend, and the dlt-node daemon's graceful
+// SIGTERM path observed from the outside (clean exit, zero-replay reopen).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "app/cluster.hpp"
+#include "common/rng.hpp"
+#include "core/persistent_node.hpp"
+#include "core/replica.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/validation.hpp"
+#include "net/transport/frame.hpp"
+#include "net/transport/sim_transport.hpp"
+#include "net/transport/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace dlt;
+using namespace dlt::net::transport;
+
+namespace {
+
+struct TempDir {
+    std::filesystem::path path;
+    explicit TempDir(const std::string& tag) {
+        path = std::filesystem::temp_directory_path() / ("dlt-test-transport-" + tag);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+std::uint64_t counter_value(const std::string& name) {
+    return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// Spin until `pred` holds or `timeout_s` elapses; returns the final verdict.
+bool eventually(double timeout_s, const std::function<bool()>& pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<int>(timeout_s * 1000));
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+} // namespace
+
+// --- Frame codec -------------------------------------------------------------
+
+TEST(FrameCodec, HelloRoundTrip) {
+    const Bytes framed = encode_hello_frame(42);
+    FrameDecoder dec;
+    dec.feed(ByteView(framed));
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->kind, FrameKind::kHello);
+    Reader r{ByteView(frame->payload)};
+    const Hello hello = Hello::decode(r);
+    EXPECT_EQ(hello.magic, kProtocolMagic);
+    EXPECT_EQ(hello.version, kProtocolVersion);
+    EXPECT_EQ(hello.node_id, 42u);
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, MessageRoundTrip) {
+    const Bytes body = {1, 2, 3, 255, 0, 7};
+    const Bytes framed = encode_message_frame("blk", ByteView(body));
+    FrameDecoder dec;
+    dec.feed(ByteView(framed));
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->kind, FrameKind::kMessage);
+    const WireMessage msg = decode_message_payload(ByteView(frame->payload));
+    EXPECT_EQ(msg.topic, "blk");
+    EXPECT_EQ(msg.body, body);
+}
+
+TEST(FrameCodec, PartialReadResumes) {
+    const Bytes framed = encode_message_frame("topic", ByteView(Bytes(100, 0xAB)));
+    FrameDecoder dec;
+    // One byte at a time: the frame must appear exactly once, at the end.
+    for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+        dec.feed(ByteView(framed.data() + i, 1));
+        EXPECT_FALSE(dec.next().has_value()) << "frame surfaced early at " << i;
+    }
+    dec.feed(ByteView(framed.data() + framed.size() - 1, 1));
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(decode_message_payload(ByteView(frame->payload)).body, Bytes(100, 0xAB));
+}
+
+TEST(FrameCodec, SeveralFramesInOneFeed) {
+    Bytes stream;
+    for (int i = 0; i < 5; ++i) {
+        const Bytes f = encode_message_frame("t" + std::to_string(i),
+                                             ByteView(Bytes(i + 1, std::uint8_t(i))));
+        stream.insert(stream.end(), f.begin(), f.end());
+    }
+    FrameDecoder dec;
+    dec.feed(ByteView(stream));
+    for (int i = 0; i < 5; ++i) {
+        const auto frame = dec.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(decode_message_payload(ByteView(frame->payload)).topic,
+                  "t" + std::to_string(i));
+    }
+    EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameCodec, OversizedLengthRejectedBeforeBuffering) {
+    FrameLimits limits;
+    limits.max_frame_bytes = 1024;
+    // Header claims a frame far above the limit; the decoder must throw on
+    // the 8-byte header alone, without waiting for (or allocating) the body.
+    Writer w;
+    w.u32(1u << 20); // length
+    w.u32(0);        // crc (never reached)
+    FrameDecoder dec(limits);
+    dec.feed(ByteView(w.data()));
+    EXPECT_THROW(dec.next(), DecodeError);
+}
+
+TEST(FrameCodec, ZeroLengthRejected) {
+    Writer w;
+    w.u32(0);
+    w.u32(0);
+    FrameDecoder dec;
+    dec.feed(ByteView(w.data()));
+    EXPECT_THROW(dec.next(), DecodeError);
+}
+
+TEST(FrameCodec, CorruptedPayloadFailsCrc) {
+    Bytes framed = encode_message_frame("x", ByteView(Bytes(32, 0x55)));
+    framed[framed.size() / 2] ^= 0x01;
+    FrameDecoder dec;
+    dec.feed(ByteView(framed));
+    EXPECT_THROW(dec.next(), DecodeError);
+}
+
+TEST(FrameCodec, UnknownKindRejected) {
+    Bytes framed = encode_message_frame("x", ByteView());
+    // Byte 8 is the kind; flipping it breaks the CRC too, so rewrite the
+    // frame via encode_frame's own CRC by crafting at the payload level.
+    const Bytes inner = {0xEE};
+    Bytes forged = encode_frame(FrameKind::kMessage, ByteView(inner));
+    // Splice kind=7 in and recompute nothing: kind is covered by the CRC, so
+    // the decoder reports *a* DecodeError either way — both paths must throw.
+    forged[8] = 7;
+    FrameDecoder dec;
+    dec.feed(ByteView(forged));
+    EXPECT_THROW(dec.next(), DecodeError);
+}
+
+TEST(FrameCodec, BadHelloMagicRejected) {
+    Writer w;
+    w.u32(0xDEADBEEF);
+    w.u16(kProtocolVersion);
+    w.u32(1);
+    Reader r{ByteView(w.data())};
+    EXPECT_THROW(Hello::decode(r), DecodeError);
+}
+
+// Truncate a valid multi-frame stream at every offset: the decoder must
+// produce a strict prefix of the original frames and never throw or misparse.
+TEST(FrameCodec, TruncationFuzz) {
+    std::vector<Bytes> frames;
+    Bytes stream;
+    Rng rng(0xE29);
+    for (int i = 0; i < 4; ++i) {
+        Bytes body(static_cast<std::size_t>(rng.uniform(64)) + 1, 0);
+        for (auto& b : body) b = static_cast<std::uint8_t>(rng.uniform(256));
+        const Bytes f = encode_message_frame("f" + std::to_string(i), ByteView(body));
+        frames.push_back(f);
+        stream.insert(stream.end(), f.begin(), f.end());
+    }
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        FrameDecoder dec;
+        dec.feed(ByteView(stream.data(), cut));
+        std::size_t decoded = 0;
+        while (true) {
+            const auto frame = dec.next();
+            if (!frame) break;
+            ASSERT_LT(decoded, frames.size());
+            EXPECT_EQ(encode_frame(frame->kind, ByteView(frame->payload)),
+                      frames[decoded]);
+            ++decoded;
+        }
+        // Exactly the frames whose bytes fit entirely below the cut.
+        std::size_t expected = 0, consumed = 0;
+        while (expected < frames.size() &&
+               consumed + frames[expected].size() <= cut)
+            consumed += frames[expected++].size();
+        EXPECT_EQ(decoded, expected) << "cut at " << cut;
+    }
+}
+
+// Flip one byte anywhere in the stream: every decoded frame must be
+// byte-identical to an original; everything else must surface as DecodeError
+// or a stall — never a crash, never a fabricated frame.
+TEST(FrameCodec, CorruptionFuzz) {
+    Bytes stream;
+    std::vector<Bytes> frames;
+    for (int i = 0; i < 3; ++i) {
+        const Bytes f =
+            encode_message_frame("t" + std::to_string(i), ByteView(Bytes(24, std::uint8_t(i))));
+        frames.push_back(f);
+        stream.insert(stream.end(), f.begin(), f.end());
+    }
+    Rng rng(0x51E9);
+    for (int iter = 0; iter < 500; ++iter) {
+        Bytes corrupted = stream;
+        const std::size_t at = rng.index(corrupted.size());
+        corrupted[at] ^= static_cast<std::uint8_t>(rng.uniform(255) + 1);
+        FrameDecoder dec;
+        dec.feed(ByteView(corrupted));
+        try {
+            std::size_t decoded = 0;
+            while (const auto frame = dec.next()) {
+                const Bytes reframed =
+                    encode_frame(frame->kind, ByteView(frame->payload));
+                bool known = false;
+                for (const auto& f : frames) known = known || reframed == f;
+                EXPECT_TRUE(known) << "fabricated frame, corrupt byte " << at;
+                ++decoded;
+            }
+            EXPECT_LE(decoded, frames.size());
+        } catch (const DecodeError&) {
+            // Expected for most corruptions (CRC, length, kind).
+        }
+    }
+}
+
+// --- TcpTransport ------------------------------------------------------------
+
+namespace {
+
+TcpTransportConfig tcp_config(std::uint32_t id, std::vector<TcpPeer> peers) {
+    TcpTransportConfig config;
+    config.local_id = id;
+    config.peers = std::move(peers);
+    return config;
+}
+
+} // namespace
+
+TEST(TcpTransport, PairExchangeTimersAndPost) {
+    TcpTransport t0(tcp_config(0, {{1, "127.0.0.1", 0}}));
+    TcpTransport t1(tcp_config(1, {{0, "127.0.0.1", t0.listen_port()}}));
+    EXPECT_EQ(t0.local_id(), 0u);
+    EXPECT_EQ(t1.peer_ids(), std::vector<PeerId>{0});
+
+    std::atomic<int> got0{0}, got1{0};
+    std::atomic<bool> body_ok{true};
+    t0.set_handler([&](PeerId from, const std::string& topic, ByteView payload) {
+        body_ok = body_ok && from == 1 && topic == "ping" && payload.size() == 3;
+        ++got0;
+    });
+    t1.set_handler([&](PeerId from, const std::string& topic, ByteView) {
+        body_ok = body_ok && from == 0 && topic == "pong";
+        ++got1;
+    });
+    t0.start();
+    t1.start();
+    ASSERT_TRUE(eventually(5.0, [&] {
+        return t0.connected_peers() == 1 && t1.connected_peers() == 1;
+    }));
+
+    const Bytes three = {9, 9, 9};
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(t1.send(0, "ping", ByteView(three)));
+        t0.broadcast("pong", ByteView());
+    }
+    ASSERT_TRUE(eventually(5.0, [&] { return got0 == 10 && got1 == 10; }));
+    EXPECT_TRUE(body_ok);
+
+    // Timers: one fires, one is cancelled, post() runs promptly, and the
+    // transport clock advances monotonically.
+    std::atomic<int> fired{0};
+    t0.post([&] { ++fired; });
+    t0.schedule_after(0.01, [&] { ++fired; });
+    const TimerId cancelled = t0.schedule_after(60.0, [&] { fired += 100; });
+    EXPECT_TRUE(t0.cancel_timer(cancelled));
+    EXPECT_FALSE(t0.cancel_timer(cancelled));
+    ASSERT_TRUE(eventually(5.0, [&] { return fired == 2; }));
+    const double a = t0.now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GT(t0.now(), a);
+
+    EXPECT_GT(counter_value("net_tcp_bytes_sent_total"), 0u);
+    EXPECT_GT(counter_value("net_tcp_frames_received_total"), 0u);
+}
+
+TEST(TcpTransport, ReconnectAfterAcceptorRestart) {
+    const std::uint64_t reconnects_before = counter_value("net_tcp_reconnects_total");
+    auto t0 = std::make_unique<TcpTransport>(tcp_config(0, {{1, "127.0.0.1", 0}}));
+    const std::uint16_t port0 = t0->listen_port();
+    TcpTransport t1(tcp_config(1, {{0, "127.0.0.1", port0}}));
+    std::atomic<int> got{0};
+    t1.set_handler([&](PeerId, const std::string&, ByteView) { ++got; });
+    t0->set_handler([](PeerId, const std::string&, ByteView) {});
+    t0->start();
+    t1.start();
+    ASSERT_TRUE(eventually(5.0, [&] { return t1.connected_peers() == 1; }));
+
+    // Kill the acceptor; the dialer must fall back to its retry schedule and
+    // re-establish once a new process-equivalent binds the same port.
+    t0.reset();
+    ASSERT_TRUE(eventually(5.0, [&] { return t1.connected_peers() == 0; }));
+
+    auto config0 = tcp_config(0, {{1, "127.0.0.1", 0}});
+    config0.listen_port = port0;
+    t0 = std::make_unique<TcpTransport>(config0);
+    std::atomic<int> after{0};
+    t0->set_handler([&](PeerId, const std::string&, ByteView) { ++after; });
+    t0->start();
+    ASSERT_TRUE(eventually(10.0, [&] { return t1.connected_peers() == 1; }));
+    EXPECT_GT(counter_value("net_tcp_reconnects_total"), reconnects_before);
+
+    EXPECT_TRUE(t1.send(0, "after", ByteView()));
+    ASSERT_TRUE(eventually(5.0, [&] { return after >= 1; }));
+}
+
+TEST(TcpTransport, BackpressureDropsWhenPeerUnreachable) {
+    const std::uint64_t drops_before = counter_value("net_tcp_send_drops_total");
+    // Peer 0 does not exist: everything queues against the reconnect loop.
+    auto config = tcp_config(1, {{0, "127.0.0.1", 1}}); // port 1: nothing there
+    config.max_queue_bytes_per_peer = 4096;
+    TcpTransport t1(config);
+    t1.start();
+    const Bytes chunk(1024, 0xCC);
+    int accepted = 0, refused = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (t1.send(0, "bulk", ByteView(chunk)))
+            ++accepted;
+        else
+            ++refused;
+    }
+    EXPECT_GT(accepted, 0);
+    EXPECT_GT(refused, 0);
+    EXPECT_GT(counter_value("net_tcp_send_drops_total"), drops_before);
+    EXPECT_LE(accepted, 5); // ~4 KB cap over ~1 KB frames
+}
+
+// --- Sim vs socket equivalence (the E29 contract) ----------------------------
+
+// The same broadcast sequence, delivered over the deterministic sim backend
+// and over a 3-node loopback TCP mesh, must leave every node with the same
+// chained digest of (topic, payload) in arrival order — per-sender FIFO is
+// the delivery contract protocol code relies on.
+TEST(TransportEquivalence, BroadcastSequenceSameDigestsSimAndTcp) {
+    constexpr int kMessages = 40;
+    const auto fold = [](Hash256& digest, const std::string& topic, ByteView body) {
+        Writer w;
+        w.fixed(digest);
+        w.str(topic);
+        w.bytes(body);
+        digest = crypto::sha256(ByteView(w.data()));
+    };
+    std::vector<Bytes> payloads;
+    Rng rng(7);
+    for (int i = 0; i < kMessages; ++i) {
+        Bytes p(static_cast<std::size_t>(rng.uniform(48)) + 1, 0);
+        for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform(256));
+        payloads.push_back(std::move(p));
+    }
+
+    // Sim half.
+    std::vector<Hash256> sim_digests(3);
+    {
+        sim::Scheduler scheduler;
+        net::Network network(scheduler, Rng(1));
+        SimTransportHub hub(network, 3);
+        // TCP is per-connection FIFO; give the sim links the same property
+        // (zero jitter) so arrival order is comparable across backends.
+        net::LinkParams fifo;
+        fifo.latency_jitter = 0.0;
+        network.build_full_mesh(fifo);
+        for (std::uint32_t id = 1; id < 3; ++id)
+            hub.endpoint(id).set_handler(
+                [&, id](PeerId, const std::string& topic, ByteView body) {
+                    fold(sim_digests[id], topic, body);
+                });
+        // Space the sends in virtual time: with fixed latency, arrival order
+        // is then emission order (TCP gets this for free from the stream).
+        for (int i = 0; i < kMessages; ++i)
+            scheduler.schedule_after(0.01 * static_cast<double>(i), [&, i] {
+                hub.endpoint(0).broadcast("seq" + std::to_string(i % 3),
+                                          ByteView(payloads[i]));
+            });
+        scheduler.run_until(60.0);
+    }
+
+    // Socket half.
+    std::vector<Hash256> tcp_digests(3);
+    {
+        TcpTransport t0(tcp_config(0, {{1, "127.0.0.1", 0}, {2, "127.0.0.1", 0}}));
+        TcpTransport t1(tcp_config(1, {{0, "127.0.0.1", t0.listen_port()},
+                                       {2, "127.0.0.1", 0}}));
+        TcpTransport t2(tcp_config(2, {{0, "127.0.0.1", t0.listen_port()},
+                                       {1, "127.0.0.1", t1.listen_port()}}));
+        std::atomic<int> received{0};
+        t1.set_handler([&](PeerId, const std::string& topic, ByteView body) {
+            fold(tcp_digests[1], topic, body);
+            ++received;
+        });
+        t2.set_handler([&](PeerId, const std::string& topic, ByteView body) {
+            fold(tcp_digests[2], topic, body);
+            ++received;
+        });
+        t0.set_handler([](PeerId, const std::string&, ByteView) {});
+        t0.start();
+        t1.start();
+        t2.start();
+        ASSERT_TRUE(eventually(5.0, [&] {
+            return t0.connected_peers() == 2 && t1.connected_peers() == 2 &&
+                   t2.connected_peers() == 2;
+        }));
+        for (int i = 0; i < kMessages; ++i)
+            t0.broadcast("seq" + std::to_string(i % 3), ByteView(payloads[i]));
+        ASSERT_TRUE(eventually(10.0, [&] { return received == 2 * kMessages; }));
+        t0.shutdown();
+        t1.shutdown();
+        t2.shutdown();
+    }
+
+    EXPECT_EQ(sim_digests[1], sim_digests[2]);
+    EXPECT_EQ(sim_digests[1], tcp_digests[1]);
+    EXPECT_EQ(sim_digests[1], tcp_digests[2]);
+    EXPECT_NE(sim_digests[1], Hash256{}); // something actually arrived
+}
+
+// --- Replicas over the sim backend -------------------------------------------
+
+namespace {
+
+ledger::Transaction record_tx(std::uint64_t sender, std::uint64_t nonce) {
+    ledger::Transaction tx;
+    tx.kind = ledger::TxKind::kRecord;
+    tx.sender_pubkey.assign(8, 0);
+    for (std::size_t i = 0; i < 8; ++i)
+        tx.sender_pubkey[i] = static_cast<std::uint8_t>((sender >> (8 * i)) & 0xFF);
+    tx.nonce = nonce;
+    tx.data = Bytes(48, static_cast<std::uint8_t>(nonce));
+    tx.declared_fee = 100;
+    return tx;
+}
+
+} // namespace
+
+TEST(ReplicaSim, NakamotoConvergesOverSimTransport) {
+    TempDir dirs("replica-nakamoto");
+    sim::Scheduler scheduler;
+    net::Network network(scheduler, Rng(3));
+    SimTransportHub hub(network, 4);
+    network.build_full_mesh();
+
+    std::vector<std::unique_ptr<core::Replica>> replicas;
+    for (std::uint32_t id = 0; id < 4; ++id) {
+        core::ReplicaConfig config;
+        config.engine = core::ReplicaEngine::kNakamoto;
+        config.node_count = 4;
+        config.block_interval = 1.0;
+        config.data_dir = dirs.path / ("n" + std::to_string(id));
+        replicas.push_back(
+            std::make_unique<core::Replica>(hub.endpoint(id), config));
+    }
+    for (auto& r : replicas) r->start();
+    for (std::uint64_t i = 0; i < 20; ++i)
+        scheduler.schedule_after(0.1 * static_cast<double>(i), [&, i] {
+            replicas[i % 4]->submit_transaction(record_tx(i, 0));
+        });
+    scheduler.run_until(30.0);
+    for (auto& r : replicas) r->stop();
+    scheduler.run_until(31.0);
+
+    EXPECT_GT(replicas[0]->height(), 0u);
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+        EXPECT_EQ(replicas[i]->tip(), replicas[0]->tip());
+        EXPECT_EQ(replicas[i]->confirmed_txs(), replicas[0]->confirmed_txs());
+    }
+    EXPECT_EQ(replicas[0]->confirmed_txs(), 20u);
+    EXPECT_FALSE(replicas[0]->confirmation_latencies().empty());
+}
+
+TEST(ReplicaSim, PbftConvergesOverSimTransport) {
+    TempDir dirs("replica-pbft");
+    sim::Scheduler scheduler;
+    net::Network network(scheduler, Rng(5));
+    SimTransportHub hub(network, 4);
+    network.build_full_mesh();
+
+    std::vector<std::unique_ptr<core::Replica>> replicas;
+    for (std::uint32_t id = 0; id < 4; ++id) {
+        core::ReplicaConfig config;
+        config.engine = core::ReplicaEngine::kPbft;
+        config.node_count = 4;
+        config.block_interval = 0.5;
+        config.data_dir = dirs.path / ("n" + std::to_string(id));
+        replicas.push_back(
+            std::make_unique<core::Replica>(hub.endpoint(id), config));
+    }
+    for (auto& r : replicas) r->start();
+    for (std::uint64_t i = 0; i < 15; ++i)
+        scheduler.schedule_after(0.2 * static_cast<double>(i), [&, i] {
+            replicas[i % 4]->submit_transaction(record_tx(i, 1));
+        });
+    scheduler.run_until(20.0);
+    for (auto& r : replicas) r->stop();
+    scheduler.run_until(21.0);
+
+    EXPECT_GT(replicas[0]->height(), 0u);
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+        EXPECT_EQ(replicas[i]->tip(), replicas[0]->tip());
+        EXPECT_EQ(replicas[i]->height(), replicas[0]->height());
+    }
+    EXPECT_EQ(replicas[0]->confirmed_txs(), 15u);
+}
+
+// --- Daemon lifecycle through ClusterDriver (satellite: graceful shutdown) ---
+
+TEST(Cluster, SigtermFlushesAndReopensWithZeroWalReplay) {
+#ifdef DLT_NODE_BIN_PATH
+    ::setenv("DLT_NODE_BIN", DLT_NODE_BIN_PATH, /*overwrite=*/0);
+#endif
+    TempDir work("cluster-sigterm");
+    app::ClusterConfig config;
+    config.node_count = 3;
+    config.engine = core::ReplicaEngine::kNakamoto;
+    config.block_interval = 0.25;
+    config.work_dir = work.path;
+    config.lsm_state = true; // LSM commits per WAL record: clean reopen replays 0
+    app::ClusterDriver cluster(config);
+    cluster.start();
+
+    for (std::uint64_t i = 0; i < 12; ++i)
+        EXPECT_TRUE(cluster.rpc(i % 3).submit(record_tx(i, 2)));
+    ASSERT_TRUE(eventually(15.0, [&] {
+        const auto s = cluster.rpc(1).status();
+        return s && s->confirmed_txs >= 12 && s->height >= 2;
+    }));
+
+    // SIGTERM must flush and exit 0 — the graceful path, not a crash.
+    cluster.signal_node(1, SIGTERM);
+    EXPECT_EQ(cluster.wait_node(1), 0);
+
+    // The surviving nodes keep making progress and still shut down cleanly.
+    ASSERT_TRUE(eventually(10.0, [&] {
+        const auto a = cluster.rpc(0).status();
+        const auto b = cluster.rpc(2).status();
+        return a && b && a->tip == b->tip && a->height >= 2;
+    }));
+    // Node 1 is already down; stop_all reports -1 for it and 0 for the rest.
+    const std::vector<int> codes = cluster.stop_all();
+    EXPECT_EQ(codes[0], 0);
+    EXPECT_EQ(codes[2], 0);
+
+    // Reopen the SIGTERMed node's data dir in-process: every connect was
+    // WAL-committed into the LSM engine before the daemon exited, so recovery
+    // must come from the engine with zero WAL records replayed.
+    core::PersistentNodeOptions options;
+    options.state_engine = core::StateEngine::kPersistent;
+    core::PersistentNode node(cluster.data_dir(1),
+                              ledger::make_genesis("e29", 0x207fffff), options);
+    EXPECT_GT(node.height(), 0u);
+    EXPECT_TRUE(node.recovery().from_state_engine);
+    EXPECT_EQ(node.recovery().wal_records_replayed, 0u);
+    EXPECT_EQ(node.recovery().wal_bytes_truncated, 0u);
+}
